@@ -1,0 +1,94 @@
+// Extension: EPCC taskbench subset on the simulated platforms (the paper's
+// future work points beyond worksharing loops; LaGrone et al.'s task
+// overhead micro-benchmarks are the canonical next step).
+//
+// Expected shapes: parallel task generation scales with the team while
+// master task generation saturates at the single producer; both inherit
+// the platform's variability mechanisms (pinning still matters).
+
+#include "bench/harness.hpp"
+#include "omp_model/tasking.hpp"
+
+using namespace omv;
+
+namespace {
+
+RunMatrix run_tasking(sim::Simulator& s, const ompsim::TeamConfig& cfg,
+                      bool master, std::uint64_t seed) {
+  ompsim::SimTeam team(s, cfg, seed);
+  const auto spec = harness::paper_spec(seed, 8, 30);
+  RunHooks hooks;
+  hooks.before_run = [&](std::size_t, std::uint64_t run_seed) {
+    team.begin_run(run_seed);
+  };
+  return run_experiment(
+      spec,
+      [&](const RepContext&) {
+        team.begin_rep();
+        const double t0 = team.now();
+        if (master) {
+          ompsim::master_task_generation(team, 64 * team.size(), 1e-6);
+        } else {
+          ompsim::parallel_task_generation(team, 64, 1e-6);
+        }
+        return (team.now() - t0) * 1e6;
+      },
+      hooks);
+}
+
+}  // namespace
+
+int main() {
+  harness::header(
+      "Extension — EPCC taskbench subset (simulated platforms)",
+      "parallel task generation scales with the team; master task "
+      "generation bottlenecks on the single producer; unpinned tasking "
+      "inherits the Fig. 4 variability");
+
+  auto p = harness::dardel();
+  sim::Simulator s(p.machine, p.config);
+
+  report::Table t({"pattern", "threads", "mean rep (us)", "pooled CV"});
+  double par32 = 0.0;
+  double par128 = 0.0;
+  double mas32 = 0.0;
+  double mas128 = 0.0;
+  for (std::size_t threads : {32ul, 128ul}) {
+    const auto mp =
+        run_tasking(s, harness::pinned_team(threads), false, 9301 + threads);
+    const auto mm =
+        run_tasking(s, harness::pinned_team(threads), true, 9401 + threads);
+    t.add_row({"parallel generation", std::to_string(threads),
+               report::fmt_fixed(mp.grand_mean(), 1),
+               report::fmt_fixed(mp.pooled_summary().cv, 5)});
+    t.add_row({"master generation", std::to_string(threads),
+               report::fmt_fixed(mm.grand_mean(), 1),
+               report::fmt_fixed(mm.pooled_summary().cv, 5)});
+    if (threads == 32) {
+      par32 = mp.grand_mean();
+      mas32 = mm.grand_mean();
+    } else {
+      par128 = mp.grand_mean();
+      mas128 = mm.grand_mean();
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  // Per-task totals are fixed per thread for parallel generation, so the
+  // rep time stays near-flat with team size; master generation's rep time
+  // grows with total tasks (64*T) at a near-serial producer.
+  harness::verdict(mas128 > mas32 * 2.0,
+                   "master generation degrades with team size (producer "
+                   "bottleneck)");
+  harness::verdict(par128 < mas128,
+                   "parallel generation beats master generation at scale");
+
+  // Pinning still matters for tasking.
+  const auto pin = run_tasking(s, harness::pinned_team(128), false, 9501);
+  const auto unpin =
+      run_tasking(s, harness::unpinned_team(128), false, 9502);
+  std::printf("tasking, 128 threads: pinned CV %.5f vs unpinned CV %.5f\n",
+              pin.pooled_summary().cv, unpin.pooled_summary().cv);
+  harness::verdict(unpin.pooled_summary().cv > pin.pooled_summary().cv,
+                   "unpinned tasking inherits the Fig. 4 variability");
+  return 0;
+}

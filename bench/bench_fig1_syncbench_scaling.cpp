@@ -1,0 +1,84 @@
+// Figure 1: syncbench (reduction) execution time when increasing the
+// number of HW threads on Dardel (4-254) and Vera (2-30).
+//
+// Paper shapes: time per construct increases with thread count; a sharp
+// jump when the second socket engages (>64 physical cores on Dardel via
+// quad-NUMA spillover, >16 cores on Vera) and when SMT siblings engage on
+// Dardel (>128 threads); reduction is the most expensive synchronization
+// construct.
+
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "bench_suite/syncbench_sim.hpp"
+
+using namespace omv;
+
+namespace {
+
+void run_platform(const harness::Platform& p,
+                  const std::vector<std::size_t>& counts,
+                  std::uint64_t seed) {
+  sim::Simulator s(p.machine, p.config);
+  std::printf("-- %s --\n", p.name);
+  report::Series series("threads", {"reduction_us", "barrier_us"});
+  double first = 0.0;
+  double last = 0.0;
+  for (std::size_t t : counts) {
+    bench::SimSyncBench sb(s, harness::pinned_team(t));
+    const auto spec = harness::paper_spec(seed + t);
+    const auto red =
+        sb.run_protocol(bench::SyncConstruct::reduction, spec);
+    const auto bar = sb.run_protocol(bench::SyncConstruct::barrier, spec);
+    const double red_per =
+        red.grand_mean() /
+        static_cast<double>(sb.innerreps(bench::SyncConstruct::reduction));
+    const double bar_per =
+        bar.grand_mean() /
+        static_cast<double>(sb.innerreps(bench::SyncConstruct::barrier));
+    series.add(static_cast<double>(t), {red_per, bar_per});
+    if (t == counts.front()) first = red_per;
+    if (t == counts.back()) last = red_per;
+  }
+  std::printf("%s\n", series.render(report::Format::ascii, 3).c_str());
+  harness::verdict(last > first,
+                   std::string(p.name) +
+                       ": reduction time grows with thread count");
+}
+
+}  // namespace
+
+int main() {
+  harness::header(
+      "Figure 1 — syncbench execution time vs HW threads",
+      "time increases with threads; sharp increase crossing the second "
+      "socket and engaging SMT (Dardel >128); reduction is the most "
+      "time-consuming synchronization micro-benchmark");
+
+  run_platform(harness::dardel(),
+               {4, 8, 16, 32, 64, 96, 128, 160, 192, 254}, 2001);
+  run_platform(harness::vera(), {2, 4, 8, 12, 16, 20, 24, 28, 30}, 2002);
+
+  // Reduction vs the other constructs at full Dardel scale.
+  auto p = harness::dardel();
+  sim::Simulator s(p.machine, p.config);
+  bench::SimSyncBench sb(s, harness::pinned_team(128));
+  report::Table t({"construct", "ideal instance (us)"});
+  double reduction_cost = 0.0;
+  double worst_other = 0.0;
+  for (auto c : bench::all_sync_constructs()) {
+    const double us = sb.ideal_instance_us(c);
+    t.add_row({bench::sync_construct_name(c), report::fmt_fixed(us, 3)});
+    if (c == bench::SyncConstruct::reduction) {
+      reduction_cost = us;
+    } else if (c != bench::SyncConstruct::critical &&
+               c != bench::SyncConstruct::lock &&
+               c != bench::SyncConstruct::ordered) {
+      worst_other = std::max(worst_other, us);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  harness::verdict(reduction_cost > worst_other,
+                   "reduction is the most expensive team-wide construct");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 2: BabelStream execution time (ms) when increasing the number of
+// HW threads on Dardel (2-254) and Vera (2-30).
+//
+// Paper shape: kernel execution time decreases as more threads are
+// launched, on both platforms (bandwidth aggregates across cores and NUMA
+// domains until saturation).
+
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "bench_suite/stream_sim.hpp"
+
+using namespace omv;
+
+namespace {
+
+void run_platform(const harness::Platform& p,
+                  const std::vector<std::size_t>& counts,
+                  std::uint64_t seed) {
+  sim::Simulator s(p.machine, p.config);
+  std::printf("-- %s (array 2^25 doubles) --\n", p.name);
+  std::vector<std::string> names;
+  for (auto k : bench::all_stream_kernels()) {
+    names.push_back(std::string(bench::stream_kernel_name(k)) + "_ms");
+  }
+  report::Series series("threads", names);
+
+  double first_triad = 0.0;
+  double last_triad = 0.0;
+  for (std::size_t t : counts) {
+    std::vector<double> row;
+    for (auto k : bench::all_stream_kernels()) {
+      bench::SimStream st(s, harness::pinned_team(t));
+      const auto spec = harness::paper_spec(seed + t, 10, 50);
+      const auto m = st.run_protocol(k, spec);
+      row.push_back(m.grand_mean());
+      if (k == bench::StreamKernel::triad) {
+        if (t == counts.front()) first_triad = m.grand_mean();
+        if (t == counts.back()) last_triad = m.grand_mean();
+      }
+    }
+    series.add(static_cast<double>(t), std::move(row));
+  }
+  std::printf("%s\n", series.render(report::Format::ascii, 3).c_str());
+  harness::verdict(
+      last_triad < first_triad,
+      std::string(p.name) + ": execution time decreases with more threads");
+}
+
+}  // namespace
+
+int main() {
+  harness::header(
+      "Figure 2 — BabelStream execution time (ms) vs HW threads",
+      "execution time reduces when launching more parallel threads, on "
+      "both Dardel and Vera");
+  run_platform(harness::dardel(), {2, 4, 8, 16, 32, 64, 128, 254}, 3001);
+  run_platform(harness::vera(), {2, 4, 8, 16, 24, 30}, 3002);
+  return 0;
+}

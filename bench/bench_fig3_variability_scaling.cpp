@@ -1,0 +1,96 @@
+// Figure 3: scalability of performance variability — normalized min/max
+// execution time (per run, over 10 runs) when increasing the number of HW
+// threads, for schedbench, syncbench and BabelStream on both platforms.
+//
+// Paper shapes: higher thread counts add to variability for syncbench and
+// BabelStream, especially >=128 HW threads on Dardel and >=30 on Vera;
+// schedbench is the least affected (dynamic scheduling self-balances).
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "bench_suite/schedbench_sim.hpp"
+#include "bench_suite/stream_sim.hpp"
+#include "bench_suite/syncbench_sim.hpp"
+
+using namespace omv;
+
+namespace {
+
+struct SpreadRow {
+  double worst_norm_max = 0.0;  // max over runs of (max/mean)
+  double worst_norm_min = 1.0;  // min over runs of (min/mean)
+};
+
+SpreadRow spread(const RunMatrix& m) {
+  SpreadRow r;
+  for (std::size_t i = 0; i < m.runs(); ++i) {
+    r.worst_norm_max = std::max(r.worst_norm_max, m.run_norm_max(i));
+    r.worst_norm_min = std::min(r.worst_norm_min, m.run_norm_min(i));
+  }
+  return r;
+}
+
+void run_platform(const harness::Platform& p,
+                  const std::vector<std::size_t>& counts,
+                  std::uint64_t seed) {
+  sim::Simulator s(p.machine, p.config);
+  std::printf("-- %s --\n", p.name);
+  report::Series series(
+      "threads",
+      {"sched_nmin", "sched_nmax", "sync_nmin", "sync_nmax",
+       "stream_nmin", "stream_nmax"});
+
+  double sync_spread_low = 0.0;
+  double sync_spread_sum = 0.0;
+  double sched_spread_sum = 0.0;
+  double sync_spread_high = 0.0;
+  for (std::size_t t : counts) {
+    bench::SimSchedBench sched(s, harness::pinned_team(t),
+                               bench::EpccParams::schedbench(), 10000);
+    const auto m_sched = sched.run_protocol(
+        ompsim::Schedule::dynamic, 1, harness::paper_spec(seed + t, 10, 30));
+    bench::SimSyncBench sync(s, harness::pinned_team(t));
+    const auto m_sync = sync.run_protocol(
+        bench::SyncConstruct::reduction, harness::paper_spec(seed + t));
+    bench::SimStream stream(s, harness::pinned_team(t));
+    const auto m_stream = stream.run_protocol(
+        bench::StreamKernel::triad, harness::paper_spec(seed + t, 10, 50));
+
+    const auto a = spread(m_sched);
+    const auto b = spread(m_sync);
+    const auto c = spread(m_stream);
+    series.add(static_cast<double>(t),
+               {a.worst_norm_min, a.worst_norm_max, b.worst_norm_min,
+                b.worst_norm_max, c.worst_norm_min, c.worst_norm_max});
+
+    const double sync_sp = b.worst_norm_max - b.worst_norm_min;
+    sync_spread_sum += sync_sp;
+    sched_spread_sum += a.worst_norm_max - a.worst_norm_min;
+    if (t == counts.front()) sync_spread_low = sync_sp;
+    if (t == counts.back()) sync_spread_high = sync_sp;
+  }
+  std::printf("%s\n", series.render(report::Format::ascii, 4).c_str());
+  harness::verdict(sync_spread_high > sync_spread_low,
+                   std::string(p.name) +
+                       ": syncbench variability grows with thread count");
+  harness::verdict(sched_spread_sum < sync_spread_sum,
+                   std::string(p.name) +
+                       ": schedbench is the least affected benchmark "
+                       "(mean spread across counts)");
+}
+
+}  // namespace
+
+int main() {
+  harness::header(
+      "Figure 3 — scalability of performance variability (normalized "
+      "min/max)",
+      "variability grows with thread count for syncbench and BabelStream "
+      "(>=128 HW threads on Dardel, >=30 on Vera); schedbench is least "
+      "affected");
+  run_platform(harness::dardel(), {4, 16, 64, 128, 254}, 4001);
+  run_platform(harness::vera(), {2, 8, 16, 24, 30}, 4064);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Figure 4: the effect of thread pinning on Dardel.
+//
+// Three columns: schedbench at 16 threads, syncbench (reduction) at 128
+// threads, BabelStream at 128 threads — each before pinning (OS placement,
+// OMP_PROC_BIND unset) and after pinning (OMP_PLACES=threads,
+// OMP_PROC_BIND=close).
+//
+// Paper shapes: pinning removes most run-to-run variability; unpinned
+// syncbench spans >3 orders of magnitude between repetitions; unpinned
+// BabelStream shows up to ~6x min/max spread across runs; schedbench keeps
+// a mild run-level outlier even after pinning (run-scoped frequency cap).
+
+#include "bench/harness.hpp"
+#include "bench_suite/schedbench_sim.hpp"
+#include "bench_suite/stream_sim.hpp"
+#include "bench_suite/syncbench_sim.hpp"
+#include "core/characterize.hpp"
+#include "core/stat_tests.hpp"
+
+using namespace omv;
+
+namespace {
+
+void per_run_table(const char* title, const RunMatrix& m, int digits = 1) {
+  std::printf("%s\n", title);
+  report::Table t({"run #", "mean", "min", "max", "cv"});
+  for (std::size_t r = 0; r < m.runs(); ++r) {
+    const auto s = m.run_summary(r);
+    t.add_row({std::to_string(r + 1), report::fmt_fixed(s.mean, digits),
+               report::fmt_fixed(s.min, digits),
+               report::fmt_fixed(s.max, digits),
+               report::fmt_fixed(s.cv, 4)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  harness::header(
+      "Figure 4 — lower variability after thread-pinning (Dardel)",
+      "pinning reduces run-to-run variability for schedbench@16thr, "
+      "removes >3-orders-of-magnitude syncbench@128thr swings, and "
+      "shrinks BabelStream@128thr min/max spread (up to 6x unpinned)");
+
+  auto p = harness::dardel();
+  sim::Simulator s(p.machine, p.config);
+
+  // (a)/(d) schedbench, 16 threads.
+  {
+    bench::SimSchedBench before(s, harness::unpinned_team(16),
+                                bench::EpccParams::schedbench(), 10000);
+    const auto mb = before.run_protocol(ompsim::Schedule::dynamic, 1,
+                                        harness::paper_spec(5001, 10, 20));
+    bench::SimSchedBench after(s, harness::pinned_team(16),
+                               bench::EpccParams::schedbench(), 10000);
+    const auto ma = after.run_protocol(ompsim::Schedule::dynamic, 1,
+                                       harness::paper_spec(5002, 10, 20));
+    per_run_table("(a) schedbench 16 thr, BEFORE pinning (us):", mb);
+    per_run_table("(d) schedbench 16 thr, AFTER pinning (us):", ma);
+    harness::verdict(ma.run_to_run_cv() <= mb.run_to_run_cv(),
+                     "schedbench: pinning reduces run-to-run variation");
+  }
+
+  // (b)/(e) syncbench reduction, 128 threads.
+  {
+    bench::SimSyncBench before(s, harness::unpinned_team(128));
+    const auto mb = before.run_protocol(bench::SyncConstruct::reduction,
+                                        harness::paper_spec(5003));
+    bench::SimSyncBench after(s, harness::pinned_team(128));
+    const auto ma = after.run_protocol(bench::SyncConstruct::reduction,
+                                       harness::paper_spec(5004));
+    per_run_table("(b) syncbench reduction 128 thr, BEFORE pinning (us):",
+                  mb);
+    per_run_table("(e) syncbench reduction 128 thr, AFTER pinning (us):",
+                  ma);
+    const auto sb = mb.pooled_summary();
+    const auto sa = ma.pooled_summary();
+    std::printf("unpinned rep-time range: %.1f .. %.1f us (%.0fx)\n",
+                sb.min, sb.max, sb.max / sb.min);
+    std::printf("pinned rep-time range:   %.1f .. %.1f us (%.1fx)\n\n",
+                sa.min, sa.max, sa.max / sa.min);
+    harness::verdict(sb.max / sb.min > 100.0,
+                     "unpinned syncbench spans orders of magnitude");
+    harness::verdict(sa.max / sa.min < 2.0,
+                     "pinned syncbench variability nearly eliminated");
+    const auto bf = stats::brown_forsythe(ma.flatten(), mb.flatten());
+    harness::verdict(bf.significant,
+                     "variance reduction statistically significant "
+                     "(Brown-Forsythe p=" +
+                         report::fmt(bf.p_value, 4) + ")");
+    std::printf("unpinned signature: %s\n\n",
+                characterize(mb).to_string().c_str());
+  }
+
+  // (c)/(f) BabelStream, 128 threads: normalized min/max per kernel.
+  {
+    report::Table t({"kernel", "unpinned nmin", "unpinned nmax",
+                     "pinned nmin", "pinned nmax"});
+    bool all_tighter = true;
+    double worst_unpinned_ratio = 0.0;
+    for (auto k : bench::all_stream_kernels()) {
+      bench::SimStream before(s, harness::unpinned_team(128));
+      const auto mb =
+          before.run_protocol(k, harness::paper_spec(5005, 10, 50));
+      bench::SimStream after(s, harness::pinned_team(128));
+      const auto ma =
+          after.run_protocol(k, harness::paper_spec(5006, 10, 50));
+      double ub_min = 1.0;
+      double ub_max = 0.0;
+      double pb_min = 1.0;
+      double pb_max = 0.0;
+      for (std::size_t r = 0; r < mb.runs(); ++r) {
+        ub_min = std::min(ub_min, mb.run_norm_min(r));
+        ub_max = std::max(ub_max, mb.run_norm_max(r));
+        pb_min = std::min(pb_min, ma.run_norm_min(r));
+        pb_max = std::max(pb_max, ma.run_norm_max(r));
+      }
+      worst_unpinned_ratio = std::max(worst_unpinned_ratio, ub_max / ub_min);
+      all_tighter &= (pb_max - pb_min) <= (ub_max - ub_min);
+      t.add_row({bench::stream_kernel_name(k), report::fmt_fixed(ub_min, 3),
+                 report::fmt_fixed(ub_max, 3), report::fmt_fixed(pb_min, 3),
+                 report::fmt_fixed(pb_max, 3)});
+    }
+    std::printf("(c)/(f) BabelStream 128 thr, normalized min/max:\n%s\n",
+                t.render().c_str());
+    std::printf("worst unpinned max/min ratio: %.1fx\n", worst_unpinned_ratio);
+    harness::verdict(all_tighter,
+                     "BabelStream: pinned min/max spread tighter for every "
+                     "kernel");
+  }
+  return 0;
+}

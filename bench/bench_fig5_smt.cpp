@@ -1,0 +1,145 @@
+// Figure 5: the effect of SMT on Dardel.
+//
+// ST configuration: one HW thread per physical core (the sibling is left
+// idle for OS activities). MT configuration: both HW threads of half the
+// cores. Same OpenMP thread count in both cases.
+//
+// Columns: schedbench at 128 threads, syncbench at 32 threads (per-run CV
+// per construct), BabelStream at 128 threads.
+//
+// Paper shapes: MT shows much higher variability (within-run and
+// run-to-run) for schedbench and syncbench (for/single/ordered/reduction
+// worst); BabelStream does not benefit from SMT; at small thread counts
+// ST does not outperform MT much for BabelStream.
+
+#include <string>
+
+#include "bench/harness.hpp"
+#include "bench_suite/schedbench_sim.hpp"
+#include "bench_suite/stream_sim.hpp"
+#include "bench_suite/syncbench_sim.hpp"
+
+using namespace omv;
+
+namespace {
+
+// ST: first siblings of `n` cores. MT: both siblings of n/2 cores.
+ompsim::TeamConfig st_team(std::size_t n) {
+  ompsim::TeamConfig cfg;
+  cfg.n_threads = n;
+  cfg.places_spec = "{0}:" + std::to_string(n) + ":1";
+  cfg.bind = topo::ProcBind::close;
+  return cfg;
+}
+
+ompsim::TeamConfig mt_team(std::size_t n) {
+  ompsim::TeamConfig cfg;
+  cfg.n_threads = n;
+  cfg.places_spec = "{0}:" + std::to_string(n / 2) + ":1,{128}:" +
+                    std::to_string(n / 2) + ":1";
+  cfg.bind = topo::ProcBind::close;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  harness::header(
+      "Figure 5 — higher variability due to SMT (Dardel)",
+      "MT (both HW threads of each core) is much noisier than ST (one HW "
+      "thread per core, sibling free for the OS) at equal thread counts; "
+      "BabelStream does not benefit from SMT");
+
+  auto p = harness::dardel();
+  sim::Simulator s(p.machine, p.config);
+
+  // (a)/(d) schedbench, 128 threads.
+  {
+    bench::SimSchedBench st(s, st_team(128),
+                            bench::EpccParams::schedbench(), 10000);
+    const auto ms = st.run_protocol(ompsim::Schedule::dynamic, 1,
+                                    harness::paper_spec(6001, 10, 20));
+    bench::SimSchedBench mt(s, mt_team(128),
+                            bench::EpccParams::schedbench(), 10000);
+    const auto mm = mt.run_protocol(ompsim::Schedule::dynamic, 1,
+                                    harness::paper_spec(6002, 10, 20));
+    report::Table t({"config", "grand mean (us)", "pooled CV",
+                     "worst run CV"});
+    auto worst_cv = [](const RunMatrix& m) {
+      double w = 0.0;
+      for (std::size_t r = 0; r < m.runs(); ++r) {
+        w = std::max(w, m.run_cv(r));
+      }
+      return w;
+    };
+    t.add_row({"ST 128thr", report::fmt_fixed(ms.grand_mean(), 1),
+               report::fmt_fixed(ms.pooled_summary().cv, 5),
+               report::fmt_fixed(worst_cv(ms), 5)});
+    t.add_row({"MT 128thr", report::fmt_fixed(mm.grand_mean(), 1),
+               report::fmt_fixed(mm.pooled_summary().cv, 5),
+               report::fmt_fixed(worst_cv(mm), 5)});
+    std::printf("(a)/(d) schedbench 128 threads:\n%s\n", t.render().c_str());
+    harness::verdict(mm.pooled_summary().cv > ms.pooled_summary().cv,
+                     "schedbench: MT repetitions far more variable than ST");
+  }
+
+  // (b)/(e) syncbench, 32 threads: CV per run for each construct.
+  {
+    report::Table t({"construct", "ST mean CV", "MT mean CV",
+                     "ST worst CV", "MT worst CV"});
+    bool mt_noisier_everywhere = true;
+    for (auto c : bench::all_sync_constructs()) {
+      bench::SimSyncBench st(s, st_team(32));
+      const auto ms = st.run_protocol(c, harness::paper_spec(6003));
+      bench::SimSyncBench mt(s, mt_team(32));
+      const auto mm = mt.run_protocol(c, harness::paper_spec(6004));
+      const auto cv_stats_s = stats::summarize(ms.run_cvs());
+      const auto cv_stats_m = stats::summarize(mm.run_cvs());
+      t.add_row({bench::sync_construct_name(c),
+                 report::fmt_fixed(cv_stats_s.mean, 5),
+                 report::fmt_fixed(cv_stats_m.mean, 5),
+                 report::fmt_fixed(cv_stats_s.max, 5),
+                 report::fmt_fixed(cv_stats_m.max, 5)});
+      if (c == bench::SyncConstruct::for_ ||
+          c == bench::SyncConstruct::single ||
+          c == bench::SyncConstruct::ordered ||
+          c == bench::SyncConstruct::reduction) {
+        mt_noisier_everywhere &= cv_stats_m.mean > cv_stats_s.mean;
+      }
+    }
+    std::printf("(b)/(e) syncbench 32 threads, per-run CV:\n%s\n",
+                t.render().c_str());
+    harness::verdict(mt_noisier_everywhere,
+                     "syncbench: MT CV higher for for/single/ordered/"
+                     "reduction");
+  }
+
+  // (c)/(f) BabelStream, 128 threads and the small-scale comparison.
+  {
+    bench::SimStream st(s, st_team(128));
+    const auto ms = st.run_protocol(bench::StreamKernel::triad,
+                                    harness::paper_spec(6005, 10, 50));
+    bench::SimStream mt(s, mt_team(128));
+    const auto mm = mt.run_protocol(bench::StreamKernel::triad,
+                                    harness::paper_spec(6006, 10, 50));
+    std::printf(
+        "(c)/(f) BabelStream triad 128 threads: ST %.3f ms (CV %.4f) vs "
+        "MT %.3f ms (CV %.4f)\n",
+        ms.grand_mean(), ms.pooled_summary().cv, mm.grand_mean(),
+        mm.pooled_summary().cv);
+    harness::verdict(mm.grand_mean() >= ms.grand_mean() * 0.95,
+                     "BabelStream does not benefit from using SMT");
+
+    bench::SimStream st8(s, st_team(8));
+    const auto ms8 = st8.run_protocol(bench::StreamKernel::triad,
+                                      harness::paper_spec(6007, 10, 50));
+    bench::SimStream mt8(s, mt_team(8));
+    const auto mm8 = mt8.run_protocol(bench::StreamKernel::triad,
+                                      harness::paper_spec(6008, 10, 50));
+    std::printf("BabelStream triad 8 threads: ST %.3f ms vs MT %.3f ms\n",
+                ms8.grand_mean(), mm8.grand_mean());
+    harness::verdict(mm8.grand_mean() / ms8.grand_mean() < 1.5,
+                     "at small scale ST does not outperform MT much");
+  }
+  return 0;
+}

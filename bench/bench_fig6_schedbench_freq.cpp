@@ -1,0 +1,104 @@
+// Figure 6: higher variability of schedbench execution time due to
+// frequency variation on Vera.
+//
+// Four panels: (a) 16 cores from one NUMA node, (b) its frequency trace,
+// (c) 16 cores across two NUMA nodes, (d) its frequency trace. The
+// frequency logger runs "on a separate core" — here, sampling the
+// simulator's frequency model along the same simulated timeline.
+//
+// Paper shapes: the cross-NUMA placement shows higher variability (both
+// run-to-run and across the 100 repetitions), and its frequency trace
+// shows far more sub-fmax episodes (the "brown region").
+
+#include "bench/harness.hpp"
+#include "bench_suite/schedbench_sim.hpp"
+#include "freqlog/logger.hpp"
+
+using namespace omv;
+
+namespace {
+
+struct PanelResult {
+  RunMatrix matrix;
+  freqlog::FreqTrace trace;
+};
+
+PanelResult run_panel(sim::Simulator& s, const std::string& places,
+                      std::uint64_t seed) {
+  ompsim::TeamConfig cfg;
+  cfg.n_threads = 16;
+  cfg.places_spec = places;
+  cfg.bind = topo::ProcBind::close;
+
+  bench::SimSchedBench sb(s, cfg, bench::EpccParams::schedbench(), 10000);
+  freqlog::SimFreqReader reader(s.freq(), s.machine().n_cores());
+
+  PanelResult out;
+  ompsim::SimTeam team(s, cfg, seed);
+  const auto spec = harness::paper_spec(seed, 10, 20);
+  RunHooks hooks;
+  hooks.before_run = [&](std::size_t, std::uint64_t run_seed) {
+    team.begin_run(run_seed);
+  };
+  hooks.after_run = [&](std::size_t) {
+    // Sample the whole run's timeline at 100 Hz, like the paper's logger.
+    out.trace.append(
+        freqlog::sample_sim(reader, 0.0, team.now(), 0.01));
+  };
+  out.matrix = run_experiment(
+      spec,
+      [&](const RepContext&) {
+        return sb.rep_time_us(team, ompsim::Schedule::static_, 1);
+      },
+      hooks);
+  return out;
+}
+
+void report_panel(const char* label, const PanelResult& r, double fmax) {
+  std::printf("%s\n", label);
+  report::Table t({"run #", "mean (us)", "min (us)", "max (us)", "cv"});
+  for (std::size_t i = 0; i < r.matrix.runs(); ++i) {
+    const auto s = r.matrix.run_summary(i);
+    t.add_row({std::to_string(i + 1), report::fmt_fixed(s.mean, 1),
+               report::fmt_fixed(s.min, 1), report::fmt_fixed(s.max, 1),
+               report::fmt_fixed(s.cv, 4)});
+  }
+  std::printf("%s", t.render().c_str());
+  const auto e = r.trace.extremes();
+  std::printf(
+      "frequency trace: %zu samples, min %.2f / mean %.2f / max %.2f GHz, "
+      "%.1f%% below 0.95*fmax, %zu dip episodes\n\n",
+      r.trace.size(), e.min, e.mean, e.max,
+      r.trace.fraction_below(fmax, 0.95) * 100.0,
+      r.trace.episode_count(fmax, 0.95));
+}
+
+}  // namespace
+
+int main() {
+  harness::header(
+      "Figure 6 — schedbench variability from frequency variation (Vera)",
+      "cross-NUMA placement shows higher execution-time variability and a "
+      "frequency trace with many more sub-fmax episodes than the "
+      "single-NUMA placement");
+
+  auto p = harness::vera();
+  p.config.freq = sim::FreqConfig::vera_dippy();  // the Figs. 6/7 session
+  sim::Simulator s(p.machine, p.config);
+  const double fmax = p.machine.max_ghz();
+
+  const auto one_numa = run_panel(s, "{0}:16:1", 7001);
+  const auto two_numa = run_panel(s, "{0}:8:1,{16}:8:1", 7002);
+
+  report_panel("(a)+(b) 16 cores from ONE NUMA node:", one_numa, fmax);
+  report_panel("(c)+(d) 16 cores from TWO NUMA nodes:", two_numa, fmax);
+
+  harness::verdict(two_numa.matrix.pooled_summary().cv >
+                       one_numa.matrix.pooled_summary().cv,
+                   "cross-NUMA placement has higher execution-time CV");
+  harness::verdict(two_numa.trace.fraction_below(fmax, 0.95) >
+                       one_numa.trace.fraction_below(fmax, 0.95),
+                   "cross-NUMA frequency trace shows a larger sub-fmax "
+                   "region (the paper's brown region)");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 7: higher execution time in the syncbench (reduction)
+// micro-benchmark due to frequency variation on Vera — the syncbench
+// mirror of Figure 6.
+//
+// Paper shapes: the cross-NUMA placement exhibits more variation both
+// run-to-run and within the 100 repetitions of a single run, matching the
+// grey sub-fmax regions of its frequency trace.
+
+#include "bench/harness.hpp"
+#include "bench_suite/syncbench_sim.hpp"
+#include "freqlog/logger.hpp"
+
+using namespace omv;
+
+namespace {
+
+struct PanelResult {
+  RunMatrix matrix;
+  freqlog::FreqTrace trace;
+};
+
+PanelResult run_panel(sim::Simulator& s, const std::string& places,
+                      std::uint64_t seed) {
+  ompsim::TeamConfig cfg;
+  cfg.n_threads = 16;
+  cfg.places_spec = places;
+  cfg.bind = topo::ProcBind::close;
+
+  bench::SimSyncBench sb(s, cfg);
+  freqlog::SimFreqReader reader(s.freq(), s.machine().n_cores());
+
+  PanelResult out;
+  ompsim::SimTeam team(s, cfg, seed);
+  const auto spec = harness::paper_spec(seed);
+  RunHooks hooks;
+  hooks.before_run = [&](std::size_t, std::uint64_t run_seed) {
+    team.begin_run(run_seed);
+  };
+  hooks.after_run = [&](std::size_t) {
+    out.trace.append(freqlog::sample_sim(reader, 0.0, team.now(), 0.01));
+  };
+  out.matrix = run_experiment(
+      spec,
+      [&](const RepContext&) {
+        return sb.rep_time_us(team, bench::SyncConstruct::reduction);
+      },
+      hooks);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  harness::header(
+      "Figure 7 — syncbench (reduction) and frequency variation (Vera)",
+      "16 cores across two NUMA nodes show more run-to-run and "
+      "within-run variation than 16 cores of one node, coinciding with "
+      "sub-fmax frequency episodes");
+
+  auto p = harness::vera();
+  p.config.freq = sim::FreqConfig::vera_dippy();
+  sim::Simulator s(p.machine, p.config);
+  const double fmax = p.machine.max_ghz();
+
+  const auto one = run_panel(s, "{0}:16:1", 8001);
+  const auto two = run_panel(s, "{0}:8:1,{16}:8:1", 8002);
+
+  report::Table t({"placement", "grand mean (us)", "pooled CV",
+                   "run-to-run CV", "% samples < 0.95 fmax",
+                   "dip episodes"});
+  const auto add = [&](const char* name, const PanelResult& r) {
+    t.add_row({name, report::fmt_fixed(r.matrix.grand_mean(), 2),
+               report::fmt_fixed(r.matrix.pooled_summary().cv, 5),
+               report::fmt_fixed(r.matrix.run_to_run_cv(), 5),
+               report::fmt_pct(r.trace.fraction_below(fmax, 0.95), 2),
+               std::to_string(r.trace.episode_count(fmax, 0.95))});
+  };
+  add("one NUMA node (cores 0-15)", one);
+  add("two NUMA nodes (8+8)", two);
+  std::printf("%s\n", t.render().c_str());
+
+  harness::verdict(two.matrix.grand_mean() > one.matrix.grand_mean(),
+                   "cross-NUMA reduction is slower (socket-step barrier + "
+                   "frequency dips)");
+  harness::verdict(two.matrix.pooled_summary().cv >
+                       one.matrix.pooled_summary().cv,
+                   "cross-NUMA reduction shows more variation");
+  harness::verdict(two.trace.fraction_below(fmax, 0.95) >
+                       one.trace.fraction_below(fmax, 0.95),
+                   "frequency trace confirms more dips cross-NUMA");
+  return 0;
+}

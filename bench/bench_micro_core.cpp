@@ -1,0 +1,129 @@
+// Google-benchmark micros for the library's own hot paths: statistics
+// kernels, the OMP_PLACES parser, the event queue, the noise model, and
+// the worksharing schedulers. These guard the simulator's performance
+// envelope (a 254-thread x 100-rep x 10-run experiment must stay seconds).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/bootstrap.hpp"
+#include "core/descriptive.hpp"
+#include "core/rng.hpp"
+#include "omp_model/worksharing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/noise.hpp"
+#include "topo/places.hpp"
+
+namespace {
+
+std::vector<double> sample_data(std::size_t n) {
+  omv::Rng rng(7);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.normal(100.0, 5.0));
+  return v;
+}
+
+void BM_Summarize(benchmark::State& state) {
+  const auto v = sample_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(omv::stats::summarize(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Summarize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_OnlineStats(benchmark::State& state) {
+  const auto v = sample_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    omv::stats::OnlineStats s;
+    for (double x : v) s.add(x);
+    benchmark::DoNotOptimize(s.variance());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OnlineStats)->Arg(1000)->Arg(100000);
+
+void BM_Percentile(benchmark::State& state) {
+  const auto v = sample_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(omv::stats::percentile(v, 99.0));
+  }
+}
+BENCHMARK(BM_Percentile)->Arg(1000)->Arg(10000);
+
+void BM_BootstrapMeanCi(benchmark::State& state) {
+  const auto v = sample_data(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        omv::stats::bootstrap_mean_ci(v, static_cast<std::size_t>(
+                                             state.range(0))));
+  }
+}
+BENCHMARK(BM_BootstrapMeanCi)->Arg(200)->Arg(2000);
+
+void BM_PlacesParseAbstract(benchmark::State& state) {
+  const auto m = omv::topo::Machine::dardel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(omv::topo::parse_places("cores", m));
+  }
+}
+BENCHMARK(BM_PlacesParseAbstract);
+
+void BM_PlacesParseExplicit(benchmark::State& state) {
+  const auto m = omv::topo::Machine::dardel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        omv::topo::parse_places("{0:4}:32:4,{128:4}:32:4", m));
+  }
+}
+BENCHMARK(BM_PlacesParseExplicit);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    omv::sim::EventQueue q;
+    omv::Rng rng(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(rng.next_double(), [] {});
+    }
+    q.run();
+    benchmark::DoNotOptimize(q.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(10000);
+
+void BM_NoisePreemptionQuery(benchmark::State& state) {
+  const auto m = omv::topo::Machine::dardel();
+  omv::sim::NoiseModel nm(m, omv::sim::NoiseConfig::dardel());
+  nm.begin_run(1, m.primary_threads());
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nm.preemption_delay(5, t, t + 0.001));
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_NoisePreemptionQuery);
+
+void BM_DynamicScheduleLoop(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  omv::sim::Simulator s(omv::topo::Machine::dardel(),
+                        omv::sim::SimConfig::ideal());
+  omv::ompsim::TeamConfig cfg;
+  cfg.n_threads = threads;
+  for (auto _ : state) {
+    omv::ompsim::SimTeam team(s, cfg, 1);
+    team.begin_run(1);
+    omv::ompsim::for_loop(team, omv::ompsim::Schedule::dynamic, 1,
+                          threads * 256, 1e-6);
+    benchmark::DoNotOptimize(team.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 256);
+}
+BENCHMARK(BM_DynamicScheduleLoop)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 1: parameters of the EPCC OpenMP micro-benchmarks.
+//
+// Echoes the effective configuration (outer repetitions, delay time, test
+// time, itersperthr) and demonstrates the innerreps calibration these
+// parameters drive on both platforms.
+
+#include "bench/harness.hpp"
+#include "bench_suite/syncbench_sim.hpp"
+
+using namespace omv;
+
+int main() {
+  harness::header("Table 1 — EPCC micro-benchmark parameters",
+                  "schedbench: 100 reps, 15us delay, 1000us test time, "
+                  "8192 itersperthr; syncbench: 100 reps, 0.1us delay, "
+                  "1000us test time");
+
+  const auto sched = bench::EpccParams::schedbench();
+  const auto sync = bench::EpccParams::syncbench();
+
+  report::Table t({"parameter", "schedbench", "syncbench"});
+  t.add_row({"outer repetitions", std::to_string(sched.outer_reps),
+             std::to_string(sync.outer_reps)});
+  t.add_row({"delay time (us)", report::fmt_fixed(sched.delay_us, 1),
+             report::fmt_fixed(sync.delay_us, 1)});
+  t.add_row({"test time (us)", report::fmt_fixed(sched.test_time_us, 0),
+             report::fmt_fixed(sync.test_time_us, 0)});
+  t.add_row({"itersperthr", std::to_string(sched.itersperthr), "-"});
+  std::printf("%s\n", t.render().c_str());
+
+  // Show what the test-time calibration yields for the reduction construct
+  // at representative scales (the innerreps EPCC would pick).
+  report::Table cal({"platform", "threads", "ideal instance (us)",
+                     "calibrated innerreps"});
+  for (auto& p : {harness::dardel(), harness::vera()}) {
+    sim::Simulator s(p.machine, p.config);
+    for (std::size_t threads :
+         {std::size_t{4}, p.machine.n_threads() - 2}) {
+      bench::SimSyncBench sb(s, harness::pinned_team(threads), sync);
+      const double inst =
+          sb.ideal_instance_us(bench::SyncConstruct::reduction);
+      cal.add_row({p.name, std::to_string(threads),
+                   report::fmt_fixed(inst, 2),
+                   std::to_string(sb.innerreps(
+                       bench::SyncConstruct::reduction))});
+    }
+  }
+  std::printf("%s\n", cal.render().c_str());
+
+  harness::verdict(sched.outer_reps == 100 && sync.delay_us == 0.1,
+                   "Table 1 parameters wired through the EPCC protocol");
+  return 0;
+}

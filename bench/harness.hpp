@@ -1,0 +1,85 @@
+#pragma once
+// Shared scaffolding for the paper-reproduction bench harnesses.
+//
+// Every binary reproduces one table or figure of the paper. Binaries run
+// with no arguments using the paper's full protocol (10 runs x 100 outer
+// repetitions); set OMNIVAR_QUICK=1 to shrink the protocol for smoke runs,
+// or OMNIVAR_RUNS / OMNIVAR_REPS to override explicitly.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "omp_model/team.hpp"
+#include "sim/simulator.hpp"
+#include "topo/topology.hpp"
+
+namespace omv::harness {
+
+/// Protocol spec honoring the environment overrides.
+inline ExperimentSpec paper_spec(std::uint64_t seed, std::size_t runs = 10,
+                                 std::size_t reps = 100) {
+  ExperimentSpec spec;
+  spec.runs = runs;
+  spec.reps = reps;
+  spec.warmup = 1;
+  spec.seed = seed;
+  if (const char* q = std::getenv("OMNIVAR_QUICK"); q && q[0] == '1') {
+    spec.runs = std::min<std::size_t>(spec.runs, 3);
+    spec.reps = std::min<std::size_t>(spec.reps, 10);
+  }
+  if (const char* r = std::getenv("OMNIVAR_RUNS")) {
+    spec.runs = std::strtoul(r, nullptr, 10);
+  }
+  if (const char* r = std::getenv("OMNIVAR_REPS")) {
+    spec.reps = std::strtoul(r, nullptr, 10);
+  }
+  return spec;
+}
+
+/// The two platforms of the paper.
+struct Platform {
+  const char* name;
+  topo::Machine machine;
+  sim::SimConfig config;
+};
+
+inline Platform dardel() {
+  return {"Dardel", topo::Machine::dardel(), sim::SimConfig::dardel()};
+}
+
+inline Platform vera() {
+  return {"Vera", topo::Machine::vera(), sim::SimConfig::vera()};
+}
+
+/// Standard pinned team config (OMP_PLACES=threads, OMP_PROC_BIND=close).
+inline ompsim::TeamConfig pinned_team(std::size_t threads) {
+  ompsim::TeamConfig cfg;
+  cfg.n_threads = threads;
+  cfg.places_spec = "threads";
+  cfg.bind = topo::ProcBind::close;
+  return cfg;
+}
+
+/// Unpinned team (the paper's "before thread-pinning" configuration).
+inline ompsim::TeamConfig unpinned_team(std::size_t threads) {
+  ompsim::TeamConfig cfg;
+  cfg.n_threads = threads;
+  cfg.bind = topo::ProcBind::none;
+  return cfg;
+}
+
+/// Prints the standard harness header.
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("%s", report::banner(experiment).c_str());
+  std::printf("Paper claim: %s\n\n", claim.c_str());
+}
+
+/// Prints the "shape check" verdict line the EXPERIMENTS.md records.
+inline void verdict(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH", what.c_str());
+}
+
+}  // namespace omv::harness

@@ -1,0 +1,61 @@
+// Example: define a custom platform and sweep a scaling study on it.
+//
+// Models a hypothetical single-socket 48-core machine with 4 NUMA domains
+// and SMT-2, gives it a noise/frequency profile, and asks: at which thread
+// count does the reduction construct's variability take off, and is it
+// better to use spread or close binding?
+
+#include <cstdio>
+
+#include "bench_suite/syncbench_sim.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace omv;
+
+  // 1 socket x 4 NUMA domains x 12 cores x SMT-2 = 96 HW threads.
+  auto machine = topo::Machine::uniform("epyc-like", /*sockets=*/1,
+                                        /*numa_per_socket=*/4,
+                                        /*cores_per_numa=*/12, /*smt=*/2,
+                                        /*base_ghz=*/2.4, /*max_ghz=*/3.6);
+
+  sim::SimConfig cfg = sim::SimConfig::dardel();  // reuse the noise profile
+  cfg.mem.domain_gbps = 40.0;
+  sim::Simulator s(std::move(machine), cfg);
+
+  ExperimentSpec spec;
+  spec.runs = 8;
+  spec.reps = 40;
+  spec.seed = 7;
+
+  std::printf("Custom platform: %zu cores, %zu NUMA domains, SMT-%zu\n\n",
+              s.machine().n_cores(), s.machine().n_numa(),
+              s.machine().smt_per_core());
+
+  report::Series series("threads",
+                        {"close_us", "close_cv", "spread_us", "spread_cv"});
+  for (std::size_t t : {4ul, 8ul, 16ul, 24ul, 36ul, 46ul}) {
+    std::vector<double> row;
+    for (auto bind : {topo::ProcBind::close, topo::ProcBind::spread}) {
+      ompsim::TeamConfig team;
+      team.n_threads = t;
+      team.places_spec = "cores";  // one place per physical core
+      team.bind = bind;
+      bench::SimSyncBench sb(s, team);
+      const auto m =
+          sb.run_protocol(bench::SyncConstruct::reduction, spec);
+      const double per_instance =
+          m.grand_mean() /
+          static_cast<double>(sb.innerreps(bench::SyncConstruct::reduction));
+      row.push_back(per_instance);
+      row.push_back(m.pooled_summary().cv);
+    }
+    series.add(static_cast<double>(t), std::move(row));
+  }
+  std::printf("%s\n", series.render(report::Format::ascii, 4).c_str());
+  std::printf(
+      "Reading: spread pays NUMA-span barrier costs earlier; close defers\n"
+      "them until the team outgrows a domain. The cv columns show where\n"
+      "each policy's variability takes off on this machine.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: measure and characterize the execution-time variability of
+// your own OpenMP region with omnivar, on the machine you are running on.
+//
+//   $ ./quickstart [n_threads]
+//
+// Runs a small parallel kernel under the paper's protocol (several runs x
+// repetitions), prints the per-run statistics, the between-run vs
+// within-run variance split, and the qualitative variability signature.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_suite/epcc.hpp"
+#include "bench_suite/native.hpp"
+#include "core/characterize.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+int main(int argc, char** argv) {
+  using namespace omv;
+
+  std::size_t threads = bench::native_max_threads();
+  if (argc > 1) threads = std::strtoul(argv[1], nullptr, 10);
+  std::printf("omnivar quickstart: measuring a parallel-for with %zu "
+              "OpenMP thread(s)\n\n",
+              threads);
+
+  // The kernel under test: a parallel-for over a calibrated spin delay —
+  // substitute any function returning one repetition's time in
+  // microseconds.
+  const double iters_per_us = bench::calibrate_delay_per_us();
+  const auto kernel = [&](const RepContext&) {
+    return time_micros([&] {
+#if defined(_OPENMP)
+      omp_set_num_threads(static_cast<int>(threads));
+#pragma omp parallel for schedule(static)
+#endif
+      for (int i = 0; i < 256; ++i) {
+        bench::spin_delay(5.0, iters_per_us);
+      }
+    });
+  };
+
+  ExperimentSpec spec;
+  spec.name = "quickstart";
+  spec.runs = 5;
+  spec.reps = 30;
+  spec.warmup = 3;
+  const RunMatrix m = run_experiment(spec, kernel);
+
+  report::Table t({"run #", "mean (us)", "min (us)", "max (us)", "cv"});
+  for (std::size_t r = 0; r < m.runs(); ++r) {
+    const auto s = m.run_summary(r);
+    t.add_row({std::to_string(r + 1), report::fmt_fixed(s.mean, 1),
+               report::fmt_fixed(s.min, 1), report::fmt_fixed(s.max, 1),
+               report::fmt_fixed(s.cv, 4)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const auto vc = m.variance_components();
+  std::printf("between-run variance share (ICC): %.1f%%  (F=%.2f, p=%.3g)\n",
+              vc.icc * 100.0, vc.f_statistic, vc.p_value);
+
+  const auto c = characterize(m);
+  std::printf("variability signature: %s\n", c.to_string().c_str());
+  std::printf("pooled: mean %.1f us, cv %.4f, norm min/max %.3f/%.3f\n",
+              c.pooled.mean, c.pooled.cv, c.pooled.norm_min(),
+              c.pooled.norm_max());
+  std::printf("\nHints: pin threads (OMP_PLACES=cores OMP_PROC_BIND=close), "
+              "leave SMT siblings free,\nand spare a couple of cores for "
+              "the OS — see the paper reproduction in bench/.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "bench_suite/epcc.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace omv::bench {
+
+const std::vector<SyncConstruct>& all_sync_constructs() {
+  static const std::vector<SyncConstruct> kAll = {
+      SyncConstruct::parallel, SyncConstruct::for_,
+      SyncConstruct::barrier,  SyncConstruct::single,
+      SyncConstruct::critical, SyncConstruct::lock,
+      SyncConstruct::ordered,  SyncConstruct::atomic,
+      SyncConstruct::reduction};
+  return kAll;
+}
+
+const char* sync_construct_name(SyncConstruct c) noexcept {
+  switch (c) {
+    case SyncConstruct::parallel:
+      return "parallel";
+    case SyncConstruct::for_:
+      return "for";
+    case SyncConstruct::barrier:
+      return "barrier";
+    case SyncConstruct::single:
+      return "single";
+    case SyncConstruct::critical:
+      return "critical";
+    case SyncConstruct::lock:
+      return "lock";
+    case SyncConstruct::ordered:
+      return "ordered";
+    case SyncConstruct::atomic:
+      return "atomic";
+    case SyncConstruct::reduction:
+      return "reduction";
+  }
+  return "?";
+}
+
+std::size_t calibrate_innerreps(double instance_time_us, double test_time_us) {
+  if (instance_time_us <= 0.0) return 1000;
+  const double reps = test_time_us / instance_time_us;
+  return std::clamp<std::size_t>(static_cast<std::size_t>(reps), 1, 1000000);
+}
+
+double overhead_us(double rep_time_us, std::size_t innerreps,
+                   double reference_per_instance_us) {
+  if (innerreps == 0) return 0.0;
+  return rep_time_us / static_cast<double>(innerreps) -
+         reference_per_instance_us;
+}
+
+namespace {
+// Volatile sink defeats dead-code elimination of the spin loop.
+volatile double g_delay_sink = 0.0;
+
+void spin_iters(std::size_t iters) {
+  double a = 1.0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    a += static_cast<double>(i & 7) * 0.5;
+  }
+  g_delay_sink = a;
+}
+}  // namespace
+
+double calibrate_delay_per_us() {
+  // Time a large fixed iteration count; repeat and take the fastest to
+  // shed warm-up effects.
+  constexpr std::size_t kIters = 2'000'000;
+  double best_us = 1e300;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    spin_iters(kIters);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    best_us = std::min(best_us, us);
+  }
+  return best_us > 0.0 ? static_cast<double>(kIters) / best_us : 1000.0;
+}
+
+void spin_delay(double us, double iters_per_us) {
+  if (us <= 0.0) return;
+  spin_iters(static_cast<std::size_t>(us * iters_per_us));
+}
+
+}  // namespace omv::bench

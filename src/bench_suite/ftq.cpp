@@ -1,0 +1,85 @@
+#include "bench_suite/ftq.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench_suite/epcc.hpp"
+#include "topo/affinity.hpp"
+
+namespace omv::bench {
+
+FtqReport analyze_ftq(const std::vector<FtqSample>& samples) {
+  FtqReport r;
+  if (samples.empty()) return r;
+  double sum = 0.0;
+  for (const auto& s : samples) {
+    sum += s.work;
+    r.max_work = std::max(r.max_work, s.work);
+  }
+  r.mean_work = sum / static_cast<double>(samples.size());
+  r.noise_fraction =
+      r.max_work > 0.0 ? 1.0 - r.mean_work / r.max_work : 0.0;
+  std::size_t disturbed = 0;
+  for (const auto& s : samples) {
+    if (s.work < 0.9 * r.max_work) ++disturbed;
+  }
+  r.disturbed_quanta =
+      static_cast<double>(disturbed) / static_cast<double>(samples.size());
+  return r;
+}
+
+std::vector<double> ftq_deficits(const std::vector<FtqSample>& samples) {
+  double mx = 0.0;
+  for (const auto& s : samples) mx = std::max(mx, s.work);
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(mx - s.work);
+  return out;
+}
+
+std::vector<FtqSample> run_ftq_native(std::size_t quanta, double quantum_s,
+                                      std::optional<std::size_t> cpu) {
+  if (cpu) topo::pin_current_thread(topo::CpuSet::single(*cpu));
+  std::vector<FtqSample> out;
+  out.reserve(quanta);
+  using clock = std::chrono::steady_clock;
+  const auto origin = clock::now();
+  const double ipu = calibrate_delay_per_us();
+  for (std::size_t q = 0; q < quanta; ++q) {
+    const auto start = clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double>(quantum_s));
+    double work = 0.0;
+    while (clock::now() < deadline) {
+      // One grain ~ 10 us of calibrated spinning.
+      spin_delay(10.0, ipu);
+      work += 1.0;
+    }
+    out.push_back(
+        {std::chrono::duration<double>(start - origin).count(), work});
+  }
+  return out;
+}
+
+std::vector<FtqSample> run_ftq_sim(sim::Simulator& simulator, std::size_t hw,
+                                   double t0, std::size_t quanta,
+                                   double quantum_s) {
+  std::vector<FtqSample> out;
+  out.reserve(quanta);
+  double t = t0;
+  for (std::size_t q = 0; q < quanta; ++q) {
+    // Work completed in [t, t+quantum): quantum minus preemption time,
+    // scaled by the frequency factor over the window.
+    const double preempted =
+        simulator.noise().preemption_delay(hw, t, t + quantum_s);
+    const std::size_t core = simulator.machine().thread(hw).core;
+    const double f = simulator.freq().mean_factor(core, t, t + quantum_s);
+    const double usable = std::max(0.0, quantum_s - preempted);
+    out.push_back({t - t0, usable * f});
+    t += quantum_s;
+  }
+  return out;
+}
+
+}  // namespace omv::bench

@@ -1,0 +1,62 @@
+#pragma once
+// Fixed-Time-Quantum (FTQ) noise probe.
+//
+// The classic OS-noise measurement (Sottile & Minnich): repeatedly count
+// how much fixed-size work completes inside fixed wall-clock quanta; a
+// quantum robbed by a daemon/interrupt completes less work. This is the
+// direct-measurement companion to the paper's statistical approach and the
+// tool for "pinpointing the exact sources of OS noise" (its future work):
+// the per-quantum deficit series feeds the autocorrelation detector to
+// recover periodic sources.
+//
+// Two backends: native (spin work on this host, optionally pinned) and
+// simulated (samples the simulator's noise model on a chosen HW thread).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "topo/cpuset.hpp"
+
+namespace omv::bench {
+
+/// One FTQ sample: work completed within one quantum.
+struct FtqSample {
+  double start_s = 0.0;  ///< quantum start (relative).
+  double work = 0.0;     ///< work units completed (native: loop iterations).
+};
+
+/// Noise metrics derived from an FTQ trace.
+struct FtqReport {
+  double mean_work = 0.0;
+  double max_work = 0.0;  ///< best (least disturbed) quantum.
+  /// Fraction of aggregate work lost to noise: 1 - mean/max.
+  double noise_fraction = 0.0;
+  /// Fraction of quanta that lost more than 10% of the best work.
+  double disturbed_quanta = 0.0;
+};
+
+/// Computes the report from raw samples.
+[[nodiscard]] FtqReport analyze_ftq(const std::vector<FtqSample>& samples);
+
+/// Runs FTQ natively: `quanta` quanta of `quantum_s` seconds each, spinning
+/// a calibrated work loop, optionally pinned to `cpu`.
+[[nodiscard]] std::vector<FtqSample> run_ftq_native(
+    std::size_t quanta, double quantum_s,
+    std::optional<std::size_t> cpu = std::nullopt);
+
+/// Runs FTQ against the simulator: on HW thread `hw`, starting at simulated
+/// time `t0`, using the simulator's noise model. Work units are seconds of
+/// undisturbed compute. Deterministic.
+[[nodiscard]] std::vector<FtqSample> run_ftq_sim(sim::Simulator& simulator,
+                                                 std::size_t hw, double t0,
+                                                 std::size_t quanta,
+                                                 double quantum_s);
+
+/// Per-quantum *deficit* series (max - work), the input for periodic-noise
+/// detection via stats::dominant_period.
+[[nodiscard]] std::vector<double> ftq_deficits(
+    const std::vector<FtqSample>& samples);
+
+}  // namespace omv::bench

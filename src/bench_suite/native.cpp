@@ -1,0 +1,476 @@
+#include "bench_suite/native.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#else
+// Serial shims so the library still builds and runs without OpenMP.
+namespace {
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+inline void omp_set_num_threads(int) {}
+using omp_lock_t = int;
+inline void omp_init_lock(omp_lock_t*) {}
+inline void omp_destroy_lock(omp_lock_t*) {}
+inline void omp_set_lock(omp_lock_t*) {}
+inline void omp_unset_lock(omp_lock_t*) {}
+}  // namespace
+#endif
+
+namespace omv::bench {
+namespace {
+
+double wall_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::size_t native_max_threads() {
+  return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+}
+
+// --------------------------------------------------------------------------
+// NativeTaskBench
+// --------------------------------------------------------------------------
+
+NativeTaskBench::NativeTaskBench(NativeConfig cfg, EpccParams params)
+    : cfg_(cfg), params_(params) {
+  if (cfg_.n_threads == 0) {
+    throw std::invalid_argument("NativeTaskBench: zero threads");
+  }
+  if (cfg_.iters_per_us <= 0.0) {
+    cfg_.iters_per_us = calibrate_delay_per_us();
+  }
+}
+
+double NativeTaskBench::parallel_generation_rep_us(
+    std::size_t tasks_per_thread) {
+  omp_set_num_threads(static_cast<int>(cfg_.n_threads));
+  const double delay = params_.delay_us;
+  const double ipu = cfg_.iters_per_us;
+  const auto n = static_cast<long>(tasks_per_thread);
+
+  const double t0 = wall_us();
+#if defined(_OPENMP)
+#pragma omp parallel
+  {
+    for (long i = 0; i < n; ++i) {
+#pragma omp task firstprivate(delay, ipu)
+      { spin_delay(delay, ipu); }
+    }
+#pragma omp taskwait
+  }
+#else
+  for (std::size_t t = 0; t < cfg_.n_threads; ++t) {
+    for (long i = 0; i < n; ++i) spin_delay(delay, ipu);
+  }
+#endif
+  return wall_us() - t0;
+}
+
+double NativeTaskBench::master_generation_rep_us(std::size_t total_tasks) {
+  omp_set_num_threads(static_cast<int>(cfg_.n_threads));
+  const double delay = params_.delay_us;
+  const double ipu = cfg_.iters_per_us;
+  const auto n = static_cast<long>(total_tasks);
+
+  const double t0 = wall_us();
+#if defined(_OPENMP)
+#pragma omp parallel
+  {
+#pragma omp master
+    {
+      for (long i = 0; i < n; ++i) {
+#pragma omp task firstprivate(delay, ipu)
+        { spin_delay(delay, ipu); }
+      }
+    }
+#pragma omp barrier
+  }
+#else
+  for (long i = 0; i < n; ++i) spin_delay(delay, ipu);
+#endif
+  return wall_us() - t0;
+}
+
+// --------------------------------------------------------------------------
+// NativeSyncBench
+// --------------------------------------------------------------------------
+
+NativeSyncBench::NativeSyncBench(NativeConfig cfg, EpccParams params)
+    : cfg_(cfg), params_(params) {
+  if (cfg_.n_threads == 0) {
+    throw std::invalid_argument("NativeSyncBench: zero threads");
+  }
+  if (cfg_.iters_per_us <= 0.0) {
+    cfg_.iters_per_us = calibrate_delay_per_us();
+  }
+  innerreps_cache_.assign(all_sync_constructs().size(), 0);
+}
+
+double NativeSyncBench::reference_us() {
+  // Time a serial loop of delay payloads, per EPCC's reference measurement.
+  constexpr std::size_t kLoops = 1024;
+  const double t0 = wall_us();
+  for (std::size_t i = 0; i < kLoops; ++i) {
+    spin_delay(params_.delay_us, cfg_.iters_per_us);
+  }
+  return (wall_us() - t0) / kLoops;
+}
+
+double NativeSyncBench::time_construct_us(SyncConstruct c,
+                                          std::size_t inner) {
+  const double delay = params_.delay_us;
+  const double ipu = cfg_.iters_per_us;
+  const int nt = static_cast<int>(cfg_.n_threads);
+  omp_set_num_threads(nt);
+
+  double total = 0.0;
+  [[maybe_unused]] volatile double sink = 0.0;
+  static omp_lock_t lock;
+  static bool lock_init = false;
+  if (!lock_init) {
+    omp_init_lock(&lock);
+    lock_init = true;
+  }
+
+  const double t0 = wall_us();
+  switch (c) {
+    case SyncConstruct::parallel: {
+      for (std::size_t k = 0; k < inner; ++k) {
+#if defined(_OPENMP)
+#pragma omp parallel
+#endif
+        { spin_delay(delay, ipu); }
+      }
+      break;
+    }
+    case SyncConstruct::for_: {
+#if defined(_OPENMP)
+#pragma omp parallel
+#endif
+      {
+        for (std::size_t k = 0; k < inner; ++k) {
+#if defined(_OPENMP)
+#pragma omp for schedule(static)
+#endif
+          for (int i = 0; i < nt; ++i) {
+            spin_delay(delay, ipu);
+          }
+        }
+      }
+      break;
+    }
+    case SyncConstruct::barrier: {
+#if defined(_OPENMP)
+#pragma omp parallel
+#endif
+      {
+        for (std::size_t k = 0; k < inner; ++k) {
+          spin_delay(delay, ipu);
+#if defined(_OPENMP)
+#pragma omp barrier
+#endif
+        }
+      }
+      break;
+    }
+    case SyncConstruct::single: {
+#if defined(_OPENMP)
+#pragma omp parallel
+#endif
+      {
+        for (std::size_t k = 0; k < inner; ++k) {
+#if defined(_OPENMP)
+#pragma omp single
+#endif
+          { spin_delay(delay, ipu); }
+        }
+      }
+      break;
+    }
+    case SyncConstruct::critical: {
+#if defined(_OPENMP)
+#pragma omp parallel
+#endif
+      {
+        for (std::size_t k = 0; k < inner; ++k) {
+#if defined(_OPENMP)
+#pragma omp critical
+#endif
+          { spin_delay(delay, ipu); }
+        }
+      }
+      break;
+    }
+    case SyncConstruct::lock: {
+#if defined(_OPENMP)
+#pragma omp parallel
+#endif
+      {
+        for (std::size_t k = 0; k < inner; ++k) {
+          omp_set_lock(&lock);
+          spin_delay(delay, ipu);
+          omp_unset_lock(&lock);
+        }
+      }
+      break;
+    }
+    case SyncConstruct::ordered: {
+      for (std::size_t k = 0; k < inner; ++k) {
+#if defined(_OPENMP)
+#pragma omp parallel for ordered schedule(static, 1)
+#endif
+        for (int i = 0; i < nt; ++i) {
+#if defined(_OPENMP)
+#pragma omp ordered
+#endif
+          { spin_delay(delay, ipu); }
+        }
+      }
+      break;
+    }
+    case SyncConstruct::atomic: {
+      double acc = 0.0;
+#if defined(_OPENMP)
+#pragma omp parallel
+#endif
+      {
+        for (std::size_t k = 0; k < inner; ++k) {
+#if defined(_OPENMP)
+#pragma omp atomic
+#endif
+          acc += 1.0;
+        }
+      }
+      sink = acc;
+      break;
+    }
+    case SyncConstruct::reduction: {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+#if defined(_OPENMP)
+#pragma omp parallel reduction(+ : acc)
+#endif
+        {
+          spin_delay(delay, ipu);
+          acc += 1.0;
+        }
+      }
+      sink = acc;
+      break;
+    }
+  }
+  total = wall_us() - t0;
+  return total;
+}
+
+std::size_t NativeSyncBench::innerreps(SyncConstruct c) {
+  auto& cached = innerreps_cache_[static_cast<std::size_t>(c)];
+  if (cached != 0) return cached;
+  // Calibrate: time a small probe batch, scale to test_time.
+  constexpr std::size_t kProbe = 8;
+  const double probe_us = time_construct_us(c, kProbe);
+  const double instance_us =
+      std::max(probe_us / static_cast<double>(kProbe), 1e-3);
+  cached = calibrate_innerreps(instance_us, params_.test_time_us);
+  return cached;
+}
+
+double NativeSyncBench::rep_time_us(SyncConstruct c) {
+  return time_construct_us(c, innerreps(c));
+}
+
+RunMatrix NativeSyncBench::run_protocol(SyncConstruct c,
+                                        const ExperimentSpec& spec) {
+  (void)innerreps(c);  // calibrate outside the timed region
+  return run_experiment(
+      spec, [&](const RepContext&) { return rep_time_us(c); });
+}
+
+// --------------------------------------------------------------------------
+// NativeSchedBench
+// --------------------------------------------------------------------------
+
+NativeSchedBench::NativeSchedBench(NativeConfig cfg, EpccParams params)
+    : cfg_(cfg), params_(params) {
+  if (cfg_.n_threads == 0) {
+    throw std::invalid_argument("NativeSchedBench: zero threads");
+  }
+  if (cfg_.iters_per_us <= 0.0) {
+    cfg_.iters_per_us = calibrate_delay_per_us();
+  }
+}
+
+double NativeSchedBench::rep_time_us(const std::string& schedule,
+                                     std::size_t chunk) {
+  const auto nt = static_cast<int>(cfg_.n_threads);
+  omp_set_num_threads(nt);
+  const auto total =
+      static_cast<long>(cfg_.n_threads * params_.itersperthr);
+  const double delay = params_.delay_us;
+  const double ipu = cfg_.iters_per_us;
+  const auto c = static_cast<int>(std::max<std::size_t>(chunk, 1));
+  (void)c;
+
+  const double t0 = wall_us();
+  if (schedule == "static") {
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static, c)
+#endif
+    for (long i = 0; i < total; ++i) spin_delay(delay, ipu);
+  } else if (schedule == "dynamic") {
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(dynamic, c)
+#endif
+    for (long i = 0; i < total; ++i) spin_delay(delay, ipu);
+  } else if (schedule == "guided") {
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(guided, c)
+#endif
+    for (long i = 0; i < total; ++i) spin_delay(delay, ipu);
+  } else {
+    throw std::invalid_argument("NativeSchedBench: unknown schedule '" +
+                                schedule + "'");
+  }
+  return wall_us() - t0;
+}
+
+RunMatrix NativeSchedBench::run_protocol(const std::string& schedule,
+                                         std::size_t chunk,
+                                         const ExperimentSpec& spec) {
+  return run_experiment(spec, [&](const RepContext&) {
+    return rep_time_us(schedule, chunk);
+  });
+}
+
+// --------------------------------------------------------------------------
+// NativeStream
+// --------------------------------------------------------------------------
+
+NativeStream::NativeStream(NativeConfig cfg, std::size_t array_elems)
+    : cfg_(cfg), n_(array_elems) {
+  if (cfg_.n_threads == 0) {
+    throw std::invalid_argument("NativeStream: zero threads");
+  }
+  init_arrays();
+}
+
+void NativeStream::init_arrays() {
+  omp_set_num_threads(static_cast<int>(cfg_.n_threads));
+  a_.assign(n_, 0.0);
+  b_.assign(n_, 0.0);
+  c_.assign(n_, 0.0);
+  const auto n = static_cast<long>(n_);
+  // First-touch initialization in parallel, as BabelStream does.
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (long i = 0; i < n; ++i) {
+    a_[i] = 0.1;
+    b_[i] = 0.2;
+    c_[i] = 0.0;
+  }
+}
+
+double NativeStream::kernel_time_s(StreamKernel k) {
+  omp_set_num_threads(static_cast<int>(cfg_.n_threads));
+  constexpr double kScalar = 0.4;
+  const auto n = static_cast<long>(n_);
+  double* a = a_.data();
+  double* b = b_.data();
+  double* c = c_.data();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  switch (k) {
+    case StreamKernel::copy:
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+      for (long i = 0; i < n; ++i) c[i] = a[i];
+      break;
+    case StreamKernel::mul:
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+      for (long i = 0; i < n; ++i) b[i] = kScalar * c[i];
+      break;
+    case StreamKernel::add:
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+      for (long i = 0; i < n; ++i) c[i] = a[i] + b[i];
+      break;
+    case StreamKernel::triad:
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+      for (long i = 0; i < n; ++i) a[i] = b[i] + kScalar * c[i];
+      break;
+    case StreamKernel::dot: {
+      double sum = 0.0;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+#endif
+      for (long i = 0; i < n; ++i) sum += a[i] * b[i];
+      dot_result_ = sum;
+      break;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+StreamRunResult NativeStream::run_kernel(StreamKernel k, std::size_t reps) {
+  StreamRunResult r;
+  if (reps == 0) return r;
+  r.min_s = 1e300;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    const double t = kernel_time_s(k);
+    sum += t;
+    r.min_s = std::min(r.min_s, t);
+    r.max_s = std::max(r.max_s, t);
+  }
+  r.avg_s = sum / static_cast<double>(reps);
+  return r;
+}
+
+bool NativeStream::validate() {
+  // Re-run the canonical sequence once from fresh arrays and check the
+  // closed-form expectation, as BabelStream's --check does.
+  init_arrays();
+  double av = 0.1;
+  double bv = 0.2;
+  double cv = 0.0;
+  constexpr double kScalar = 0.4;
+  (void)kernel_time_s(StreamKernel::copy);   // c = a
+  cv = av;
+  (void)kernel_time_s(StreamKernel::mul);    // b = s*c
+  bv = kScalar * cv;
+  (void)kernel_time_s(StreamKernel::add);    // c = a + b
+  cv = av + bv;
+  (void)kernel_time_s(StreamKernel::triad);  // a = b + s*c
+  av = bv + kScalar * cv;
+  (void)kernel_time_s(StreamKernel::dot);
+
+  const double eps = 1e-12 * static_cast<double>(n_);
+  for (std::size_t i = 0; i < std::min<std::size_t>(n_, 1024); ++i) {
+    if (std::abs(a_[i] - av) > 1e-9 || std::abs(b_[i] - bv) > 1e-9 ||
+        std::abs(c_[i] - cv) > 1e-9) {
+      return false;
+    }
+  }
+  const double expect_dot = av * bv * static_cast<double>(n_);
+  return std::abs(dot_result_ - expect_dot) <=
+         std::max(1e-6, eps * std::abs(expect_dot));
+}
+
+}  // namespace omv::bench

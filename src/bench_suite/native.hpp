@@ -1,0 +1,126 @@
+#pragma once
+// Native OpenMP backends for syncbench, schedbench and BabelStream —
+// real `#pragma omp` constructs measured with the EPCC protocol on the host.
+// These are the code paths a user runs on an actual multicore node; the CI
+// environment for this repository has a single core, so the tests only
+// exercise them at small thread counts for correctness, and the paper-scale
+// experiments use the simulator backend.
+//
+// All entry points degrade gracefully when compiled without OpenMP
+// (serial execution, omp_* shims).
+
+#include <cstddef>
+#include <vector>
+
+#include "bench_suite/epcc.hpp"
+#include "bench_suite/stream_sim.hpp"  // StreamKernel, StreamRunResult
+#include "core/experiment.hpp"
+
+namespace omv::bench {
+
+/// Configuration for the native backends.
+struct NativeConfig {
+  std::size_t n_threads = 2;
+  /// delay-loop calibration (iterations per microsecond); <= 0 means
+  /// calibrate on first use.
+  double iters_per_us = 0.0;
+};
+
+/// syncbench, native backend.
+class NativeSyncBench {
+ public:
+  explicit NativeSyncBench(NativeConfig cfg,
+                           EpccParams params = EpccParams::syncbench());
+
+  /// Measures one outer repetition of construct `c` (microseconds,
+  /// wall clock). innerreps is calibrated on first use per construct.
+  [[nodiscard]] double rep_time_us(SyncConstruct c);
+
+  /// Full protocol (runs x reps). Each run re-forms the thread team.
+  [[nodiscard]] RunMatrix run_protocol(SyncConstruct c,
+                                       const ExperimentSpec& spec);
+
+  /// Serial reference time for one delay payload (microseconds).
+  [[nodiscard]] double reference_us();
+
+  [[nodiscard]] std::size_t innerreps(SyncConstruct c);
+
+ private:
+  double time_construct_us(SyncConstruct c, std::size_t inner);
+
+  NativeConfig cfg_;
+  EpccParams params_;
+  std::vector<std::size_t> innerreps_cache_;
+};
+
+/// schedbench, native backend.
+class NativeSchedBench {
+ public:
+  explicit NativeSchedBench(NativeConfig cfg,
+                            EpccParams params = EpccParams::schedbench());
+
+  /// One repetition: a full parallel-for over n_threads * itersperthr
+  /// iterations of delay(delay_us), schedule given by name ("static",
+  /// "dynamic", "guided") and chunk.
+  [[nodiscard]] double rep_time_us(const std::string& schedule,
+                                   std::size_t chunk);
+
+  [[nodiscard]] RunMatrix run_protocol(const std::string& schedule,
+                                       std::size_t chunk,
+                                       const ExperimentSpec& spec);
+
+ private:
+  NativeConfig cfg_;
+  EpccParams params_;
+};
+
+/// BabelStream, native backend.
+class NativeStream {
+ public:
+  NativeStream(NativeConfig cfg,
+               std::size_t array_elems = std::size_t{1} << 22);
+
+  /// One timed execution of kernel `k` (seconds).
+  [[nodiscard]] double kernel_time_s(StreamKernel k);
+
+  /// BabelStream-style min/avg/max over `reps` in-run repetitions.
+  [[nodiscard]] StreamRunResult run_kernel(StreamKernel k, std::size_t reps);
+
+  /// Verifies kernel results against the analytic expectation; returns
+  /// true when all arrays check out (BabelStream's solution check).
+  [[nodiscard]] bool validate();
+
+ private:
+  void init_arrays();
+
+  NativeConfig cfg_;
+  std::size_t n_;
+  std::vector<double> a_, b_, c_;
+  double dot_result_ = 0.0;
+};
+
+/// EPCC taskbench subset, native backend (real `#pragma omp task`).
+class NativeTaskBench {
+ public:
+  explicit NativeTaskBench(NativeConfig cfg,
+                           EpccParams params = EpccParams::syncbench());
+
+  /// One repetition of PARALLEL TASK GENERATION: every thread creates
+  /// `tasks_per_thread` tasks of delay(delay_us) each, then taskwait.
+  /// Returns microseconds. Serial-compiled builds run the payloads inline.
+  [[nodiscard]] double parallel_generation_rep_us(
+      std::size_t tasks_per_thread);
+
+  /// One repetition of MASTER TASK GENERATION: one producer creates
+  /// `total_tasks` tasks executed by the team.
+  [[nodiscard]] double master_generation_rep_us(std::size_t total_tasks);
+
+ private:
+  NativeConfig cfg_;
+  EpccParams params_;
+};
+
+/// Number of OpenMP threads the native backend will actually get.
+[[nodiscard]] std::size_t native_max_threads();
+
+}  // namespace omv::bench

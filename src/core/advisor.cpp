@@ -1,0 +1,148 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omv::advisor {
+
+std::size_t stable_max_threads(const topo::Machine& machine,
+                               std::size_t spare) {
+  const std::size_t cores = machine.n_cores();
+  return cores > spare ? cores - spare : 0;
+}
+
+std::string stable_places(const topo::Machine& machine, std::size_t n_threads,
+                          std::size_t spare) {
+  const std::size_t cap = stable_max_threads(machine, spare);
+  if (n_threads == 0 || n_threads > cap) {
+    throw std::invalid_argument(
+        "stable_places: thread count " + std::to_string(n_threads) +
+        " exceeds " + std::to_string(cap) + " stable slots");
+  }
+  // One single-HW-thread place per physical core, first siblings only,
+  // lowest core ids first (sparing the highest-numbered cores keeps the
+  // IRQ landing zone on low CPUs occupied by exactly one place each —
+  // matching the paper's "use 30 of 32 / 254 of 256" setup shape).
+  std::string out;
+  std::size_t emitted = 0;
+  for (std::size_t core = 0; core < machine.n_cores() && emitted < n_threads;
+       ++core) {
+    const auto threads = machine.core_threads(core).to_vector();
+    if (threads.empty()) continue;
+    std::size_t primary = threads[0];
+    for (std::size_t h : threads) {
+      if (machine.thread(h).smt_index == 0) primary = h;
+    }
+    if (!out.empty()) out += ',';
+    out += '{' + std::to_string(primary) + '}';
+    ++emitted;
+  }
+  return out;
+}
+
+namespace {
+
+void add(Advice& a, std::string action, std::string rationale,
+         std::string places = "", std::string bind = "",
+         std::size_t threads = 0) {
+  a.recommendations.push_back({std::move(action), std::move(rationale),
+                               std::move(places), std::move(bind), threads});
+}
+
+}  // namespace
+
+Advice advise(const topo::Machine& machine, const Characterization& ch,
+              const ObservedConfig& observed, WorkloadKind kind) {
+  Advice a;
+  const std::size_t threads =
+      observed.n_threads ? observed.n_threads
+                         : stable_max_threads(machine);
+  const std::size_t stable_cap = stable_max_threads(machine);
+  const std::size_t capped_threads = std::min(threads, stable_cap);
+
+  // 1. Pinning — the paper's most effective lever, triggered by the
+  // signatures unpinned placement produces.
+  if (!observed.pinned) {
+    const bool severe = ch.has(Signature::heavy_tail) ||
+                        ch.has(Signature::bimodal) ||
+                        ch.has(Signature::jittery) ||
+                        ch.has(Signature::outlier_runs);
+    add(a, "pin threads",
+        severe
+            ? "unbound threads migrate and transiently stack on shared "
+              "CPUs; the observed " +
+                  ch.to_string() +
+                  " signature is the classic unpinned pattern, and pinning "
+                  "(OMP_PLACES + OMP_PROC_BIND=close) removes it"
+            : "threads are unbound; pinning prevents future "
+              "migration-induced variability even though the observed runs "
+              "were calm",
+        stable_places(machine, capped_threads), "close", capped_threads);
+  }
+
+  // 2. SMT: leave the second hardware context to the OS.
+  if (observed.used_smt_siblings && machine.smt_per_core() > 1) {
+    add(a, "leave SMT siblings to the OS",
+        "with both hardware threads of a core running application threads, "
+        "OS activity must preempt an application thread and SMT contention "
+        "jitters every synchronization; one thread per core lets the "
+        "sibling absorb interrupts (ST outperformed MT for stability in "
+        "every paper experiment)",
+        stable_places(machine, std::min(capped_threads, stable_cap)),
+        "close", std::min(capped_threads, stable_cap));
+  }
+
+  // 3. Spare cores for housekeeping.
+  if (observed.spare_cores < 2 &&
+      (ch.has(Signature::heavy_tail) || ch.has(Signature::jittery))) {
+    add(a, "spare two cores for OS housekeeping",
+        "with every core busy, daemons and kworkers preempt application "
+        "threads and barriers amplify each hit; leaving 2 cores idle gives "
+        "the OS a landing zone (the paper spares 2 of 32 / 2 of 256)");
+  }
+
+  // 4. Run-level outliers: frequency / power state, not placement.
+  if (ch.has(Signature::outlier_runs) && observed.pinned) {
+    add(a, "screen runs for frequency caps",
+        "whole-run slowdowns under pinning match run-scoped frequency or "
+        "power states (Table 2's run 9); log per-core frequency on a spare "
+        "core and discard or report capped runs separately");
+  }
+
+  // 5. Drift.
+  if (ch.has(Signature::drift)) {
+    add(a, "interleave and randomize run order",
+        "run means trend monotonically (thermal or platform drift); "
+        "interleave configurations and add cool-down gaps so drift does "
+        "not masquerade as a configuration effect");
+  }
+
+  // 6. Workload-specific placement advice.
+  if (kind == WorkloadKind::memory_bound) {
+    add(a, "bind data and threads to the same NUMA domains",
+        "memory-bound kernels lose bandwidth when migration turns "
+        "first-touch-local pages remote; pinning plus NUMA-aware "
+        "initialization keeps streams local (BabelStream's pinned/unpinned "
+        "gap in Fig. 4)");
+  } else if (kind == WorkloadKind::sync_heavy) {
+    add(a, "keep the team inside the fewest NUMA domains",
+        "barrier and reduction costs step up with every NUMA domain and "
+        "socket the team spans; prefer close binding on contiguous cores "
+        "(Fig. 1's socket-crossing jump)");
+  }
+
+  if (a.recommendations.empty()) {
+    add(a, "keep the current configuration",
+        "the observed distribution is " + ch.to_string() +
+            "; pinning, ST execution and spare cores are already doing "
+            "their job");
+  }
+
+  a.summary = "machine '" + machine.name() + "': " +
+              std::to_string(a.recommendations.size()) +
+              " recommendation(s); primary: " + a.recommendations[0].action +
+              ".";
+  return a;
+}
+
+}  // namespace omv::advisor

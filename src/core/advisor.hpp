@@ -1,0 +1,68 @@
+#pragma once
+// Mitigation advisor.
+//
+// The paper's conclusion: variability "can be reduced considerably by
+// applying thread-pinning, leaving the additional hardware threads
+// implemented by SMT for OS activities", while sparing cores for the OS
+// avoids the worst-case interference. This module turns that playbook into
+// an API: given the machine and a measured characterization, recommend a
+// concrete configuration (thread count, OMP_PLACES, OMP_PROC_BIND) plus a
+// rationale per recommendation.
+
+#include <string>
+#include <vector>
+
+#include "core/characterize.hpp"
+#include "topo/topology.hpp"
+
+namespace omv::advisor {
+
+/// What the application was observed doing (changes the advice: memory-
+/// bound codes care about NUMA data locality; sync-heavy codes care about
+/// noise absorption the most).
+enum class WorkloadKind { compute_bound, memory_bound, sync_heavy, unknown };
+
+/// How the measured configuration was bound.
+struct ObservedConfig {
+  std::size_t n_threads = 0;
+  bool pinned = false;
+  bool used_smt_siblings = false;  ///< both HW threads of cores in use.
+  std::size_t spare_cores = 0;     ///< physical cores left fully idle.
+};
+
+/// One actionable recommendation.
+struct Recommendation {
+  std::string action;     ///< short imperative ("pin threads", ...).
+  std::string rationale;  ///< why, referencing the observed signature.
+  /// Concrete environment to apply, when the action maps to one.
+  std::string omp_places;
+  std::string omp_proc_bind;
+  std::size_t omp_num_threads = 0;
+};
+
+/// Full advice: ordered list (most impactful first) plus the suggested
+/// final environment.
+struct Advice {
+  std::vector<Recommendation> recommendations;
+  std::string summary;  ///< one-paragraph version.
+};
+
+/// Computes mitigation advice from a characterization of the observed runs.
+[[nodiscard]] Advice advise(const topo::Machine& machine,
+                            const Characterization& ch,
+                            const ObservedConfig& observed,
+                            WorkloadKind kind = WorkloadKind::unknown);
+
+/// Builds the OMP_PLACES string for "n threads on distinct physical cores,
+/// SMT siblings left idle, sparing the last `spare` cores for the OS" —
+/// the paper's recommended stable configuration.
+[[nodiscard]] std::string stable_places(const topo::Machine& machine,
+                                        std::size_t n_threads,
+                                        std::size_t spare = 2);
+
+/// Largest thread count the stable configuration supports on a machine
+/// (physical cores minus spares).
+[[nodiscard]] std::size_t stable_max_threads(const topo::Machine& machine,
+                                             std::size_t spare = 2);
+
+}  // namespace omv::advisor

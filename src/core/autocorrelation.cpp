@@ -1,0 +1,74 @@
+#include "core/autocorrelation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stat_tests.hpp"
+
+namespace omv::stats {
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  if (n < 3 || max_lag == 0) return {};
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - mean) * (x - mean);
+  if (denom <= 0.0) return {};
+
+  max_lag = std::min(max_lag, n - 1);
+  std::vector<double> r;
+  r.reserve(max_lag);
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double num = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      num += (xs[i] - mean) * (xs[i + k] - mean);
+    }
+    r.push_back(num / denom);
+  }
+  return r;
+}
+
+Periodicity dominant_period(std::span<const double> xs, std::size_t max_lag) {
+  Periodicity p;
+  const auto r = autocorrelation(xs, max_lag);
+  if (r.size() < 3) return p;
+  const double band = 2.0 / std::sqrt(static_cast<double>(xs.size()));
+  // Scan lags >= 2 (index 1) for the strongest local maximum.
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    const bool left_ok = r[i] > r[i - 1];
+    const bool right_ok = i + 1 >= r.size() || r[i] >= r[i + 1];
+    if (left_ok && right_ok && r[i] > p.correlation) {
+      p.lag = i + 1;  // r[0] is lag 1
+      p.correlation = r[i];
+    }
+  }
+  p.significant = p.lag != 0 && p.correlation > band;
+  if (!p.significant) {
+    p.lag = 0;
+    p.correlation = p.lag ? p.correlation : 0.0;
+  }
+  return p;
+}
+
+LjungBox ljung_box(std::span<const double> xs, std::size_t lags) {
+  LjungBox lb;
+  const auto r = autocorrelation(xs, lags);
+  if (r.empty()) return lb;
+  const double n = static_cast<double>(xs.size());
+  double q = 0.0;
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    q += r[k] * r[k] / (n - static_cast<double>(k + 1));
+  }
+  lb.statistic = n * (n + 2.0) * q;
+  // Chi-square upper tail with df = lags via Wilson-Hilferty.
+  const double df = static_cast<double>(r.size());
+  const double z = (std::cbrt(lb.statistic / df) - (1.0 - 2.0 / (9.0 * df))) /
+                   std::sqrt(2.0 / (9.0 * df));
+  lb.p_value = 1.0 - normal_cdf(z);
+  return lb;
+}
+
+}  // namespace omv::stats

@@ -1,0 +1,62 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/descriptive.hpp"
+#include "core/rng.hpp"
+
+namespace omv::stats {
+
+ConfidenceInterval bootstrap_ci(std::span<const double> xs,
+                                const Statistic& stat, std::size_t resamples,
+                                double level, std::uint64_t seed) {
+  ConfidenceInterval ci;
+  ci.level = level;
+  if (xs.empty()) return ci;
+  ci.point = stat(xs);
+  if (xs.size() == 1 || resamples == 0) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+
+  Rng rng(seed);
+  std::vector<double> resample(xs.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample) v = xs[rng.next_below(xs.size())];
+    stats.push_back(stat(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = percentile_sorted(stats, alpha * 100.0);
+  ci.hi = percentile_sorted(stats, (1.0 - alpha) * 100.0);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs,
+                                     std::size_t resamples, double level,
+                                     std::uint64_t seed) {
+  return bootstrap_ci(
+      xs, [](std::span<const double> s) { return summarize(s).mean; },
+      resamples, level, seed);
+}
+
+ConfidenceInterval bootstrap_median_ci(std::span<const double> xs,
+                                       std::size_t resamples, double level,
+                                       std::uint64_t seed) {
+  return bootstrap_ci(
+      xs, [](std::span<const double> s) { return percentile(s, 50.0); },
+      resamples, level, seed);
+}
+
+ConfidenceInterval bootstrap_cv_ci(std::span<const double> xs,
+                                   std::size_t resamples, double level,
+                                   std::uint64_t seed) {
+  return bootstrap_ci(
+      xs, [](std::span<const double> s) { return summarize(s).cv; },
+      resamples, level, seed);
+}
+
+}  // namespace omv::stats

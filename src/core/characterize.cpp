@@ -1,0 +1,122 @@
+#include "core/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/modality.hpp"
+#include "core/outliers.hpp"
+
+namespace omv {
+
+const char* signature_name(Signature s) noexcept {
+  switch (s) {
+    case Signature::stable:
+      return "stable";
+    case Signature::outlier_runs:
+      return "outlier_runs";
+    case Signature::heavy_tail:
+      return "heavy_tail";
+    case Signature::bimodal:
+      return "bimodal";
+    case Signature::drift:
+      return "drift";
+    case Signature::jittery:
+      return "jittery";
+  }
+  return "?";
+}
+
+bool Characterization::has(Signature s) const noexcept {
+  return std::find(signatures.begin(), signatures.end(), s) !=
+         signatures.end();
+}
+
+std::string Characterization::to_string() const {
+  if (signatures.empty()) return "unclassified";
+  std::string out;
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    if (i) out += "+";
+    out += signature_name(signatures[i]);
+  }
+  return out;
+}
+
+double index_rank_correlation(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n < 3) return 0.0;
+  // Rank the values (midranks for ties); the index ranks are 1..n already.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> rank(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[idx[j + 1]] == values[idx[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[idx[k]] = avg;
+    i = j + 1;
+  }
+  // Pearson correlation between (1..n) and rank[].
+  const double mean_i = (static_cast<double>(n) + 1.0) / 2.0;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double dx = static_cast<double>(k + 1) - mean_i;
+    const double dy = rank[k] - mean_i;  // ranks also average (n+1)/2
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  return (sxx > 0.0 && syy > 0.0) ? sxy / std::sqrt(sxx * syy) : 0.0;
+}
+
+Characterization characterize(const RunMatrix& m,
+                              const CharacterizeOptions& opt) {
+  Characterization c;
+  if (m.runs() == 0) return c;
+
+  const auto flat = m.flatten();
+  c.pooled = stats::summarize(flat);
+  c.run_to_run_cv = m.run_to_run_cv();
+  c.icc = m.variance_components().icc;
+
+  const auto out = stats::tukey_outliers(flat, 3.0);
+  c.high_tail_fraction =
+      flat.empty() ? 0.0
+                   : static_cast<double>(out.n_high) /
+                         static_cast<double>(flat.size());
+  c.multimodal = stats::analyze_modality(flat).likely_multimodal;
+
+  const auto means = m.run_means();
+  c.drift_corr = index_rank_correlation(means);
+
+  const double spread = m.run_mean_spread();
+
+  if (spread > opt.outlier_run_spread && c.icc > 0.25) {
+    c.signatures.push_back(Signature::outlier_runs);
+  }
+  if (c.high_tail_fraction > opt.heavy_tail_fraction) {
+    c.signatures.push_back(Signature::heavy_tail);
+  }
+  if (c.multimodal) {
+    c.signatures.push_back(Signature::bimodal);
+  }
+  if (std::abs(c.drift_corr) > opt.drift_correlation && m.runs() >= 5 &&
+      spread > opt.outlier_run_spread) {
+    c.signatures.push_back(Signature::drift);
+  }
+  if (c.pooled.cv > opt.jitter_cv) {
+    c.signatures.push_back(Signature::jittery);
+  }
+  if (c.signatures.empty() && c.pooled.cv < opt.stable_cv) {
+    c.signatures.push_back(Signature::stable);
+  }
+  return c;
+}
+
+}  // namespace omv

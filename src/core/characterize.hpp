@@ -1,0 +1,67 @@
+#pragma once
+// Variability characterization — turns a RunMatrix into a qualitative
+// signature, following the taxonomy the paper develops informally:
+//
+//   stable        — low CV everywhere, no outlier runs.
+//   outlier_runs  — a few runs are much slower than the rest (Table 2 run 9;
+//                   between-run variance dominates).
+//   heavy_tail    — within-run high-tail outliers (daemon preemptions hitting
+//                   individual repetitions).
+//   bimodal       — repetitions split into fast/slow modes (migration,
+//                   frequency states).
+//   drift         — run means trend monotonically (thermal / frequency drift).
+//   jittery       — uniformly high CV without structure (SMT interference).
+
+#include <string>
+#include <vector>
+
+#include "core/run_matrix.hpp"
+
+namespace omv {
+
+/// Qualitative variability classes (a matrix may exhibit several).
+enum class Signature {
+  stable,
+  outlier_runs,
+  heavy_tail,
+  bimodal,
+  drift,
+  jittery,
+};
+
+/// Thresholds for the classifier. Defaults are calibrated on the simulator's
+/// baseline (pinned, ST, quiet-noise) configurations.
+struct CharacterizeOptions {
+  double stable_cv = 0.01;          ///< pooled CV below this => stable.
+  double outlier_run_spread = 1.05; ///< max/min run mean above this => outlier runs.
+  double heavy_tail_fraction = 0.02;  ///< >2% high-tail reps => heavy tail.
+  double jitter_cv = 0.05;          ///< pooled CV above this => jittery.
+  double drift_correlation = 0.8;   ///< |rank corr(run, mean)| above => drift.
+};
+
+/// Full characterization result.
+struct Characterization {
+  std::vector<Signature> signatures;   ///< detected classes (maybe empty).
+  stats::Summary pooled;               ///< pooled summary.
+  double run_to_run_cv = 0.0;
+  double icc = 0.0;                    ///< between-run variance share.
+  double high_tail_fraction = 0.0;
+  bool multimodal = false;
+  double drift_corr = 0.0;             ///< Spearman corr of run index vs mean.
+
+  [[nodiscard]] bool has(Signature s) const noexcept;
+  /// "stable" / "outlier_runs+heavy_tail" etc.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Classifies a RunMatrix.
+[[nodiscard]] Characterization characterize(const RunMatrix& m,
+                                            const CharacterizeOptions& opt = {});
+
+/// Human-readable name of one signature.
+[[nodiscard]] const char* signature_name(Signature s) noexcept;
+
+/// Spearman rank correlation between x-index (0..n-1) and values.
+[[nodiscard]] double index_rank_correlation(std::span<const double> values);
+
+}  // namespace omv

@@ -1,0 +1,66 @@
+#include "core/compare.hpp"
+
+#include <cmath>
+
+#include "core/descriptive.hpp"
+#include "core/report.hpp"
+
+namespace omv {
+
+double hedges_g(std::span<const double> a, std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) return 0.0;
+  const auto sa = stats::summarize(a);
+  const auto sb = stats::summarize(b);
+  const double na = static_cast<double>(sa.n);
+  const double nb = static_cast<double>(sb.n);
+  const double pooled_var = ((na - 1.0) * sa.stddev * sa.stddev +
+                             (nb - 1.0) * sb.stddev * sb.stddev) /
+                            (na + nb - 2.0);
+  if (pooled_var <= 0.0) return 0.0;
+  const double d = (sb.mean - sa.mean) / std::sqrt(pooled_var);
+  // Small-sample correction.
+  const double j = 1.0 - 3.0 / (4.0 * (na + nb) - 9.0);
+  return d * j;
+}
+
+Comparison compare(const RunMatrix& a, const RunMatrix& b, double alpha) {
+  Comparison c;
+  c.label_a = a.label().empty() ? "A" : a.label();
+  c.label_b = b.label().empty() ? "B" : b.label();
+
+  const auto fa = a.flatten();
+  const auto fb = b.flatten();
+  const auto sa = stats::summarize(fa);
+  const auto sb = stats::summarize(fb);
+  c.mean_a = sa.mean;
+  c.mean_b = sb.mean;
+  c.mean_ratio = sa.mean != 0.0 ? sb.mean / sa.mean : 1.0;
+  c.cv_a = sa.cv;
+  c.cv_b = sb.cv;
+  c.cv_ratio = sa.cv != 0.0 ? sb.cv / sa.cv : (sb.cv > 0.0 ? 1e9 : 1.0);
+  c.hedges_g = hedges_g(fa, fb);
+
+  c.welch = stats::welch_t_test(fa, fb, alpha);
+  c.mann_whitney = stats::mann_whitney_u(fa, fb, alpha);
+  c.ks = stats::ks_test(fa, fb, alpha);
+  c.brown_forsythe = stats::brown_forsythe(fa, fb, alpha);
+  return c;
+}
+
+std::string Comparison::verdict() const {
+  std::string out = label_b + " vs " + label_a + ": mean x" +
+                    report::fmt(mean_ratio, 3) + " (g=" +
+                    report::fmt(hedges_g, 2) + ", p=" +
+                    report::fmt(welch.p_value, 4) + "), cv x" +
+                    report::fmt(cv_ratio, 2);
+  if (b_more_variable()) {
+    out += " — significantly MORE variable";
+  } else if (b_less_variable()) {
+    out += " — significantly LESS variable";
+  } else {
+    out += " — spread difference not significant";
+  }
+  return out;
+}
+
+}  // namespace omv

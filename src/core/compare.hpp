@@ -1,0 +1,64 @@
+#pragma once
+// A/B comparison of two experimental configurations.
+//
+// The paper's core analytical move is comparing two RunMatrices (pinned vs
+// unpinned, ST vs MT, one-NUMA vs cross-NUMA) and deciding whether the
+// location and the *spread* differ. This module bundles that decision:
+// effect sizes, all four two-sample tests, and a one-line verdict suitable
+// for harness output.
+
+#include <string>
+
+#include "core/run_matrix.hpp"
+#include "core/stat_tests.hpp"
+
+namespace omv {
+
+/// Result of comparing configuration A against configuration B.
+struct Comparison {
+  std::string label_a;
+  std::string label_b;
+
+  // Location.
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  double mean_ratio = 1.0;  ///< mean_b / mean_a (>1: B slower).
+  /// Hedges' g standardized mean difference (pooled SD, small-sample
+  /// corrected). |g| ~ 0.2 small, 0.8 large.
+  double hedges_g = 0.0;
+
+  // Spread.
+  double cv_a = 0.0;
+  double cv_b = 0.0;
+  double cv_ratio = 1.0;  ///< cv_b / cv_a (>1: B more variable).
+
+  // Tests (A vs B, two-sided).
+  stats::TestResult welch;           ///< means differ?
+  stats::TestResult mann_whitney;    ///< distributions shifted?
+  stats::TestResult ks;              ///< any distributional difference?
+  stats::TestResult brown_forsythe;  ///< variances differ?
+
+  /// True when B is significantly more variable than A (Brown–Forsythe
+  /// significant AND cv_b > cv_a) — the paper's "X increases variability"
+  /// claim shape.
+  [[nodiscard]] bool b_more_variable() const noexcept {
+    return brown_forsythe.significant && cv_b > cv_a;
+  }
+  /// Mirror image: B significantly less variable (a mitigation worked).
+  [[nodiscard]] bool b_less_variable() const noexcept {
+    return brown_forsythe.significant && cv_b < cv_a;
+  }
+
+  /// One-line human-readable verdict.
+  [[nodiscard]] std::string verdict() const;
+};
+
+/// Compares the pooled repetition times of two matrices.
+[[nodiscard]] Comparison compare(const RunMatrix& a, const RunMatrix& b,
+                                 double alpha = 0.05);
+
+/// Hedges' g for two samples (0 when either is degenerate).
+[[nodiscard]] double hedges_g(std::span<const double> a,
+                              std::span<const double> b);
+
+}  // namespace omv

@@ -1,0 +1,130 @@
+#include "core/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace omv::stats {
+
+void OnlineStats::add(double x) noexcept {
+  if (!any_) {
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    any_ = true;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::cv() const noexcept {
+  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  p = std::clamp(p, 0.0, 100.0);
+  const double h = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  const auto v = sorted_copy(xs);
+  return percentile_sorted(v, p);
+}
+
+double mad(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  auto v = sorted_copy(xs);
+  const double med = percentile_sorted(v, 50.0);
+  for (auto& x : v) x = std::abs(x - med);
+  std::sort(v.begin(), v.end());
+  // 1.4826 makes MAD a consistent estimator of sigma under normality.
+  return 1.4826 * percentile_sorted(v, 50.0);
+}
+
+double geomean(std::span<const double> xs) {
+  double sum_log = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      sum_log += std::log(x);
+      ++n;
+    }
+  }
+  return n ? std::exp(sum_log / static_cast<double>(n)) : 0.0;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+
+  OnlineStats acc;
+  for (double x : xs) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.cv = acc.cv();
+  s.min = acc.min();
+  s.max = acc.max();
+
+  const auto sorted = sorted_copy(xs);
+  s.median = percentile_sorted(sorted, 50.0);
+  s.p25 = percentile_sorted(sorted, 25.0);
+  s.p75 = percentile_sorted(sorted, 75.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
+  s.iqr = s.p75 - s.p25;
+  s.mad = mad(xs);
+
+  if (s.n >= 3 && s.stddev > 0.0) {
+    double m3 = 0.0;
+    double m4 = 0.0;
+    for (double x : xs) {
+      const double d = (x - s.mean) / s.stddev;
+      m3 += d * d * d;
+      m4 += d * d * d * d;
+    }
+    const double n = static_cast<double>(s.n);
+    s.skewness = m3 / n;
+    if (s.n >= 4) s.kurtosis = m4 / n - 3.0;
+  }
+  return s;
+}
+
+}  // namespace omv::stats

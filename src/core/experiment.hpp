@@ -1,0 +1,72 @@
+#pragma once
+// Experiment protocol runner.
+//
+// Encodes the paper's measurement protocol: for each configuration, perform
+// `runs` independent runs; within each run execute `warmup` discarded
+// repetitions followed by `reps` timed repetitions. The kernel is an
+// arbitrary callable returning the measured time of one repetition (the EPCC
+// benchmarks measure internally; wall-clock helpers are provided for ad-hoc
+// kernels).
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/run_matrix.hpp"
+
+namespace omv {
+
+/// Protocol parameters (defaults mirror the paper: 10 runs x 100 reps).
+struct ExperimentSpec {
+  std::string name = "experiment";
+  std::size_t runs = 10;
+  std::size_t reps = 100;
+  std::size_t warmup = 1;  ///< discarded repetitions per run.
+  std::uint64_t seed = 1;  ///< base seed forwarded to run setup.
+};
+
+/// Context passed to the per-repetition kernel.
+struct RepContext {
+  std::size_t run = 0;
+  std::size_t rep = 0;       ///< timed repetition index (warmups excluded).
+  bool warmup = false;
+  std::uint64_t run_seed = 0;  ///< seed derived per run from spec.seed.
+};
+
+/// A kernel returns the execution time of one repetition, in the caller's
+/// unit (the EPCC harness returns microseconds).
+using RepKernel = std::function<double(const RepContext&)>;
+
+/// Optional per-run hooks (e.g. re-create a thread team, reset a simulator).
+struct RunHooks {
+  std::function<void(std::size_t run, std::uint64_t run_seed)> before_run;
+  std::function<void(std::size_t run)> after_run;
+};
+
+/// Executes the protocol and collects the RunMatrix.
+[[nodiscard]] RunMatrix run_experiment(const ExperimentSpec& spec,
+                                       const RepKernel& kernel,
+                                       const RunHooks& hooks = {});
+
+/// Wall-clock helper: runs `fn` once and returns elapsed seconds.
+template <typename F>
+[[nodiscard]] double time_seconds(F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::forward<F>(fn)();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Wall-clock helper in microseconds (the paper's reporting unit).
+template <typename F>
+[[nodiscard]] double time_micros(F&& fn) {
+  return time_seconds(std::forward<F>(fn)) * 1e6;
+}
+
+/// Derives the per-run seed used by run_experiment (exposed so external
+/// harnesses can reproduce individual runs).
+[[nodiscard]] std::uint64_t derive_run_seed(std::uint64_t base,
+                                            std::size_t run) noexcept;
+
+}  // namespace omv

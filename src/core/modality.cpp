@@ -1,0 +1,55 @@
+#include "core/modality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/descriptive.hpp"
+#include "core/histogram.hpp"
+
+namespace omv::stats {
+
+std::size_t count_peaks(std::span<const double> density,
+                        double min_prominence) {
+  if (density.empty()) return 0;
+  const double maxd = *std::max_element(density.begin(), density.end());
+  if (maxd <= 0.0) return 0;
+  const double floor_level = min_prominence * maxd;
+
+  std::size_t peaks = 0;
+  // A peak is a maximal plateau strictly higher than both neighbours and
+  // above the prominence floor.
+  std::size_t i = 0;
+  const std::size_t n = density.size();
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && density[j + 1] == density[i]) ++j;
+    const bool left_ok = i == 0 || density[i - 1] < density[i];
+    const bool right_ok = j + 1 >= n || density[j + 1] < density[j];
+    if (left_ok && right_ok && density[i] > floor_level) ++peaks;
+    i = j + 1;
+  }
+  return peaks;
+}
+
+ModalityReport analyze_modality(std::span<const double> xs,
+                                double bc_threshold) {
+  ModalityReport r;
+  if (xs.size() < 4) return r;
+  const auto s = summarize(xs);
+  const double n = static_cast<double>(s.n);
+  const double denom =
+      s.kurtosis + 3.0 * (n - 1.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0));
+  if (denom > 0.0) {
+    r.bimodality_coefficient = (s.skewness * s.skewness + 1.0) / denom;
+  }
+  const auto hist = Histogram::auto_binned(xs);
+  const auto smooth = hist.smoothed(std::max<std::size_t>(
+      1, hist.bin_count() / 16));
+  r.peak_count = count_peaks(smooth);
+  r.likely_multimodal =
+      r.bimodality_coefficient > bc_threshold && r.peak_count >= 2;
+  return r;
+}
+
+}  // namespace omv::stats

@@ -1,0 +1,36 @@
+#pragma once
+// Multimodality detection.
+//
+// Timing distributions under interference are often bimodal: a fast mode
+// (undisturbed repetitions) plus a slow mode (repetitions that absorbed a
+// daemon wakeup or migration). Two indicators are provided:
+//   * the bimodality coefficient (sarle's BC) from skewness/kurtosis, and
+//   * a smoothed-histogram peak count.
+
+#include <cstddef>
+#include <span>
+
+namespace omv::stats {
+
+/// Multimodality indicators for one sample.
+struct ModalityReport {
+  /// Sarle's bimodality coefficient: (g1^2 + 1) / (g2 + 3(n-1)^2/((n-2)(n-3))).
+  /// > 0.555 (the uniform's value) suggests bi/multimodality.
+  double bimodality_coefficient = 0.0;
+  /// Number of local maxima in a smoothed auto-binned histogram.
+  std::size_t peak_count = 0;
+  /// Convenience verdict: BC above threshold AND at least 2 peaks.
+  bool likely_multimodal = false;
+};
+
+/// Analyzes one sample. `bc_threshold` defaults to the uniform-distribution
+/// benchmark value 5/9.
+[[nodiscard]] ModalityReport analyze_modality(std::span<const double> xs,
+                                              double bc_threshold = 5.0 / 9.0);
+
+/// Counts local maxima of `density` ignoring ripples below
+/// `min_prominence` * max(density).
+[[nodiscard]] std::size_t count_peaks(std::span<const double> density,
+                                      double min_prominence = 0.05);
+
+}  // namespace omv::stats

@@ -1,0 +1,68 @@
+#pragma once
+// Report rendering: ASCII / Markdown / CSV tables and series, used by every
+// bench harness to print paper-style tables and figure data.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omv::report {
+
+/// Output format for tables and series.
+enum class Format { ascii, markdown, csv };
+
+/// A rectangular table with a header row. Cells are preformatted strings;
+/// numeric helpers below format doubles consistently.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; its size must equal the header's.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Renders to a string in the requested format.
+  [[nodiscard]] std::string render(Format f = Format::ascii) const;
+
+  /// Renders to a stream.
+  void print(std::ostream& os, Format f = Format::ascii) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+[[nodiscard]] std::string fmt(double v, int digits = 2);
+
+/// Formats a double in fixed notation with `digits` decimals.
+[[nodiscard]] std::string fmt_fixed(double v, int digits = 2);
+
+/// Formats as a percentage ("3.1%").
+[[nodiscard]] std::string fmt_pct(double fraction, int digits = 1);
+
+/// Section banner ("==== title ====") used between experiment blocks.
+[[nodiscard]] std::string banner(const std::string& title);
+
+/// An (x, series...) data block for figures: one x column plus one column
+/// per named series, rendered like a Table.
+class Series {
+ public:
+  Series(std::string x_name, std::vector<std::string> series_names);
+
+  /// Appends one x value with its series values (must match series count).
+  void add(double x, std::vector<double> ys);
+
+  [[nodiscard]] std::string render(Format f = Format::ascii,
+                                   int digits = 4) const;
+
+ private:
+  std::string x_name_;
+  std::vector<std::string> names_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+}  // namespace omv::report

@@ -1,0 +1,104 @@
+#include "core/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace omv::io {
+
+void write_run_matrix_csv(std::ostream& os, const RunMatrix& m) {
+  os << "run,rep,time\n";
+  for (std::size_t r = 0; r < m.runs(); ++r) {
+    const auto row = m.run(r);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      os << r << ',' << k << ',';
+      // Full round-trip precision.
+      char buf[32];
+      const auto res =
+          std::to_chars(buf, buf + sizeof(buf), row[k],
+                        std::chars_format::general, 17);
+      os.write(buf, res.ptr - buf);
+      os << '\n';
+    }
+  }
+}
+
+std::string run_matrix_to_csv(const RunMatrix& m) {
+  std::ostringstream os;
+  write_run_matrix_csv(os, m);
+  return os.str();
+}
+
+RunMatrix read_run_matrix_csv(std::istream& is, std::string label) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("run-matrix CSV: empty input");
+  }
+  if (line != "run,rep,time" && line != "run,rep,time\r") {
+    throw std::invalid_argument("run-matrix CSV: bad header '" + line + "'");
+  }
+  std::map<std::size_t, std::map<std::size_t, double>> rows;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::size_t run = 0;
+    std::size_t rep = 0;
+    double time = 0.0;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    auto r1 = std::from_chars(p, end, run);
+    if (r1.ec != std::errc{} || r1.ptr == end || *r1.ptr != ',') {
+      throw std::invalid_argument("run-matrix CSV: bad run at line " +
+                                  std::to_string(line_no));
+    }
+    auto r2 = std::from_chars(r1.ptr + 1, end, rep);
+    if (r2.ec != std::errc{} || r2.ptr == end || *r2.ptr != ',') {
+      throw std::invalid_argument("run-matrix CSV: bad rep at line " +
+                                  std::to_string(line_no));
+    }
+    auto r3 = std::from_chars(r2.ptr + 1, end, time);
+    if (r3.ec != std::errc{}) {
+      throw std::invalid_argument("run-matrix CSV: bad time at line " +
+                                  std::to_string(line_no));
+    }
+    rows[run][rep] = time;
+  }
+  RunMatrix m(std::move(label));
+  if (rows.empty()) return m;
+  const std::size_t n_runs = rows.rbegin()->first + 1;
+  for (std::size_t r = 0; r < n_runs; ++r) {
+    std::vector<double> reps;
+    const auto it = rows.find(r);
+    if (it != rows.end()) {
+      for (const auto& [rep, t] : it->second) {
+        (void)rep;
+        reps.push_back(t);
+      }
+    }
+    m.add_run(std::move(reps));
+  }
+  return m;
+}
+
+RunMatrix run_matrix_from_csv(const std::string& csv, std::string label) {
+  std::istringstream is(csv);
+  return read_run_matrix_csv(is, std::move(label));
+}
+
+void save_run_matrix(const std::string& path, const RunMatrix& m) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  write_run_matrix_csv(f, m);
+  if (!f) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+RunMatrix load_run_matrix(const std::string& path, std::string label) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "'");
+  return read_run_matrix_csv(f, std::move(label));
+}
+
+}  // namespace omv::io

@@ -1,0 +1,34 @@
+#pragma once
+// CSV import/export for experiment artifacts.
+//
+// RunMatrix and frequency traces round-trip through a plain CSV dialect so
+// experiments can be archived, diffed across sessions, and analyzed with
+// external tooling (the paper's methodology is exactly this: archive the
+// runs, study the distributions offline).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/run_matrix.hpp"
+
+namespace omv::io {
+
+/// Writes a RunMatrix as CSV: header "run,rep,time", one row per
+/// repetition.
+void write_run_matrix_csv(std::ostream& os, const RunMatrix& m);
+[[nodiscard]] std::string run_matrix_to_csv(const RunMatrix& m);
+
+/// Parses the CSV produced by write_run_matrix_csv. Rows may arrive in any
+/// order; runs are reassembled by index (missing runs become empty and are
+/// dropped from the tail). Throws std::invalid_argument on malformed input.
+[[nodiscard]] RunMatrix read_run_matrix_csv(std::istream& is,
+                                            std::string label = "");
+[[nodiscard]] RunMatrix run_matrix_from_csv(const std::string& csv,
+                                            std::string label = "");
+
+/// Writes / reads to a file path (throws std::runtime_error on IO failure).
+void save_run_matrix(const std::string& path, const RunMatrix& m);
+[[nodiscard]] RunMatrix load_run_matrix(const std::string& path,
+                                        std::string label = "");
+
+}  // namespace omv::io

@@ -1,0 +1,66 @@
+#include "core/variance_components.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/stat_tests.hpp"
+
+namespace omv::stats {
+
+VarianceComponents decompose_variance(
+    std::span<const std::vector<double>> groups) {
+  VarianceComponents vc;
+
+  double total_sum = 0.0;
+  double total_n = 0.0;
+  std::size_t k = 0;
+  double sum_ni_sq = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    ++k;
+    const double ni = static_cast<double>(g.size());
+    total_n += ni;
+    sum_ni_sq += ni * ni;
+    for (double x : g) total_sum += x;
+  }
+  if (k < 2 || total_n <= static_cast<double>(k)) return vc;
+  vc.grand_mean = total_sum / total_n;
+
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    double gsum = 0.0;
+    for (double x : g) gsum += x;
+    const double gmean = gsum / static_cast<double>(g.size());
+    ss_between += static_cast<double>(g.size()) * (gmean - vc.grand_mean) *
+                  (gmean - vc.grand_mean);
+    for (double x : g) ss_within += (x - gmean) * (x - gmean);
+  }
+
+  const double df_between = static_cast<double>(k - 1);
+  const double df_within = total_n - static_cast<double>(k);
+  const double ms_between = ss_between / df_between;
+  const double ms_within = ss_within / df_within;
+
+  // Unequal group sizes: effective n0 (Searle).
+  const double n0 = (total_n - sum_ni_sq / total_n) / df_between;
+
+  vc.var_within = ms_within;
+  vc.var_between = std::max(0.0, (ms_between - ms_within) / n0);
+  const double total_var = vc.var_between + vc.var_within;
+  vc.icc = total_var > 0.0 ? vc.var_between / total_var : 0.0;
+  if (ms_within > 0.0) {
+    vc.f_statistic = ms_between / ms_within;
+    vc.p_value = f_upper_p(vc.f_statistic, df_between, df_within);
+  } else {
+    vc.f_statistic = ms_between > 0.0
+                         ? std::numeric_limits<double>::infinity()
+                         : 0.0;
+    vc.p_value = ms_between > 0.0 ? 0.0 : 1.0;
+  }
+  return vc;
+}
+
+}  // namespace omv::stats

@@ -1,0 +1,34 @@
+#pragma once
+// One-way random-effects variance decomposition.
+//
+// The paper distinguishes run-to-run variability (between the 10 runs) from
+// within-run variability (between the 100 outer repetitions of one run).
+// This module quantifies that split: a classic one-way random-effects ANOVA
+// where "run" is the random group factor.
+
+#include <span>
+#include <vector>
+
+namespace omv::stats {
+
+/// Result of decomposing total variance into between-run and within-run
+/// components.
+struct VarianceComponents {
+  double grand_mean = 0.0;
+  double var_between = 0.0;  ///< run-to-run variance component (sigma_b^2).
+  double var_within = 0.0;   ///< within-run variance component (sigma_w^2).
+  /// Fraction of total variance attributable to run-to-run effects
+  /// (intraclass correlation). 0 = all noise is within-run, 1 = all
+  /// variance is run-level (e.g. one slow run).
+  double icc = 0.0;
+  /// F statistic of the group effect and its p-value (run effect present?).
+  double f_statistic = 0.0;
+  double p_value = 1.0;
+};
+
+/// Decomposes `groups` (one vector of repetition times per run).
+/// Groups may have unequal sizes; empty groups are skipped.
+[[nodiscard]] VarianceComponents decompose_variance(
+    std::span<const std::vector<double>> groups);
+
+}  // namespace omv::stats

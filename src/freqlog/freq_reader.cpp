@@ -1,0 +1,37 @@
+#include "freqlog/freq_reader.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace omv::freqlog {
+
+namespace {
+std::string cpufreq_path(std::size_t core) {
+  return "/sys/devices/system/cpu/cpu" + std::to_string(core) +
+         "/cpufreq/scaling_cur_freq";
+}
+}  // namespace
+
+SysfsFreqReader::SysfsFreqReader() {
+  for (std::size_t c = 0;; ++c) {
+    std::ifstream f("/sys/devices/system/cpu/cpu" + std::to_string(c) +
+                    "/topology/core_id");
+    if (!f) break;
+    ++n_cores_;
+  }
+  if (n_cores_ > 0) {
+    std::ifstream f(cpufreq_path(0));
+    available_ = static_cast<bool>(f);
+  }
+}
+
+std::optional<double> SysfsFreqReader::read_ghz(std::size_t core) {
+  std::ifstream f(cpufreq_path(core));
+  if (!f) return std::nullopt;
+  long khz = 0;
+  f >> khz;
+  if (!f || khz <= 0) return std::nullopt;
+  return static_cast<double>(khz) / 1e6;
+}
+
+}  // namespace omv::freqlog

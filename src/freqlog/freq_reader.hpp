@@ -1,0 +1,66 @@
+#pragma once
+// Frequency readers: the abstraction over "where do per-core frequencies
+// come from". Two implementations:
+//   * SysfsFreqReader — the real Linux CPUFreq interface
+//     (/sys/devices/system/cpu/cpuN/cpufreq/scaling_cur_freq), which is what
+//     the paper's Python logger read;
+//   * SimFreqReader  — samples the simulator's frequency model at its
+//     current simulated time (set by the benchmark between phases).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/freq.hpp"
+
+namespace omv::freqlog {
+
+/// Reads the instantaneous frequency (GHz) of every core.
+class FreqReader {
+ public:
+  virtual ~FreqReader() = default;
+  /// Number of cores this reader reports on.
+  [[nodiscard]] virtual std::size_t n_cores() const = 0;
+  /// Frequency of `core` in GHz; nullopt when unreadable.
+  [[nodiscard]] virtual std::optional<double> read_ghz(std::size_t core) = 0;
+};
+
+/// Linux sysfs CPUFreq reader. Gracefully reports nullopt per core when the
+/// interface is absent (containers, non-Linux).
+class SysfsFreqReader final : public FreqReader {
+ public:
+  SysfsFreqReader();
+  [[nodiscard]] std::size_t n_cores() const override { return n_cores_; }
+  [[nodiscard]] std::optional<double> read_ghz(std::size_t core) override;
+
+  /// True when at least one core's cpufreq node is readable.
+  [[nodiscard]] bool available() const noexcept { return available_; }
+
+ private:
+  std::size_t n_cores_ = 0;
+  bool available_ = false;
+};
+
+/// Simulator-backed reader: samples FreqModel at an externally advanced
+/// simulated time.
+class SimFreqReader final : public FreqReader {
+ public:
+  SimFreqReader(sim::FreqModel& model, std::size_t n_cores)
+      : model_(&model), n_cores_(n_cores) {}
+
+  /// Sets the simulated time of subsequent reads.
+  void set_time(double t) noexcept { time_ = t; }
+  [[nodiscard]] double time() const noexcept { return time_; }
+
+  [[nodiscard]] std::size_t n_cores() const override { return n_cores_; }
+  [[nodiscard]] std::optional<double> read_ghz(std::size_t core) override {
+    return model_->sample_ghz(core, time_);
+  }
+
+ private:
+  sim::FreqModel* model_;
+  std::size_t n_cores_;
+  double time_ = 0.0;
+};
+
+}  // namespace omv::freqlog

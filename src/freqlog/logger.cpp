@@ -1,0 +1,117 @@
+#include "freqlog/logger.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "topo/affinity.hpp"
+
+namespace omv::freqlog {
+
+void FreqTrace::append(const FreqTrace& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+double FreqTrace::fraction_below(double fmax_ghz,
+                                 double threshold_fraction) const {
+  if (samples_.empty()) return 0.0;
+  const double thr = fmax_ghz * threshold_fraction;
+  std::size_t below = 0;
+  for (const auto& s : samples_) {
+    if (s.ghz < thr) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(samples_.size());
+}
+
+FreqTrace::Extremes FreqTrace::extremes() const {
+  Extremes e;
+  if (samples_.empty()) return e;
+  e.min = samples_[0].ghz;
+  e.max = samples_[0].ghz;
+  double sum = 0.0;
+  for (const auto& s : samples_) {
+    e.min = std::min(e.min, s.ghz);
+    e.max = std::max(e.max, s.ghz);
+    sum += s.ghz;
+  }
+  e.mean = sum / static_cast<double>(samples_.size());
+  return e;
+}
+
+std::size_t FreqTrace::episode_count(double fmax_ghz,
+                                     double threshold_fraction) const {
+  const double thr = fmax_ghz * threshold_fraction;
+  // Per-core pass in recorded order.
+  std::map<std::size_t, bool> in_episode;
+  std::size_t episodes = 0;
+  for (const auto& s : samples_) {
+    bool& active = in_episode[s.core];
+    if (s.ghz < thr) {
+      if (!active) {
+        active = true;
+        ++episodes;
+      }
+    } else {
+      active = false;
+    }
+  }
+  return episodes;
+}
+
+FreqTrace sample_sim(SimFreqReader& reader, double t0, double t1,
+                     double interval) {
+  FreqTrace trace;
+  if (interval <= 0.0 || t1 <= t0) return trace;
+  // Integer stepping avoids floating-point drift deciding the sample count.
+  const auto steps = static_cast<std::size_t>((t1 - t0) / interval);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = t0 + static_cast<double>(i) * interval;
+    reader.set_time(t);
+    for (std::size_t c = 0; c < reader.n_cores(); ++c) {
+      if (const auto g = reader.read_ghz(c)) {
+        trace.add({t, c, *g});
+      }
+    }
+  }
+  return trace;
+}
+
+BackgroundLogger::BackgroundLogger(FreqReader& reader, double interval_s,
+                                   std::optional<std::size_t> logger_cpu)
+    : reader_(reader), interval_s_(interval_s), logger_cpu_(logger_cpu) {
+  thread_ = std::thread([this] { run(); });
+}
+
+void BackgroundLogger::run() {
+  if (logger_cpu_) {
+    topo::pin_current_thread(topo::CpuSet::single(*logger_cpu_));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const double t =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    for (std::size_t c = 0; c < reader_.n_cores(); ++c) {
+      if (const auto g = reader_.read_ghz(c)) {
+        trace_.add({t, c, *g});
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_s_));
+  }
+}
+
+FreqTrace BackgroundLogger::stop() {
+  if (!joined_) {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+    joined_ = true;
+  }
+  return trace_;
+}
+
+BackgroundLogger::~BackgroundLogger() { stop(); }
+
+}  // namespace omv::freqlog

@@ -1,0 +1,92 @@
+#pragma once
+// Frequency logger + trace analysis.
+//
+// Mirrors the paper's methodology: a logger samples every core's frequency
+// at a fixed interval while the benchmark runs. Natively this is a
+// background thread pinned to a spare core (the paper used a Python script
+// on a separate core); against the simulator it samples the frequency model
+// along simulated time. The trace analysis quantifies the paper's "brown /
+// grey regions": the fraction of samples below a threshold of fmax.
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "freqlog/freq_reader.hpp"
+#include "topo/cpuset.hpp"
+
+namespace omv::freqlog {
+
+/// One sample: time, core, frequency.
+struct FreqSample {
+  double time = 0.0;
+  std::size_t core = 0;
+  double ghz = 0.0;
+};
+
+/// A recorded frequency trace.
+class FreqTrace {
+ public:
+  void add(FreqSample s) { samples_.push_back(s); }
+  void append(const FreqTrace& other);
+  [[nodiscard]] const std::vector<FreqSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Fraction of samples with ghz < threshold_fraction * fmax_ghz —
+  /// the "variation region" metric for Figs. 6b/6d and 7b/7d.
+  [[nodiscard]] double fraction_below(double fmax_ghz,
+                                      double threshold_fraction) const;
+
+  /// Minimum / mean / maximum sampled frequency (GHz); zeros when empty.
+  struct Extremes {
+    double min = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Extremes extremes() const;
+
+  /// Number of maximal contiguous episodes (in sample order per core) with
+  /// ghz < threshold_fraction * fmax.
+  [[nodiscard]] std::size_t episode_count(double fmax_ghz,
+                                          double threshold_fraction) const;
+
+ private:
+  std::vector<FreqSample> samples_;
+};
+
+/// Samples all cores of a reader at a simulated-time grid (simulator mode:
+/// no threads involved, fully deterministic).
+[[nodiscard]] FreqTrace sample_sim(SimFreqReader& reader, double t0, double t1,
+                                   double interval);
+
+/// Background logger thread (native mode): samples all cores every
+/// `interval_s` of wall time, optionally pinned to `logger_cpu` so the
+/// logger itself does not disturb the benchmark (the paper's separate core).
+class BackgroundLogger {
+ public:
+  BackgroundLogger(FreqReader& reader, double interval_s,
+                   std::optional<std::size_t> logger_cpu = std::nullopt);
+  ~BackgroundLogger();
+
+  BackgroundLogger(const BackgroundLogger&) = delete;
+  BackgroundLogger& operator=(const BackgroundLogger&) = delete;
+
+  /// Stops sampling and returns the trace (idempotent).
+  FreqTrace stop();
+
+ private:
+  void run();
+
+  FreqReader& reader_;
+  double interval_s_;
+  std::optional<std::size_t> logger_cpu_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  FreqTrace trace_;
+  bool joined_ = false;
+};
+
+}  // namespace omv::freqlog

@@ -1,0 +1,115 @@
+#include "omp_model/constructs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace omv::ompsim {
+namespace {
+
+double repeat_scale(std::size_t repeats) {
+  return static_cast<double>(std::max<std::size_t>(repeats, 1));
+}
+
+/// Serializes the team through a per-thread exclusive section of
+/// `work + overhead` seconds, in arrival (clock) order.
+void serialize(SimTeam& team, double work, double overhead,
+               std::size_t repeats) {
+  const double r = repeat_scale(repeats);
+  const std::size_t n = team.size();
+  // Arrival order: ascending current clock, stable by thread id.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return team.clock(a) < team.clock(b);
+                   });
+  std::vector<double> clocks(team.clocks().begin(), team.clocks().end());
+  double lock_free_at = 0.0;
+  for (std::size_t idx : order) {
+    const double enter = std::max(clocks[idx], lock_free_at);
+    const double done = team.exec_at(idx, enter + overhead * r, work * r);
+    clocks[idx] = done;
+    lock_free_at = done;
+  }
+  team.set_clocks(clocks);
+}
+
+}  // namespace
+
+void parallel_region(SimTeam& team, double work, std::size_t repeats) {
+  const double r = repeat_scale(repeats);
+  // r forks + r joins: every instance begins and ends with the team
+  // aligned, so the batch collapses into one fork/payload/join with scaled
+  // costs — identical clock effects, O(threads) instead of O(r * threads).
+  team.align_clocks(team.now() + team.fork_cost() * r);
+  team.compute(work * r);
+  team.sync_episode(team.barrier_cost(), repeats);
+}
+
+void barrier_construct(SimTeam& team, double work, std::size_t repeats) {
+  const double r = repeat_scale(repeats);
+  team.compute(work * r);
+  team.sync_episode(team.barrier_cost(), repeats);
+}
+
+void for_construct(SimTeam& team, double work, std::size_t repeats) {
+  const double r = repeat_scale(repeats);
+  const auto& c = team.simulator().costs();
+  team.compute(work * r + c.static_setup * r);
+  team.sync_episode(team.barrier_cost(), repeats);
+}
+
+void single_construct(SimTeam& team, double work, std::size_t repeats) {
+  const double r = repeat_scale(repeats);
+  const auto& c = team.simulator().costs();
+  // Winner (thread 0 by convention after alignment) does the payload plus
+  // arbitration; everyone then synchronizes.
+  team.compute_one(0, work * r + c.single_arbitration * r);
+  team.sync_episode(team.barrier_cost(), repeats);
+}
+
+void critical_construct(SimTeam& team, double work, std::size_t repeats) {
+  serialize(team, work, team.simulator().costs().critical_enter, repeats);
+}
+
+void lock_construct(SimTeam& team, double work, std::size_t repeats) {
+  serialize(team, work, team.simulator().costs().lock_op, repeats);
+}
+
+void ordered_construct(SimTeam& team, double work, std::size_t repeats) {
+  const double r = repeat_scale(repeats);
+  const auto& c = team.simulator().costs();
+  // Iterations release in thread order: thread i cannot start its payload
+  // before thread i-1 finished (a pipeline with hand-off cost).
+  std::vector<double> clocks(team.clocks().begin(), team.clocks().end());
+  double prev_done = 0.0;
+  for (std::size_t i = 0; i < team.size(); ++i) {
+    const double start = std::max(clocks[i], prev_done) + c.ordered_wait * r;
+    const double done = team.exec_at(i, start, work * r);
+    clocks[i] = done;
+    prev_done = done;
+  }
+  team.set_clocks(clocks);
+  team.sync_episode(team.barrier_cost(), repeats);
+}
+
+void atomic_construct(SimTeam& team, std::size_t repeats) {
+  const double r = repeat_scale(repeats);
+  const auto& c = team.simulator().costs();
+  const double per_thread =
+      (c.atomic_op + c.atomic_contention * static_cast<double>(team.size())) *
+      r;
+  team.compute(per_thread);
+}
+
+void reduction_construct(SimTeam& team, double work, std::size_t repeats) {
+  const double r = repeat_scale(repeats);
+  const auto& c = team.simulator().costs();
+  team.align_clocks(team.now() + team.fork_cost() * r);
+  team.compute(work * r);
+  const double combine =
+      c.reduction_per_level * static_cast<double>(sim::ceil_log2(team.size()));
+  team.sync_episode(combine + team.barrier_cost(), repeats);
+}
+
+}  // namespace omv::ompsim

@@ -1,0 +1,47 @@
+#pragma once
+// Simulated OpenMP synchronization constructs (syncbench's subjects), built
+// on SimTeam's clock primitives. Each function models one construct instance
+// executed by the whole team, with `work` nominal compute seconds of payload
+// per participating thread (the EPCC delay).
+
+#include <cstddef>
+
+#include "omp_model/team.hpp"
+
+namespace omv::ompsim {
+
+/// `#pragma omp parallel { delay(work); }` — fork, payload, join.
+/// `repeats` batches that many consecutive instances into one phase
+/// (deterministic costs are multiplied; one barrier-max per batch).
+void parallel_region(SimTeam& team, double work, std::size_t repeats = 1);
+
+/// Payload inside an open region followed by `#pragma omp barrier`.
+void barrier_construct(SimTeam& team, double work, std::size_t repeats = 1);
+
+/// `#pragma omp for` with static schedule over exactly one iteration per
+/// thread (syncbench's FOR microbenchmark) inside an open region.
+void for_construct(SimTeam& team, double work, std::size_t repeats = 1);
+
+/// `#pragma omp single { delay(work); }` — one winner does the payload,
+/// everyone synchronizes.
+void single_construct(SimTeam& team, double work, std::size_t repeats = 1);
+
+/// `#pragma omp critical { delay(work); }` executed once per thread —
+/// full serialization in arrival order.
+void critical_construct(SimTeam& team, double work, std::size_t repeats = 1);
+
+/// omp_set_lock / delay / omp_unset_lock once per thread.
+void lock_construct(SimTeam& team, double work, std::size_t repeats = 1);
+
+/// `#pragma omp for ordered` — iterations hand off in thread order.
+void ordered_construct(SimTeam& team, double work, std::size_t repeats = 1);
+
+/// One atomic RMW per thread (contention scales with team size).
+void atomic_construct(SimTeam& team, std::size_t repeats = 1);
+
+/// `#pragma omp parallel reduction(+:x) { delay(work); x += ...; }` —
+/// fork, payload, tree combine, join. The paper's most expensive
+/// synchronization microbenchmark.
+void reduction_construct(SimTeam& team, double work, std::size_t repeats = 1);
+
+}  // namespace omv::ompsim

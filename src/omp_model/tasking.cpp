@@ -1,0 +1,74 @@
+#include "omp_model/tasking.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace omv::ompsim {
+
+void parallel_task_generation(SimTeam& team, std::size_t tasks_per_thread,
+                              double work, const TaskCosts& costs) {
+  const std::size_t n = team.size();
+  const double create =
+      costs.create + costs.create_contention * static_cast<double>(n);
+  // Phase 1: every thread creates its tasks (parallel, contended).
+  team.compute(static_cast<double>(tasks_per_thread) * create);
+  // Phase 2: execution is self-balancing (own queue first, then steals).
+  // Model as a central pool drained greedily: per-task cost = work +
+  // dequeue (own) with the tail of the pool costing steals.
+  const std::size_t total = tasks_per_thread * n;
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  std::vector<double> clock(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clock[i] = team.clock(i);
+    pq.emplace(clock[i], i);
+  }
+  std::size_t remaining = total;
+  std::size_t own_budget = tasks_per_thread;  // first own tasks are cheap
+  std::vector<std::size_t> own(n, own_budget);
+  while (remaining > 0) {
+    auto [t, i] = pq.top();
+    pq.pop();
+    const double overhead = own[i] > 0 ? costs.dequeue : costs.steal;
+    if (own[i] > 0) --own[i];
+    const double done = team.exec_at(i, t, work + overhead);
+    clock[i] = done;
+    pq.emplace(done, i);
+    --remaining;
+  }
+  team.set_clocks(clock);
+  team.barrier();  // taskwait
+}
+
+void master_task_generation(SimTeam& team, std::size_t total_tasks,
+                            double work, const TaskCosts& costs) {
+  const std::size_t n = team.size();
+  // The producer emits tasks serially; consumers (including the producer
+  // once it finishes producing) execute them, paying the steal cost.
+  std::vector<double> clock(team.clocks().begin(), team.clocks().end());
+  std::vector<double> ready_at(total_tasks, 0.0);
+  {
+    double t = clock[0];
+    for (std::size_t k = 0; k < total_tasks; ++k) {
+      t += costs.create;  // single producer: no contention term
+      ready_at[k] = t;
+    }
+    clock[0] = t;
+  }
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (std::size_t i = 0; i < n; ++i) pq.emplace(clock[i], i);
+  for (std::size_t k = 0; k < total_tasks; ++k) {
+    auto [t, i] = pq.top();
+    pq.pop();
+    const double start = std::max(t, ready_at[k]);
+    const double done = team.exec_at(i, start + costs.steal, work);
+    clock[i] = done;
+    pq.emplace(done, i);
+  }
+  team.set_clocks(clock);
+  team.barrier();  // taskwait
+}
+
+}  // namespace omv::ompsim

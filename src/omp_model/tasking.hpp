@@ -1,0 +1,46 @@
+#pragma once
+// Simulated OpenMP tasking (EPCC taskbench subset).
+//
+// The paper's future work points at larger OpenMP applications; task-based
+// codes are the next step beyond worksharing loops. This models the two
+// canonical EPCC task micro-benchmarks:
+//
+//  * parallel_task_generation — every thread creates its own tasks
+//    (`#pragma omp task` inside `parallel`), contending on the task pool;
+//  * master_task_generation — one producer creates all tasks, the rest
+//    steal (the classic single-producer bottleneck).
+//
+// Cost model: task creation is an allocation + enqueue (contended like an
+// atomic), execution adds a dequeue/steal cost; the run ends with a
+// taskwait barrier. Noise/frequency effects apply through SimTeam::exec_at
+// exactly as for loops, so tasking inherits every variability mechanism.
+
+#include <cstddef>
+
+#include "omp_model/team.hpp"
+
+namespace omv::ompsim {
+
+/// Tasking cost knobs (seconds); defaults sized like the loop-scheduling
+/// constants in CostModel.
+struct TaskCosts {
+  double create = 0.35e-6;       ///< uncontended task creation.
+  double create_contention = 6e-9;  ///< extra per contending producer.
+  double dequeue = 0.10e-6;      ///< pop from own queue.
+  double steal = 0.45e-6;        ///< steal from another queue.
+};
+
+/// Every thread creates `tasks_per_thread` tasks of `work` seconds each and
+/// the team executes them to completion (work-sharing of the pool is
+/// self-balancing like dynamic scheduling). Ends with a taskwait barrier.
+void parallel_task_generation(SimTeam& team, std::size_t tasks_per_thread,
+                              double work, const TaskCosts& costs = {});
+
+/// Thread 0 creates `total_tasks` tasks; all threads execute them (workers
+/// pay the steal cost, the producer pays creation serially). Ends with a
+/// taskwait barrier. The producer is the bottleneck at scale — the shape
+/// EPCC taskbench's MASTER TASK pattern shows.
+void master_task_generation(SimTeam& team, std::size_t total_tasks,
+                            double work, const TaskCosts& costs = {});
+
+}  // namespace omv::ompsim

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace omv::sim {
+
+void EventQueue::schedule(double time, std::function<void()> action) {
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
+  // so copy the small fields and move the action through a local pop pattern.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  if (ev.action) ev.action();
+  return true;
+}
+
+std::size_t EventQueue::run(double until) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().time <= until) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  now_ = 0.0;
+  next_seq_ = 0;
+}
+
+}  // namespace omv::sim

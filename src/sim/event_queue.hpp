@@ -1,0 +1,59 @@
+#pragma once
+// Minimal discrete-event queue: a stable min-heap keyed by (time, sequence).
+// Ties are broken by insertion order so simulations are fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace omv::sim {
+
+/// An event: a timestamped action.
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< insertion order, breaks time ties.
+  std::function<void()> action;
+};
+
+/// Deterministic discrete-event queue.
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `time`.
+  void schedule(double time, std::function<void()> action);
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event (undefined when empty).
+  [[nodiscard]] double next_time() const { return heap_.top().time; }
+
+  /// Current simulation time (time of the last executed event).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Pops and executes the earliest event. Returns false when empty.
+  bool step();
+
+  /// Runs until the queue is empty or `until` is passed. Returns the number
+  /// of events executed.
+  std::size_t run(double until = 1e300);
+
+  /// Drops all pending events and resets the clock.
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace omv::sim

@@ -1,0 +1,125 @@
+#pragma once
+// DVFS / core-frequency model.
+//
+// The paper observes (Section 5.4) that even under the `performance`
+// governor, Vera shows frequency *dip episodes* — correlated within a NUMA
+// domain — which translate directly into execution-time variability, while
+// Dardel's frequency is nearly flat. We model per-NUMA-domain episodes:
+// Poisson arrivals of dips with lognormal durations and uniform depth, plus
+// small per-core white jitter. The instantaneous frequency of a core is
+//
+//   f(core, t) = fmax * depth(numa(core), t) * (1 + jitter)
+//
+// and the compute rate of a thread scales as f / fmax.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace omv::sim {
+
+/// Frequency model knobs. Depth is the fraction of fmax during a dip.
+struct FreqConfig {
+  double episode_rate = 0.0;     ///< dips per second per NUMA domain.
+  double episode_mean = 0.5;     ///< mean dip duration (s).
+  double episode_sigma_log = 0.6;
+  double depth_lo = 0.80;        ///< dip depth range (fraction of fmax).
+  double depth_hi = 0.93;
+  double jitter = 0.002;         ///< white per-sample jitter (fraction).
+  /// Probability that a run starts inside a long "capped" state (sustained
+  /// sub-fmax operation: a power-limit / turbo-residency episode). The cap
+  /// only takes effect when the machine-load fraction (busy HW threads /
+  /// all HW threads, declared via set_load_fraction) reaches
+  /// cap_load_threshold — lightly loaded nodes hold full boost, which is
+  /// why Table 2's 4-thread columns are tight while the full-node column
+  /// shows run-level outliers.
+  double run_cap_prob = 0.0;
+  double run_cap_depth = 0.92;
+  double cap_load_threshold = 0.05;
+  /// Episode-rate multiplier applied when the workload spans more than one
+  /// NUMA domain (the paper's Fig. 6/7 observation: cross-NUMA experiments
+  /// on Vera see far more frequency dips, as uncore/power budgets are
+  /// stressed by remote traffic). Set via FreqModel::set_activity_domains.
+  double cross_numa_rate_mult = 1.0;
+
+  /// Vera: occasional NUMA-correlated dips, more frequent cross-NUMA.
+  static FreqConfig vera();
+  /// A Vera session with active frequency variation (Figs. 6/7's sessions).
+  static FreqConfig vera_dippy();
+  /// Dardel: nearly flat frequency.
+  static FreqConfig dardel();
+  /// No variation at all (ablation / unit tests).
+  static FreqConfig flat();
+};
+
+/// One frequency-dip episode on a NUMA domain.
+struct FreqEpisode {
+  double start = 0.0;
+  double end = 0.0;
+  double depth = 1.0;  ///< multiplier vs fmax while active.
+};
+
+/// Deterministic per-run frequency model, queryable at any time.
+class FreqModel {
+ public:
+  FreqModel(const topo::Machine& machine, FreqConfig cfg);
+
+  /// Starts a new run: clears episodes, reseeds, samples the run-cap state.
+  void begin_run(std::uint64_t run_seed);
+
+  /// Declares how many NUMA domains the running workload spans; spanning
+  /// more than one multiplies the episode rate by cross_numa_rate_mult.
+  /// Call before generating episodes (i.e. right after begin_run).
+  void set_activity_domains(std::size_t n_domains);
+
+  /// Declares the busy fraction of the machine (gates the run cap).
+  void set_load_fraction(double f) noexcept { load_fraction_ = f; }
+
+  /// Frequency multiplier (0 < m <= ~1) for `core` at time `t`,
+  /// without white jitter (deterministic component).
+  double factor(std::size_t core, double t);
+
+  /// Instantaneous frequency in GHz including white jitter — what the
+  /// frequency *logger* samples (jitter models sysfs readout granularity).
+  double sample_ghz(std::size_t core, double t);
+
+  /// Mean multiplier over [t0, t1) for `core` (exact episode integration).
+  double mean_factor(std::size_t core, double t0, double t1);
+
+  /// Elapsed wall time to complete `work` seconds of fmax-rate compute
+  /// starting at `t0` on `core` (inverts the factor integral; fixed-point
+  /// iteration, converges in a few steps because factors are in [0.5, 1]).
+  double elapsed_for_work(std::size_t core, double t0, double work);
+
+  /// True when this run is frequency-capped (cap drawn AND load above the
+  /// gating threshold).
+  [[nodiscard]] bool run_capped() const noexcept {
+    return run_capped_ && load_fraction_ >= cfg_.cap_load_threshold;
+  }
+
+  [[nodiscard]] const FreqConfig& config() const noexcept { return cfg_; }
+
+  /// Episodes of a NUMA domain generated so far (diagnostics).
+  [[nodiscard]] const std::vector<FreqEpisode>& episodes(std::size_t numa) {
+    return episodes_.at(numa);
+  }
+
+ private:
+  void ensure_horizon(double t);
+
+  const topo::Machine& machine_;
+  FreqConfig cfg_;
+  Rng episode_rng_;
+  Rng jitter_rng_;
+  std::vector<std::vector<FreqEpisode>> episodes_;  ///< per NUMA domain.
+  std::vector<double> next_arrival_;
+  double horizon_ = 0.0;
+  double rate_ = 0.0;
+  double activity_mult_ = 1.0;
+  double load_fraction_ = 1.0;
+  bool run_capped_ = false;
+};
+
+}  // namespace omv::sim

@@ -1,0 +1,224 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omv::sim {
+
+NoiseConfig NoiseConfig::dardel() {
+  NoiseConfig c;
+  // Cray OS image: moderately quiet, but 128 cores × per-CPU sources add up.
+  c.daemon_rate = 30.0;
+  c.kworker_rate_per_cpu = 0.06;
+  // Light IRQ tail: the paper's Table 2 shows the 4-thread column (whose
+  // threads sit on the IRQ landing CPUs) within ~0.1%.
+  c.irq_rate = 0.05;
+  c.irq_xm = 0.5e-3;
+  c.irq_alpha = 2.2;
+  c.degrade_prob = 0.08;
+  return c;
+}
+
+NoiseConfig NoiseConfig::vera() {
+  NoiseConfig c;
+  // Rocky Linux with standard services; fewer CPUs to absorb them.
+  c.daemon_rate = 20.0;
+  c.kworker_rate_per_cpu = 0.10;
+  c.irq_rate = 0.06;
+  c.degrade_prob = 0.06;
+  return c;
+}
+
+NoiseConfig NoiseConfig::quiet() {
+  NoiseConfig c;
+  c.tick_duration = 0.0;
+  c.daemon_rate = 0.0;
+  c.kworker_rate_per_cpu = 0.0;
+  c.irq_rate = 0.0;
+  c.degrade_prob = 0.0;
+  return c;
+}
+
+NoiseModel::NoiseModel(const topo::Machine& machine, NoiseConfig cfg)
+    : machine_(machine), cfg_(cfg) {
+  per_cpu_events_.resize(machine.n_threads());
+  kworker_next_.resize(machine.n_threads(), 0.0);
+  busy_.resize(machine.n_threads(), false);
+  tick_phase_.resize(machine.n_threads(), 0.0);
+  begin_run(0, {});
+}
+
+void NoiseModel::begin_run(std::uint64_t run_seed, const topo::CpuSet& busy) {
+  Rng base(run_seed);
+  daemon_rng_ = base.fork(1);
+  kworker_rng_ = base.fork(2);
+  irq_rng_ = base.fork(3);
+  placement_rng_ = base.fork(4);
+  Rng tick_rng = base.fork(5);
+  Rng degrade_rng = base.fork(6);
+
+  for (auto& v : per_cpu_events_) v.clear();
+  degraded_ = degrade_rng.bernoulli(cfg_.degrade_prob);
+
+  const double daemon_rate =
+      cfg_.daemon_rate * (degraded_ ? cfg_.degrade_rate_mult : 1.0);
+  daemon_next_ = daemon_rate > 0.0 ? daemon_rng_.exponential(daemon_rate)
+                                   : 1e300;
+  irq_next_ = cfg_.irq_rate > 0.0 ? irq_rng_.exponential(cfg_.irq_rate) : 1e300;
+  for (std::size_t h = 0; h < machine_.n_threads(); ++h) {
+    kworker_next_[h] =
+        cfg_.kworker_rate_per_cpu > 0.0
+            ? kworker_rng_.exponential(cfg_.kworker_rate_per_cpu)
+            : 1e300;
+    tick_phase_[h] = tick_rng.uniform(0.0, cfg_.tick_period);
+  }
+  horizon_ = 0.0;
+  set_busy(busy);
+}
+
+void NoiseModel::set_busy(const topo::CpuSet& busy) {
+  std::fill(busy_.begin(), busy_.end(), false);
+  for (std::size_t h : busy.to_vector()) {
+    if (h < busy_.size()) busy_[h] = true;
+  }
+}
+
+void NoiseModel::place_daemon(double t, double dur) {
+  // Find a fully idle core; failing that, an idle sibling; failing that,
+  // preempt a busy HW thread chosen uniformly.
+  std::vector<std::size_t> idle_siblings_of_busy;
+  std::vector<std::size_t> busy_cpus;
+  for (std::size_t h = 0; h < busy_.size(); ++h) {
+    if (busy_[h]) busy_cpus.push_back(h);
+  }
+  if (busy_cpus.empty()) return;  // nothing to disturb
+
+  // Wake-affinity miss: land on the cache-hot previous CPU regardless of
+  // idle capacity. More likely the fuller the node is.
+  const double busy_fraction = static_cast<double>(busy_cpus.size()) /
+                               static_cast<double>(busy_.size());
+  if (placement_rng_.bernoulli(cfg_.daemon_miss_factor * busy_fraction)) {
+    const std::size_t victim =
+        busy_cpus[placement_rng_.next_below(busy_cpus.size())];
+    per_cpu_events_[victim].push_back({t, dur, victim});
+    return;
+  }
+
+  // Idle core: a core none of whose HW threads are busy.
+  for (std::size_t core = 0; core < machine_.n_cores(); ++core) {
+    bool any_busy = false;
+    for (std::size_t h : machine_.core_threads(core).to_vector()) {
+      if (busy_[h]) {
+        any_busy = true;
+        break;
+      }
+    }
+    if (!any_busy) return;  // absorbed with zero impact
+  }
+
+  // Idle SMT sibling of a busy HW thread.
+  for (std::size_t h = 0; h < busy_.size(); ++h) {
+    if (busy_[h]) continue;
+    const auto sib = machine_.sibling(h);
+    if (sib && busy_[*sib]) idle_siblings_of_busy.push_back(*sib);
+  }
+  if (!idle_siblings_of_busy.empty()) {
+    const std::size_t victim = idle_siblings_of_busy[placement_rng_.next_below(
+        idle_siblings_of_busy.size())];
+    per_cpu_events_[victim].push_back(
+        {t, dur * cfg_.smt_absorb_factor, victim});
+    return;
+  }
+
+  // Full preemption of a random busy thread.
+  const std::size_t victim =
+      busy_cpus[placement_rng_.next_below(busy_cpus.size())];
+  per_cpu_events_[victim].push_back({t, dur, victim});
+}
+
+void NoiseModel::ensure_horizon(double t) {
+  if (t <= horizon_) return;
+  const double target = std::max(t * 1.25, horizon_ + 0.25);
+
+  // Daemons.
+  const double daemon_rate =
+      cfg_.daemon_rate * (degraded_ ? cfg_.degrade_rate_mult : 1.0);
+  while (daemon_next_ < target) {
+    const double mu_log = std::log(cfg_.daemon_mean) -
+                          0.5 * cfg_.daemon_sigma_log * cfg_.daemon_sigma_log;
+    const double dur = daemon_rng_.lognormal(mu_log, cfg_.daemon_sigma_log);
+    place_daemon(daemon_next_, dur);
+    daemon_next_ += daemon_rng_.exponential(daemon_rate);
+  }
+
+  // IRQ storms: pinned to the first irq_cpus CPUs, full impact if busy.
+  while (irq_next_ < target) {
+    const double dur = irq_rng_.pareto(cfg_.irq_xm, cfg_.irq_alpha);
+    const std::size_t cpu = irq_rng_.next_below(
+        std::min<std::size_t>(cfg_.irq_cpus, machine_.n_threads()));
+    per_cpu_events_[cpu].push_back({irq_next_, dur, cpu});
+    irq_next_ += irq_rng_.exponential(cfg_.irq_rate);
+  }
+
+  // Per-CPU kworkers.
+  if (cfg_.kworker_rate_per_cpu > 0.0) {
+    const double mu_log =
+        std::log(cfg_.kworker_mean) -
+        0.5 * cfg_.kworker_sigma_log * cfg_.kworker_sigma_log;
+    for (std::size_t h = 0; h < machine_.n_threads(); ++h) {
+      while (kworker_next_[h] < target) {
+        const double dur =
+            kworker_rng_.lognormal(mu_log, cfg_.kworker_sigma_log);
+        per_cpu_events_[h].push_back({kworker_next_[h], dur, h});
+        kworker_next_[h] += kworker_rng_.exponential(cfg_.kworker_rate_per_cpu);
+      }
+    }
+  }
+
+  // Keep per-CPU lists sorted (appends are near-sorted; events from
+  // different sources may interleave).
+  for (auto& v : per_cpu_events_) {
+    std::sort(v.begin(), v.end(),
+              [](const NoiseEvent& a, const NoiseEvent& b) {
+                return a.time < b.time;
+              });
+  }
+  horizon_ = target;
+}
+
+double NoiseModel::preemption_delay(std::size_t h, double t0, double t1) {
+  if (t1 <= t0 || h >= per_cpu_events_.size()) return 0.0;
+  ensure_horizon(t1);
+
+  double delay = 0.0;
+  // Analytic timer ticks.
+  if (cfg_.tick_duration > 0.0 && cfg_.tick_period > 0.0) {
+    const double phase = tick_phase_[h];
+    const double first =
+        std::ceil((t0 - phase) / cfg_.tick_period) * cfg_.tick_period + phase;
+    if (first < t1) {
+      const double n = std::floor((t1 - first) / cfg_.tick_period) + 1.0;
+      delay += n * cfg_.tick_duration;
+    }
+  }
+
+  // ST absorption: with an idle SMT sibling, the kernel runs interrupting
+  // work on the sibling HW thread and the benchmark thread only loses a
+  // share of core resources instead of being fully preempted.
+  double factor = 1.0;
+  if (const auto sib = machine_.sibling(h);
+      sib && *sib < busy_.size() && !busy_[*sib]) {
+    factor = cfg_.smt_absorb_factor;
+  }
+
+  const auto& v = per_cpu_events_[h];
+  auto it = std::lower_bound(
+      v.begin(), v.end(), t0,
+      [](const NoiseEvent& e, double t) { return e.time < t; });
+  for (; it != v.end() && it->time < t1; ++it) {
+    delay += it->duration * factor;
+  }
+  return delay;
+}
+
+}  // namespace omv::sim

@@ -1,0 +1,135 @@
+#pragma once
+// Operating-system noise model.
+//
+// Four sources, mirroring the taxonomy of the OS-noise literature the paper
+// builds on (ticks, daemons, kernel worker threads, interrupts):
+//
+//   * TimerTick  — strictly periodic per-HW-thread interrupt (CONFIG_HZ),
+//                  cannot be moved; the unavoidable noise floor.
+//   * Daemon     — node-wide Poisson wakeups of migratable system daemons.
+//                  The (modelled) OS places each wakeup on a fully idle core
+//                  when one exists (zero impact on the benchmark), else on an
+//                  idle SMT sibling (small impact on the busy sibling via SMT
+//                  resource sharing), else it preempts a random busy thread
+//                  (full impact). This is the mechanism behind the paper's
+//                  "spare 2 cores" observation and behind ST > MT stability.
+//   * KWorker    — per-CPU bound kernel work (cannot migrate): bursty,
+//                  preempts whoever runs on that CPU.
+//   * IrqStorm   — rare heavy-tailed events pinned to low-numbered CPUs
+//                  (interrupt landing zone).
+//
+// Additionally, a *run-scoped degradation* state is sampled per run with a
+// small probability: for the duration of the run the daemon rate is
+// multiplied, reproducing the occasional whole-run outlier of Table 2.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace omv::sim {
+
+/// Tuning knobs for all noise sources. Time unit: seconds.
+struct NoiseConfig {
+  // Timer tick.
+  double tick_period = 0.004;     ///< 250 Hz.
+  double tick_duration = 1.5e-6;  ///< ~1.5 us per tick.
+
+  // Migratable daemons (node-wide).
+  double daemon_rate = 25.0;          ///< wakeups per second per node.
+  double daemon_mean = 150e-6;        ///< mean service time.
+  double daemon_sigma_log = 0.8;      ///< lognormal shape.
+
+  // Per-CPU kernel workers.
+  double kworker_rate_per_cpu = 0.08;  ///< bursts per second per HW thread.
+  double kworker_mean = 250e-6;
+  double kworker_sigma_log = 0.7;
+
+  // Rare heavy-tailed IRQ activity, pinned to the first `irq_cpus` CPUs.
+  double irq_rate = 0.08;     ///< events per second per node.
+  double irq_xm = 0.8e-3;     ///< Pareto scale (minimum duration).
+  double irq_alpha = 1.7;     ///< Pareto shape (smaller = heavier tail).
+  std::size_t irq_cpus = 4;
+
+  // Run-scoped degradation (occasional noisy runs).
+  double degrade_prob = 0.08;       ///< probability a run is degraded.
+  double degrade_rate_mult = 12.0;  ///< daemon rate multiplier when degraded.
+
+  /// Wake-affinity miss: even with idle CPUs available, the kernel places a
+  /// waking daemon on its cache-hot previous CPU with probability
+  /// daemon_miss_factor * (busy fraction) — which may be busy. This is what
+  /// keeps nearly-full nodes (30/32, 254/256) noticeably noisier than
+  /// half-empty ones even though spare CPUs exist.
+  double daemon_miss_factor = 0.30;
+
+  /// Impact fraction when a daemon is absorbed by an idle SMT sibling:
+  /// the busy sibling loses only a share of core resources.
+  double smt_absorb_factor = 0.15;
+
+  /// Preset approximating Dardel's production-cluster noise profile.
+  static NoiseConfig dardel();
+  /// Preset approximating Vera's noise profile.
+  static NoiseConfig vera();
+  /// All sources disabled (for unit tests and ablations).
+  static NoiseConfig quiet();
+};
+
+/// One materialized noise event targeted at a specific HW thread.
+struct NoiseEvent {
+  double time = 0.0;
+  double duration = 0.0;  ///< preemption seconds charged to the target.
+  std::size_t target = 0;
+};
+
+/// Deterministic per-run noise generator; all events are materialized lazily
+/// up to a growing horizon, so queries are order-independent.
+class NoiseModel {
+ public:
+  NoiseModel(const topo::Machine& machine, NoiseConfig cfg);
+
+  /// Starts a new run: clears all events, reseeds, samples the run-scoped
+  /// degradation state, and records which HW threads host benchmark threads
+  /// (used for daemon placement).
+  void begin_run(std::uint64_t run_seed, const topo::CpuSet& busy);
+
+  /// Updates the busy set mid-run (e.g. unpinned placement changed). Only
+  /// affects events generated after the call.
+  void set_busy(const topo::CpuSet& busy);
+
+  /// Total preemption seconds charged to HW thread `h` by events arriving in
+  /// [t0, t1). Includes the analytic timer-tick term.
+  double preemption_delay(std::size_t h, double t0, double t1);
+
+  /// True when the current run is in the degraded state.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+
+  /// All materialized (non-tick) events so far, for diagnostics.
+  [[nodiscard]] const std::vector<std::vector<NoiseEvent>>& events()
+      const noexcept {
+    return per_cpu_events_;
+  }
+
+  [[nodiscard]] const NoiseConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void ensure_horizon(double t);
+  void place_daemon(double t, double dur);
+
+  const topo::Machine& machine_;
+  NoiseConfig cfg_;
+  Rng daemon_rng_;
+  Rng kworker_rng_;
+  Rng irq_rng_;
+  Rng placement_rng_;
+  std::vector<std::vector<NoiseEvent>> per_cpu_events_;  ///< sorted by time.
+  std::vector<double> kworker_next_;
+  double daemon_next_ = 0.0;
+  double irq_next_ = 0.0;
+  double horizon_ = 0.0;
+  bool degraded_ = false;
+  std::vector<bool> busy_;
+  std::vector<double> tick_phase_;
+};
+
+}  // namespace omv::sim

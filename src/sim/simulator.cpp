@@ -1,0 +1,85 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omv::sim {
+
+SimConfig SimConfig::dardel() {
+  SimConfig c;
+  c.noise = NoiseConfig::dardel();
+  c.freq = FreqConfig::dardel();
+  c.mem = MemConfig::dardel();
+  c.costs = CostModel::dardel();
+  return c;
+}
+
+SimConfig SimConfig::vera() {
+  SimConfig c;
+  c.noise = NoiseConfig::vera();
+  c.freq = FreqConfig::vera();
+  c.mem = MemConfig::vera();
+  c.costs = CostModel::vera();
+  return c;
+}
+
+SimConfig SimConfig::ideal() {
+  SimConfig c;
+  c.noise = NoiseConfig::quiet();
+  c.freq = FreqConfig::flat();
+  c.mem = MemConfig{};
+  c.costs = CostModel{};
+  return c;
+}
+
+Simulator::Simulator(topo::Machine machine, SimConfig cfg)
+    : machine_(std::move(machine)), cfg_(cfg) {
+  noise_ = std::make_unique<NoiseModel>(machine_, cfg_.noise);
+  freq_ = std::make_unique<FreqModel>(machine_, cfg_.freq);
+  mem_ = std::make_unique<MemoryModel>(machine_, cfg_.mem);
+}
+
+void Simulator::begin_run(std::uint64_t run_seed, const topo::CpuSet& busy) {
+  noise_->begin_run(run_seed, busy);
+  freq_->begin_run(run_seed);
+  misc_rng_ = Rng(run_seed).fork(0xA11CE);
+}
+
+double Simulator::sample_smt_throughput() {
+  const double v =
+      misc_rng_.normal(cfg_.costs.smt_throughput, cfg_.costs.smt_jitter);
+  return std::clamp(v, 0.35, 0.95);
+}
+
+double Simulator::exec_scaled(std::size_t h, double t0, double work,
+                              double rate_factor) {
+  if (work <= 0.0) return t0;
+  rate_factor = std::max(rate_factor, 1e-6);
+  const double eff_work = work * cfg_.costs.work_scale / rate_factor;
+  const std::size_t core = machine_.thread(h).core;
+
+  double d = freq_->elapsed_for_work(core, t0, eff_work);
+  // Preemptions extend the window; a longer window may catch more
+  // preemptions. Iterate to a fixed point (converges fast: noise density is
+  // far below 1).
+  for (int iter = 0; iter < 6; ++iter) {
+    const double delay = noise_->preemption_delay(h, t0, t0 + d);
+    const double nd = freq_->elapsed_for_work(core, t0, eff_work) + delay;
+    if (nd <= d + 1e-12) {
+      d = nd;
+      break;
+    }
+    d = nd;
+  }
+  return t0 + d;
+}
+
+double Simulator::exec(std::size_t h, double t0, double work,
+                       std::size_t share, bool smt_busy) {
+  double rate = 1.0;
+  if (share > 1) rate /= static_cast<double>(share);
+  if (smt_busy) rate *= sample_smt_throughput();
+  return exec_scaled(h, t0, work, rate);
+}
+
+}  // namespace omv::sim

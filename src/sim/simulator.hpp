@@ -1,0 +1,83 @@
+#pragma once
+// Simulator facade: owns the machine and all hardware/OS models, and
+// provides the one execution primitive everything else is built from —
+// "run `work` seconds of nominal compute on HW thread h starting at t".
+//
+// Elapsed wall time folds in, in order: the platform work-rate calibration,
+// oversubscription time-sharing, SMT co-scheduling throughput, DVFS
+// frequency integration, and OS-noise preemptions (whose windows are
+// extended fixed-point style, since a preemption lengthens the window which
+// may capture further preemptions).
+
+#include <cstdint>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/freq.hpp"
+#include "sim/memory.hpp"
+#include "sim/noise.hpp"
+#include "topo/topology.hpp"
+
+namespace omv::sim {
+
+/// Full simulator configuration.
+struct SimConfig {
+  NoiseConfig noise;
+  FreqConfig freq;
+  MemConfig mem;
+  CostModel costs;
+
+  /// Dardel-calibrated bundle (pair with topo::Machine::dardel()).
+  static SimConfig dardel();
+  /// Vera-calibrated bundle (pair with topo::Machine::vera()).
+  static SimConfig vera();
+  /// Noise-free, frequency-flat bundle (unit tests, ablation baselines).
+  static SimConfig ideal();
+};
+
+/// The multicore-system simulator.
+class Simulator {
+ public:
+  Simulator(topo::Machine machine, SimConfig cfg);
+
+  [[nodiscard]] const topo::Machine& machine() const noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const CostModel& costs() const noexcept { return cfg_.costs; }
+  [[nodiscard]] NoiseModel& noise() noexcept { return *noise_; }
+  [[nodiscard]] FreqModel& freq() noexcept { return *freq_; }
+  [[nodiscard]] const MemoryModel& memory() const noexcept { return *mem_; }
+  /// Per-run miscellaneous RNG stream (jitters).
+  [[nodiscard]] Rng& rng() noexcept { return misc_rng_; }
+
+  /// Resets the per-run state of all models (noise events, frequency
+  /// episodes, run-scoped degradations) under `run_seed`. `busy` is the set
+  /// of HW threads hosting benchmark threads (daemon placement).
+  void begin_run(std::uint64_t run_seed, const topo::CpuSet& busy);
+
+  /// Completion time of `work` nominal-fmax compute seconds started at `t0`
+  /// on HW thread `h`. `share` >= 1 is the oversubscription factor;
+  /// `smt_busy` marks both core siblings computing simultaneously.
+  [[nodiscard]] double exec(std::size_t h, double t0, double work,
+                            std::size_t share = 1, bool smt_busy = false);
+
+  /// As exec(), but with an explicit throughput multiplier instead of the
+  /// cost-model SMT factor (used by the memory model path where bandwidth,
+  /// not core throughput, dominates).
+  [[nodiscard]] double exec_scaled(std::size_t h, double t0, double work,
+                                   double rate_factor);
+
+  /// Per-phase SMT throughput sample (mean smt_throughput with jitter).
+  [[nodiscard]] double sample_smt_throughput();
+
+ private:
+  topo::Machine machine_;
+  SimConfig cfg_;
+  std::unique_ptr<NoiseModel> noise_;
+  std::unique_ptr<FreqModel> freq_;
+  std::unique_ptr<MemoryModel> mem_;
+  Rng misc_rng_;
+};
+
+}  // namespace omv::sim

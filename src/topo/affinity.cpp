@@ -1,0 +1,57 @@
+#include "topo/affinity.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include <thread>
+
+namespace omv::topo {
+
+#if defined(__linux__)
+
+bool pin_current_thread(const CpuSet& set) noexcept {
+  if (set.empty()) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (std::size_t cpu : set.to_vector()) {
+    if (cpu < CPU_SETSIZE) CPU_SET(cpu, &mask);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+}
+
+CpuSet current_thread_affinity() noexcept {
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(mask), &mask) != 0) {
+    return {};
+  }
+  CpuSet out;
+  for (std::size_t cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &mask)) out.add(cpu);
+  }
+  return out;
+}
+
+std::size_t usable_cpu_count() noexcept {
+  const CpuSet cur = current_thread_affinity();
+  if (!cur.empty()) return cur.count();
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc ? hc : 1;
+}
+
+#else  // non-Linux fallback: affinity is a no-op.
+
+bool pin_current_thread(const CpuSet&) noexcept { return false; }
+
+CpuSet current_thread_affinity() noexcept { return {}; }
+
+std::size_t usable_cpu_count() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc ? hc : 1;
+}
+
+#endif
+
+}  // namespace omv::topo

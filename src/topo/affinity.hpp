@@ -1,0 +1,21 @@
+#pragma once
+// Native thread-affinity application (Linux pthread). The simulator uses the
+// same ThreadPlaceMap directly; this layer is only needed for the native
+// OpenMP backend and the frequency-logger's spare-core pinning.
+
+#include "topo/cpuset.hpp"
+
+namespace omv::topo {
+
+/// Pins the calling thread to `set`. Returns false (and leaves affinity
+/// untouched) when the platform call fails — e.g. the mask names CPUs the
+/// host does not have. Never throws.
+bool pin_current_thread(const CpuSet& set) noexcept;
+
+/// Current affinity mask of the calling thread (empty on failure).
+[[nodiscard]] CpuSet current_thread_affinity() noexcept;
+
+/// Number of CPUs currently usable by this process (affinity-aware).
+[[nodiscard]] std::size_t usable_cpu_count() noexcept;
+
+}  // namespace omv::topo

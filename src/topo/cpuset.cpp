@@ -1,0 +1,161 @@
+#include "topo/cpuset.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <stdexcept>
+
+namespace omv::topo {
+
+void CpuSet::ensure(std::size_t cpu) {
+  const std::size_t word = cpu / 64;
+  if (word >= bits_.size()) bits_.resize(word + 1, 0);
+}
+
+void CpuSet::trim() {
+  while (!bits_.empty() && bits_.back() == 0) bits_.pop_back();
+}
+
+CpuSet CpuSet::single(std::size_t cpu) {
+  CpuSet s;
+  s.add(cpu);
+  return s;
+}
+
+CpuSet CpuSet::range(std::size_t first, std::size_t count) {
+  CpuSet s;
+  for (std::size_t i = 0; i < count; ++i) s.add(first + i);
+  return s;
+}
+
+CpuSet CpuSet::parse(const std::string& list) {
+  CpuSet s;
+  std::size_t pos = 0;
+  const auto parse_num = [&]() -> std::size_t {
+    if (pos >= list.size() || !std::isdigit(static_cast<unsigned char>(list[pos]))) {
+      throw std::invalid_argument("CpuSet::parse: expected digit in '" + list +
+                                  "'");
+    }
+    std::size_t v = 0;
+    while (pos < list.size() &&
+           std::isdigit(static_cast<unsigned char>(list[pos]))) {
+      v = v * 10 + static_cast<std::size_t>(list[pos] - '0');
+      ++pos;
+    }
+    return v;
+  };
+  if (list.empty()) return s;
+  while (true) {
+    const std::size_t lo = parse_num();
+    std::size_t hi = lo;
+    if (pos < list.size() && list[pos] == '-') {
+      ++pos;
+      hi = parse_num();
+      if (hi < lo) throw std::invalid_argument("CpuSet::parse: inverted range");
+    }
+    for (std::size_t c = lo; c <= hi; ++c) s.add(c);
+    if (pos == list.size()) break;
+    if (list[pos] != ',') {
+      throw std::invalid_argument("CpuSet::parse: expected ',' in '" + list +
+                                  "'");
+    }
+    ++pos;
+  }
+  return s;
+}
+
+void CpuSet::add(std::size_t cpu) {
+  ensure(cpu);
+  bits_[cpu / 64] |= (1ULL << (cpu % 64));
+}
+
+void CpuSet::remove(std::size_t cpu) {
+  if (cpu / 64 < bits_.size()) {
+    bits_[cpu / 64] &= ~(1ULL << (cpu % 64));
+    trim();
+  }
+}
+
+bool CpuSet::contains(std::size_t cpu) const noexcept {
+  return cpu / 64 < bits_.size() &&
+         (bits_[cpu / 64] >> (cpu % 64)) & 1ULL;
+}
+
+std::size_t CpuSet::count() const noexcept {
+  std::size_t n = 0;
+  for (auto w : bits_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t CpuSet::first() const {
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    if (bits_[w]) {
+      return w * 64 +
+             static_cast<std::size_t>(std::countr_zero(bits_[w]));
+    }
+  }
+  throw std::out_of_range("CpuSet::first: empty set");
+}
+
+std::vector<std::size_t> CpuSet::to_vector() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    std::uint64_t word = bits_[w];
+    while (word) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      out.push_back(w * 64 + bit);
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::string CpuSet::to_string() const {
+  const auto v = to_vector();
+  std::string out;
+  std::size_t i = 0;
+  while (i < v.size()) {
+    std::size_t j = i;
+    while (j + 1 < v.size() && v[j + 1] == v[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    out += std::to_string(v[i]);
+    if (j > i) out += '-' + std::to_string(v[j]);
+    i = j + 1;
+  }
+  return out;
+}
+
+CpuSet CpuSet::operator|(const CpuSet& o) const {
+  CpuSet s = *this;
+  if (o.bits_.size() > s.bits_.size()) s.bits_.resize(o.bits_.size(), 0);
+  for (std::size_t w = 0; w < o.bits_.size(); ++w) s.bits_[w] |= o.bits_[w];
+  return s;
+}
+
+CpuSet CpuSet::operator&(const CpuSet& o) const {
+  CpuSet s;
+  const std::size_t n = std::min(bits_.size(), o.bits_.size());
+  s.bits_.assign(n, 0);
+  for (std::size_t w = 0; w < n; ++w) s.bits_[w] = bits_[w] & o.bits_[w];
+  s.trim();
+  return s;
+}
+
+CpuSet CpuSet::operator-(const CpuSet& o) const {
+  CpuSet s = *this;
+  const std::size_t n = std::min(s.bits_.size(), o.bits_.size());
+  for (std::size_t w = 0; w < n; ++w) s.bits_[w] &= ~o.bits_[w];
+  s.trim();
+  return s;
+}
+
+bool CpuSet::operator==(const CpuSet& o) const {
+  CpuSet a = *this;
+  CpuSet b = o;
+  a.trim();
+  b.trim();
+  return a.bits_ == b.bits_;
+}
+
+}  // namespace omv::topo

@@ -1,0 +1,57 @@
+#pragma once
+// Dynamic CPU sets, the common currency between the places parser, the
+// proc_bind mapper, the native affinity layer and the simulator.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omv::topo {
+
+/// A set of hardware-thread (logical CPU) ids. Ids are dense small integers;
+/// the set grows on demand.
+class CpuSet {
+ public:
+  CpuSet() = default;
+
+  /// Singleton set {cpu}.
+  static CpuSet single(std::size_t cpu);
+  /// Contiguous range [first, first+count).
+  static CpuSet range(std::size_t first, std::size_t count);
+  /// Parses Linux list format: "0-3,8,10-11". Throws std::invalid_argument
+  /// on malformed input.
+  static CpuSet parse(const std::string& list);
+
+  /// Adds one cpu id.
+  void add(std::size_t cpu);
+  /// Removes one cpu id (no-op if absent).
+  void remove(std::size_t cpu);
+  [[nodiscard]] bool contains(std::size_t cpu) const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  /// Smallest member; throws std::out_of_range if empty.
+  [[nodiscard]] std::size_t first() const;
+
+  /// Ascending list of members.
+  [[nodiscard]] std::vector<std::size_t> to_vector() const;
+
+  /// Linux list format ("0-3,8").
+  [[nodiscard]] std::string to_string() const;
+
+  /// Set union / intersection / difference.
+  [[nodiscard]] CpuSet operator|(const CpuSet& o) const;
+  [[nodiscard]] CpuSet operator&(const CpuSet& o) const;
+  [[nodiscard]] CpuSet operator-(const CpuSet& o) const;
+
+  bool operator==(const CpuSet& o) const;
+
+ private:
+  // One bit per cpu, in 64-bit words.
+  std::vector<std::uint64_t> bits_;
+  void ensure(std::size_t cpu);
+  void trim();
+};
+
+}  // namespace omv::topo

@@ -1,0 +1,263 @@
+#include "topo/places.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace omv::topo {
+namespace {
+
+/// Minimal recursive-descent parser over the explicit place syntax.
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  PlaceList parse() {
+    PlaceList places;
+    parse_place_interval(places);
+    while (!eof() && peek() == ',') {
+      ++pos_;
+      parse_place_interval(places);
+    }
+    if (!eof()) fail("trailing characters");
+    return places;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("OMP_PLACES parse error at position " +
+                                std::to_string(pos_) + ": " + what + " in '" +
+                                s_ + "'");
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  long parse_num() {
+    skip_ws();
+    bool neg = false;
+    if (!eof() && (peek() == '-' || peek() == '+')) {
+      neg = peek() == '-';
+      ++pos_;
+    }
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("expected number");
+    }
+    long v = 0;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      v = v * 10 + (peek() - '0');
+      ++pos_;
+    }
+    skip_ws();
+    return neg ? -v : v;
+  }
+
+  CpuSet parse_place() {
+    skip_ws();
+    if (eof() || peek() != '{') fail("expected '{'");
+    ++pos_;
+    CpuSet place;
+    parse_res_interval(place);
+    while (!eof() && peek() == ',') {
+      ++pos_;
+      parse_res_interval(place);
+    }
+    skip_ws();
+    if (eof() || peek() != '}') fail("expected '}'");
+    ++pos_;
+    skip_ws();
+    return place;
+  }
+
+  void parse_res_interval(CpuSet& place) {
+    const long start = parse_num();
+    long len = 1;
+    long stride = 1;
+    if (!eof() && peek() == ':') {
+      ++pos_;
+      len = parse_num();
+      if (!eof() && peek() == ':') {
+        ++pos_;
+        stride = parse_num();
+      }
+    }
+    if (start < 0 || len <= 0) fail("invalid resource interval");
+    for (long i = 0; i < len; ++i) {
+      const long id = start + i * stride;
+      if (id < 0) fail("negative hardware thread id");
+      place.add(static_cast<std::size_t>(id));
+    }
+  }
+
+  void parse_place_interval(PlaceList& places) {
+    const CpuSet base = parse_place();
+    long count = 1;
+    long stride = 1;
+    if (!eof() && peek() == ':') {
+      ++pos_;
+      count = parse_num();
+      if (!eof() && peek() == ':') {
+        ++pos_;
+        stride = parse_num();
+      }
+      if (count <= 0) fail("invalid place count");
+    }
+    for (long c = 0; c < count; ++c) {
+      CpuSet shifted;
+      for (std::size_t cpu : base.to_vector()) {
+        const long id = static_cast<long>(cpu) + c * stride;
+        if (id < 0) fail("place shifted below 0");
+        shifted.add(static_cast<std::size_t>(id));
+      }
+      places.push_back(std::move(shifted));
+    }
+  }
+};
+
+/// Splits "name(count)" into name and optional count.
+struct AbstractSpec {
+  std::string name;
+  std::size_t count = 0;  // 0 = all
+  bool valid = false;
+};
+
+AbstractSpec parse_abstract(const std::string& spec) {
+  AbstractSpec a;
+  std::size_t i = 0;
+  while (i < spec.size() &&
+         (std::isalpha(static_cast<unsigned char>(spec[i])) || spec[i] == '_')) {
+    a.name += spec[i];
+    ++i;
+  }
+  if (a.name.empty()) return a;
+  if (i == spec.size()) {
+    a.valid = true;
+    return a;
+  }
+  if (spec[i] != '(') return a;
+  ++i;
+  std::size_t v = 0;
+  bool got = false;
+  while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i]))) {
+    v = v * 10 + static_cast<std::size_t>(spec[i] - '0');
+    ++i;
+    got = true;
+  }
+  if (!got || i + 1 != spec.size() || spec[i] != ')') return a;
+  if (v == 0) return a;
+  a.count = v;
+  a.valid = true;
+  return a;
+}
+
+void validate(const PlaceList& places, const Machine& m,
+              const std::string& spec) {
+  if (places.empty()) {
+    throw std::invalid_argument("OMP_PLACES '" + spec + "': no places");
+  }
+  for (const auto& p : places) {
+    if (p.empty()) {
+      throw std::invalid_argument("OMP_PLACES '" + spec + "': empty place");
+    }
+    for (std::size_t cpu : p.to_vector()) {
+      if (cpu >= m.n_threads()) {
+        throw std::invalid_argument(
+            "OMP_PLACES '" + spec + "': hardware thread " +
+            std::to_string(cpu) + " does not exist (machine has " +
+            std::to_string(m.n_threads()) + ")");
+      }
+    }
+  }
+}
+
+PlaceList truncate(PlaceList places, std::size_t count) {
+  if (count != 0 && count < places.size()) places.resize(count);
+  return places;
+}
+
+}  // namespace
+
+PlaceList places_threads(const Machine& machine) {
+  PlaceList out;
+  out.reserve(machine.n_threads());
+  for (const auto& t : machine.threads()) {
+    out.push_back(CpuSet::single(t.os_id));
+  }
+  return out;
+}
+
+PlaceList places_cores(const Machine& machine) {
+  PlaceList out;
+  out.reserve(machine.n_cores());
+  for (std::size_t c = 0; c < machine.n_cores(); ++c) {
+    out.push_back(machine.core_threads(c));
+  }
+  return out;
+}
+
+PlaceList places_numa(const Machine& machine) {
+  PlaceList out;
+  out.reserve(machine.n_numa());
+  for (std::size_t n = 0; n < machine.n_numa(); ++n) {
+    out.push_back(machine.numa_threads(n));
+  }
+  return out;
+}
+
+PlaceList places_sockets(const Machine& machine) {
+  PlaceList out;
+  out.reserve(machine.n_sockets());
+  for (std::size_t s = 0; s < machine.n_sockets(); ++s) {
+    out.push_back(machine.socket_threads(s));
+  }
+  return out;
+}
+
+PlaceList parse_places(const std::string& spec, const Machine& machine) {
+  const auto abs = parse_abstract(spec);
+  PlaceList places;
+  if (abs.valid) {
+    if (abs.name == "threads") {
+      places = truncate(places_threads(machine), abs.count);
+    } else if (abs.name == "cores") {
+      places = truncate(places_cores(machine), abs.count);
+    } else if (abs.name == "numa_domains") {
+      places = truncate(places_numa(machine), abs.count);
+    } else if (abs.name == "sockets") {
+      places = truncate(places_sockets(machine), abs.count);
+    } else {
+      throw std::invalid_argument("OMP_PLACES: unknown abstract name '" +
+                                  abs.name + "'");
+    }
+  } else {
+    places = Parser(spec).parse();
+  }
+  validate(places, machine, spec);
+  return places;
+}
+
+std::string to_string(const PlaceList& places) {
+  // Emits ids one by one ("{0,1,2,3}") rather than CpuSet's Linux range
+  // format ("0-3"): the OMP_PLACES grammar has no dash ranges, and the
+  // output must parse back through parse_places.
+  std::string out;
+  for (std::size_t i = 0; i < places.size(); ++i) {
+    if (i) out += ',';
+    out += '{';
+    const auto ids = places[i].to_vector();
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      if (k) out += ',';
+      out += std::to_string(ids[k]);
+    }
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace omv::topo

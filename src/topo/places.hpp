@@ -1,0 +1,47 @@
+#pragma once
+// OMP_PLACES parser (OpenMP 5.0 §6.5).
+//
+// Supports the abstract names `threads`, `cores`, `sockets`, `numa_domains`
+// (each optionally with a count, e.g. "cores(8)") and the explicit list
+// syntax:
+//
+//   place-list     := place-interval ("," place-interval)*
+//   place-interval := place [":" count [":" stride]]
+//   place          := "{" res-interval ("," res-interval)* "}"
+//   res-interval   := nonneg-num [":" len [":" stride]]
+//
+// e.g. "{0:4}:8:4" expands to 8 places of 4 consecutive HW threads each,
+// starting at 0, 4, 8, ... A place is a CpuSet; OpenMP threads are bound to
+// places by the proc_bind policy (see proc_bind.hpp).
+
+#include <string>
+#include <vector>
+
+#include "topo/cpuset.hpp"
+#include "topo/topology.hpp"
+
+namespace omv::topo {
+
+/// A place list: each place is a set of hardware threads.
+using PlaceList = std::vector<CpuSet>;
+
+/// Parses an OMP_PLACES value against a machine (abstract names need the
+/// topology). Throws std::invalid_argument on syntax errors, empty places, or
+/// references to nonexistent hardware threads.
+[[nodiscard]] PlaceList parse_places(const std::string& spec,
+                                     const Machine& machine);
+
+/// Builds the abstract place list for a machine without parsing:
+/// one place per hardware thread.
+[[nodiscard]] PlaceList places_threads(const Machine& machine);
+/// One place per physical core (both SMT siblings in the place).
+[[nodiscard]] PlaceList places_cores(const Machine& machine);
+/// One place per NUMA domain.
+[[nodiscard]] PlaceList places_numa(const Machine& machine);
+/// One place per socket.
+[[nodiscard]] PlaceList places_sockets(const Machine& machine);
+
+/// Renders a place list back to explicit OMP_PLACES syntax (for logs).
+[[nodiscard]] std::string to_string(const PlaceList& places);
+
+}  // namespace omv::topo

@@ -1,0 +1,179 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+namespace omv::topo {
+
+Machine::Machine(std::string name, std::vector<HwThread> threads,
+                 double base_ghz, double max_ghz)
+    : name_(std::move(name)),
+      threads_(std::move(threads)),
+      base_ghz_(base_ghz),
+      max_ghz_(max_ghz) {
+  if (threads_.empty()) {
+    throw std::invalid_argument("Machine: no hardware threads");
+  }
+  std::sort(threads_.begin(), threads_.end(),
+            [](const HwThread& a, const HwThread& b) {
+              return a.os_id < b.os_id;
+            });
+  std::set<std::size_t> cores;
+  std::set<std::size_t> numas;
+  std::set<std::size_t> sockets;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if (threads_[i].os_id != i) {
+      throw std::invalid_argument("Machine: os_ids must be dense from 0");
+    }
+    cores.insert(threads_[i].core);
+    numas.insert(threads_[i].numa);
+    sockets.insert(threads_[i].socket);
+  }
+  n_cores_ = cores.size();
+  n_numa_ = numas.size();
+  n_sockets_ = sockets.size();
+  if (base_ghz_ <= 0.0 || max_ghz_ < base_ghz_) {
+    throw std::invalid_argument("Machine: invalid frequency range");
+  }
+}
+
+Machine Machine::uniform(std::string name, std::size_t sockets,
+                         std::size_t numa_per_socket,
+                         std::size_t cores_per_numa, std::size_t smt,
+                         double base_ghz, double max_ghz) {
+  if (sockets == 0 || numa_per_socket == 0 || cores_per_numa == 0 ||
+      smt == 0) {
+    throw std::invalid_argument("Machine::uniform: zero-sized dimension");
+  }
+  const std::size_t n_cores = sockets * numa_per_socket * cores_per_numa;
+  std::vector<HwThread> threads;
+  threads.reserve(n_cores * smt);
+  for (std::size_t s = 0; s < smt; ++s) {
+    for (std::size_t core = 0; core < n_cores; ++core) {
+      HwThread t;
+      t.os_id = s * n_cores + core;
+      t.core = core;
+      t.numa = core / cores_per_numa;
+      t.socket = t.numa / numa_per_socket;
+      t.smt_index = s;
+      threads.push_back(t);
+    }
+  }
+  return Machine(std::move(name), std::move(threads), base_ghz, max_ghz);
+}
+
+Machine Machine::dardel() {
+  return uniform("dardel", /*sockets=*/2, /*numa_per_socket=*/4,
+                 /*cores_per_numa=*/16, /*smt=*/2, /*base_ghz=*/2.25,
+                 /*max_ghz=*/3.4);
+}
+
+Machine Machine::vera() {
+  return uniform("vera", /*sockets=*/2, /*numa_per_socket=*/1,
+                 /*cores_per_numa=*/16, /*smt=*/1, /*base_ghz=*/2.1,
+                 /*max_ghz=*/3.7);
+}
+
+std::optional<Machine> Machine::detect_native() {
+  // Best-effort parse of /sys/devices/system/cpu/cpuN/topology.
+  std::vector<HwThread> threads;
+  for (std::size_t cpu = 0;; ++cpu) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    std::ifstream core_f(base + "core_id");
+    std::ifstream pkg_f(base + "physical_package_id");
+    if (!core_f || !pkg_f) {
+      if (cpu == 0) return std::nullopt;
+      break;
+    }
+    std::size_t core_id = 0;
+    std::size_t pkg = 0;
+    core_f >> core_id;
+    pkg_f >> pkg;
+    HwThread t;
+    t.os_id = cpu;
+    t.socket = pkg;
+    t.numa = pkg;  // refined below if NUMA info exists; socket is a safe default.
+    t.core = pkg * 4096 + core_id;  // globalize per-socket core ids.
+    threads.push_back(t);
+  }
+  if (threads.empty()) return std::nullopt;
+  // Renumber cores densely and set smt_index by arrival order per core.
+  std::vector<std::size_t> core_ids;
+  for (const auto& t : threads) core_ids.push_back(t.core);
+  std::sort(core_ids.begin(), core_ids.end());
+  core_ids.erase(std::unique(core_ids.begin(), core_ids.end()),
+                 core_ids.end());
+  std::vector<std::size_t> seen(core_ids.size(), 0);
+  for (auto& t : threads) {
+    const auto it =
+        std::lower_bound(core_ids.begin(), core_ids.end(), t.core);
+    const auto dense =
+        static_cast<std::size_t>(it - core_ids.begin());
+    t.core = dense;
+    t.smt_index = seen[dense]++;
+  }
+  try {
+    return Machine("native", std::move(threads));
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+CpuSet Machine::core_threads(std::size_t core) const {
+  CpuSet s;
+  for (const auto& t : threads_) {
+    if (t.core == core) s.add(t.os_id);
+  }
+  return s;
+}
+
+CpuSet Machine::numa_threads(std::size_t numa) const {
+  CpuSet s;
+  for (const auto& t : threads_) {
+    if (t.numa == numa) s.add(t.os_id);
+  }
+  return s;
+}
+
+CpuSet Machine::socket_threads(std::size_t socket) const {
+  CpuSet s;
+  for (const auto& t : threads_) {
+    if (t.socket == socket) s.add(t.os_id);
+  }
+  return s;
+}
+
+CpuSet Machine::all_threads() const {
+  CpuSet s;
+  for (const auto& t : threads_) s.add(t.os_id);
+  return s;
+}
+
+CpuSet Machine::primary_threads() const {
+  CpuSet s;
+  for (const auto& t : threads_) {
+    if (t.smt_index == 0) s.add(t.os_id);
+  }
+  return s;
+}
+
+std::optional<std::size_t> Machine::sibling(std::size_t os_id) const {
+  const auto& me = thread(os_id);
+  for (const auto& t : threads_) {
+    if (t.core == me.core && t.os_id != os_id) return t.os_id;
+  }
+  return std::nullopt;
+}
+
+bool Machine::same_numa(std::size_t a, std::size_t b) const {
+  return thread(a).numa == thread(b).numa;
+}
+
+bool Machine::same_socket(std::size_t a, std::size_t b) const {
+  return thread(a).socket == thread(b).socket;
+}
+
+}  // namespace omv::topo

@@ -1,0 +1,104 @@
+#pragma once
+// Hardware topology model: sockets > NUMA domains > physical cores > hardware
+// threads (logical CPUs). Includes presets for the paper's two platforms and
+// best-effort native detection from Linux sysfs.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/cpuset.hpp"
+
+namespace omv::topo {
+
+/// One hardware thread (logical CPU as the OS numbers them).
+struct HwThread {
+  std::size_t os_id = 0;      ///< logical CPU id.
+  std::size_t core = 0;       ///< physical core id (global).
+  std::size_t numa = 0;       ///< NUMA domain id (global).
+  std::size_t socket = 0;     ///< socket id.
+  std::size_t smt_index = 0;  ///< 0 = first hyperthread of the core, 1 = second...
+};
+
+/// Immutable machine description.
+class Machine {
+ public:
+  /// Builds a machine from explicit hardware threads (validated: dense os_ids
+  /// starting at 0). Throws std::invalid_argument on inconsistency.
+  explicit Machine(std::string name, std::vector<HwThread> threads,
+                   double base_ghz = 2.0, double max_ghz = 3.0);
+
+  /// Generic symmetric builder: `sockets` sockets x `numa_per_socket` domains
+  /// x `cores_per_numa` cores x `smt` hardware threads per core.
+  /// HW-thread numbering follows the common Linux convention: all first
+  /// siblings (0..cores-1) then all second siblings (cores..2*cores-1).
+  static Machine uniform(std::string name, std::size_t sockets,
+                         std::size_t numa_per_socket,
+                         std::size_t cores_per_numa, std::size_t smt,
+                         double base_ghz = 2.0, double max_ghz = 3.0);
+
+  /// Dardel node: 2x AMD EPYC Zen2 64-core, SMT-2, quad-NUMA per socket
+  /// (8 domains of 16 cores), base 2.25 GHz, boost 3.4 GHz. 128 cores,
+  /// 256 HW threads.
+  static Machine dardel();
+
+  /// Vera node: 2x Intel Xeon Gold 6130 16-core, no SMT, one NUMA domain per
+  /// socket, base 2.1 GHz, boost 3.7 GHz. 32 cores / 32 HW threads.
+  static Machine vera();
+
+  /// Detects the current host from /sys/devices/system/cpu (Linux). Returns
+  /// nullopt when the information is unavailable.
+  static std::optional<Machine> detect_native();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t n_threads() const noexcept {
+    return threads_.size();
+  }
+  [[nodiscard]] std::size_t n_cores() const noexcept { return n_cores_; }
+  [[nodiscard]] std::size_t n_numa() const noexcept { return n_numa_; }
+  [[nodiscard]] std::size_t n_sockets() const noexcept { return n_sockets_; }
+  [[nodiscard]] std::size_t smt_per_core() const noexcept {
+    return n_cores_ ? threads_.size() / n_cores_ : 0;
+  }
+  [[nodiscard]] double base_ghz() const noexcept { return base_ghz_; }
+  [[nodiscard]] double max_ghz() const noexcept { return max_ghz_; }
+
+  /// Hardware thread by OS id.
+  [[nodiscard]] const HwThread& thread(std::size_t os_id) const {
+    return threads_.at(os_id);
+  }
+  [[nodiscard]] const std::vector<HwThread>& threads() const noexcept {
+    return threads_;
+  }
+
+  /// All HW threads of physical core `core`.
+  [[nodiscard]] CpuSet core_threads(std::size_t core) const;
+  /// All HW threads of NUMA domain `numa`.
+  [[nodiscard]] CpuSet numa_threads(std::size_t numa) const;
+  /// All HW threads of socket `socket`.
+  [[nodiscard]] CpuSet socket_threads(std::size_t socket) const;
+  /// All HW threads.
+  [[nodiscard]] CpuSet all_threads() const;
+  /// First-sibling HW threads only (one per physical core) — the ST pool.
+  [[nodiscard]] CpuSet primary_threads() const;
+
+  /// The SMT sibling of `os_id` on the same core (nullopt if SMT=1).
+  [[nodiscard]] std::optional<std::size_t> sibling(std::size_t os_id) const;
+
+  /// True when two HW threads live in the same NUMA domain.
+  [[nodiscard]] bool same_numa(std::size_t a, std::size_t b) const;
+  /// True when two HW threads live on the same socket.
+  [[nodiscard]] bool same_socket(std::size_t a, std::size_t b) const;
+
+ private:
+  std::string name_;
+  std::vector<HwThread> threads_;
+  std::size_t n_cores_ = 0;
+  std::size_t n_numa_ = 0;
+  std::size_t n_sockets_ = 0;
+  double base_ghz_;
+  double max_ghz_;
+};
+
+}  // namespace omv::topo

@@ -1,0 +1,143 @@
+// Unit tests for core/advisor: the mitigation playbook.
+
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace omv::advisor {
+namespace {
+
+Characterization with(std::initializer_list<Signature> sigs) {
+  Characterization c;
+  c.signatures = sigs;
+  return c;
+}
+
+bool recommends(const Advice& a, const std::string& action_substr) {
+  for (const auto& r : a.recommendations) {
+    if (r.action.find(action_substr) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Advisor, StableMaxThreadsSparesCores) {
+  EXPECT_EQ(stable_max_threads(topo::Machine::dardel()), 126u);
+  EXPECT_EQ(stable_max_threads(topo::Machine::vera()), 30u);
+  EXPECT_EQ(stable_max_threads(topo::Machine::vera(), 0), 32u);
+}
+
+TEST(Advisor, StablePlacesUsesPrimarySiblings) {
+  const auto m = topo::Machine::dardel();
+  const auto p = stable_places(m, 3);
+  EXPECT_EQ(p, "{0},{1},{2}");  // first siblings, not 128+
+}
+
+TEST(Advisor, StablePlacesValidates) {
+  const auto m = topo::Machine::vera();
+  EXPECT_THROW(stable_places(m, 0), std::invalid_argument);
+  EXPECT_THROW(stable_places(m, 31), std::invalid_argument);  // cap is 30
+  EXPECT_NO_THROW(stable_places(m, 30));
+}
+
+TEST(Advisor, UnpinnedHeavyTailRecommendsPinningFirst) {
+  ObservedConfig obs;
+  obs.n_threads = 128;
+  obs.pinned = false;
+  const auto a = advise(topo::Machine::dardel(),
+                        with({Signature::heavy_tail, Signature::bimodal}),
+                        obs);
+  ASSERT_FALSE(a.recommendations.empty());
+  EXPECT_EQ(a.recommendations[0].action, "pin threads");
+  EXPECT_EQ(a.recommendations[0].omp_proc_bind, "close");
+  EXPECT_EQ(a.recommendations[0].omp_num_threads, 126u);
+  EXPECT_FALSE(a.recommendations[0].omp_places.empty());
+}
+
+TEST(Advisor, PinnedStableKeepsConfig) {
+  ObservedConfig obs;
+  obs.n_threads = 30;
+  obs.pinned = true;
+  obs.spare_cores = 2;
+  const auto a =
+      advise(topo::Machine::vera(), with({Signature::stable}), obs);
+  ASSERT_EQ(a.recommendations.size(), 1u);
+  EXPECT_EQ(a.recommendations[0].action, "keep the current configuration");
+}
+
+TEST(Advisor, SmtUsageFlagged) {
+  ObservedConfig obs;
+  obs.n_threads = 64;
+  obs.pinned = true;
+  obs.used_smt_siblings = true;
+  obs.spare_cores = 2;
+  const auto a =
+      advise(topo::Machine::dardel(), with({Signature::jittery}), obs);
+  EXPECT_TRUE(recommends(a, "leave SMT siblings"));
+}
+
+TEST(Advisor, NoSmtAdviceOnNonSmtMachine) {
+  ObservedConfig obs;
+  obs.n_threads = 16;
+  obs.pinned = true;
+  obs.used_smt_siblings = true;  // impossible on Vera; advisor checks hw
+  obs.spare_cores = 2;
+  const auto a =
+      advise(topo::Machine::vera(), with({Signature::jittery}), obs);
+  EXPECT_FALSE(recommends(a, "leave SMT siblings"));
+}
+
+TEST(Advisor, FullNodeNoiseRecommendsSpareCores) {
+  ObservedConfig obs;
+  obs.n_threads = 32;
+  obs.pinned = true;
+  obs.spare_cores = 0;
+  const auto a =
+      advise(topo::Machine::vera(), with({Signature::heavy_tail}), obs);
+  EXPECT_TRUE(recommends(a, "spare two cores"));
+}
+
+TEST(Advisor, PinnedRunOutliersPointAtFrequency) {
+  ObservedConfig obs;
+  obs.n_threads = 254;
+  obs.pinned = true;
+  obs.spare_cores = 2;
+  const auto a = advise(topo::Machine::dardel(),
+                        with({Signature::outlier_runs}), obs);
+  EXPECT_TRUE(recommends(a, "screen runs for frequency caps"));
+}
+
+TEST(Advisor, DriftRecommendsInterleaving) {
+  ObservedConfig obs;
+  obs.n_threads = 16;
+  obs.pinned = true;
+  obs.spare_cores = 2;
+  const auto a =
+      advise(topo::Machine::vera(), with({Signature::drift}), obs);
+  EXPECT_TRUE(recommends(a, "interleave"));
+}
+
+TEST(Advisor, WorkloadKindSpecificAdvice) {
+  ObservedConfig obs;
+  obs.n_threads = 16;
+  obs.pinned = true;
+  obs.spare_cores = 2;
+  const auto mem = advise(topo::Machine::vera(), with({}), obs,
+                          WorkloadKind::memory_bound);
+  EXPECT_TRUE(recommends(mem, "NUMA domains"));
+  const auto sync = advise(topo::Machine::vera(), with({}), obs,
+                           WorkloadKind::sync_heavy);
+  EXPECT_TRUE(recommends(sync, "fewest NUMA domains"));
+}
+
+TEST(Advisor, SummaryMentionsPrimaryAction) {
+  ObservedConfig obs;
+  obs.n_threads = 8;
+  obs.pinned = false;
+  const auto a = advise(topo::Machine::vera(), with({}), obs);
+  EXPECT_NE(a.summary.find(a.recommendations[0].action), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omv::advisor

@@ -1,0 +1,52 @@
+// Unit tests for topo/affinity (native pinning). These must pass on any
+// host, including single-core containers.
+
+#include "topo/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace omv::topo {
+namespace {
+
+TEST(Affinity, UsableCpuCountPositive) {
+  EXPECT_GE(usable_cpu_count(), 1u);
+}
+
+TEST(Affinity, EmptySetRejected) {
+  EXPECT_FALSE(pin_current_thread(CpuSet{}));
+}
+
+TEST(Affinity, PinToCpuZeroUsuallyWorks) {
+  // CPU 0 exists on every Linux host; non-Linux returns false gracefully.
+  const CpuSet before = current_thread_affinity();
+  const bool ok = pin_current_thread(CpuSet::single(0));
+#if defined(__linux__)
+  EXPECT_TRUE(ok);
+  const CpuSet after = current_thread_affinity();
+  EXPECT_TRUE(after.contains(0));
+  EXPECT_EQ(after.count(), 1u);
+#else
+  EXPECT_FALSE(ok);
+#endif
+  if (!before.empty()) pin_current_thread(before);  // restore
+}
+
+TEST(Affinity, PinInsideStdThread) {
+  bool ok = false;
+  std::thread t([&] { ok = pin_current_thread(CpuSet::single(0)); });
+  t.join();
+#if defined(__linux__)
+  EXPECT_TRUE(ok);
+#endif
+}
+
+TEST(Affinity, CurrentAffinityNonEmptyOnLinux) {
+#if defined(__linux__)
+  EXPECT_FALSE(current_thread_affinity().empty());
+#endif
+}
+
+}  // namespace
+}  // namespace omv::topo

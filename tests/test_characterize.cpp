@@ -1,0 +1,117 @@
+// Unit tests for core/characterize: the variability-signature classifier.
+
+#include "core/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace omv {
+namespace {
+
+RunMatrix make_matrix(
+    const std::function<double(std::size_t run, std::size_t rep, Rng&)>& gen,
+    std::size_t runs = 10, std::size_t reps = 100) {
+  RunMatrix m;
+  Rng rng(77);
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<double> v;
+    for (std::size_t k = 0; k < reps; ++k) v.push_back(gen(r, k, rng));
+    m.add_run(std::move(v));
+  }
+  return m;
+}
+
+TEST(Characterize, EmptyMatrix) {
+  const auto c = characterize(RunMatrix{});
+  EXPECT_TRUE(c.signatures.empty());
+  EXPECT_EQ(c.to_string(), "unclassified");
+}
+
+TEST(Characterize, StableMatrix) {
+  const auto m = make_matrix([](std::size_t, std::size_t, Rng& rng) {
+    return 100.0 + rng.normal(0.0, 0.05);
+  });
+  const auto c = characterize(m);
+  EXPECT_TRUE(c.has(Signature::stable)) << c.to_string();
+  EXPECT_FALSE(c.has(Signature::jittery));
+}
+
+TEST(Characterize, OutlierRunDetected) {
+  const auto m = make_matrix([](std::size_t run, std::size_t, Rng& rng) {
+    return 100.0 + (run == 8 ? 12.0 : 0.0) + rng.normal(0.0, 0.1);
+  });
+  const auto c = characterize(m);
+  EXPECT_TRUE(c.has(Signature::outlier_runs)) << c.to_string();
+  EXPECT_GT(c.icc, 0.5);
+}
+
+TEST(Characterize, HeavyTailDetected) {
+  const auto m = make_matrix([](std::size_t, std::size_t, Rng& rng) {
+    return 100.0 + rng.normal(0.0, 0.2) +
+           (rng.bernoulli(0.05) ? rng.pareto(20.0, 1.5) : 0.0);
+  });
+  const auto c = characterize(m);
+  EXPECT_TRUE(c.has(Signature::heavy_tail)) << c.to_string();
+  EXPECT_GT(c.high_tail_fraction, 0.02);
+}
+
+TEST(Characterize, BimodalDetected) {
+  const auto m = make_matrix([](std::size_t, std::size_t rep, Rng& rng) {
+    return (rep % 2 ? 100.0 : 160.0) + rng.normal(0.0, 1.0);
+  });
+  const auto c = characterize(m);
+  EXPECT_TRUE(c.multimodal);
+  EXPECT_TRUE(c.has(Signature::bimodal)) << c.to_string();
+}
+
+TEST(Characterize, DriftDetected) {
+  const auto m = make_matrix([](std::size_t run, std::size_t, Rng& rng) {
+    return 100.0 + 2.0 * static_cast<double>(run) + rng.normal(0.0, 0.1);
+  });
+  const auto c = characterize(m);
+  EXPECT_GT(c.drift_corr, 0.9);
+  EXPECT_TRUE(c.has(Signature::drift)) << c.to_string();
+}
+
+TEST(Characterize, JitteryDetected) {
+  const auto m = make_matrix([](std::size_t, std::size_t, Rng& rng) {
+    return 100.0 + rng.normal(0.0, 15.0);
+  });
+  const auto c = characterize(m);
+  EXPECT_TRUE(c.has(Signature::jittery)) << c.to_string();
+}
+
+TEST(Characterize, ToStringJoinsWithPlus) {
+  Characterization c;
+  c.signatures = {Signature::outlier_runs, Signature::heavy_tail};
+  EXPECT_EQ(c.to_string(), "outlier_runs+heavy_tail");
+}
+
+TEST(SignatureName, AllNamed) {
+  EXPECT_STREQ(signature_name(Signature::stable), "stable");
+  EXPECT_STREQ(signature_name(Signature::outlier_runs), "outlier_runs");
+  EXPECT_STREQ(signature_name(Signature::heavy_tail), "heavy_tail");
+  EXPECT_STREQ(signature_name(Signature::bimodal), "bimodal");
+  EXPECT_STREQ(signature_name(Signature::drift), "drift");
+  EXPECT_STREQ(signature_name(Signature::jittery), "jittery");
+}
+
+TEST(IndexRankCorrelation, PerfectTrend) {
+  const std::vector<double> up{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(index_rank_correlation(up), 1.0, 1e-12);
+  const std::vector<double> down{5.0, 4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(index_rank_correlation(down), -1.0, 1e-12);
+}
+
+TEST(IndexRankCorrelation, NoTrendNearZero) {
+  const std::vector<double> v{3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0, 6.0};
+  EXPECT_LT(std::abs(index_rank_correlation(v)), 0.6);
+}
+
+TEST(IndexRankCorrelation, TinyInputZero) {
+  EXPECT_EQ(index_rank_correlation(std::vector<double>{1.0, 2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace omv

@@ -1,0 +1,105 @@
+// Unit tests for core/compare: the A/B configuration comparison.
+
+#include "core/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace omv {
+namespace {
+
+RunMatrix gaussian_matrix(const std::string& label, double mean, double sd,
+                          std::uint64_t seed, std::size_t runs = 6,
+                          std::size_t reps = 50) {
+  Rng rng(seed);
+  RunMatrix m(label);
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<double> v;
+    for (std::size_t k = 0; k < reps; ++k) v.push_back(rng.normal(mean, sd));
+    m.add_run(std::move(v));
+  }
+  return m;
+}
+
+TEST(HedgesG, ZeroForIdentical) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(hedges_g(a, a), 0.0, 1e-12);
+}
+
+TEST(HedgesG, SignFollowsDirection) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{5.0, 6.0, 7.0, 8.0};
+  EXPECT_GT(hedges_g(a, b), 1.0);   // b slower
+  EXPECT_LT(hedges_g(b, a), -1.0);  // reversed
+}
+
+TEST(HedgesG, DegenerateInputs) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_EQ(hedges_g(one, two), 0.0);
+  const std::vector<double> constant{3.0, 3.0, 3.0};
+  EXPECT_EQ(hedges_g(constant, constant), 0.0);
+}
+
+TEST(Compare, LabelsPropagate) {
+  const auto a = gaussian_matrix("pinned", 100.0, 1.0, 1);
+  const auto b = gaussian_matrix("unpinned", 100.0, 1.0, 2);
+  const auto c = compare(a, b);
+  EXPECT_EQ(c.label_a, "pinned");
+  EXPECT_EQ(c.label_b, "unpinned");
+}
+
+TEST(Compare, IdenticalConfigsNotSignificant) {
+  const auto a = gaussian_matrix("a", 100.0, 2.0, 3);
+  const auto b = gaussian_matrix("b", 100.0, 2.0, 4);
+  const auto c = compare(a, b);
+  EXPECT_FALSE(c.b_more_variable());
+  EXPECT_FALSE(c.b_less_variable());
+  EXPECT_NEAR(c.mean_ratio, 1.0, 0.01);
+  EXPECT_GT(c.welch.p_value, 0.01);
+}
+
+TEST(Compare, DetectsSlowerMean) {
+  const auto a = gaussian_matrix("a", 100.0, 1.0, 5);
+  const auto b = gaussian_matrix("b", 110.0, 1.0, 6);
+  const auto c = compare(a, b);
+  EXPECT_GT(c.mean_ratio, 1.05);
+  EXPECT_TRUE(c.welch.significant);
+  EXPECT_TRUE(c.mann_whitney.significant);
+  EXPECT_GT(c.hedges_g, 2.0);
+}
+
+TEST(Compare, DetectsMoreVariableB) {
+  const auto a = gaussian_matrix("pinned", 100.0, 0.5, 7);
+  const auto b = gaussian_matrix("unpinned", 100.0, 5.0, 8);
+  const auto c = compare(a, b);
+  EXPECT_TRUE(c.b_more_variable());
+  EXPECT_FALSE(c.b_less_variable());
+  EXPECT_GT(c.cv_ratio, 3.0);
+}
+
+TEST(Compare, DetectsMitigation) {
+  const auto before = gaussian_matrix("before", 100.0, 5.0, 9);
+  const auto after = gaussian_matrix("after", 100.0, 0.5, 10);
+  const auto c = compare(before, after);
+  EXPECT_TRUE(c.b_less_variable());
+}
+
+TEST(Compare, VerdictMentionsLabelsAndDirection) {
+  const auto a = gaussian_matrix("st", 100.0, 0.5, 11);
+  const auto b = gaussian_matrix("mt", 105.0, 4.0, 12);
+  const auto v = compare(a, b).verdict();
+  EXPECT_NE(v.find("mt vs st"), std::string::npos);
+  EXPECT_NE(v.find("MORE variable"), std::string::npos);
+}
+
+TEST(Compare, EmptyLabelsGetDefaults) {
+  const auto a = gaussian_matrix("", 1.0, 0.1, 13);
+  const auto c = compare(a, a);
+  EXPECT_EQ(c.label_a, "A");
+  EXPECT_EQ(c.label_b, "B");
+}
+
+}  // namespace
+}  // namespace omv

@@ -1,0 +1,156 @@
+// Unit tests for omp_model/constructs: per-construct cost structure on an
+// ideal (noise-free) simulator where timings are exact.
+
+#include "omp_model/constructs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omv::ompsim {
+namespace {
+
+class ConstructsTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_{topo::Machine::dardel(), sim::SimConfig::ideal()};
+
+  SimTeam make_team(std::size_t threads) {
+    TeamConfig cfg;
+    cfg.n_threads = threads;
+    SimTeam t(sim_, cfg);
+    t.begin_run(1);
+    return t;
+  }
+
+  double elapsed(SimTeam& team, const std::function<void(SimTeam&)>& fn) {
+    const double t0 = team.now();
+    fn(team);
+    return team.now() - t0;
+  }
+};
+
+TEST_F(ConstructsTest, ParallelRegionCost) {
+  auto team = make_team(8);
+  const double e = elapsed(team, [](SimTeam& t) {
+    parallel_region(t, 1e-6);
+  });
+  EXPECT_NEAR(e, team.fork_cost() + 1e-6 + team.barrier_cost(), 1e-12);
+}
+
+TEST_F(ConstructsTest, BarrierConstructCost) {
+  auto team = make_team(8);
+  const double e = elapsed(team, [](SimTeam& t) {
+    barrier_construct(t, 1e-6);
+  });
+  EXPECT_NEAR(e, 1e-6 + team.barrier_cost(), 1e-12);
+}
+
+TEST_F(ConstructsTest, ForConstructAddsSetup) {
+  auto team = make_team(8);
+  const double e = elapsed(team, [](SimTeam& t) { for_construct(t, 1e-6); });
+  EXPECT_NEAR(e, 1e-6 + sim_.costs().static_setup + team.barrier_cost(),
+              1e-12);
+}
+
+TEST_F(ConstructsTest, SingleOnlyOneThreadWorks) {
+  auto team = make_team(8);
+  const double e = elapsed(team, [](SimTeam& t) {
+    single_construct(t, 5e-6);
+  });
+  // Payload appears once, not 8 times.
+  EXPECT_NEAR(e,
+              5e-6 + sim_.costs().single_arbitration + team.barrier_cost(),
+              1e-12);
+}
+
+TEST_F(ConstructsTest, CriticalSerializesAllThreads) {
+  auto team = make_team(8);
+  const double work = 2e-6;
+  const double e = elapsed(team, [&](SimTeam& t) {
+    critical_construct(t, work);
+  });
+  // 8 threads through a work+enter section, serialized.
+  EXPECT_NEAR(e, 8.0 * (work + sim_.costs().critical_enter), 1e-12);
+}
+
+TEST_F(ConstructsTest, LockMirrorsCriticalWithLockCost) {
+  auto team = make_team(4);
+  const double e = elapsed(team, [](SimTeam& t) { lock_construct(t, 1e-6); });
+  EXPECT_NEAR(e, 4.0 * (1e-6 + sim_.costs().lock_op), 1e-12);
+}
+
+TEST_F(ConstructsTest, OrderedPipelines) {
+  auto team = make_team(4);
+  const double e = elapsed(team, [](SimTeam& t) {
+    ordered_construct(t, 1e-6);
+  });
+  EXPECT_NEAR(e,
+              4.0 * (1e-6 + sim_.costs().ordered_wait) + team.barrier_cost(),
+              1e-12);
+}
+
+TEST_F(ConstructsTest, AtomicContentionGrowsWithTeam) {
+  auto small = make_team(2);
+  auto big = make_team(128);
+  const double e_small =
+      elapsed(small, [](SimTeam& t) { atomic_construct(t); });
+  const double e_big = elapsed(big, [](SimTeam& t) { atomic_construct(t); });
+  EXPECT_GT(e_big, e_small);
+}
+
+TEST_F(ConstructsTest, ReductionCostlierThanBarrier) {
+  // The paper singles out reduction as the most expensive sync construct.
+  auto team_r = make_team(64);
+  const double red = elapsed(team_r, [](SimTeam& t) {
+    reduction_construct(t, 1e-7);
+  });
+  auto team_b = make_team(64);
+  const double bar = elapsed(team_b, [](SimTeam& t) {
+    barrier_construct(t, 1e-7);
+  });
+  EXPECT_GT(red, bar);
+}
+
+TEST_F(ConstructsTest, ReductionScalesWithLog2Threads) {
+  double prev = 0.0;
+  for (std::size_t t : {4u, 16u, 64u}) {
+    auto team = make_team(t);
+    const double e = elapsed(team, [](SimTeam& tm) {
+      reduction_construct(tm, 0.0);
+    });
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST_F(ConstructsTest, RepeatsScaleDeterministicCosts) {
+  auto team1 = make_team(8);
+  const double one = elapsed(team1, [](SimTeam& t) {
+    parallel_region(t, 1e-6, 1);
+  });
+  auto team10 = make_team(8);
+  const double ten = elapsed(team10, [](SimTeam& t) {
+    parallel_region(t, 1e-6, 10);
+  });
+  EXPECT_NEAR(ten, 10.0 * one, 1e-10);
+}
+
+TEST_F(ConstructsTest, RepeatsZeroTreatedAsOne) {
+  auto a = make_team(4);
+  const double e0 = elapsed(a, [](SimTeam& t) {
+    barrier_construct(t, 1e-6, 0);
+  });
+  auto b = make_team(4);
+  const double e1 = elapsed(b, [](SimTeam& t) {
+    barrier_construct(t, 1e-6, 1);
+  });
+  EXPECT_DOUBLE_EQ(e0, e1);
+}
+
+TEST_F(ConstructsTest, SerializedConstructsLeaveThreadsUnaligned) {
+  auto team = make_team(4);
+  critical_construct(team, 1e-6);
+  // The last thread out holds the frontier; earlier threads are behind.
+  EXPECT_LT(team.clock(0), team.now());
+}
+
+}  // namespace
+}  // namespace omv::ompsim

@@ -1,0 +1,115 @@
+// Unit tests for topo/cpuset.
+
+#include "topo/cpuset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace omv::topo {
+namespace {
+
+TEST(CpuSet, EmptyByDefault) {
+  CpuSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(CpuSet, AddRemoveContains) {
+  CpuSet s;
+  s.add(3);
+  s.add(100);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(100));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.count(), 2u);
+  s.remove(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.count(), 1u);
+  s.remove(999);  // no-op
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(CpuSet, SingleAndRange) {
+  EXPECT_EQ(CpuSet::single(5).to_vector(), (std::vector<std::size_t>{5}));
+  EXPECT_EQ(CpuSet::range(2, 3).to_vector(),
+            (std::vector<std::size_t>{2, 3, 4}));
+  EXPECT_TRUE(CpuSet::range(0, 0).empty());
+}
+
+TEST(CpuSet, FirstAndThrowOnEmpty) {
+  CpuSet s;
+  s.add(65);
+  s.add(7);
+  EXPECT_EQ(s.first(), 7u);
+  EXPECT_THROW(CpuSet{}.first(), std::out_of_range);
+}
+
+TEST(CpuSet, ParseSimpleList) {
+  const auto s = CpuSet::parse("0,2,4");
+  EXPECT_EQ(s.to_vector(), (std::vector<std::size_t>{0, 2, 4}));
+}
+
+TEST(CpuSet, ParseRanges) {
+  const auto s = CpuSet::parse("0-3,8,10-11");
+  EXPECT_EQ(s.to_vector(),
+            (std::vector<std::size_t>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(CpuSet, ParseEmptyString) {
+  EXPECT_TRUE(CpuSet::parse("").empty());
+}
+
+TEST(CpuSet, ParseRejectsMalformed) {
+  EXPECT_THROW(CpuSet::parse("a"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("1-"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("3-1"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("1,,2"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("1 2"), std::invalid_argument);
+}
+
+TEST(CpuSet, ToStringRoundTrip) {
+  const auto s = CpuSet::parse("0-3,8,10-11");
+  EXPECT_EQ(s.to_string(), "0-3,8,10-11");
+  EXPECT_EQ(CpuSet::parse(s.to_string()), s);
+}
+
+TEST(CpuSet, ToStringCollapsesRuns) {
+  CpuSet s;
+  for (std::size_t i = 5; i <= 9; ++i) s.add(i);
+  EXPECT_EQ(s.to_string(), "5-9");
+}
+
+TEST(CpuSet, UnionIntersectionDifference) {
+  const auto a = CpuSet::parse("0-4");
+  const auto b = CpuSet::parse("3-6");
+  EXPECT_EQ((a | b).to_string(), "0-6");
+  EXPECT_EQ((a & b).to_string(), "3-4");
+  EXPECT_EQ((a - b).to_string(), "0-2");
+}
+
+TEST(CpuSet, OperationsAcrossWordBoundaries) {
+  const auto a = CpuSet::parse("60-70");
+  const auto b = CpuSet::parse("64-80");
+  EXPECT_EQ((a & b).to_string(), "64-70");
+  EXPECT_EQ((a | b).count(), 21u);
+}
+
+TEST(CpuSet, EqualityIgnoresTrailingZeros) {
+  CpuSet a;
+  a.add(200);
+  a.remove(200);
+  EXPECT_EQ(a, CpuSet{});
+}
+
+TEST(CpuSet, LargeIds) {
+  CpuSet s;
+  s.add(1023);
+  EXPECT_TRUE(s.contains(1023));
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.first(), 1023u);
+}
+
+}  // namespace
+}  // namespace omv::topo

@@ -1,0 +1,238 @@
+// Unit tests for core/descriptive: streaming stats, percentiles, MAD,
+// geometric mean, batch summaries.
+
+#include "core/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace omv::stats {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(OnlineStats, CvIsStdOverMean) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_NEAR(s.cv(), s.stddev() / 2.0, 1e-15);
+}
+
+TEST(OnlineStats, CvZeroMeanGuard) {
+  OnlineStats s;
+  s.add(-1.0);
+  s.add(1.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(OnlineStats, MinMaxTracking) {
+  OnlineStats s;
+  for (double x : {3.0, -2.0, 10.0, 7.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0 + i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(OnlineStats, NumericallyStableNearConstant) {
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(1e9 + (i % 2) * 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25e-6, 1e-9);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.0);
+}
+
+TEST(Percentile, MedianEvenCountInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Percentile, MedianOddCount) {
+  const std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+}
+
+TEST(Percentile, QuartilesType7) {
+  // numpy.percentile([1..5], 25) == 2.0 (linear / type-7).
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 4.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150.0), 3.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Mad, ConstantSampleIsZero) {
+  const std::vector<double> v{4.0, 4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mad(v), 0.0);
+}
+
+TEST(Mad, KnownValue) {
+  // median = 2, abs devs = {1,0,1} -> MAD = 1 * 1.4826.
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_NEAR(mad(v), 1.4826, 1e-12);
+}
+
+TEST(Mad, RobustToOneOutlier) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const double base = mad(v);
+  v.back() = 5000.0;
+  EXPECT_NEAR(mad(v), base, 1.5);  // still the same order of magnitude
+}
+
+TEST(Geomean, KnownValue) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Geomean, SkipsNonPositive) {
+  const std::vector<double> v{-1.0, 0.0, 4.0, 4.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Geomean, EmptyReturnsZero) { EXPECT_EQ(geomean({}), 0.0); }
+
+TEST(Summarize, EmptySample) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.norm_min(), 0.0);
+  EXPECT_EQ(s.norm_max(), 0.0);
+}
+
+TEST(Summarize, BasicFields) {
+  const std::vector<double> v{2.0, 4.0, 6.0, 8.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.iqr, s.p75 - s.p25);
+}
+
+TEST(Summarize, NormalizedMinMax) {
+  const std::vector<double> v{8.0, 10.0, 12.0};
+  const auto s = summarize(v);
+  EXPECT_NEAR(s.norm_min(), 0.8, 1e-12);
+  EXPECT_NEAR(s.norm_max(), 1.2, 1e-12);
+}
+
+TEST(Summarize, SymmetricSampleHasNearZeroSkew) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = summarize(v);
+  EXPECT_NEAR(s.skewness, 0.0, 1e-12);
+}
+
+TEST(Summarize, RightSkewedSamplePositiveSkew) {
+  const std::vector<double> v{1.0, 1.0, 1.0, 1.0, 100.0};
+  EXPECT_GT(summarize(v).skewness, 1.0);
+}
+
+TEST(Summarize, ConstantSampleZeroCv) {
+  const std::vector<double> v{3.0, 3.0, 3.0, 3.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.cv, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.skewness, 0.0);
+}
+
+TEST(SortedCopy, SortsAscending) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  const auto s = sorted_copy(v);
+  EXPECT_EQ(s, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+// Property sweep: percentile_sorted is monotone in p for random-ish samples.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  const int n = GetParam();
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(std::fmod(static_cast<double>(i) * 7919.0, 97.0));
+  }
+  const auto sorted = sorted_copy(v);
+  double prev = percentile_sorted(sorted, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile_sorted(sorted, p);
+    EXPECT_GE(cur, prev) << "p=" << p << " n=" << n;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PercentileMonotone,
+                         ::testing::Values(1, 2, 3, 5, 10, 33, 100, 1000));
+
+}  // namespace
+}  // namespace omv::stats

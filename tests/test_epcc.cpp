@@ -1,0 +1,81 @@
+// Unit tests for bench_suite/epcc: the measurement protocol helpers.
+
+#include "bench_suite/epcc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace omv::bench {
+namespace {
+
+TEST(EpccParams, Table1Defaults) {
+  const auto sched = EpccParams::schedbench();
+  EXPECT_EQ(sched.outer_reps, 100u);
+  EXPECT_DOUBLE_EQ(sched.delay_us, 15.0);
+  EXPECT_DOUBLE_EQ(sched.test_time_us, 1000.0);
+  EXPECT_EQ(sched.itersperthr, 8192u);
+
+  const auto sync = EpccParams::syncbench();
+  EXPECT_EQ(sync.outer_reps, 100u);
+  EXPECT_DOUBLE_EQ(sync.delay_us, 0.1);
+  EXPECT_DOUBLE_EQ(sync.test_time_us, 1000.0);
+}
+
+TEST(SyncConstructs, AllNineListed) {
+  EXPECT_EQ(all_sync_constructs().size(), 9u);
+}
+
+TEST(SyncConstructs, NamesAreUnique) {
+  std::set<std::string> names;
+  for (auto c : all_sync_constructs()) {
+    names.insert(sync_construct_name(c));
+  }
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_TRUE(names.count("reduction"));
+  EXPECT_TRUE(names.count("parallel"));
+}
+
+TEST(CalibrateInnerreps, TargetsTestTime) {
+  EXPECT_EQ(calibrate_innerreps(10.0, 1000.0), 100u);
+  EXPECT_EQ(calibrate_innerreps(1000.0, 1000.0), 1u);
+}
+
+TEST(CalibrateInnerreps, ClampsToBounds) {
+  EXPECT_EQ(calibrate_innerreps(1e9, 1000.0), 1u);
+  EXPECT_EQ(calibrate_innerreps(1e-9, 1000.0), 1000000u);
+  EXPECT_EQ(calibrate_innerreps(0.0, 1000.0), 1000u);  // degenerate guard
+}
+
+TEST(OverheadUs, EpccDefinition) {
+  // 100 instances took 1500us, reference payload is 10us/instance:
+  // overhead = 15 - 10 = 5us.
+  EXPECT_DOUBLE_EQ(overhead_us(1500.0, 100, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(overhead_us(1500.0, 0, 10.0), 0.0);
+}
+
+TEST(DelayLoop, CalibrationIsPositive) {
+  const double ipu = calibrate_delay_per_us();
+  EXPECT_GT(ipu, 0.0);
+}
+
+TEST(DelayLoop, SpinDelayApproximatesTarget) {
+  const double ipu = calibrate_delay_per_us();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100; ++i) spin_delay(50.0, ipu);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / 100.0;
+  // Within 3x either way — CI machines are noisy, we only need the order.
+  EXPECT_GT(us, 50.0 / 3.0);
+  EXPECT_LT(us, 50.0 * 3.0);
+}
+
+TEST(DelayLoop, ZeroDelayReturnsImmediately) {
+  spin_delay(0.0, 1000.0);  // must not hang or crash
+  spin_delay(-5.0, 1000.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace omv::bench

@@ -1,0 +1,86 @@
+// Unit tests for sim/event_queue.
+
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omv::sim {
+namespace {
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, NowTracksLastExecuted) {
+  EventQueue q;
+  q.schedule(5.5, [] {});
+  q.run();
+  EXPECT_DOUBLE_EQ(q.now(), 5.5);
+}
+
+TEST(EventQueue, RunUntilStopsEarly) {
+  EventQueue q;
+  int executed = 0;
+  q.schedule(1.0, [&] { ++executed; });
+  q.schedule(10.0, [&] { ++executed; });
+  const auto n = q.run(5.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) q.schedule(q.now() + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  q.schedule(2.0, [] {});
+  q.schedule(1.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+}
+
+}  // namespace
+}  // namespace omv::sim

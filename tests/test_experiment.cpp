@@ -1,0 +1,98 @@
+// Unit tests for core/experiment: the runs x reps protocol runner.
+
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omv {
+namespace {
+
+TEST(Experiment, ShapeMatchesSpec) {
+  ExperimentSpec spec;
+  spec.runs = 4;
+  spec.reps = 7;
+  spec.warmup = 2;
+  const auto m = run_experiment(
+      spec, [](const RepContext& c) { return static_cast<double>(c.rep); });
+  EXPECT_EQ(m.runs(), 4u);
+  for (std::size_t r = 0; r < m.runs(); ++r) {
+    EXPECT_EQ(m.run(r).size(), 7u);
+  }
+}
+
+TEST(Experiment, WarmupsAreDiscarded) {
+  ExperimentSpec spec;
+  spec.runs = 1;
+  spec.reps = 3;
+  spec.warmup = 2;
+  int warmups_seen = 0;
+  const auto m = run_experiment(spec, [&](const RepContext& c) {
+    if (c.warmup) ++warmups_seen;
+    return 1.0;
+  });
+  EXPECT_EQ(warmups_seen, 2);
+  EXPECT_EQ(m.run(0).size(), 3u);
+}
+
+TEST(Experiment, HooksCalledPerRun) {
+  ExperimentSpec spec;
+  spec.runs = 3;
+  spec.reps = 1;
+  spec.warmup = 0;
+  std::vector<std::size_t> before;
+  std::vector<std::size_t> after;
+  RunHooks hooks;
+  hooks.before_run = [&](std::size_t r, std::uint64_t) { before.push_back(r); };
+  hooks.after_run = [&](std::size_t r) { after.push_back(r); };
+  (void)run_experiment(spec, [](const RepContext&) { return 0.0; }, hooks);
+  EXPECT_EQ(before, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(after, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Experiment, RunSeedsAreDistinctAndStable) {
+  const auto s0 = derive_run_seed(42, 0);
+  const auto s1 = derive_run_seed(42, 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0, derive_run_seed(42, 0));
+  EXPECT_NE(derive_run_seed(42, 0), derive_run_seed(43, 0));
+}
+
+TEST(Experiment, KernelSeesDerivedRunSeed) {
+  ExperimentSpec spec;
+  spec.runs = 2;
+  spec.reps = 1;
+  spec.warmup = 0;
+  spec.seed = 9;
+  std::vector<std::uint64_t> seen;
+  (void)run_experiment(spec, [&](const RepContext& c) {
+    seen.push_back(c.run_seed);
+    return 0.0;
+  });
+  EXPECT_EQ(seen[0], derive_run_seed(9, 0));
+  EXPECT_EQ(seen[1], derive_run_seed(9, 1));
+}
+
+TEST(Experiment, TimeHelpersArePositive) {
+  const double s = time_seconds([] {
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x += i;
+  });
+  EXPECT_GE(s, 0.0);
+  const double us = time_micros([] {});
+  EXPECT_GE(us, 0.0);
+}
+
+TEST(Experiment, LabelPropagates) {
+  ExperimentSpec spec;
+  spec.name = "my-exp";
+  spec.runs = 1;
+  spec.reps = 1;
+  const auto m =
+      run_experiment(spec, [](const RepContext&) { return 1.0; });
+  EXPECT_EQ(m.label(), "my-exp");
+}
+
+}  // namespace
+}  // namespace omv

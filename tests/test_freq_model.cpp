@@ -1,0 +1,184 @@
+// Unit tests for sim/freq: episodes, run caps, integration, logger sampling.
+
+#include "sim/freq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omv::sim {
+namespace {
+
+TEST(FreqModel, FlatConfigIsConstant) {
+  topo::Machine m = topo::Machine::vera();
+  FreqModel f(m, FreqConfig::flat());
+  f.begin_run(1);
+  for (double t = 0.0; t < 5.0; t += 0.5) {
+    EXPECT_DOUBLE_EQ(f.factor(0, t), 1.0);
+    EXPECT_DOUBLE_EQ(f.sample_ghz(0, t), m.max_ghz());
+  }
+}
+
+TEST(FreqModel, FlatElapsedEqualsWork) {
+  topo::Machine m = topo::Machine::vera();
+  FreqModel f(m, FreqConfig::flat());
+  f.begin_run(1);
+  EXPECT_DOUBLE_EQ(f.elapsed_for_work(0, 0.0, 0.125), 0.125);
+  EXPECT_DOUBLE_EQ(f.elapsed_for_work(0, 0.0, 0.0), 0.0);
+}
+
+TEST(FreqModel, DeterministicPerSeed) {
+  topo::Machine m = topo::Machine::vera();
+  FreqModel a(m, FreqConfig::vera_dippy());
+  FreqModel b(m, FreqConfig::vera_dippy());
+  a.begin_run(5);
+  b.begin_run(5);
+  a.set_activity_domains(2);
+  b.set_activity_domains(2);
+  for (double t = 0.0; t < 20.0; t += 1.0) {
+    EXPECT_DOUBLE_EQ(a.factor(0, t), b.factor(0, t));
+  }
+}
+
+TEST(FreqModel, EpisodesLowerTheFactor) {
+  FreqConfig c = FreqConfig::flat();
+  c.episode_rate = 5.0;  // very frequent dips
+  c.episode_mean = 0.5;
+  c.depth_lo = 0.7;
+  c.depth_hi = 0.8;
+  topo::Machine m = topo::Machine::vera();
+  FreqModel f(m, c);
+  f.begin_run(3);
+  bool saw_dip = false;
+  for (double t = 0.0; t < 20.0; t += 0.05) {
+    const double v = f.factor(0, t);
+    EXPECT_GE(v, 0.7 - 1e-12);
+    EXPECT_LE(v, 1.0);
+    if (v < 1.0) saw_dip = true;
+  }
+  EXPECT_TRUE(saw_dip);
+}
+
+TEST(FreqModel, EpisodesAreNumaCorrelated) {
+  FreqConfig c = FreqConfig::flat();
+  c.episode_rate = 2.0;
+  c.episode_mean = 1.0;
+  c.depth_lo = 0.8;
+  c.depth_hi = 0.9;
+  topo::Machine m = topo::Machine::vera();  // cores 0-15 numa 0, 16-31 numa 1
+  FreqModel f(m, c);
+  f.begin_run(9);
+  for (double t = 0.0; t < 10.0; t += 0.1) {
+    // Same domain => identical factor.
+    EXPECT_DOUBLE_EQ(f.factor(0, t), f.factor(15, t));
+  }
+  // Different domains have independent episode streams: factors must differ
+  // somewhere over a long window.
+  bool differ = false;
+  for (double t = 0.0; t < 20.0; t += 0.05) {
+    if (f.factor(0, t) != f.factor(16, t)) {
+      differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FreqModel, MeanFactorIntegratesEpisodes) {
+  FreqConfig c = FreqConfig::flat();
+  c.episode_rate = 1.0;
+  c.episode_mean = 0.5;
+  c.depth_lo = 0.5;
+  c.depth_hi = 0.5;
+  topo::Machine m = topo::Machine::vera();
+  FreqModel f(m, c);
+  f.begin_run(21);
+  const double mean = f.mean_factor(0, 0.0, 30.0);
+  EXPECT_GT(mean, 0.5);
+  EXPECT_LE(mean, 1.0);
+}
+
+TEST(FreqModel, ElapsedInvertsIntegral) {
+  FreqConfig c = FreqConfig::flat();
+  c.episode_rate = 2.0;
+  c.episode_mean = 0.3;
+  c.depth_lo = 0.6;
+  c.depth_hi = 0.9;
+  topo::Machine m = topo::Machine::vera();
+  FreqModel f(m, c);
+  f.begin_run(33);
+  const double work = 2.0;
+  const double d = f.elapsed_for_work(0, 1.0, work);
+  EXPECT_GE(d, work);                // can only be slower than fmax
+  EXPECT_LE(d, work / 0.6 + 1e-9);   // bounded by deepest dip
+  // The integral over the chosen window matches the work.
+  EXPECT_NEAR(f.mean_factor(0, 1.0, 1.0 + d) * d, work, 0.02 * work);
+}
+
+TEST(FreqModel, RunCapGatedByLoad) {
+  FreqConfig c = FreqConfig::flat();
+  c.run_cap_prob = 1.0;  // every run capped...
+  c.run_cap_depth = 0.9;
+  c.cap_load_threshold = 0.5;
+  topo::Machine m = topo::Machine::vera();
+  FreqModel f(m, c);
+  f.begin_run(2);
+  f.set_load_fraction(0.1);  // ...but the node is nearly idle
+  EXPECT_FALSE(f.run_capped());
+  EXPECT_DOUBLE_EQ(f.factor(0, 0.0), 1.0);
+  f.set_load_fraction(0.9);
+  EXPECT_TRUE(f.run_capped());
+  EXPECT_DOUBLE_EQ(f.factor(0, 0.0), 0.9);
+}
+
+TEST(FreqModel, CrossNumaActivityRaisesEpisodeRate) {
+  FreqConfig c = FreqConfig::flat();
+  c.episode_rate = 0.05;
+  c.episode_mean = 0.4;
+  c.depth_lo = 0.8;
+  c.depth_hi = 0.9;
+  c.cross_numa_rate_mult = 20.0;
+  topo::Machine m = topo::Machine::vera();
+
+  auto count_dips = [&](std::size_t domains) {
+    FreqModel f(m, c);
+    f.begin_run(17);
+    f.set_activity_domains(domains);
+    int dips = 0;
+    for (double t = 0.0; t < 60.0; t += 0.05) {
+      if (f.factor(0, t) < 1.0) ++dips;
+    }
+    return dips;
+  };
+  EXPECT_GT(count_dips(2), count_dips(1) * 2);
+}
+
+TEST(FreqModel, SampleGhzWithinPhysicalRange) {
+  topo::Machine m = topo::Machine::vera();
+  FreqModel f(m, FreqConfig::vera());
+  f.begin_run(8);
+  for (double t = 0.0; t < 5.0; t += 0.1) {
+    const double g = f.sample_ghz(3, t);
+    EXPECT_GT(g, 1.0);
+    EXPECT_LT(g, 4.0);
+  }
+}
+
+TEST(FreqModel, DardelFlatterThanVeraDippy) {
+  topo::Machine md = topo::Machine::dardel();
+  topo::Machine mv = topo::Machine::vera();
+  FreqModel fd(md, FreqConfig::dardel());
+  FreqModel fv(mv, FreqConfig::vera_dippy());
+  fd.begin_run(4);
+  fv.begin_run(4);
+  fd.set_activity_domains(8);
+  fv.set_activity_domains(2);
+  int dips_d = 0;
+  int dips_v = 0;
+  for (double t = 0.0; t < 60.0; t += 0.05) {
+    if (fd.factor(0, t) < 0.995 && !fd.run_capped()) ++dips_d;
+    if (fv.factor(0, t) < 0.995) ++dips_v;
+  }
+  EXPECT_GT(dips_v, dips_d);
+}
+
+}  // namespace
+}  // namespace omv::sim

@@ -1,0 +1,105 @@
+// Unit tests for bench_suite/ftq: the fixed-time-quantum noise probe.
+
+#include "bench_suite/ftq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/autocorrelation.hpp"
+
+namespace omv::bench {
+namespace {
+
+TEST(FtqAnalyze, EmptyTrace) {
+  const auto r = analyze_ftq({});
+  EXPECT_EQ(r.mean_work, 0.0);
+  EXPECT_EQ(r.noise_fraction, 0.0);
+}
+
+TEST(FtqAnalyze, CleanTraceZeroNoise) {
+  std::vector<FtqSample> s;
+  for (int i = 0; i < 10; ++i) s.push_back({i * 0.001, 100.0});
+  const auto r = analyze_ftq(s);
+  EXPECT_DOUBLE_EQ(r.mean_work, 100.0);
+  EXPECT_DOUBLE_EQ(r.noise_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.disturbed_quanta, 0.0);
+}
+
+TEST(FtqAnalyze, DisturbedQuantaCounted) {
+  std::vector<FtqSample> s;
+  for (int i = 0; i < 9; ++i) s.push_back({i * 0.001, 100.0});
+  s.push_back({0.009, 50.0});  // one robbed quantum
+  const auto r = analyze_ftq(s);
+  EXPECT_DOUBLE_EQ(r.max_work, 100.0);
+  EXPECT_NEAR(r.noise_fraction, 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(r.disturbed_quanta, 0.1);
+}
+
+TEST(FtqDeficits, RelativeToBestQuantum) {
+  std::vector<FtqSample> s{{0.0, 100.0}, {0.001, 80.0}, {0.002, 100.0}};
+  const auto d = ftq_deficits(s);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 20.0);
+}
+
+TEST(FtqSim, QuietSimulatorIsNoiseFree) {
+  sim::Simulator s(topo::Machine::vera(), sim::SimConfig::ideal());
+  s.begin_run(1, topo::CpuSet::range(0, 4));
+  const auto trace = run_ftq_sim(s, 0, 0.0, 100, 0.001);
+  ASSERT_EQ(trace.size(), 100u);
+  const auto r = analyze_ftq(trace);
+  EXPECT_NEAR(r.noise_fraction, 0.0, 1e-9);
+}
+
+TEST(FtqSim, NoisySimulatorShowsDeficits) {
+  auto cfg = sim::SimConfig::ideal();
+  cfg.noise.kworker_rate_per_cpu = 20.0;
+  cfg.noise.kworker_mean = 200e-6;
+  sim::Simulator s(topo::Machine::vera(), cfg);
+  s.begin_run(1, topo::CpuSet::range(0, 4));
+  const auto trace = run_ftq_sim(s, 0, 0.0, 500, 0.001);
+  const auto r = analyze_ftq(trace);
+  EXPECT_GT(r.noise_fraction, 0.001);
+  EXPECT_GT(r.disturbed_quanta, 0.0);
+}
+
+TEST(FtqSim, DetectsPeriodicTickNoise) {
+  // Ticks every 4 ms with 1 ms quanta -> deficit every 4th quantum.
+  auto cfg = sim::SimConfig::ideal();
+  cfg.noise.tick_period = 0.004;
+  cfg.noise.tick_duration = 50e-6;
+  sim::Simulator s(topo::Machine::vera(), cfg);
+  s.begin_run(7, topo::CpuSet::range(0, 4));
+  const auto trace = run_ftq_sim(s, 0, 0.0, 400, 0.001);
+  const auto period = stats::dominant_period(ftq_deficits(trace), 16);
+  EXPECT_TRUE(period.significant);
+  EXPECT_EQ(period.lag, 4u);
+}
+
+TEST(FtqSim, FrequencyDipsReduceWork) {
+  auto cfg = sim::SimConfig::ideal();
+  cfg.freq.episode_rate = 50.0;  // dips essentially always active
+  cfg.freq.episode_mean = 1.0;
+  cfg.freq.depth_lo = 0.5;
+  cfg.freq.depth_hi = 0.5;
+  sim::Simulator s(topo::Machine::vera(), cfg);
+  s.begin_run(3, topo::CpuSet::range(0, 4));
+  const auto trace = run_ftq_sim(s, 0, 0.0, 50, 0.001);
+  const auto r = analyze_ftq(trace);
+  EXPECT_LT(r.mean_work, 0.75 * 0.001);  // well below full-speed quanta
+}
+
+TEST(FtqNative, ProducesPlausibleTrace) {
+  const auto trace = run_ftq_native(20, 0.0005);
+  ASSERT_EQ(trace.size(), 20u);
+  const auto r = analyze_ftq(trace);
+  EXPECT_GT(r.max_work, 0.0);
+  EXPECT_GE(r.noise_fraction, 0.0);
+  EXPECT_LE(r.noise_fraction, 1.0);
+  // Start times increase.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].start_s, trace[i - 1].start_s);
+  }
+}
+
+}  // namespace
+}  // namespace omv::bench

@@ -1,0 +1,290 @@
+// Integration tests: each test encodes one qualitative claim from the
+// paper's evaluation (Section 5) and checks the simulator + benchmark stack
+// reproduces it. Experiments run with reduced runs/reps to stay fast; the
+// bench/ harnesses run the full protocol.
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/schedbench_sim.hpp"
+#include "bench_suite/stream_sim.hpp"
+#include "bench_suite/syncbench_sim.hpp"
+#include "core/characterize.hpp"
+#include "core/stat_tests.hpp"
+
+namespace omv {
+namespace {
+
+ompsim::TeamConfig cfg(std::size_t threads, const std::string& places = "",
+                       topo::ProcBind bind = topo::ProcBind::close) {
+  ompsim::TeamConfig c;
+  c.n_threads = threads;
+  if (!places.empty()) c.places_spec = places;
+  c.bind = bind;
+  return c;
+}
+
+ExperimentSpec spec(std::uint64_t seed, std::size_t runs = 6,
+                    std::size_t reps = 25) {
+  ExperimentSpec s;
+  s.runs = runs;
+  s.reps = reps;
+  s.warmup = 1;
+  s.seed = seed;
+  return s;
+}
+
+// --- Section 5.1: scalability ---------------------------------------------
+
+TEST(Paper, Fig1SyncbenchTimeGrowsWithThreads) {
+  // Fig. 1 plots the per-construct time; one outer repetition is always
+  // calibrated to ~test_time, so compare rep_time / innerreps.
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  double prev = 0.0;
+  for (std::size_t t : {4u, 16u, 64u, 128u}) {
+    bench::SimSyncBench sb(s, cfg(t));
+    const auto m =
+        sb.run_protocol(bench::SyncConstruct::reduction, spec(100 + t, 3, 10));
+    const double per_instance =
+        m.grand_mean() /
+        static_cast<double>(sb.innerreps(bench::SyncConstruct::reduction));
+    EXPECT_GT(per_instance, prev) << t;
+    prev = per_instance;
+  }
+}
+
+TEST(Paper, Fig1SocketCrossingJump) {
+  // Sharp increase when the team starts spanning the second socket.
+  sim::Simulator s(topo::Machine::vera(), sim::SimConfig::ideal());
+  bench::SimSyncBench b14(s, cfg(14));
+  bench::SimSyncBench b16(s, cfg(16));
+  bench::SimSyncBench b18(s, cfg(18));
+  const double i14 = b14.ideal_instance_us(bench::SyncConstruct::reduction);
+  const double i16 = b16.ideal_instance_us(bench::SyncConstruct::reduction);
+  const double i18 = b18.ideal_instance_us(bench::SyncConstruct::reduction);
+  // 14 -> 16 stays on one socket; 16 -> 18 crosses.
+  EXPECT_GT(i18 - i16, (i16 - i14) * 2.0);
+}
+
+TEST(Paper, Fig1SmtEngagementJumpOnDardel) {
+  // Beyond 128 threads, SMT siblings engage and sync costs jump.
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  bench::SimSyncBench b128(s, cfg(128));
+  bench::SimSyncBench b254(s, cfg(254));
+  const auto m128 =
+      b128.run_protocol(bench::SyncConstruct::reduction, spec(7, 3, 10));
+  const auto m254 =
+      b254.run_protocol(bench::SyncConstruct::reduction, spec(7, 3, 10));
+  const double per128 =
+      m128.grand_mean() /
+      static_cast<double>(b128.innerreps(bench::SyncConstruct::reduction));
+  const double per254 =
+      m254.grand_mean() /
+      static_cast<double>(b254.innerreps(bench::SyncConstruct::reduction));
+  EXPECT_GT(per254, per128 * 1.1);
+}
+
+TEST(Paper, Fig2StreamScalesDown) {
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  double prev = 1e300;
+  for (std::size_t t : {2u, 16u, 128u}) {
+    bench::SimStream st(s, cfg(t));
+    const auto m =
+        st.run_protocol(bench::StreamKernel::triad, spec(200 + t, 3, 8));
+    const double mean = m.grand_mean();
+    EXPECT_LT(mean, prev * 1.02) << t;
+    prev = mean;
+  }
+}
+
+TEST(Paper, Fig3VariabilityGrowsWithThreadCountForSyncbench) {
+  // Norm-max spread at high thread counts exceeds the low-count spread.
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  auto spread_at = [&](std::size_t t) {
+    bench::SimSyncBench sb(s, cfg(t));
+    const auto m =
+        sb.run_protocol(bench::SyncConstruct::reduction, spec(300, 8, 30));
+    double worst = 0.0;
+    for (std::size_t r = 0; r < m.runs(); ++r) {
+      worst = std::max(worst, m.run_norm_max(r) - m.run_norm_min(r));
+    }
+    return worst;
+  };
+  EXPECT_GT(spread_at(254), spread_at(8));
+}
+
+TEST(Paper, SchedbenchLeastSensitiveToScale) {
+  // Fig. 3 first column: schedbench's normalized spread stays small
+  // compared to syncbench at the same scale (dynamic self-balances).
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  bench::SimSchedBench sched(s, cfg(128));
+  const auto ms =
+      sched.run_protocol(ompsim::Schedule::dynamic, 1, spec(400, 4, 5));
+  bench::SimSyncBench sync(s, cfg(128));
+  const auto my =
+      sync.run_protocol(bench::SyncConstruct::reduction, spec(400, 4, 30));
+  const auto ss = ms.pooled_summary();
+  const auto sy = my.pooled_summary();
+  EXPECT_LT(ss.cv, sy.cv + 0.05);
+}
+
+// --- Section 5.2: thread pinning ------------------------------------------
+
+TEST(Paper, Fig4PinningRemovesRunToRunVariability) {
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  const auto sp = spec(500, 8, 25);
+
+  bench::SimSyncBench pinned(s, cfg(128, "", topo::ProcBind::close));
+  const auto mp = pinned.run_protocol(bench::SyncConstruct::reduction, sp);
+
+  bench::SimSyncBench unpinned(s, cfg(128, "", topo::ProcBind::none));
+  const auto mu = unpinned.run_protocol(bench::SyncConstruct::reduction, sp);
+
+  EXPECT_LT(mp.run_to_run_cv(), mu.run_to_run_cv());
+  // Brown-Forsythe confirms the variance difference is significant.
+  const auto bf = stats::brown_forsythe(mp.flatten(), mu.flatten());
+  EXPECT_TRUE(bf.significant);
+}
+
+TEST(Paper, Fig4UnpinnedSyncbenchSpansOrdersOfMagnitude) {
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  bench::SimSyncBench unpinned(s, cfg(128, "", topo::ProcBind::none));
+  const auto m =
+      unpinned.run_protocol(bench::SyncConstruct::reduction, spec(600, 8, 30));
+  const auto su = m.pooled_summary();
+  EXPECT_GT(su.max / su.min, 50.0);
+}
+
+TEST(Paper, Fig4UnpinnedIsHeavyTailedOrBimodal) {
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  bench::SimSyncBench unpinned(s, cfg(128, "", topo::ProcBind::none));
+  const auto m =
+      unpinned.run_protocol(bench::SyncConstruct::reduction, spec(700, 8, 30));
+  const auto c = characterize(m);
+  EXPECT_TRUE(c.has(Signature::heavy_tail) || c.has(Signature::bimodal) ||
+              c.has(Signature::jittery))
+      << c.to_string();
+}
+
+TEST(Paper, Fig4PinningHelpsStreamToo) {
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  const auto sp = spec(800, 6, 20);
+  bench::SimStream pinned(s, cfg(128, "", topo::ProcBind::close));
+  bench::SimStream unpinned(s, cfg(128, "", topo::ProcBind::none));
+  const auto mp = pinned.run_protocol(bench::StreamKernel::copy, sp);
+  const auto mu = unpinned.run_protocol(bench::StreamKernel::copy, sp);
+  EXPECT_LT(mp.pooled_summary().norm_max(), mu.pooled_summary().norm_max());
+}
+
+// --- Section 5.3: SMT -------------------------------------------------------
+
+TEST(Paper, Fig5MtNoisierThanStForSyncbench) {
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  const auto sp = spec(900, 6, 25);
+  // ST: 32 threads on 32 distinct cores. MT: 32 threads on 16 cores.
+  bench::SimSyncBench st(s, cfg(32, "{0}:32:1"));
+  bench::SimSyncBench mt(s, cfg(32, "{0}:16:1,{128}:16:1"));
+  const auto ms = st.run_protocol(bench::SyncConstruct::reduction, sp);
+  const auto mm = mt.run_protocol(bench::SyncConstruct::reduction, sp);
+  // Every run's CV is higher under MT on average; compare pooled CV.
+  EXPECT_GT(mm.pooled_summary().cv, ms.pooled_summary().cv * 2.0);
+}
+
+TEST(Paper, Fig5StAbsorbsNoiseThroughIdleSiblings) {
+  // With heavy daemon noise, ST's idle siblings absorb wakeups; MT at the
+  // same thread count cannot.
+  auto noisy = sim::SimConfig::dardel();
+  noisy.noise.daemon_rate = 200.0;
+  noisy.noise.daemon_miss_factor = 0.0;
+  sim::Simulator s(topo::Machine::dardel(), noisy);
+  const auto sp = spec(1000, 4, 20);
+  bench::SimSyncBench st(s, cfg(128, "{0}:128:1"));
+  bench::SimSyncBench mt(s, cfg(128, "{0}:64:1,{128}:64:1"));
+  const auto ms = st.run_protocol(bench::SyncConstruct::barrier, sp);
+  const auto mm = mt.run_protocol(bench::SyncConstruct::barrier, sp);
+  EXPECT_GT(mm.pooled_summary().cv, ms.pooled_summary().cv);
+}
+
+TEST(Paper, Fig5StreamIndifferentAtLowThreadCounts) {
+  // "ST does not outperform MT much for BabelStream when only a few
+  // threads are used" — bandwidth-bound work is SMT-neutral-ish.
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  const auto sp = spec(1100, 4, 10);
+  bench::SimStream st(s, cfg(8, "{0}:8:1"));
+  bench::SimStream mt(s, cfg(8, "{0}:4:1,{128}:4:1"));
+  const auto ms = st.run_protocol(bench::StreamKernel::triad, sp);
+  const auto mm = mt.run_protocol(bench::StreamKernel::triad, sp);
+  // Means within 2x of each other (no dramatic ST win at small scale).
+  EXPECT_LT(mm.grand_mean() / ms.grand_mean(), 2.0);
+}
+
+// --- Section 5.4: frequency variation ---------------------------------------
+
+TEST(Paper, Fig6CrossNumaShowsMoreVariabilityOnVera) {
+  sim::Simulator s(topo::Machine::vera(), sim::SimConfig::vera());
+  const auto sp = spec(1200, 6, 10);
+  // 16 threads within NUMA 0 vs 8+8 across both domains.
+  bench::SimSchedBench within(s, cfg(16, "{0}:16:1"));
+  bench::SimSchedBench across(s, cfg(16, "{0}:8:1,{16}:8:1"));
+  const auto mw =
+      within.run_protocol(ompsim::Schedule::static_, 1, sp);
+  const auto ma =
+      across.run_protocol(ompsim::Schedule::static_, 1, sp);
+  EXPECT_GT(ma.pooled_summary().cv, mw.pooled_summary().cv);
+}
+
+TEST(Paper, Fig7SyncbenchCrossNumaMirrorsSchedbench) {
+  auto vcfg = sim::SimConfig::vera();
+  vcfg.freq = sim::FreqConfig::vera_dippy();
+  sim::Simulator s(topo::Machine::vera(), vcfg);
+  const auto sp = spec(1300, 6, 25);
+  bench::SimSyncBench within(s, cfg(16, "{0}:16:1"));
+  bench::SimSyncBench across(s, cfg(16, "{0}:8:1,{16}:8:1"));
+  const auto mw = within.run_protocol(bench::SyncConstruct::reduction, sp);
+  const auto ma = across.run_protocol(bench::SyncConstruct::reduction, sp);
+  EXPECT_GT(ma.pooled_summary().cv, mw.pooled_summary().cv * 0.9);
+  EXPECT_GT(ma.grand_mean(), mw.grand_mean());
+}
+
+TEST(Paper, DardelFrequencyFlatterThanVera) {
+  // Section 5.4's closing observation, via the freq model directly.
+  topo::Machine md = topo::Machine::dardel();
+  topo::Machine mv = topo::Machine::vera();
+  sim::FreqModel fd(md, sim::FreqConfig::dardel());
+  sim::FreqModel fv(mv, sim::FreqConfig::vera_dippy());
+  fd.begin_run(5);
+  fd.set_load_fraction(0.0);  // ungated: look at episodic variation only
+  fv.begin_run(5);
+  fv.set_activity_domains(2);
+  int dips_d = 0;
+  int dips_v = 0;
+  for (double t = 0.0; t < 120.0; t += 0.1) {
+    if (fd.factor(0, t) < 0.999) ++dips_d;
+    if (fv.factor(0, t) < 0.999) ++dips_v;
+  }
+  EXPECT_LT(dips_d, dips_v);
+}
+
+// --- Table 2 -----------------------------------------------------------------
+
+TEST(Paper, Table2RunLevelOutlierAppearsAtScaleNotAtFourThreads) {
+  sim::Simulator s(topo::Machine::dardel(), sim::SimConfig::dardel());
+  // Search a few seeds for one where a capped run occurs (prob 0.08/run).
+  bool found_outlier_at_scale = false;
+  for (std::uint64_t seed = 1; seed <= 6 && !found_outlier_at_scale; ++seed) {
+    bench::SimSchedBench big(s, cfg(254));
+    const auto mb =
+        big.run_protocol(ompsim::Schedule::dynamic, 1, spec(seed, 10, 3));
+    if (mb.run_mean_spread() > 1.05) {
+      found_outlier_at_scale = true;
+      // Same seed at 4 threads: tight (cap is load-gated).
+      bench::SimSchedBench small(s, cfg(4));
+      const auto msm =
+          small.run_protocol(ompsim::Schedule::dynamic, 1, spec(seed, 10, 3));
+      EXPECT_LT(msm.run_mean_spread(), 1.01);
+    }
+  }
+  EXPECT_TRUE(found_outlier_at_scale);
+}
+
+}  // namespace
+}  // namespace omv

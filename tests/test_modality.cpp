@@ -1,0 +1,82 @@
+// Unit tests for core/modality.
+
+#include "core/modality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace omv::stats {
+namespace {
+
+TEST(CountPeaks, EmptyAndFlat) {
+  EXPECT_EQ(count_peaks({}), 0u);
+  // An all-flat density is one maximal plateau: a single (degenerate) peak.
+  const std::vector<double> flat{1.0, 1.0, 1.0};
+  EXPECT_EQ(count_peaks(flat), 1u);
+}
+
+TEST(CountPeaks, SinglePeak) {
+  const std::vector<double> v{0.0, 1.0, 3.0, 1.0, 0.0};
+  EXPECT_EQ(count_peaks(v), 1u);
+}
+
+TEST(CountPeaks, TwoPeaks) {
+  const std::vector<double> v{0.0, 3.0, 0.5, 0.5, 4.0, 0.0};
+  EXPECT_EQ(count_peaks(v), 2u);
+}
+
+TEST(CountPeaks, PlateauPeakCountsOnce) {
+  const std::vector<double> v{0.0, 2.0, 2.0, 2.0, 0.0};
+  EXPECT_EQ(count_peaks(v), 1u);
+}
+
+TEST(CountPeaks, ProminenceFloorFiltersRipples) {
+  const std::vector<double> v{0.0, 100.0, 0.0, 1.0, 0.0};
+  EXPECT_EQ(count_peaks(v, 0.05), 1u);   // 1.0 < 5% of 100
+  EXPECT_EQ(count_peaks(v, 0.001), 2u);  // lowered floor keeps it
+}
+
+TEST(CountPeaks, EdgePeaks) {
+  const std::vector<double> v{5.0, 1.0, 0.0, 1.0, 6.0};
+  EXPECT_EQ(count_peaks(v), 2u);
+}
+
+TEST(AnalyzeModality, TinySampleUnclassified) {
+  const std::vector<double> v{1.0, 2.0};
+  const auto r = analyze_modality(v);
+  EXPECT_FALSE(r.likely_multimodal);
+}
+
+TEST(AnalyzeModality, UnimodalNormalNotFlagged) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.normal(100.0, 3.0));
+  const auto r = analyze_modality(v);
+  EXPECT_FALSE(r.likely_multimodal);
+  EXPECT_LT(r.bimodality_coefficient, 0.6);
+}
+
+TEST(AnalyzeModality, ClearBimodalFlagged) {
+  // The timing pattern the paper attributes to migration: a fast mode and
+  // a well-separated slow mode.
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.normal(100.0, 1.0));
+  for (int i = 0; i < 500; ++i) v.push_back(rng.normal(140.0, 1.0));
+  const auto r = analyze_modality(v);
+  EXPECT_TRUE(r.likely_multimodal);
+  EXPECT_GE(r.peak_count, 2u);
+  EXPECT_GT(r.bimodality_coefficient, 5.0 / 9.0);
+}
+
+TEST(AnalyzeModality, ConstantSampleSafe) {
+  const std::vector<double> v(100, 42.0);
+  const auto r = analyze_modality(v);
+  EXPECT_FALSE(r.likely_multimodal);
+}
+
+}  // namespace
+}  // namespace omv::stats

@@ -1,0 +1,117 @@
+// Tests for the native OpenMP backends. The CI host may have a single core;
+// these tests run at 1-2 threads with tiny workloads and check semantics,
+// not performance.
+
+#include "bench_suite/native.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omv::bench {
+namespace {
+
+NativeConfig tiny_cfg() {
+  NativeConfig cfg;
+  cfg.n_threads = std::min<std::size_t>(2, native_max_threads());
+  return cfg;
+}
+
+EpccParams tiny_sync_params() {
+  auto p = EpccParams::syncbench();
+  p.test_time_us = 100.0;  // keep reps short on slow CI
+  return p;
+}
+
+TEST(NativeBackend, MaxThreadsPositive) {
+  EXPECT_GE(native_max_threads(), 1u);
+}
+
+TEST(NativeSyncBench, RejectsZeroThreads) {
+  NativeConfig cfg;
+  cfg.n_threads = 0;
+  EXPECT_THROW((NativeSyncBench{cfg}), std::invalid_argument);
+}
+
+TEST(NativeSyncBench, ReferenceTimePositive) {
+  NativeSyncBench sb(tiny_cfg(), tiny_sync_params());
+  EXPECT_GT(sb.reference_us(), 0.0);
+}
+
+TEST(NativeSyncBench, InnerrepsCachedAndPositive) {
+  NativeSyncBench sb(tiny_cfg(), tiny_sync_params());
+  const auto a = sb.innerreps(SyncConstruct::barrier);
+  const auto b = sb.innerreps(SyncConstruct::barrier);
+  EXPECT_GE(a, 1u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NativeSyncBench, RepTimeMeasurable) {
+  NativeSyncBench sb(tiny_cfg(), tiny_sync_params());
+  for (auto c : {SyncConstruct::parallel, SyncConstruct::barrier,
+                 SyncConstruct::critical, SyncConstruct::atomic,
+                 SyncConstruct::reduction}) {
+    EXPECT_GT(sb.rep_time_us(c), 0.0) << sync_construct_name(c);
+  }
+}
+
+TEST(NativeSyncBench, ProtocolShape) {
+  NativeSyncBench sb(tiny_cfg(), tiny_sync_params());
+  ExperimentSpec spec;
+  spec.runs = 2;
+  spec.reps = 3;
+  spec.warmup = 1;
+  const auto m = sb.run_protocol(SyncConstruct::single, spec);
+  EXPECT_EQ(m.runs(), 2u);
+  EXPECT_EQ(m.run(0).size(), 3u);
+}
+
+TEST(NativeSchedBench, AllSchedulesRun) {
+  auto params = EpccParams::schedbench();
+  params.itersperthr = 64;  // tiny loop for CI
+  params.delay_us = 0.5;
+  NativeSchedBench sb(tiny_cfg(), params);
+  EXPECT_GT(sb.rep_time_us("static", 1), 0.0);
+  EXPECT_GT(sb.rep_time_us("dynamic", 1), 0.0);
+  EXPECT_GT(sb.rep_time_us("guided", 1), 0.0);
+  EXPECT_THROW(sb.rep_time_us("fancy", 1), std::invalid_argument);
+}
+
+TEST(NativeSchedBench, WorkScalesWithIterations) {
+  auto small = EpccParams::schedbench();
+  small.itersperthr = 32;
+  small.delay_us = 1.0;
+  auto large = small;
+  large.itersperthr = 320;
+  NativeSchedBench sb_small(tiny_cfg(), small);
+  NativeSchedBench sb_large(tiny_cfg(), large);
+  // Take the min of a few measurements to shed scheduler noise.
+  double t_small = 1e300;
+  double t_large = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    t_small = std::min(t_small, sb_small.rep_time_us("static", 1));
+    t_large = std::min(t_large, sb_large.rep_time_us("static", 1));
+  }
+  EXPECT_GT(t_large, t_small * 3.0);
+}
+
+TEST(NativeStream, ValidatesSolution) {
+  NativeConfig cfg = tiny_cfg();
+  NativeStream st(cfg, 1 << 16);
+  EXPECT_TRUE(st.validate());
+}
+
+TEST(NativeStream, KernelTimesPositive) {
+  NativeStream st(tiny_cfg(), 1 << 16);
+  for (auto k : all_stream_kernels()) {
+    EXPECT_GT(st.kernel_time_s(k), 0.0) << stream_kernel_name(k);
+  }
+}
+
+TEST(NativeStream, RunKernelOrdering) {
+  NativeStream st(tiny_cfg(), 1 << 16);
+  const auto r = st.run_kernel(StreamKernel::triad, 5);
+  EXPECT_LE(r.min_s, r.avg_s);
+  EXPECT_LE(r.avg_s, r.max_s);
+}
+
+}  // namespace
+}  // namespace omv::bench

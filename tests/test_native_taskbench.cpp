@@ -1,0 +1,65 @@
+// Tests for the native taskbench backend (tiny workloads; semantics only).
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/native.hpp"
+
+namespace omv::bench {
+namespace {
+
+NativeConfig tiny() {
+  NativeConfig cfg;
+  cfg.n_threads = std::min<std::size_t>(2, native_max_threads());
+  return cfg;
+}
+
+EpccParams tiny_params() {
+  auto p = EpccParams::syncbench();
+  p.delay_us = 0.5;
+  return p;
+}
+
+TEST(NativeTaskBench, RejectsZeroThreads) {
+  NativeConfig cfg;
+  cfg.n_threads = 0;
+  EXPECT_THROW((NativeTaskBench{cfg}), std::invalid_argument);
+}
+
+TEST(NativeTaskBench, ParallelGenerationRuns) {
+  NativeTaskBench tb(tiny(), tiny_params());
+  const double us = tb.parallel_generation_rep_us(64);
+  EXPECT_GT(us, 0.0);
+}
+
+TEST(NativeTaskBench, MasterGenerationRuns) {
+  NativeTaskBench tb(tiny(), tiny_params());
+  const double us = tb.master_generation_rep_us(128);
+  EXPECT_GT(us, 0.0);
+}
+
+TEST(NativeTaskBench, WorkScalesWithTaskCount) {
+  NativeTaskBench tb(tiny(), tiny_params());
+  double small = 1e300;
+  double large = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    small = std::min(small, tb.master_generation_rep_us(64));
+    large = std::min(large, tb.master_generation_rep_us(640));
+  }
+  EXPECT_GT(large, small * 3.0);
+}
+
+TEST(NativeTaskBench, UsableInExperimentProtocol) {
+  NativeTaskBench tb(tiny(), tiny_params());
+  ExperimentSpec spec;
+  spec.runs = 2;
+  spec.reps = 3;
+  spec.warmup = 1;
+  const auto m = run_experiment(spec, [&](const RepContext&) {
+    return tb.parallel_generation_rep_us(32);
+  });
+  EXPECT_EQ(m.runs(), 2u);
+  EXPECT_GT(m.grand_mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace omv::bench

@@ -1,0 +1,188 @@
+// Unit tests for sim/noise: determinism, tick analytics, daemon placement
+// and the absorption mechanisms.
+
+#include "sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omv::sim {
+namespace {
+
+topo::CpuSet busy_range(std::size_t n) { return topo::CpuSet::range(0, n); }
+
+TEST(NoiseConfig, QuietDisablesEverything) {
+  const auto c = NoiseConfig::quiet();
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, c);
+  nm.begin_run(1, busy_range(32));
+  EXPECT_EQ(nm.preemption_delay(0, 0.0, 10.0), 0.0);
+}
+
+TEST(NoiseModel, DeterministicAcrossRuns) {
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel a(m, NoiseConfig::vera());
+  NoiseModel b(m, NoiseConfig::vera());
+  a.begin_run(42, busy_range(32));
+  b.begin_run(42, busy_range(32));
+  for (int i = 0; i < 10; ++i) {
+    const double t0 = i * 0.1;
+    EXPECT_DOUBLE_EQ(a.preemption_delay(3, t0, t0 + 0.1),
+                     b.preemption_delay(3, t0, t0 + 0.1));
+  }
+}
+
+TEST(NoiseModel, QueryOrderIndependent) {
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel a(m, NoiseConfig::vera());
+  NoiseModel b(m, NoiseConfig::vera());
+  a.begin_run(7, busy_range(32));
+  b.begin_run(7, busy_range(32));
+  // a queries far future first, b queries in order; sums must agree.
+  const double far = a.preemption_delay(5, 2.0, 3.0);
+  (void)b.preemption_delay(5, 0.0, 1.0);
+  const double far_b = b.preemption_delay(5, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(far, far_b);
+}
+
+TEST(NoiseModel, TickCountAnalytic) {
+  NoiseConfig c = NoiseConfig::quiet();
+  c.tick_period = 0.004;
+  c.tick_duration = 2e-6;
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, c);
+  nm.begin_run(1, busy_range(32));
+  // Over exactly 1 second there are ~250 ticks regardless of phase.
+  const double d = nm.preemption_delay(0, 0.0, 1.0);
+  EXPECT_NEAR(d, 250.0 * 2e-6, 2e-6 * 2);
+}
+
+TEST(NoiseModel, TickWindowAdditivity) {
+  NoiseConfig c = NoiseConfig::quiet();
+  c.tick_period = 0.004;
+  c.tick_duration = 2e-6;
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, c);
+  nm.begin_run(3, busy_range(32));
+  const double whole = nm.preemption_delay(1, 0.0, 0.5);
+  const double split = nm.preemption_delay(1, 0.0, 0.25) +
+                       nm.preemption_delay(1, 0.25, 0.5);
+  EXPECT_NEAR(whole, split, 1e-12);
+}
+
+TEST(NoiseModel, EmptyWindowIsZero) {
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, NoiseConfig::vera());
+  nm.begin_run(1, busy_range(32));
+  EXPECT_EQ(nm.preemption_delay(0, 1.0, 1.0), 0.0);
+  EXPECT_EQ(nm.preemption_delay(0, 2.0, 1.0), 0.0);
+}
+
+TEST(NoiseModel, DaemonsAbsorbedWhenIdleCoresExist) {
+  // Only 4 of 32 Vera cores busy: nearly all daemons land on idle cores.
+  NoiseConfig c = NoiseConfig::quiet();
+  c.daemon_rate = 100.0;
+  c.daemon_mean = 1e-3;
+  c.daemon_miss_factor = 0.0;  // disable wake-affinity misses
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, c);
+  nm.begin_run(5, busy_range(4));
+  double total = 0.0;
+  for (std::size_t h = 0; h < 4; ++h) total += nm.preemption_delay(h, 0.0, 5.0);
+  EXPECT_EQ(total, 0.0);
+}
+
+TEST(NoiseModel, DaemonsHitWhenMachineFull) {
+  NoiseConfig c = NoiseConfig::quiet();
+  c.daemon_rate = 100.0;
+  c.daemon_mean = 1e-3;
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, c);
+  nm.begin_run(5, busy_range(32));  // no idle core, no SMT on Vera
+  double total = 0.0;
+  for (std::size_t h = 0; h < 32; ++h) {
+    total += nm.preemption_delay(h, 0.0, 5.0);
+  }
+  // ~500 events x ~1ms: expect hundreds of ms of preemption in total.
+  EXPECT_GT(total, 0.1);
+}
+
+TEST(NoiseModel, SmtSiblingAbsorbsOnDardel) {
+  // 128 busy first-siblings on Dardel: daemons land on the idle second
+  // siblings and cost only the absorb fraction.
+  NoiseConfig full = NoiseConfig::quiet();
+  full.daemon_rate = 50.0;
+  full.daemon_mean = 1e-3;
+  full.daemon_miss_factor = 0.0;
+  topo::Machine m = topo::Machine::dardel();
+
+  NoiseModel st(m, full);
+  st.begin_run(9, busy_range(128));  // ST: siblings idle
+  double st_total = 0.0;
+  for (std::size_t h = 0; h < 128; ++h) {
+    st_total += st.preemption_delay(h, 0.0, 5.0);
+  }
+
+  NoiseModel mt(m, full);
+  mt.begin_run(9, m.all_threads());  // MT: every HW thread busy
+  double mt_total = 0.0;
+  for (std::size_t h = 0; h < 256; ++h) {
+    mt_total += mt.preemption_delay(h, 0.0, 5.0);
+  }
+  EXPECT_GT(st_total, 0.0);
+  EXPECT_GT(mt_total, st_total * 2.0);
+}
+
+TEST(NoiseModel, KworkerPinnedToCpu) {
+  NoiseConfig c = NoiseConfig::quiet();
+  c.kworker_rate_per_cpu = 50.0;
+  c.kworker_mean = 1e-3;
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, c);
+  nm.begin_run(11, busy_range(32));
+  // Every busy CPU should see some kworker time over a long window.
+  int cpus_with_noise = 0;
+  for (std::size_t h = 0; h < 32; ++h) {
+    if (nm.preemption_delay(h, 0.0, 2.0) > 0.0) ++cpus_with_noise;
+  }
+  EXPECT_GT(cpus_with_noise, 24);
+}
+
+TEST(NoiseModel, IrqLandsOnLowCpus) {
+  NoiseConfig c = NoiseConfig::quiet();
+  c.irq_rate = 50.0;
+  c.irq_cpus = 4;
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, c);
+  nm.begin_run(13, busy_range(32));
+  double low = 0.0;
+  double high = 0.0;
+  for (std::size_t h = 0; h < 4; ++h) low += nm.preemption_delay(h, 0.0, 2.0);
+  for (std::size_t h = 4; h < 32; ++h) {
+    high += nm.preemption_delay(h, 0.0, 2.0);
+  }
+  EXPECT_GT(low, 0.0);
+  EXPECT_EQ(high, 0.0);
+}
+
+TEST(NoiseModel, DegradedRunsOccurAtConfiguredRate) {
+  NoiseConfig c = NoiseConfig::vera();
+  c.degrade_prob = 0.5;
+  topo::Machine m = topo::Machine::vera();
+  NoiseModel nm(m, c);
+  int degraded = 0;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    nm.begin_run(s * 977 + 13, busy_range(32));
+    degraded += nm.degraded();
+  }
+  EXPECT_GT(degraded, 60);
+  EXPECT_LT(degraded, 140);
+}
+
+TEST(NoiseModel, PresetsDiffer) {
+  const auto d = NoiseConfig::dardel();
+  const auto v = NoiseConfig::vera();
+  EXPECT_NE(d.daemon_rate, v.daemon_rate);
+}
+
+}  // namespace
+}  // namespace omv::sim

@@ -1,0 +1,158 @@
+// Unit tests for sim/os_placement: pinned stability, unpinned migrations,
+// oversubscription bookkeeping.
+
+#include "sim/os_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace omv::sim {
+namespace {
+
+std::vector<topo::CpuSet> singleton_affinities(std::size_t n) {
+  std::vector<topo::CpuSet> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(topo::CpuSet::single(i));
+  return v;
+}
+
+std::vector<topo::CpuSet> unbound_affinities(const topo::Machine& m,
+                                             std::size_t n) {
+  return {n, m.all_threads()};
+}
+
+TEST(Placement, PinnedStaysPut) {
+  topo::Machine m = topo::Machine::vera();
+  PlacementModel pm(m, singleton_affinities(8), /*pinned=*/true, {}, 1);
+  const auto initial = pm.current().hw;
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto& pl = pm.next_rep();
+    EXPECT_EQ(pl.hw, initial);
+    for (bool mig : pl.migrated) EXPECT_FALSE(mig);
+  }
+}
+
+TEST(Placement, PinnedHonorsAffinity) {
+  topo::Machine m = topo::Machine::vera();
+  PlacementModel pm(m, singleton_affinities(8), true, {}, 1);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(pm.current().hw[i], i);
+  }
+}
+
+TEST(Placement, InitialPlacementSpreadsOverCores) {
+  // Unbound threads fill distinct physical cores (smt 0 first).
+  topo::Machine m = topo::Machine::dardel();
+  PlacementModel pm(m, unbound_affinities(m, 16), false, {}, 1);
+  std::set<std::size_t> cores;
+  for (std::size_t h : pm.current().hw) {
+    EXPECT_EQ(m.thread(h).smt_index, 0u);
+    cores.insert(m.thread(h).core);
+  }
+  EXPECT_EQ(cores.size(), 16u);
+}
+
+TEST(Placement, SharedPlaceDistributesWithin) {
+  // Two threads pinned to the same 2-thread core place use both siblings.
+  topo::Machine m = topo::Machine::dardel();
+  std::vector<topo::CpuSet> aff{m.core_threads(0), m.core_threads(0)};
+  PlacementModel pm(m, std::move(aff), true, {}, 1);
+  const auto& pl = pm.current();
+  EXPECT_NE(pl.hw[0], pl.hw[1]);
+  EXPECT_EQ(m.thread(pl.hw[0]).core, 0u);
+  EXPECT_EQ(m.thread(pl.hw[1]).core, 0u);
+  EXPECT_TRUE(pl.smt_coscheduled[0]);
+  EXPECT_TRUE(pl.smt_coscheduled[1]);
+}
+
+TEST(Placement, FirstTouchDataDomainRecorded) {
+  topo::Machine m = topo::Machine::dardel();
+  PlacementModel pm(m, singleton_affinities(64), true, {}, 1);
+  const auto& pl = pm.current();
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(pl.data_domain[i], m.thread(pl.hw[i]).numa);
+  }
+}
+
+TEST(Placement, UnpinnedEventuallyMigrates) {
+  topo::Machine m = topo::Machine::dardel();
+  PlacementConfig cfg;
+  cfg.migrate_prob = 0.2;
+  PlacementModel pm(m, unbound_affinities(m, 32), false, cfg, 3);
+  bool any_migration = false;
+  for (int rep = 0; rep < 100 && !any_migration; ++rep) {
+    const auto& pl = pm.next_rep();
+    for (bool mig : pl.migrated) any_migration |= mig;
+  }
+  EXPECT_TRUE(any_migration);
+}
+
+TEST(Placement, UnpinnedDataDomainSurvivesMigration) {
+  topo::Machine m = topo::Machine::dardel();
+  PlacementConfig cfg;
+  cfg.migrate_prob = 0.5;
+  cfg.bad_migration_prob = 1.0;
+  PlacementModel pm(m, unbound_affinities(m, 8), false, cfg, 7);
+  const auto original = pm.current().data_domain;
+  for (int rep = 0; rep < 20; ++rep) pm.next_rep();
+  EXPECT_EQ(pm.current().data_domain, original);
+}
+
+TEST(Placement, ShareCountsOversubscription) {
+  // Force all threads onto one HW thread via affinity.
+  topo::Machine m = topo::Machine::vera();
+  std::vector<topo::CpuSet> aff(3, topo::CpuSet::single(5));
+  PlacementModel pm(m, std::move(aff), true, {}, 1);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(pm.current().share[i], 3u);
+  }
+}
+
+TEST(Placement, BusySetMatchesPlacement) {
+  topo::Machine m = topo::Machine::vera();
+  PlacementModel pm(m, singleton_affinities(4), true, {}, 1);
+  EXPECT_EQ(pm.busy_set().to_string(), "0-3");
+}
+
+TEST(Placement, DeterministicPerSeed) {
+  topo::Machine m = topo::Machine::dardel();
+  PlacementConfig cfg;
+  cfg.migrate_prob = 0.3;
+  PlacementModel a(m, unbound_affinities(m, 16), false, cfg, 99);
+  PlacementModel b(m, unbound_affinities(m, 16), false, cfg, 99);
+  for (int rep = 0; rep < 20; ++rep) {
+    EXPECT_EQ(a.next_rep().hw, b.next_rep().hw);
+  }
+}
+
+TEST(Placement, RescueReducesStacking) {
+  // With rescue enabled, oversubscription episodes clear up over time.
+  topo::Machine m = topo::Machine::dardel();
+  PlacementConfig cfg;
+  cfg.migrate_prob = 0.05;
+  cfg.bad_migration_prob = 1.0;
+  cfg.rescue_prob = 1.0;
+  PlacementModel pm(m, unbound_affinities(m, 16), false, cfg, 5);
+  int stacked_reps = 0;
+  int clean_reps = 0;
+  for (int rep = 0; rep < 300; ++rep) {
+    const auto& pl = pm.next_rep();
+    bool stacked = false;
+    for (auto s : pl.share) stacked |= (s > 1);
+    (stacked ? stacked_reps : clean_reps)++;
+  }
+  // Both states occur: stacking happens and rescue clears it.
+  EXPECT_GT(stacked_reps, 0);
+  EXPECT_GT(clean_reps, 0);
+}
+
+TEST(Placement, ThrowsOnEmpty) {
+  topo::Machine m = topo::Machine::vera();
+  EXPECT_THROW(PlacementModel(m, {}, true, {}, 1), std::invalid_argument);
+  std::vector<topo::CpuSet> empty_aff{topo::CpuSet{}};
+  EXPECT_THROW(PlacementModel(m, std::move(empty_aff), true, {}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omv::sim

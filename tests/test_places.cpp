@@ -1,0 +1,159 @@
+// Unit tests for topo/places: the OMP_PLACES grammar.
+
+#include "topo/places.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace omv::topo {
+namespace {
+
+class PlacesTest : public ::testing::Test {
+ protected:
+  Machine dardel_ = Machine::dardel();
+  Machine vera_ = Machine::vera();
+};
+
+TEST_F(PlacesTest, AbstractThreads) {
+  const auto p = parse_places("threads", vera_);
+  ASSERT_EQ(p.size(), 32u);
+  EXPECT_EQ(p[0].to_string(), "0");
+  EXPECT_EQ(p[31].to_string(), "31");
+}
+
+TEST_F(PlacesTest, AbstractThreadsWithCount) {
+  const auto p = parse_places("threads(4)", vera_);
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST_F(PlacesTest, AbstractCoresGroupSiblings) {
+  const auto p = parse_places("cores", dardel_);
+  ASSERT_EQ(p.size(), 128u);
+  EXPECT_EQ(p[0].to_string(), "0,128");  // both SMT siblings of core 0
+}
+
+TEST_F(PlacesTest, AbstractSockets) {
+  const auto p = parse_places("sockets", dardel_);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].count(), 128u);
+}
+
+TEST_F(PlacesTest, AbstractNumaDomains) {
+  const auto p = parse_places("numa_domains", dardel_);
+  ASSERT_EQ(p.size(), 8u);
+  EXPECT_EQ(p[0].count(), 32u);
+}
+
+TEST_F(PlacesTest, UnknownAbstractNameThrows) {
+  EXPECT_THROW(parse_places("flibbles", vera_), std::invalid_argument);
+}
+
+TEST_F(PlacesTest, ExplicitSinglePlace) {
+  const auto p = parse_places("{0,1,2}", vera_);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].to_string(), "0-2");
+}
+
+TEST_F(PlacesTest, ExplicitPlaceList) {
+  const auto p = parse_places("{0,1},{2,3}", vera_);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[1].to_string(), "2-3");
+}
+
+TEST_F(PlacesTest, ResourceInterval) {
+  // {0:4} = threads 0,1,2,3.
+  const auto p = parse_places("{0:4}", vera_);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].to_string(), "0-3");
+}
+
+TEST_F(PlacesTest, ResourceIntervalWithStride) {
+  // {0:4:2} = threads 0,2,4,6.
+  const auto p = parse_places("{0:4:2}", vera_);
+  EXPECT_EQ(p[0].to_string(), "0,2,4,6");
+}
+
+TEST_F(PlacesTest, PlaceIntervalReplication) {
+  // {0:4}:8:4 = 8 places of 4 threads, starting at 0,4,8,...
+  const auto p = parse_places("{0:4}:8:4", vera_);
+  ASSERT_EQ(p.size(), 8u);
+  EXPECT_EQ(p[0].to_string(), "0-3");
+  EXPECT_EQ(p[7].to_string(), "28-31");
+}
+
+TEST_F(PlacesTest, PlaceIntervalDefaultStride) {
+  const auto p = parse_places("{0}:4", vera_);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[3].to_string(), "3");
+}
+
+TEST_F(PlacesTest, SmtPairExplicit) {
+  // The ST/MT experiment setup: 16 cores with both siblings.
+  const auto p = parse_places("{0,128}:16:1", dardel_);
+  ASSERT_EQ(p.size(), 16u);
+  EXPECT_EQ(p[0].to_string(), "0,128");
+  EXPECT_EQ(p[15].to_string(), "15,143");
+}
+
+TEST_F(PlacesTest, WhitespaceTolerated) {
+  const auto p = parse_places("{ 0 , 1 } , { 2 }", vera_);
+  ASSERT_EQ(p.size(), 2u);
+}
+
+TEST_F(PlacesTest, RejectsOutOfRangeThread) {
+  EXPECT_THROW(parse_places("{40}", vera_), std::invalid_argument);
+  EXPECT_NO_THROW(parse_places("{40}", dardel_));
+}
+
+TEST_F(PlacesTest, RejectsSyntaxErrors) {
+  EXPECT_THROW(parse_places("{0", vera_), std::invalid_argument);
+  EXPECT_THROW(parse_places("0}", vera_), std::invalid_argument);
+  EXPECT_THROW(parse_places("{}", vera_), std::invalid_argument);
+  EXPECT_THROW(parse_places("{0},", vera_), std::invalid_argument);
+  EXPECT_THROW(parse_places("{0:0}", vera_), std::invalid_argument);
+  EXPECT_THROW(parse_places("{0}:0", vera_), std::invalid_argument);
+  EXPECT_THROW(parse_places("", vera_), std::invalid_argument);
+}
+
+TEST_F(PlacesTest, RejectsNegativeShift) {
+  // Stride can be negative but may not shift a place below zero.
+  EXPECT_THROW(parse_places("{0:2}:3:-4", vera_), std::invalid_argument);
+}
+
+TEST_F(PlacesTest, NegativeStrideValidWhenInRange) {
+  const auto p = parse_places("{8:2}:3:-4", vera_);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0].to_string(), "8-9");
+  EXPECT_EQ(p[2].to_string(), "0-1");
+}
+
+TEST_F(PlacesTest, ToStringRoundTrips) {
+  const auto p = parse_places("{0:4}:8:4", vera_);
+  const auto p2 = parse_places(to_string(p), vera_);
+  ASSERT_EQ(p.size(), p2.size());
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(p[i], p2[i]);
+}
+
+// Property: every helper place list covers each HW thread exactly once.
+class PlaceCoverage : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlaceCoverage, PartitionsMachine) {
+  const auto m = Machine::dardel();
+  const auto p = parse_places(GetParam(), m);
+  CpuSet seen;
+  std::size_t total = 0;
+  for (const auto& place : p) {
+    total += place.count();
+    seen = seen | place;
+  }
+  EXPECT_EQ(total, m.n_threads());
+  EXPECT_EQ(seen.count(), m.n_threads());
+}
+
+INSTANTIATE_TEST_SUITE_P(AbstractNames, PlaceCoverage,
+                         ::testing::Values("threads", "cores", "sockets",
+                                           "numa_domains"));
+
+}  // namespace
+}  // namespace omv::topo

@@ -1,0 +1,121 @@
+// Unit tests for omp_model/tasking: the EPCC taskbench subset.
+
+#include "omp_model/tasking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omv::ompsim {
+namespace {
+
+class TaskingTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_{topo::Machine::dardel(), sim::SimConfig::ideal()};
+
+  SimTeam make_team(std::size_t threads) {
+    TeamConfig cfg;
+    cfg.n_threads = threads;
+    SimTeam t(sim_, cfg);
+    t.begin_run(1);
+    return t;
+  }
+};
+
+TEST_F(TaskingTest, ParallelGenerationCompletesAllWork) {
+  auto team = make_team(4);
+  const double t0 = team.now();
+  parallel_task_generation(team, 64, 1e-6);
+  // 256 tasks x 1us on 4 threads: at least 64us of pure work.
+  EXPECT_GE(team.now() - t0, 64e-6);
+}
+
+TEST_F(TaskingTest, ParallelGenerationEndsAligned) {
+  auto team = make_team(8);
+  parallel_task_generation(team, 16, 1e-6);
+  for (std::size_t i = 1; i < team.size(); ++i) {
+    EXPECT_DOUBLE_EQ(team.clock(i), team.clock(0));
+  }
+}
+
+TEST_F(TaskingTest, CreationOverheadGrowsWithContention) {
+  // Same total work, more producers: per-task creation gets pricier, so
+  // the overhead beyond pure work grows.
+  auto small = make_team(2);
+  const double t0 = small.now();
+  parallel_task_generation(small, 512, 0.0);
+  const double overhead_small = (small.now() - t0) / 512.0;
+
+  auto big = make_team(64);
+  const double t1 = big.now();
+  parallel_task_generation(big, 512, 0.0);
+  const double overhead_big = (big.now() - t1) / 512.0;
+  EXPECT_GT(overhead_big, overhead_small);
+}
+
+TEST_F(TaskingTest, MasterGenerationSerializesOnProducer) {
+  // With tiny tasks, the single producer bounds throughput: doubling the
+  // team barely helps (the EPCC master-task shape).
+  TaskCosts costs;
+  auto t4 = make_team(4);
+  const double a0 = t4.now();
+  master_task_generation(t4, 1024, 0.0, costs);
+  const double small_team = t4.now() - a0;
+
+  auto t64 = make_team(64);
+  const double b0 = t64.now();
+  master_task_generation(t64, 1024, 0.0, costs);
+  const double big_team = t64.now() - b0;
+
+  EXPECT_GT(big_team, small_team * 0.5);
+  // Both are bounded below by the serial creation time.
+  EXPECT_GE(small_team, 1024 * costs.create);
+  EXPECT_GE(big_team, 1024 * costs.create);
+}
+
+TEST_F(TaskingTest, ParallelGenerationScalesBetterThanMaster) {
+  // With enough work per task, parallel generation uses the team while
+  // master generation still pays the serial producer.
+  const double work = 2e-6;
+  auto a = make_team(32);
+  const double a0 = a.now();
+  parallel_task_generation(a, 32, work);  // 1024 tasks
+  const double par = a.now() - a0;
+
+  auto b = make_team(32);
+  const double b0 = b.now();
+  master_task_generation(b, 1024, work);
+  const double mas = b.now() - b0;
+  EXPECT_LT(par, mas);
+}
+
+TEST_F(TaskingTest, MasterGenerationRespectsReadyTimes) {
+  // One huge team, tiny work: workers cannot execute tasks faster than
+  // the producer creates them.
+  TaskCosts costs;
+  auto team = make_team(64);
+  const double t0 = team.now();
+  master_task_generation(team, 256, 0.0, costs);
+  EXPECT_GE(team.now() - t0, 256 * costs.create);
+}
+
+TEST_F(TaskingTest, NoiseAffectsTasking) {
+  auto cfg = sim::SimConfig::ideal();
+  cfg.noise.kworker_rate_per_cpu = 100.0;
+  cfg.noise.kworker_mean = 1e-3;
+  sim::Simulator noisy(topo::Machine::dardel(), cfg);
+  TeamConfig tc;
+  tc.n_threads = 8;
+  SimTeam quiet_team(sim_, tc);
+  quiet_team.begin_run(1);
+  SimTeam noisy_team(noisy, tc);
+  noisy_team.begin_run(1);
+  const double q0 = quiet_team.now();
+  parallel_task_generation(quiet_team, 128, 10e-6);
+  const double quiet_time = quiet_team.now() - q0;
+  const double n0 = noisy_team.now();
+  parallel_task_generation(noisy_team, 128, 10e-6);
+  const double noisy_time = noisy_team.now() - n0;
+  EXPECT_GT(noisy_time, quiet_time);
+}
+
+}  // namespace
+}  // namespace omv::ompsim

@@ -1,0 +1,130 @@
+// Unit tests for topo/topology: the machine model and platform presets.
+
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace omv::topo {
+namespace {
+
+TEST(Machine, DardelGeometry) {
+  const auto m = Machine::dardel();
+  EXPECT_EQ(m.name(), "dardel");
+  EXPECT_EQ(m.n_threads(), 256u);
+  EXPECT_EQ(m.n_cores(), 128u);
+  EXPECT_EQ(m.n_numa(), 8u);
+  EXPECT_EQ(m.n_sockets(), 2u);
+  EXPECT_EQ(m.smt_per_core(), 2u);
+  EXPECT_DOUBLE_EQ(m.base_ghz(), 2.25);
+  EXPECT_DOUBLE_EQ(m.max_ghz(), 3.4);
+}
+
+TEST(Machine, VeraGeometry) {
+  const auto m = Machine::vera();
+  EXPECT_EQ(m.n_threads(), 32u);
+  EXPECT_EQ(m.n_cores(), 32u);
+  EXPECT_EQ(m.n_numa(), 2u);
+  EXPECT_EQ(m.n_sockets(), 2u);
+  EXPECT_EQ(m.smt_per_core(), 1u);
+  EXPECT_DOUBLE_EQ(m.max_ghz(), 3.7);
+}
+
+TEST(Machine, DardelLinuxSmtNumbering) {
+  // Linux convention: os_ids 0..127 are the first siblings, 128..255 the
+  // second siblings of cores 0..127.
+  const auto m = Machine::dardel();
+  EXPECT_EQ(m.thread(0).core, 0u);
+  EXPECT_EQ(m.thread(0).smt_index, 0u);
+  EXPECT_EQ(m.thread(128).core, 0u);
+  EXPECT_EQ(m.thread(128).smt_index, 1u);
+  EXPECT_EQ(m.thread(127).core, 127u);
+  EXPECT_EQ(m.thread(255).core, 127u);
+}
+
+TEST(Machine, DardelNumaLayout) {
+  const auto m = Machine::dardel();
+  // 16 cores per NUMA domain, 4 domains per socket.
+  EXPECT_EQ(m.thread(0).numa, 0u);
+  EXPECT_EQ(m.thread(15).numa, 0u);
+  EXPECT_EQ(m.thread(16).numa, 1u);
+  EXPECT_EQ(m.thread(63).numa, 3u);
+  EXPECT_EQ(m.thread(64).numa, 4u);
+  EXPECT_EQ(m.thread(64).socket, 1u);
+  EXPECT_EQ(m.thread(63).socket, 0u);
+}
+
+TEST(Machine, SiblingLookup) {
+  const auto m = Machine::dardel();
+  EXPECT_EQ(m.sibling(0), 128u);
+  EXPECT_EQ(m.sibling(128), 0u);
+  const auto v = Machine::vera();
+  EXPECT_FALSE(v.sibling(0).has_value());
+}
+
+TEST(Machine, CoreAndNumaSets) {
+  const auto m = Machine::dardel();
+  EXPECT_EQ(m.core_threads(0).to_string(), "0,128");
+  EXPECT_EQ(m.numa_threads(0).count(), 32u);  // 16 cores x 2 HW threads
+  EXPECT_EQ(m.socket_threads(0).count(), 128u);
+  EXPECT_EQ(m.all_threads().count(), 256u);
+}
+
+TEST(Machine, PrimaryThreads) {
+  const auto m = Machine::dardel();
+  const auto p = m.primary_threads();
+  EXPECT_EQ(p.count(), 128u);
+  EXPECT_TRUE(p.contains(0));
+  EXPECT_FALSE(p.contains(128));
+}
+
+TEST(Machine, SameNumaSocketPredicates) {
+  const auto m = Machine::dardel();
+  EXPECT_TRUE(m.same_numa(0, 15));
+  EXPECT_FALSE(m.same_numa(0, 16));
+  EXPECT_TRUE(m.same_socket(0, 63));
+  EXPECT_FALSE(m.same_socket(0, 64));
+}
+
+TEST(Machine, UniformValidation) {
+  EXPECT_THROW(Machine::uniform("x", 0, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Machine::uniform("x", 1, 1, 1, 0), std::invalid_argument);
+}
+
+TEST(Machine, ConstructorValidatesDenseIds) {
+  std::vector<HwThread> threads(2);
+  threads[0].os_id = 0;
+  threads[1].os_id = 5;  // gap
+  EXPECT_THROW(Machine("bad", std::move(threads)), std::invalid_argument);
+}
+
+TEST(Machine, ConstructorValidatesFrequencies) {
+  std::vector<HwThread> threads(1);
+  EXPECT_THROW(Machine("bad", threads, 3.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(Machine("bad", threads, -1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Machine, EmptyThrows) {
+  EXPECT_THROW(Machine("bad", {}), std::invalid_argument);
+}
+
+TEST(Machine, CustomUniform) {
+  const auto m = Machine::uniform("mini", 1, 2, 4, 2, 1.0, 2.0);
+  EXPECT_EQ(m.n_cores(), 8u);
+  EXPECT_EQ(m.n_threads(), 16u);
+  EXPECT_EQ(m.n_numa(), 2u);
+  EXPECT_EQ(m.n_sockets(), 1u);
+}
+
+TEST(Machine, DetectNativeIsOptional) {
+  // Must not throw regardless of host support.
+  const auto m = Machine::detect_native();
+  if (m) {
+    EXPECT_GT(m->n_threads(), 0u);
+    EXPECT_GT(m->n_cores(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace omv::topo

@@ -1,0 +1,92 @@
+// Unit tests for core/trace_io: CSV round-trips.
+
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace omv::io {
+namespace {
+
+RunMatrix sample() {
+  RunMatrix m("t2");
+  m.add_run({124020.18, 124062.15, 123989.57});
+  m.add_run({154277.48, 154162.74});
+  return m;
+}
+
+TEST(TraceIo, CsvHasHeaderAndRows) {
+  const auto csv = run_matrix_to_csv(sample());
+  EXPECT_EQ(csv.rfind("run,rep,time", 0), 0u);
+  EXPECT_NE(csv.find("0,0,"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,"), std::string::npos);
+}
+
+TEST(TraceIo, RoundTripExact) {
+  const auto m = sample();
+  const auto back = run_matrix_from_csv(run_matrix_to_csv(m), "t2");
+  ASSERT_EQ(back.runs(), m.runs());
+  EXPECT_EQ(back.label(), "t2");
+  for (std::size_t r = 0; r < m.runs(); ++r) {
+    ASSERT_EQ(back.run(r).size(), m.run(r).size());
+    for (std::size_t k = 0; k < m.run(r).size(); ++k) {
+      EXPECT_DOUBLE_EQ(back.run(r)[k], m.run(r)[k]);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesStatistics) {
+  const auto m = sample();
+  const auto back = run_matrix_from_csv(run_matrix_to_csv(m));
+  EXPECT_DOUBLE_EQ(back.grand_mean(), m.grand_mean());
+  EXPECT_DOUBLE_EQ(back.pooled_summary().cv, m.pooled_summary().cv);
+}
+
+TEST(TraceIo, EmptyMatrixRoundTrips) {
+  const auto back = run_matrix_from_csv(run_matrix_to_csv(RunMatrix{}));
+  EXPECT_EQ(back.runs(), 0u);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  EXPECT_THROW(run_matrix_from_csv("nope\n1,2,3\n"), std::invalid_argument);
+  EXPECT_THROW(run_matrix_from_csv(""), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  EXPECT_THROW(run_matrix_from_csv("run,rep,time\nx,0,1.0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,zero,1.0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,0,abc\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, ToleratesBlankLinesAndShuffledRows) {
+  const auto m = run_matrix_from_csv(
+      "run,rep,time\n1,0,5.0\n\n0,1,2.0\n0,0,1.0\n");
+  ASSERT_EQ(m.runs(), 2u);
+  EXPECT_DOUBLE_EQ(m.run(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.run(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.run(1)[0], 5.0);
+}
+
+TEST(TraceIo, FileSaveLoad) {
+  const std::string path = "/tmp/omnivar_trace_io_test.csv";
+  save_run_matrix(path, sample());
+  const auto back = load_run_matrix(path, "from-file");
+  EXPECT_EQ(back.runs(), 2u);
+  EXPECT_EQ(back.label(), "from-file");
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, FileErrorsThrow) {
+  EXPECT_THROW(load_run_matrix("/nonexistent/dir/x.csv"),
+               std::runtime_error);
+  EXPECT_THROW(save_run_matrix("/nonexistent/dir/x.csv", sample()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace omv::io

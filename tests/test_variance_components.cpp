@@ -1,0 +1,93 @@
+// Unit tests for core/variance_components: the between-run vs within-run
+// decomposition at the heart of the paper's run-to-run analysis.
+
+#include "core/variance_components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace omv::stats {
+namespace {
+
+TEST(VarianceComponents, DegenerateInputs) {
+  EXPECT_EQ(decompose_variance({}).icc, 0.0);
+  const std::vector<std::vector<double>> one = {{1.0, 2.0}};
+  EXPECT_EQ(decompose_variance(one).icc, 0.0);
+}
+
+TEST(VarianceComponents, SkipsEmptyGroups) {
+  const std::vector<std::vector<double>> g = {
+      {1.0, 2.0}, {}, {1.5, 2.5}, {}};
+  const auto vc = decompose_variance(g);
+  EXPECT_GT(vc.var_within, 0.0);
+}
+
+TEST(VarianceComponents, PureWithinNoise) {
+  // All runs identical in distribution: ICC should be near zero.
+  Rng rng(1);
+  std::vector<std::vector<double>> groups;
+  for (int r = 0; r < 10; ++r) {
+    std::vector<double> g;
+    for (int k = 0; k < 100; ++k) g.push_back(rng.normal(50.0, 2.0));
+    groups.push_back(std::move(g));
+  }
+  const auto vc = decompose_variance(groups);
+  EXPECT_LT(vc.icc, 0.15);
+  EXPECT_GT(vc.p_value, 0.001);
+  EXPECT_NEAR(vc.grand_mean, 50.0, 0.5);
+  EXPECT_NEAR(vc.var_within, 4.0, 1.0);
+}
+
+TEST(VarianceComponents, RunLevelShiftDominates) {
+  // One slow run (Table 2's run 9): between-run variance appears.
+  Rng rng(2);
+  std::vector<std::vector<double>> groups;
+  for (int r = 0; r < 10; ++r) {
+    std::vector<double> g;
+    const double offset = (r == 8) ? 30.0 : 0.0;
+    for (int k = 0; k < 100; ++k) {
+      g.push_back(100.0 + offset + rng.normal(0.0, 0.5));
+    }
+    groups.push_back(std::move(g));
+  }
+  const auto vc = decompose_variance(groups);
+  EXPECT_GT(vc.icc, 0.8);
+  EXPECT_LT(vc.p_value, 1e-6);
+  EXPECT_GT(vc.var_between, vc.var_within);
+}
+
+TEST(VarianceComponents, UnequalGroupSizes) {
+  Rng rng(3);
+  std::vector<std::vector<double>> groups;
+  for (int r = 0; r < 6; ++r) {
+    std::vector<double> g;
+    for (int k = 0; k < 20 + 10 * r; ++k) g.push_back(rng.normal(10.0, 1.0));
+    groups.push_back(std::move(g));
+  }
+  const auto vc = decompose_variance(groups);
+  EXPECT_GE(vc.var_between, 0.0);
+  EXPECT_GT(vc.var_within, 0.0);
+  EXPECT_GE(vc.icc, 0.0);
+  EXPECT_LE(vc.icc, 1.0);
+}
+
+TEST(VarianceComponents, ZeroWithinVarianceDistinctMeans) {
+  const std::vector<std::vector<double>> g = {{1.0, 1.0}, {2.0, 2.0}};
+  const auto vc = decompose_variance(g);
+  EXPECT_EQ(vc.p_value, 0.0);
+  EXPECT_GT(vc.var_between, 0.0);
+}
+
+TEST(VarianceComponents, AllConstant) {
+  const std::vector<std::vector<double>> g = {{5.0, 5.0}, {5.0, 5.0}};
+  const auto vc = decompose_variance(g);
+  EXPECT_EQ(vc.var_between, 0.0);
+  EXPECT_EQ(vc.var_within, 0.0);
+  EXPECT_EQ(vc.icc, 0.0);
+}
+
+}  // namespace
+}  // namespace omv::stats
