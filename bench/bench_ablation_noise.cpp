@@ -31,7 +31,8 @@ Row run_case(const std::string& name, const sim::SimConfig& cfg,
   sim::Simulator s(std::move(machine), cfg);
   bench::SimSyncBench sb(s, team);
   const auto m = sb.run_protocol(bench::SyncConstruct::reduction,
-                                 harness::paper_spec(seed, 8, 40));
+                                 harness::paper_spec(seed, 8, 40),
+                                     harness::jobs());
   const auto ps = m.pooled_summary();
   return {name,
           ps.mean,
@@ -43,7 +44,8 @@ Row run_case(const std::string& name, const sim::SimConfig& cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Ablation — which mechanism produces which variability signature",
       "(not a paper experiment; backs the design decisions in DESIGN.md)");

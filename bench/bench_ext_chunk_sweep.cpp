@@ -36,7 +36,8 @@ void run_platform(const harness::Platform& p, std::size_t threads,
       bench::SimSchedBench sb(s, harness::pinned_team(threads),
                               bench::EpccParams::schedbench(), 10000);
       const auto m = sb.run_protocol(
-          kind, chunk, harness::paper_spec(seed + chunk, 5, 10));
+          kind, chunk, harness::paper_spec(seed + chunk, 5, 10),
+              harness::jobs());
       const double mean = m.grand_mean();
       t.add_row({ompsim::schedule_name(kind), std::to_string(chunk),
                  report::fmt_fixed(mean, 1),
@@ -65,7 +66,8 @@ void run_platform(const harness::Platform& p, std::size_t threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Extension — schedbench schedule x chunk sweep (paper §4.2)",
       "the paper ran static/dynamic/guided with various chunk sizes and "

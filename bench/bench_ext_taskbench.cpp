@@ -7,23 +7,23 @@
 // the platform's variability mechanisms (pinning still matters).
 
 #include "bench/harness.hpp"
+#include "bench_suite/protocol.hpp"
 #include "omp_model/tasking.hpp"
 
 using namespace omv;
 
 namespace {
 
+/// Tasking needs no benchmark object — the team is the whole state.
+struct NoBench {};
+
 RunMatrix run_tasking(sim::Simulator& s, const ompsim::TeamConfig& cfg,
                       bool master, std::uint64_t seed) {
-  ompsim::SimTeam team(s, cfg, seed);
   const auto spec = harness::paper_spec(seed, 8, 30);
-  RunHooks hooks;
-  hooks.before_run = [&](std::size_t, std::uint64_t run_seed) {
-    team.begin_run(run_seed);
-  };
-  return run_experiment(
-      spec,
-      [&](const RepContext&) {
+  return bench::run_protocol_sharded(
+      s, cfg, spec, harness::jobs(),
+      [](sim::Simulator&) { return NoBench{}; },
+      [master](NoBench&, ompsim::SimTeam& team) {
         team.begin_rep();
         const double t0 = team.now();
         if (master) {
@@ -32,13 +32,13 @@ RunMatrix run_tasking(sim::Simulator& s, const ompsim::TeamConfig& cfg,
           ompsim::parallel_task_generation(team, 64, 1e-6);
         }
         return (team.now() - t0) * 1e6;
-      },
-      hooks);
+      });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Extension — EPCC taskbench subset (simulated platforms)",
       "parallel task generation scales with the team; master task "

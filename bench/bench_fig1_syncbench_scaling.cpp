@@ -28,8 +28,9 @@ void run_platform(const harness::Platform& p,
     bench::SimSyncBench sb(s, harness::pinned_team(t));
     const auto spec = harness::paper_spec(seed + t);
     const auto red =
-        sb.run_protocol(bench::SyncConstruct::reduction, spec);
-    const auto bar = sb.run_protocol(bench::SyncConstruct::barrier, spec);
+        sb.run_protocol(bench::SyncConstruct::reduction, spec, harness::jobs());
+    const auto bar = sb.run_protocol(bench::SyncConstruct::barrier, spec,
+        harness::jobs());
     const double red_per =
         red.grand_mean() /
         static_cast<double>(sb.innerreps(bench::SyncConstruct::reduction));
@@ -48,7 +49,8 @@ void run_platform(const harness::Platform& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Figure 1 — syncbench execution time vs HW threads",
       "time increases with threads; sharp increase crossing the second "

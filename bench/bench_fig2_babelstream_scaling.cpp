@@ -32,7 +32,7 @@ void run_platform(const harness::Platform& p,
     for (auto k : bench::all_stream_kernels()) {
       bench::SimStream st(s, harness::pinned_team(t));
       const auto spec = harness::paper_spec(seed + t, 10, 50);
-      const auto m = st.run_protocol(k, spec);
+      const auto m = st.run_protocol(k, spec, harness::jobs());
       row.push_back(m.grand_mean());
       if (k == bench::StreamKernel::triad) {
         if (t == counts.front()) first_triad = m.grand_mean();
@@ -49,7 +49,8 @@ void run_platform(const harness::Platform& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Figure 2 — BabelStream execution time (ms) vs HW threads",
       "execution time reduces when launching more parallel threads, on "

@@ -50,13 +50,16 @@ void run_platform(const harness::Platform& p,
     bench::SimSchedBench sched(s, harness::pinned_team(t),
                                bench::EpccParams::schedbench(), 10000);
     const auto m_sched = sched.run_protocol(
-        ompsim::Schedule::dynamic, 1, harness::paper_spec(seed + t, 10, 30));
+        ompsim::Schedule::dynamic, 1, harness::paper_spec(seed + t, 10, 30),
+            harness::jobs());
     bench::SimSyncBench sync(s, harness::pinned_team(t));
     const auto m_sync = sync.run_protocol(
-        bench::SyncConstruct::reduction, harness::paper_spec(seed + t));
+        bench::SyncConstruct::reduction, harness::paper_spec(seed + t),
+            harness::jobs());
     bench::SimStream stream(s, harness::pinned_team(t));
     const auto m_stream = stream.run_protocol(
-        bench::StreamKernel::triad, harness::paper_spec(seed + t, 10, 50));
+        bench::StreamKernel::triad, harness::paper_spec(seed + t, 10, 50),
+            harness::jobs());
 
     const auto a = spread(m_sched);
     const auto b = spread(m_sync);
@@ -83,7 +86,8 @@ void run_platform(const harness::Platform& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Figure 3 — scalability of performance variability (normalized "
       "min/max)",

@@ -36,7 +36,8 @@ void per_run_table(const char* title, const RunMatrix& m, int digits = 1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Figure 4 — lower variability after thread-pinning (Dardel)",
       "pinning reduces run-to-run variability for schedbench@16thr, "
@@ -51,11 +52,13 @@ int main() {
     bench::SimSchedBench before(s, harness::unpinned_team(16),
                                 bench::EpccParams::schedbench(), 10000);
     const auto mb = before.run_protocol(ompsim::Schedule::dynamic, 1,
-                                        harness::paper_spec(5001, 10, 20));
+                                        harness::paper_spec(5001, 10, 20),
+                                            harness::jobs());
     bench::SimSchedBench after(s, harness::pinned_team(16),
                                bench::EpccParams::schedbench(), 10000);
     const auto ma = after.run_protocol(ompsim::Schedule::dynamic, 1,
-                                       harness::paper_spec(5002, 10, 20));
+                                       harness::paper_spec(5002, 10, 20),
+                                           harness::jobs());
     per_run_table("(a) schedbench 16 thr, BEFORE pinning (us):", mb);
     per_run_table("(d) schedbench 16 thr, AFTER pinning (us):", ma);
     harness::verdict(ma.run_to_run_cv() <= mb.run_to_run_cv(),
@@ -66,10 +69,12 @@ int main() {
   {
     bench::SimSyncBench before(s, harness::unpinned_team(128));
     const auto mb = before.run_protocol(bench::SyncConstruct::reduction,
-                                        harness::paper_spec(5003));
+                                        harness::paper_spec(5003),
+                                            harness::jobs());
     bench::SimSyncBench after(s, harness::pinned_team(128));
     const auto ma = after.run_protocol(bench::SyncConstruct::reduction,
-                                       harness::paper_spec(5004));
+                                       harness::paper_spec(5004),
+                                           harness::jobs());
     per_run_table("(b) syncbench reduction 128 thr, BEFORE pinning (us):",
                   mb);
     per_run_table("(e) syncbench reduction 128 thr, AFTER pinning (us):",
@@ -102,10 +107,12 @@ int main() {
     for (auto k : bench::all_stream_kernels()) {
       bench::SimStream before(s, harness::unpinned_team(128));
       const auto mb =
-          before.run_protocol(k, harness::paper_spec(5005, 10, 50));
+          before.run_protocol(k, harness::paper_spec(5005, 10, 50),
+              harness::jobs());
       bench::SimStream after(s, harness::pinned_team(128));
       const auto ma =
-          after.run_protocol(k, harness::paper_spec(5006, 10, 50));
+          after.run_protocol(k, harness::paper_spec(5006, 10, 50),
+              harness::jobs());
       double ub_min = 1.0;
       double ub_max = 0.0;
       double pb_min = 1.0;

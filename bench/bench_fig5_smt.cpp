@@ -43,7 +43,8 @@ ompsim::TeamConfig mt_team(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Figure 5 — higher variability due to SMT (Dardel)",
       "MT (both HW threads of each core) is much noisier than ST (one HW "
@@ -58,11 +59,13 @@ int main() {
     bench::SimSchedBench st(s, st_team(128),
                             bench::EpccParams::schedbench(), 10000);
     const auto ms = st.run_protocol(ompsim::Schedule::dynamic, 1,
-                                    harness::paper_spec(6001, 10, 20));
+                                    harness::paper_spec(6001, 10, 20),
+                                        harness::jobs());
     bench::SimSchedBench mt(s, mt_team(128),
                             bench::EpccParams::schedbench(), 10000);
     const auto mm = mt.run_protocol(ompsim::Schedule::dynamic, 1,
-                                    harness::paper_spec(6002, 10, 20));
+                                    harness::paper_spec(6002, 10, 20),
+                                        harness::jobs());
     report::Table t({"config", "grand mean (us)", "pooled CV",
                      "worst run CV"});
     auto worst_cv = [](const RunMatrix& m) {
@@ -90,9 +93,11 @@ int main() {
     bool mt_noisier_everywhere = true;
     for (auto c : bench::all_sync_constructs()) {
       bench::SimSyncBench st(s, st_team(32));
-      const auto ms = st.run_protocol(c, harness::paper_spec(6003));
+      const auto ms = st.run_protocol(c, harness::paper_spec(6003),
+          harness::jobs());
       bench::SimSyncBench mt(s, mt_team(32));
-      const auto mm = mt.run_protocol(c, harness::paper_spec(6004));
+      const auto mm = mt.run_protocol(c, harness::paper_spec(6004),
+          harness::jobs());
       const auto cv_stats_s = stats::summarize(ms.run_cvs());
       const auto cv_stats_m = stats::summarize(mm.run_cvs());
       t.add_row({bench::sync_construct_name(c),
@@ -118,10 +123,12 @@ int main() {
   {
     bench::SimStream st(s, st_team(128));
     const auto ms = st.run_protocol(bench::StreamKernel::triad,
-                                    harness::paper_spec(6005, 10, 50));
+                                    harness::paper_spec(6005, 10, 50),
+                                        harness::jobs());
     bench::SimStream mt(s, mt_team(128));
     const auto mm = mt.run_protocol(bench::StreamKernel::triad,
-                                    harness::paper_spec(6006, 10, 50));
+                                    harness::paper_spec(6006, 10, 50),
+                                        harness::jobs());
     std::printf(
         "(c)/(f) BabelStream triad 128 threads: ST %.3f ms (CV %.4f) vs "
         "MT %.3f ms (CV %.4f)\n",
@@ -132,10 +139,12 @@ int main() {
 
     bench::SimStream st8(s, st_team(8));
     const auto ms8 = st8.run_protocol(bench::StreamKernel::triad,
-                                      harness::paper_spec(6007, 10, 50));
+                                      harness::paper_spec(6007, 10, 50),
+                                          harness::jobs());
     bench::SimStream mt8(s, mt_team(8));
     const auto mm8 = mt8.run_protocol(bench::StreamKernel::triad,
-                                      harness::paper_spec(6008, 10, 50));
+                                      harness::paper_spec(6008, 10, 50),
+                                          harness::jobs());
     std::printf("BabelStream triad 8 threads: ST %.3f ms vs MT %.3f ms\n",
                 ms8.grand_mean(), mm8.grand_mean());
     harness::verdict(mm8.grand_mean() / ms8.grand_mean() < 1.5,

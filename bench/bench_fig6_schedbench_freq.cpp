@@ -10,6 +10,7 @@
 // run-to-run and across the 100 repetitions), and its frequency trace
 // shows far more sub-fmax episodes (the "brown region").
 
+#include "bench/freq_panel.hpp"
 #include "bench/harness.hpp"
 #include "bench_suite/schedbench_sim.hpp"
 #include "freqlog/logger.hpp"
@@ -18,40 +19,19 @@ using namespace omv;
 
 namespace {
 
-struct PanelResult {
-  RunMatrix matrix;
-  freqlog::FreqTrace trace;
-};
+using PanelResult = harness::FreqPanelResult;
 
 PanelResult run_panel(sim::Simulator& s, const std::string& places,
                       std::uint64_t seed) {
-  ompsim::TeamConfig cfg;
-  cfg.n_threads = 16;
-  cfg.places_spec = places;
-  cfg.bind = topo::ProcBind::close;
-
-  bench::SimSchedBench sb(s, cfg, bench::EpccParams::schedbench(), 10000);
-  freqlog::SimFreqReader reader(s.freq(), s.machine().n_cores());
-
-  PanelResult out;
-  ompsim::SimTeam team(s, cfg, seed);
-  const auto spec = harness::paper_spec(seed, 10, 20);
-  RunHooks hooks;
-  hooks.before_run = [&](std::size_t, std::uint64_t run_seed) {
-    team.begin_run(run_seed);
-  };
-  hooks.after_run = [&](std::size_t) {
-    // Sample the whole run's timeline at 100 Hz, like the paper's logger.
-    out.trace.append(
-        freqlog::sample_sim(reader, 0.0, team.now(), 0.01));
-  };
-  out.matrix = run_experiment(
-      spec,
-      [&](const RepContext&) {
-        return sb.rep_time_us(team, ompsim::Schedule::static_, 1);
+  return harness::run_freq_panel(
+      s, places, harness::paper_spec(seed, 10, 20),
+      [](sim::Simulator& sim, const ompsim::TeamConfig& cfg) {
+        return bench::SimSchedBench(sim, cfg,
+                                    bench::EpccParams::schedbench(), 10000);
       },
-      hooks);
-  return out;
+      [](bench::SimSchedBench& sb, ompsim::SimTeam& team) {
+        return sb.rep_time_us(team, ompsim::Schedule::static_, 1);
+      });
 }
 
 void report_panel(const char* label, const PanelResult& r, double fmax) {
@@ -75,7 +55,8 @@ void report_panel(const char* label, const PanelResult& r, double fmax) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Figure 6 — schedbench variability from frequency variation (Vera)",
       "cross-NUMA placement shows higher execution-time variability and a "

@@ -6,6 +6,7 @@
 // run-to-run and within the 100 repetitions of a single run, matching the
 // grey sub-fmax regions of its frequency trace.
 
+#include "bench/freq_panel.hpp"
 #include "bench/harness.hpp"
 #include "bench_suite/syncbench_sim.hpp"
 #include "freqlog/logger.hpp"
@@ -14,43 +15,24 @@ using namespace omv;
 
 namespace {
 
-struct PanelResult {
-  RunMatrix matrix;
-  freqlog::FreqTrace trace;
-};
+using PanelResult = harness::FreqPanelResult;
 
 PanelResult run_panel(sim::Simulator& s, const std::string& places,
                       std::uint64_t seed) {
-  ompsim::TeamConfig cfg;
-  cfg.n_threads = 16;
-  cfg.places_spec = places;
-  cfg.bind = topo::ProcBind::close;
-
-  bench::SimSyncBench sb(s, cfg);
-  freqlog::SimFreqReader reader(s.freq(), s.machine().n_cores());
-
-  PanelResult out;
-  ompsim::SimTeam team(s, cfg, seed);
-  const auto spec = harness::paper_spec(seed);
-  RunHooks hooks;
-  hooks.before_run = [&](std::size_t, std::uint64_t run_seed) {
-    team.begin_run(run_seed);
-  };
-  hooks.after_run = [&](std::size_t) {
-    out.trace.append(freqlog::sample_sim(reader, 0.0, team.now(), 0.01));
-  };
-  out.matrix = run_experiment(
-      spec,
-      [&](const RepContext&) {
-        return sb.rep_time_us(team, bench::SyncConstruct::reduction);
+  return harness::run_freq_panel(
+      s, places, harness::paper_spec(seed),
+      [](sim::Simulator& sim, const ompsim::TeamConfig& cfg) {
+        return bench::SimSyncBench(sim, cfg);
       },
-      hooks);
-  return out;
+      [](bench::SimSyncBench& sb, ompsim::SimTeam& team) {
+        return sb.rep_time_us(team, bench::SyncConstruct::reduction);
+      });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Figure 7 — syncbench (reduction) and frequency variation (Vera)",
       "16 cores across two NUMA nodes show more run-to-run and "

@@ -9,7 +9,8 @@
 
 using namespace omv;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header("Table 1 — EPCC micro-benchmark parameters",
                   "schedbench: 100 reps, 15us delay, 1000us test time, "
                   "8192 itersperthr; syncbench: 100 reps, 0.1us delay, "

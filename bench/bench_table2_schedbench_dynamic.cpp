@@ -14,7 +14,8 @@
 
 using namespace omv;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::parse_args(argc, argv);
   harness::header(
       "Table 2 — schedbench (dynamic_1) higher execution time (us)",
       "Dardel: ~124,000us @4thr, ~154,200us @254thr with run 9 at "
@@ -45,7 +46,7 @@ int main() {
                             /*max_grabs_per_rep=*/10000);
     const auto spec = harness::paper_spec(c.seed);
     results.push_back(
-        sb.run_protocol(ompsim::Schedule::dynamic, 1, spec));
+        sb.run_protocol(ompsim::Schedule::dynamic, 1, spec, harness::jobs()));
     headers.push_back(std::string(c.platform.name) + " " +
                       std::to_string(c.threads) + " thr");
   }

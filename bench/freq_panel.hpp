@@ -1,0 +1,58 @@
+#pragma once
+// Shared panel machinery for the frequency-variation figures (6 and 7):
+// runs a sharded protocol on 16 close-bound threads over a places spec
+// while capturing each run's 100 Hz frequency trace, merged in protocol
+// order. Delegates to bench_suite/protocol.hpp's per-run cloning contract
+// (single implementation) via its end-of-run hook.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "bench_suite/protocol.hpp"
+#include "freqlog/logger.hpp"
+
+namespace omv::harness {
+
+struct FreqPanelResult {
+  RunMatrix matrix;
+  freqlog::FreqTrace trace;
+};
+
+/// Runs `spec` over `places` (16 threads, close bind) against per-run
+/// clones of `base`, sampling each run's whole timeline at 100 Hz — like
+/// the paper's logger — after the run's last timed repetition.
+/// `make_bench(sim, team_cfg)` builds the per-run benchmark object;
+/// `rep(bench, team)` executes one repetition and returns microseconds.
+template <typename MakeBench, typename Rep>
+[[nodiscard]] FreqPanelResult run_freq_panel(const sim::Simulator& base,
+                                             const std::string& places,
+                                             const ExperimentSpec& spec,
+                                             MakeBench make_bench, Rep rep) {
+  ompsim::TeamConfig cfg;
+  cfg.n_threads = 16;
+  cfg.places_spec = places;
+  cfg.bind = topo::ProcBind::close;
+
+  // Per-run traces land in run-indexed slots so the merged trace keeps
+  // protocol order under sharded execution; the vector outlives the
+  // synchronous sharded call.
+  std::vector<freqlog::FreqTrace> traces(spec.runs);
+  freqlog::FreqTrace* trace_slots = traces.data();
+
+  FreqPanelResult out;
+  out.matrix = bench::run_protocol_sharded(
+      base, cfg, spec, jobs(),
+      [make_bench, cfg](sim::Simulator& sim) { return make_bench(sim, cfg); },
+      rep,
+      [trace_slots](auto& /*bench*/, ompsim::SimTeam& team,
+                    sim::Simulator& sim, const RunSlot& slot) {
+        freqlog::SimFreqReader reader(sim.freq(), sim.machine().n_cores());
+        trace_slots[slot.run].append(
+            freqlog::sample_sim(reader, 0.0, team.now(), 0.01));
+      });
+  for (const auto& tr : traces) out.trace.append(tr);
+  return out;
+}
+
+}  // namespace omv::harness

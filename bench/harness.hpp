@@ -5,18 +5,144 @@
 // with no arguments using the paper's full protocol (10 runs x 100 outer
 // repetitions); set OMNIVAR_QUICK=1 to shrink the protocol for smoke runs,
 // or OMNIVAR_RUNS / OMNIVAR_REPS to override explicitly.
+//
+// Protocol execution is sharded across worker threads: pass --jobs=N (or
+// set OMNIVAR_JOBS=N; 0 = one worker per hardware thread) to run the R
+// independent runs of every configuration concurrently. Results are
+// bit-identical to the serial default (--jobs=1) because each run derives
+// its entire state from its run seed.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <set>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/parallel_runner.hpp"
 #include "core/report.hpp"
 #include "omp_model/team.hpp"
 #include "sim/simulator.hpp"
 #include "topo/topology.hpp"
 
 namespace omv::harness {
+
+/// Mutable process-wide jobs override (set by parse_args; 0 = unset, fall
+/// back to the OMNIVAR_JOBS environment variable, then serial).
+inline std::size_t& jobs_override() {
+  static std::size_t value = 0;
+  return value;
+}
+
+/// Strictly parses a non-negative integer. Returns false on empty,
+/// non-digit, negative, or overflowing input (strtoul alone would happily
+/// wrap "-4").
+inline bool parse_uint(const char* text, std::size_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Strictly parses a job count ("0" = hardware concurrency) — a typo'd
+/// jobs value must not silently become "saturate every core" on a
+/// measurement harness.
+inline bool parse_job_count(const char* text, std::size_t& out) {
+  std::size_t v = 0;
+  if (!parse_uint(text, v)) return false;
+  out = resolve_jobs(v);
+  return true;
+}
+
+/// Applies a protocol-count override from the environment: a malformed or
+/// zero value warns and leaves `value` unchanged (a typo'd OMNIVAR_RUNS
+/// must not silently produce an empty RunMatrix and NaN statistics).
+inline void apply_count_env(const char* name, std::size_t& value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return;
+  std::size_t v = 0;
+  if (parse_uint(text, v) && v > 0) {
+    value = v;
+  } else {
+    // Warn once per variable: paper_spec runs once per swept
+    // configuration, and a dozen identical lines would bury real output.
+    static std::set<std::string> warned;
+    if (warned.insert(name).second) {
+      std::fprintf(stderr,
+                   "harness: ignoring malformed %s='%s' (expected a "
+                   "positive integer)\n",
+                   name, text);
+    }
+  }
+}
+
+/// Effective worker count for sharded protocol execution: the --jobs
+/// override, else OMNIVAR_JOBS (where 0 means hardware concurrency), else
+/// 1 (serial — the paper's original execution model). A malformed
+/// OMNIVAR_JOBS is reported once and ignored.
+inline std::size_t jobs() {
+  if (jobs_override() != 0) return jobs_override();
+  if (const char* j = std::getenv("OMNIVAR_JOBS")) {
+    std::size_t n = 0;
+    if (parse_job_count(j, n)) return n;
+    static bool warned = [&] {
+      std::fprintf(stderr,
+                   "harness: ignoring malformed OMNIVAR_JOBS='%s' "
+                   "(expected a non-negative integer); running serial\n",
+                   j);
+      return true;
+    }();
+    (void)warned;
+  }
+  return 1;
+}
+
+/// Parses the shared harness flags (currently --jobs=N / --jobs N).
+/// Malformed jobs values are reported and ignored; other unrecognized
+/// arguments are ignored so harnesses stay zero-config.
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "harness: --jobs requires a value\n");
+        continue;
+      }
+      value = argv[++i];
+    } else {
+      continue;
+    }
+    std::size_t n = 0;
+    if (parse_job_count(value, n)) {
+      jobs_override() = n;
+    } else {
+      std::fprintf(stderr,
+                   "harness: ignoring malformed --jobs value '%s' "
+                   "(expected a non-negative integer)\n",
+                   value);
+    }
+  }
+}
+
+/// Runs a spec through the ParallelRunner honoring the harness job count;
+/// `make_kernel` builds one private kernel per run. This is the generic
+/// entry point for ad-hoc kernels that have no Sim* benchmark object —
+/// harnesses built on the bench_suite classes go through their
+/// run_protocol(..., jobs) overloads instead.
+inline RunMatrix run_sharded(const ExperimentSpec& spec,
+                             const RunKernelFactory& make_kernel) {
+  return run_experiment_parallel(spec, make_kernel, jobs());
+}
 
 /// Protocol spec honoring the environment overrides.
 inline ExperimentSpec paper_spec(std::uint64_t seed, std::size_t runs = 10,
@@ -30,12 +156,8 @@ inline ExperimentSpec paper_spec(std::uint64_t seed, std::size_t runs = 10,
     spec.runs = std::min<std::size_t>(spec.runs, 3);
     spec.reps = std::min<std::size_t>(spec.reps, 10);
   }
-  if (const char* r = std::getenv("OMNIVAR_RUNS")) {
-    spec.runs = std::strtoul(r, nullptr, 10);
-  }
-  if (const char* r = std::getenv("OMNIVAR_REPS")) {
-    spec.reps = std::strtoul(r, nullptr, 10);
-  }
+  apply_count_env("OMNIVAR_RUNS", spec.runs);
+  apply_count_env("OMNIVAR_REPS", spec.reps);
   return spec;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bench_suite/protocol.hpp"
+
 namespace omv::bench {
 
 SimSchedBench::SimSchedBench(sim::Simulator& simulator,
@@ -40,6 +42,20 @@ RunMatrix SimSchedBench::run_protocol(ompsim::Schedule kind, std::size_t chunk,
   return run_experiment(
       spec, [&](const RepContext&) { return rep_time_us(team, kind, chunk); },
       hooks);
+}
+
+RunMatrix SimSchedBench::run_protocol(ompsim::Schedule kind, std::size_t chunk,
+                                      const ExperimentSpec& spec,
+                                      std::size_t jobs) {
+  return run_protocol_sharded(
+      *sim_, team_cfg_, spec, jobs,
+      [team_cfg = team_cfg_, params = params_,
+       max_grabs = max_grabs_](sim::Simulator& sim) {
+        return SimSchedBench(sim, team_cfg, params, max_grabs);
+      },
+      [kind, chunk](SimSchedBench& bench, ompsim::SimTeam& team) {
+        return bench.rep_time_us(team, kind, chunk);
+      });
 }
 
 }  // namespace omv::bench

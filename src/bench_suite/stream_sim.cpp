@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bench_suite/protocol.hpp"
+
 namespace omv::bench {
 
 const char* stream_kernel_name(StreamKernel k) noexcept {
@@ -130,6 +132,19 @@ RunMatrix SimStream::run_protocol(StreamKernel k, const ExperimentSpec& spec) {
       spec,
       [&](const RepContext&) { return kernel_time_s(team, k) * 1e3; },
       hooks);
+}
+
+RunMatrix SimStream::run_protocol(StreamKernel k, const ExperimentSpec& spec,
+                                  std::size_t jobs) {
+  return run_protocol_sharded(
+      *sim_, team_cfg_, spec, jobs,
+      [team_cfg = team_cfg_, elems = array_elems_,
+       smt_penalty = smt_penalty_](sim::Simulator& sim) {
+        return SimStream(sim, team_cfg, elems, smt_penalty);
+      },
+      [k](SimStream& bench, ompsim::SimTeam& team) {
+        return bench.kernel_time_s(team, k) * 1e3;
+      });
 }
 
 }  // namespace omv::bench

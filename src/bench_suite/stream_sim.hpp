@@ -63,6 +63,13 @@ class SimStream {
   [[nodiscard]] RunMatrix run_protocol(StreamKernel k,
                                        const ExperimentSpec& spec);
 
+  /// As run_protocol, but shards the spec's runs across `jobs` worker
+  /// threads (0 = hardware concurrency; 1 = inline); bit-identical to the
+  /// serial overload.
+  [[nodiscard]] RunMatrix run_protocol(StreamKernel k,
+                                       const ExperimentSpec& spec,
+                                       std::size_t jobs);
+
   [[nodiscard]] std::size_t array_elems() const noexcept {
     return array_elems_;
   }

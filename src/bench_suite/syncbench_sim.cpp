@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bench_suite/protocol.hpp"
+
 namespace omv::bench {
 
 SimSyncBench::SimSyncBench(sim::Simulator& simulator,
@@ -138,6 +140,20 @@ RunMatrix SimSyncBench::run_protocol(SyncConstruct c,
   };
   return run_experiment(
       spec, [&](const RepContext&) { return rep_time_us(team, c); }, hooks);
+}
+
+RunMatrix SimSyncBench::run_protocol(SyncConstruct c,
+                                     const ExperimentSpec& spec,
+                                     std::size_t jobs) {
+  return run_protocol_sharded(
+      *sim_, team_cfg_, spec, jobs,
+      [team_cfg = team_cfg_, params = params_,
+       groups = groups_](sim::Simulator& sim) {
+        return SimSyncBench(sim, team_cfg, params, groups);
+      },
+      [c](SimSyncBench& bench, ompsim::SimTeam& team) {
+        return bench.rep_time_us(team, c);
+      });
 }
 
 }  // namespace omv::bench

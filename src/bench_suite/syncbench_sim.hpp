@@ -45,6 +45,15 @@ class SimSyncBench {
   [[nodiscard]] RunMatrix run_protocol(SyncConstruct c,
                                        const ExperimentSpec& spec);
 
+  /// As run_protocol, but shards the spec's runs across `jobs` worker
+  /// threads (0 = hardware concurrency; 1 = inline). Each run executes on
+  /// a private Simulator + team whose state begin_run re-derives entirely
+  /// from the run seed, so the RunMatrix is bit-identical to the serial
+  /// overload.
+  [[nodiscard]] RunMatrix run_protocol(SyncConstruct c,
+                                       const ExperimentSpec& spec,
+                                       std::size_t jobs);
+
   [[nodiscard]] const EpccParams& params() const noexcept { return params_; }
   [[nodiscard]] const ompsim::TeamConfig& team_config() const noexcept {
     return team_cfg_;

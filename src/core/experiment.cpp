@@ -8,31 +8,36 @@ std::uint64_t derive_run_seed(std::uint64_t base, std::size_t run) noexcept {
   return Rng(base).fork(0x5eedULL + run).next_u64();
 }
 
+std::vector<double> execute_run(const ExperimentSpec& spec,
+                                const RepKernel& kernel, std::size_t run,
+                                std::uint64_t run_seed) {
+  RepContext ctx;
+  ctx.run = run;
+  ctx.run_seed = run_seed;
+
+  for (std::size_t w = 0; w < spec.warmup; ++w) {
+    ctx.rep = w;
+    ctx.warmup = true;
+    (void)kernel(ctx);
+  }
+
+  std::vector<double> times;
+  times.reserve(spec.reps);
+  ctx.warmup = false;
+  for (std::size_t k = 0; k < spec.reps; ++k) {
+    ctx.rep = k;
+    times.push_back(kernel(ctx));
+  }
+  return times;
+}
+
 RunMatrix run_experiment(const ExperimentSpec& spec, const RepKernel& kernel,
                          const RunHooks& hooks) {
   RunMatrix matrix(spec.name);
   for (std::size_t r = 0; r < spec.runs; ++r) {
     const std::uint64_t run_seed = derive_run_seed(spec.seed, r);
     if (hooks.before_run) hooks.before_run(r, run_seed);
-
-    RepContext ctx;
-    ctx.run = r;
-    ctx.run_seed = run_seed;
-
-    for (std::size_t w = 0; w < spec.warmup; ++w) {
-      ctx.rep = w;
-      ctx.warmup = true;
-      (void)kernel(ctx);
-    }
-
-    std::vector<double> times;
-    times.reserve(spec.reps);
-    ctx.warmup = false;
-    for (std::size_t k = 0; k < spec.reps; ++k) {
-      ctx.rep = k;
-      times.push_back(kernel(ctx));
-    }
-    matrix.add_run(std::move(times));
+    matrix.add_run(execute_run(spec, kernel, r, run_seed));
     if (hooks.after_run) hooks.after_run(r);
   }
   return matrix;

@@ -49,6 +49,15 @@ struct RunHooks {
                                        const RepKernel& kernel,
                                        const RunHooks& hooks = {});
 
+/// Executes the warmup + timed repetitions of run `run` and returns its
+/// repetition times. This is the single arithmetic shared by the serial
+/// run_experiment loop and the ParallelRunner shards, which is what makes
+/// parallel results bit-identical to serial ones.
+[[nodiscard]] std::vector<double> execute_run(const ExperimentSpec& spec,
+                                              const RepKernel& kernel,
+                                              std::size_t run,
+                                              std::uint64_t run_seed);
+
 /// Wall-clock helper: runs `fn` once and returns elapsed seconds.
 template <typename F>
 [[nodiscard]] double time_seconds(F&& fn) {

@@ -1,0 +1,185 @@
+#include "core/parallel_runner.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace omv {
+
+void BatchResult::merge(BatchResult other) {
+  matrices_.reserve(matrices_.size() + other.matrices_.size());
+  for (auto& m : other.matrices_) matrices_.push_back(std::move(m));
+}
+
+const RunMatrix* BatchResult::find(const std::string& label) const noexcept {
+  for (const auto& m : matrices_) {
+    if (m.label() == label) return &m;
+  }
+  return nullptr;
+}
+
+std::size_t BatchResult::total_runs() const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : matrices_) n += m.runs();
+  return n;
+}
+
+std::size_t resolve_jobs(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ParallelRunner::ParallelRunner(ParallelConfig cfg)
+    : jobs_(resolve_jobs(cfg.jobs)) {}
+
+namespace {
+
+/// One (cell, run) work item plus where its rows land.
+struct RunTask {
+  RunSlot slot;
+  std::vector<double>* out = nullptr;
+};
+
+/// Executes one task: build the run's private kernel, run warmups + timed
+/// repetitions with the exact serial arithmetic (execute_run).
+void execute_task(const std::vector<ExperimentCell>& cells,
+                  const RunTask& task) {
+  const ExperimentCell& cell = cells[task.slot.cell];
+  const RepKernel kernel = cell.make_kernel(task.slot);
+  *task.out = execute_run(cell.spec, kernel, task.slot.run,
+                          task.slot.run_seed);
+}
+
+/// Minimal work-stealing scheduler over a fixed task set: each worker owns
+/// a deque seeded round-robin, pops its own back (LIFO, cache-warm) and
+/// steals from other queues' fronts (FIFO, oldest — classic Arora/
+/// Blumofe/Plaxton discipline with locks instead of a lock-free deque;
+/// run-granularity tasks are far too coarse for deque contention to show).
+class StealingScheduler {
+ public:
+  StealingScheduler(std::size_t workers, std::vector<RunTask> tasks)
+      : queues_(workers) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      queues_[i % workers].tasks.push_back(std::move(tasks[i]));
+    }
+  }
+
+  /// Runs all tasks on `workers` threads; rethrows the first kernel
+  /// exception after every worker has stopped.
+  void run_all(const std::vector<ExperimentCell>& cells) {
+    std::vector<std::thread> threads;
+    threads.reserve(queues_.size());
+    for (std::size_t w = 0; w < queues_.size(); ++w) {
+      threads.emplace_back([this, &cells, w] { worker_loop(cells, w); });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<RunTask> tasks;
+  };
+
+  std::optional<RunTask> pop_own(std::size_t w) {
+    std::lock_guard lock(queues_[w].mutex);
+    if (queues_[w].tasks.empty()) return std::nullopt;
+    RunTask t = std::move(queues_[w].tasks.back());
+    queues_[w].tasks.pop_back();
+    return t;
+  }
+
+  std::optional<RunTask> steal(std::size_t thief) {
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+      const std::size_t victim = (thief + k) % queues_.size();
+      std::lock_guard lock(queues_[victim].mutex);
+      if (queues_[victim].tasks.empty()) continue;
+      RunTask t = std::move(queues_[victim].tasks.front());
+      queues_[victim].tasks.pop_front();
+      return t;
+    }
+    return std::nullopt;
+  }
+
+  void worker_loop(const std::vector<ExperimentCell>& cells, std::size_t w) {
+    while (!cancelled_.load(std::memory_order_relaxed)) {
+      auto task = pop_own(w);
+      if (!task) task = steal(w);
+      if (!task) return;  // every queue drained
+      try {
+        execute_task(cells, *task);
+      } catch (...) {
+        std::lock_guard lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+        cancelled_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  std::vector<Queue> queues_;
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace
+
+BatchResult ParallelRunner::run_sweep(
+    const std::vector<ExperimentCell>& cells) const {
+  // Pre-size the result grid so workers write to disjoint slots and the
+  // final assembly preserves protocol (cell, run) order exactly.
+  std::vector<std::vector<std::vector<double>>> grid(cells.size());
+  std::vector<RunTask> tasks;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    grid[c].resize(cells[c].spec.runs);
+    for (std::size_t r = 0; r < cells[c].spec.runs; ++r) {
+      RunTask t;
+      t.slot = {c, r, derive_run_seed(cells[c].spec.seed, r)};
+      t.out = &grid[c][r];
+      tasks.push_back(std::move(t));
+    }
+  }
+
+  if (jobs_ <= 1 || tasks.size() <= 1) {
+    // Inline fallback: no pool, same code path per task.
+    for (const auto& t : tasks) execute_task(cells, t);
+  } else {
+    const std::size_t workers = std::min(jobs_, tasks.size());
+    StealingScheduler scheduler(workers, std::move(tasks));
+    scheduler.run_all(cells);
+  }
+
+  BatchResult batch;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    RunMatrix m(cells[c].spec.name);
+    for (auto& row : grid[c]) m.add_run(std::move(row));
+    batch.add(std::move(m));
+  }
+  return batch;
+}
+
+RunMatrix ParallelRunner::run(const ExperimentSpec& spec,
+                              const RunKernelFactory& make_kernel) const {
+  std::vector<ExperimentCell> cells(1);
+  cells[0].spec = spec;
+  cells[0].make_kernel = make_kernel;
+  BatchResult batch = run_sweep(cells);
+  return batch.take(0);
+}
+
+RunMatrix run_experiment_parallel(const ExperimentSpec& spec,
+                                  const RunKernelFactory& make_kernel,
+                                  std::size_t jobs) {
+  ParallelConfig cfg;
+  cfg.jobs = jobs;
+  return ParallelRunner(cfg).run(spec, make_kernel);
+}
+
+}  // namespace omv

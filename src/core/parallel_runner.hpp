@@ -1,0 +1,126 @@
+#pragma once
+// ParallelRunner — sharded execution of the experiment protocol.
+//
+// The paper's protocol (R independent runs x K repetitions per
+// configuration, swept over thread counts / places / bindings / governors)
+// is embarrassingly parallel across (configuration, run) cells: every run
+// derives its entire state from derive_run_seed(spec.seed, run), so the
+// repetition times it produces do not depend on which thread executes it or
+// when. ParallelRunner shards a sweep into per-run work items, executes
+// them on a work-stealing thread pool, and reassembles RunMatrix rows in
+// protocol order — the result is bit-identical to the serial
+// run_experiment path for deterministic kernels.
+//
+// Kernels are provided through a per-run factory (RunKernelFactory): each
+// run gets a private kernel instance, so kernels may own mutable state
+// (simulators, thread teams) without any synchronization. RunHooks are not
+// supported here: their sequential shared-state semantics is exactly what
+// the per-run factory replaces.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/run_matrix.hpp"
+
+namespace omv {
+
+/// Identifies one run of one sweep cell.
+struct RunSlot {
+  std::size_t cell = 0;        ///< index of the cell within the sweep.
+  std::size_t run = 0;         ///< run index within the cell's spec.
+  std::uint64_t run_seed = 0;  ///< derive_run_seed(spec.seed, run).
+};
+
+/// Builds the kernel executing every repetition (warmup + timed) of one
+/// run. Invoked once per run, possibly concurrently with other runs.
+using RunKernelFactory = std::function<RepKernel(const RunSlot&)>;
+
+/// One configuration of a sweep.
+struct ExperimentCell {
+  ExperimentSpec spec;
+  RunKernelFactory make_kernel;
+};
+
+/// Aggregated sweep results, one RunMatrix per cell, in submission order.
+class BatchResult {
+ public:
+  BatchResult() = default;
+
+  /// Appends a completed cell result.
+  void add(RunMatrix matrix) { matrices_.push_back(std::move(matrix)); }
+
+  /// Appends all of `other`'s cell results (e.g. shards from another
+  /// worker pool or process).
+  void merge(BatchResult other);
+
+  [[nodiscard]] std::size_t size() const noexcept { return matrices_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return matrices_.empty(); }
+  [[nodiscard]] const RunMatrix& matrix(std::size_t i) const {
+    return matrices_.at(i);
+  }
+  [[nodiscard]] const std::vector<RunMatrix>& matrices() const noexcept {
+    return matrices_;
+  }
+
+  /// First matrix labelled `label`, or nullptr.
+  [[nodiscard]] const RunMatrix* find(const std::string& label) const noexcept;
+
+  /// Moves matrix `i` out (the slot is left empty).
+  [[nodiscard]] RunMatrix take(std::size_t i) {
+    return std::move(matrices_.at(i));
+  }
+
+  /// Total number of runs across all cells.
+  [[nodiscard]] std::size_t total_runs() const noexcept;
+
+ private:
+  std::vector<RunMatrix> matrices_;
+};
+
+/// Runner configuration.
+struct ParallelConfig {
+  /// Worker threads. 0 = one per hardware thread; 1 = execute inline on
+  /// the calling thread (no pool is created).
+  std::size_t jobs = 0;
+};
+
+/// Resolves a job-count request: 0 becomes std::thread::hardware_concurrency
+/// (at least 1); anything else is returned unchanged.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested) noexcept;
+
+/// Work-stealing sweep executor. Stateless between calls; a fresh pool is
+/// spun up per sweep (run granularity is coarse enough that thread startup
+/// is negligible against the paper's 10 x 100 protocol).
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(ParallelConfig cfg = {});
+
+  /// Effective worker count.
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Runs one spec, sharding its runs across the pool.
+  [[nodiscard]] RunMatrix run(const ExperimentSpec& spec,
+                              const RunKernelFactory& make_kernel) const;
+
+  /// Runs a whole sweep, sharding every (cell, run) pair across the pool.
+  /// The first exception thrown by any kernel/factory is rethrown here
+  /// after all workers have drained.
+  [[nodiscard]] BatchResult run_sweep(
+      const std::vector<ExperimentCell>& cells) const;
+
+ private:
+  std::size_t jobs_ = 1;
+};
+
+/// Convenience wrapper: parallel run_experiment with an explicit job count
+/// (0 = hardware concurrency). Bit-identical to run_experiment for
+/// deterministic kernels.
+[[nodiscard]] RunMatrix run_experiment_parallel(
+    const ExperimentSpec& spec, const RunKernelFactory& make_kernel,
+    std::size_t jobs = 0);
+
+}  // namespace omv

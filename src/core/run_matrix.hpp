@@ -32,6 +32,13 @@ class RunMatrix {
   /// Appends a completed run. Runs may have different repetition counts.
   void add_run(std::vector<double> rep_times);
 
+  /// Appends every run of `other` after this matrix's runs. Public merge
+  /// surface for external harnesses that split one configuration's runs
+  /// across pools or processes; the in-process ParallelRunner does not
+  /// need it (workers write into pre-sized row slots instead). The label
+  /// of `other` is ignored.
+  void append_runs(const RunMatrix& other);
+
   /// Number of runs recorded.
   [[nodiscard]] std::size_t runs() const noexcept { return data_.size(); }
   /// Repetition times of run `r`.

@@ -68,6 +68,14 @@ void FreqModel::begin_run(std::uint64_t run_seed) {
   jitter_rng_ = base.fork(12);
   Rng cap_rng = base.fork(13);
   run_capped_ = cap_rng.bernoulli(cfg_.run_cap_prob);
+  // The activity multiplier and load fraction are per-run state: carrying
+  // a previous run's values into the arrival draws or the cap gate would
+  // make a run's behaviour depend on what ran before it, breaking the
+  // invariant that run state derives solely from run_seed (callers
+  // re-declare both via set_activity_domains / set_load_fraction right
+  // after begin_run).
+  activity_mult_ = 1.0;
+  load_fraction_ = 1.0;
   rate_ = cfg_.episode_rate * activity_mult_;
   for (auto& v : episodes_) v.clear();
   for (auto& t : next_arrival_) {

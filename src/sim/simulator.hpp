@@ -45,6 +45,9 @@ class Simulator {
     return machine_;
   }
   [[nodiscard]] const CostModel& costs() const noexcept { return cfg_.costs; }
+  /// Full configuration bundle (lets callers clone per-worker simulators
+  /// for sharded experiment execution).
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] NoiseModel& noise() noexcept { return *noise_; }
   [[nodiscard]] FreqModel& freq() noexcept { return *freq_; }
   [[nodiscard]] const MemoryModel& memory() const noexcept { return *mem_; }

@@ -1,0 +1,89 @@
+// Unit tests for sim/cost_model: the per-platform runtime cost constants
+// and the ceil_log2 helper the tree-barrier/reduction costs are built on.
+
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omv::sim {
+namespace {
+
+TEST(CostModel, DefaultsArePositive) {
+  const CostModel c;
+  EXPECT_GT(c.fork_base, 0.0);
+  EXPECT_GT(c.fork_per_thread, 0.0);
+  EXPECT_GT(c.barrier_base, 0.0);
+  EXPECT_GT(c.barrier_per_level, 0.0);
+  EXPECT_GT(c.barrier_numa_step, 0.0);
+  EXPECT_GT(c.barrier_socket_step, 0.0);
+  EXPECT_GT(c.barrier_central_per_thread, 0.0);
+  EXPECT_GT(c.reduction_per_level, 0.0);
+  EXPECT_GT(c.critical_enter, 0.0);
+  EXPECT_GT(c.lock_op, 0.0);
+  EXPECT_GT(c.atomic_op, 0.0);
+  EXPECT_GT(c.atomic_contention, 0.0);
+  EXPECT_GT(c.static_setup, 0.0);
+  EXPECT_GT(c.sched_grab_base, 0.0);
+  EXPECT_GT(c.sched_grab_contention, 0.0);
+  EXPECT_GT(c.migration_cost, 0.0);
+  EXPECT_GT(c.oversub_stall_mean, 0.0);
+  EXPECT_GT(c.work_scale, 0.0);
+}
+
+TEST(CostModel, SmtFractionsAreFractions) {
+  const CostModel c;
+  EXPECT_GT(c.smt_throughput, 0.0);
+  EXPECT_LT(c.smt_throughput, 1.0);
+  EXPECT_GE(c.smt_jitter, 0.0);
+  EXPECT_GT(c.smt_sync_overhead, 0.0);
+  EXPECT_GT(c.smt_sync_jitter, 0.0);
+}
+
+TEST(CostModel, VeraIsCalibratedSlowerThanDardel) {
+  const CostModel d = CostModel::dardel();
+  const CostModel v = CostModel::vera();
+  // The paper's Table 2: Vera's delay loop runs ~7% long, its dynamic
+  // chunk grabs are costlier, and cross-socket traffic is pricier.
+  EXPECT_DOUBLE_EQ(d.work_scale, 1.0);
+  EXPECT_GT(v.work_scale, 1.0);
+  EXPECT_GT(v.sched_grab_base, d.sched_grab_base);
+  EXPECT_GT(v.sched_grab_contention, d.sched_grab_contention);
+  EXPECT_GT(v.barrier_socket_step, d.barrier_socket_step);
+  EXPECT_GT(v.fork_per_thread, d.fork_per_thread);
+}
+
+TEST(CostModel, CentralizedBarrierScalesLinearly) {
+  // The centralized-barrier cost at paper scale must exceed the tree
+  // barrier's log-depth cost — that gap is why production runtimes (and
+  // the ablation bench) default to trees.
+  const CostModel c;
+  const std::size_t threads = 128;
+  const double central =
+      c.barrier_central_per_thread * static_cast<double>(threads);
+  const double tree =
+      c.barrier_per_level * static_cast<double>(ceil_log2(threads));
+  EXPECT_GT(central, tree);
+}
+
+TEST(CeilLog2, ExactPowersAndInBetween) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(9), 4u);
+  EXPECT_EQ(ceil_log2(128), 7u);
+  EXPECT_EQ(ceil_log2(129), 8u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+}
+
+TEST(CeilLog2, PaperThreadCounts) {
+  // Dardel sweeps up to 254 HW threads (8 levels), Vera to 30 (5 levels).
+  EXPECT_EQ(ceil_log2(254), 8u);
+  EXPECT_EQ(ceil_log2(256), 8u);
+  EXPECT_EQ(ceil_log2(30), 5u);
+}
+
+}  // namespace
+}  // namespace omv::sim

@@ -1,0 +1,200 @@
+// Tests for the bench-harness environment handling: the OMNIVAR_QUICK /
+// OMNIVAR_RUNS / OMNIVAR_REPS protocol overrides and the --jobs /
+// OMNIVAR_JOBS sharding knob in bench/harness.hpp.
+
+#include "bench/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace omv::harness {
+namespace {
+
+/// Clears every OMNIVAR_* variable and the --jobs override around each
+/// test so cases cannot leak protocol settings into each other.
+class HarnessEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+
+  static void clear() {
+    ::unsetenv("OMNIVAR_QUICK");
+    ::unsetenv("OMNIVAR_RUNS");
+    ::unsetenv("OMNIVAR_REPS");
+    ::unsetenv("OMNIVAR_JOBS");
+    jobs_override() = 0;
+  }
+};
+
+TEST_F(HarnessEnvTest, PaperSpecDefaultsMatchPaperProtocol) {
+  const auto spec = paper_spec(77);
+  EXPECT_EQ(spec.runs, 10u);
+  EXPECT_EQ(spec.reps, 100u);
+  EXPECT_EQ(spec.warmup, 1u);
+  EXPECT_EQ(spec.seed, 77u);
+}
+
+TEST_F(HarnessEnvTest, PaperSpecHonorsExplicitArguments) {
+  const auto spec = paper_spec(1, 4, 25);
+  EXPECT_EQ(spec.runs, 4u);
+  EXPECT_EQ(spec.reps, 25u);
+}
+
+TEST_F(HarnessEnvTest, QuickClampsProtocol) {
+  ::setenv("OMNIVAR_QUICK", "1", 1);
+  const auto spec = paper_spec(1);
+  EXPECT_EQ(spec.runs, 3u);
+  EXPECT_EQ(spec.reps, 10u);
+}
+
+TEST_F(HarnessEnvTest, QuickOnlyClampsNeverGrows) {
+  ::setenv("OMNIVAR_QUICK", "1", 1);
+  const auto spec = paper_spec(1, 2, 5);
+  EXPECT_EQ(spec.runs, 2u);
+  EXPECT_EQ(spec.reps, 5u);
+}
+
+TEST_F(HarnessEnvTest, QuickZeroIsDisabled) {
+  ::setenv("OMNIVAR_QUICK", "0", 1);
+  const auto spec = paper_spec(1);
+  EXPECT_EQ(spec.runs, 10u);
+  EXPECT_EQ(spec.reps, 100u);
+}
+
+TEST_F(HarnessEnvTest, RunsAndRepsOverrideExplicitly) {
+  ::setenv("OMNIVAR_RUNS", "6", 1);
+  ::setenv("OMNIVAR_REPS", "33", 1);
+  const auto spec = paper_spec(1);
+  EXPECT_EQ(spec.runs, 6u);
+  EXPECT_EQ(spec.reps, 33u);
+}
+
+TEST_F(HarnessEnvTest, MalformedRunsRepsKeepDefaults) {
+  ::setenv("OMNIVAR_RUNS", "abc", 1);
+  ::setenv("OMNIVAR_REPS", "-5", 1);
+  const auto spec = paper_spec(1);
+  EXPECT_EQ(spec.runs, 10u);   // not strtoul's silent 0
+  EXPECT_EQ(spec.reps, 100u);
+}
+
+TEST_F(HarnessEnvTest, ZeroRunsRepsAreRejected) {
+  ::setenv("OMNIVAR_RUNS", "0", 1);
+  const auto spec = paper_spec(1);
+  EXPECT_EQ(spec.runs, 10u);  // an empty protocol is never useful
+}
+
+TEST_F(HarnessEnvTest, ExplicitOverridesBeatQuick) {
+  ::setenv("OMNIVAR_QUICK", "1", 1);
+  ::setenv("OMNIVAR_RUNS", "8", 1);
+  const auto spec = paper_spec(1);
+  EXPECT_EQ(spec.runs, 8u);   // explicit override applies after the clamp
+  EXPECT_EQ(spec.reps, 10u);  // quick clamp still applies to reps
+}
+
+TEST_F(HarnessEnvTest, JobsDefaultsToSerial) { EXPECT_EQ(jobs(), 1u); }
+
+TEST_F(HarnessEnvTest, JobsReadsEnvironment) {
+  ::setenv("OMNIVAR_JOBS", "3", 1);
+  EXPECT_EQ(jobs(), 3u);
+}
+
+TEST_F(HarnessEnvTest, JobsZeroMeansHardwareConcurrency) {
+  ::setenv("OMNIVAR_JOBS", "0", 1);
+  EXPECT_GE(jobs(), 1u);
+  EXPECT_EQ(jobs(), resolve_jobs(0));
+}
+
+TEST_F(HarnessEnvTest, ParseArgsEqualsForm) {
+  const char* argv[] = {"bench", "--jobs=5"};
+  parse_args(2, const_cast<char**>(argv));
+  EXPECT_EQ(jobs(), 5u);
+}
+
+TEST_F(HarnessEnvTest, ParseArgsSeparateForm) {
+  const char* argv[] = {"bench", "--jobs", "7"};
+  parse_args(3, const_cast<char**>(argv));
+  EXPECT_EQ(jobs(), 7u);
+}
+
+TEST_F(HarnessEnvTest, ParseArgsOverridesEnvironment) {
+  ::setenv("OMNIVAR_JOBS", "2", 1);
+  const char* argv[] = {"bench", "--jobs=9"};
+  parse_args(2, const_cast<char**>(argv));
+  EXPECT_EQ(jobs(), 9u);
+}
+
+TEST_F(HarnessEnvTest, ParseJobCountStrict) {
+  std::size_t n = 0;
+  EXPECT_TRUE(parse_job_count("5", n));
+  EXPECT_EQ(n, 5u);
+  EXPECT_TRUE(parse_job_count("0", n));
+  EXPECT_EQ(n, resolve_jobs(0));
+  EXPECT_FALSE(parse_job_count("", n));
+  EXPECT_FALSE(parse_job_count("abc", n));
+  EXPECT_FALSE(parse_job_count("1O", n));  // letter O typo
+  EXPECT_FALSE(parse_job_count("4 ", n));
+  EXPECT_FALSE(parse_job_count(nullptr, n));
+  EXPECT_FALSE(parse_job_count("-4", n));  // strtoul would wrap this
+  EXPECT_FALSE(parse_job_count("+4", n));
+  EXPECT_FALSE(parse_job_count("99999999999999999999999", n));  // ERANGE
+}
+
+TEST_F(HarnessEnvTest, MalformedJobsFlagIsIgnoredNotExpanded) {
+  const char* argv[] = {"bench", "--jobs=1O"};
+  parse_args(2, const_cast<char**>(argv));
+  EXPECT_EQ(jobs(), 1u);  // stays serial, does not become all cores
+}
+
+TEST_F(HarnessEnvTest, MalformedJobsEnvFallsBackToSerial) {
+  ::setenv("OMNIVAR_JOBS", "abc", 1);
+  EXPECT_EQ(jobs(), 1u);
+}
+
+TEST_F(HarnessEnvTest, NegativeJobsIsRejectedNotWrapped) {
+  const char* argv[] = {"bench", "--jobs=-4"};
+  parse_args(2, const_cast<char**>(argv));
+  EXPECT_EQ(jobs(), 1u);  // not ULONG_MAX-3 workers
+  ::setenv("OMNIVAR_JOBS", "-4", 1);
+  EXPECT_EQ(jobs(), 1u);
+}
+
+TEST_F(HarnessEnvTest, TrailingJobsFlagWithoutValueIsIgnored) {
+  const char* argv[] = {"bench", "--jobs"};
+  parse_args(2, const_cast<char**>(argv));
+  EXPECT_EQ(jobs(), 1u);
+}
+
+TEST_F(HarnessEnvTest, ParseArgsIgnoresUnknownArguments) {
+  const char* argv[] = {"bench", "--frobnicate", "--jobs=4", "positional"};
+  parse_args(4, const_cast<char**>(argv));
+  EXPECT_EQ(jobs(), 4u);
+}
+
+TEST_F(HarnessEnvTest, RunShardedHonorsJobsKnob) {
+  ::setenv("OMNIVAR_JOBS", "4", 1);
+  ExperimentSpec spec;
+  spec.runs = 5;
+  spec.reps = 3;
+  spec.seed = 11;
+  const auto factory = [](const RunSlot&) -> RepKernel {
+    return [](const RepContext& c) {
+      return static_cast<double>(c.run_seed % 1000) +
+             static_cast<double>(c.rep);
+    };
+  };
+  const auto sharded = run_sharded(spec, factory);
+  const auto serial = run_experiment(spec, [](const RepContext& c) {
+    return static_cast<double>(c.run_seed % 1000) +
+           static_cast<double>(c.rep);
+  });
+  ASSERT_EQ(sharded.runs(), serial.runs());
+  for (std::size_t r = 0; r < serial.runs(); ++r) {
+    for (std::size_t k = 0; k < serial.run(r).size(); ++k) {
+      EXPECT_EQ(sharded.run(r)[k], serial.run(r)[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omv::harness

@@ -1,0 +1,222 @@
+// Unit tests for core/parallel_runner: the work-stealing sharded
+// experiment executor. The load-bearing property is bit-identity: for a
+// deterministic kernel, the parallel path must produce exactly the
+// RunMatrix the serial run_experiment path produces, at any job count.
+
+#include "core/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/syncbench_sim.hpp"
+#include "core/rng.hpp"
+#include "sim/simulator.hpp"
+#include "topo/topology.hpp"
+
+namespace omv {
+namespace {
+
+/// A deterministic kernel: pure function of (run_seed, rep), exactly what
+/// the simulator-backed kernels are after begin_run re-derives their state.
+double pure_kernel(const RepContext& c) {
+  Rng rng(c.run_seed);
+  double v = 0.0;
+  for (std::size_t i = 0; i <= c.rep; ++i) v = rng.next_double();
+  return v + static_cast<double>(c.rep);
+}
+
+RunKernelFactory pure_factory() {
+  return [](const RunSlot&) -> RepKernel { return pure_kernel; };
+}
+
+ExperimentSpec small_spec(std::uint64_t seed = 42) {
+  ExperimentSpec spec;
+  spec.name = "parallel-test";
+  spec.runs = 7;
+  spec.reps = 11;
+  spec.warmup = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+void expect_bit_identical(const RunMatrix& a, const RunMatrix& b) {
+  ASSERT_EQ(a.runs(), b.runs());
+  EXPECT_EQ(a.label(), b.label());
+  for (std::size_t r = 0; r < a.runs(); ++r) {
+    ASSERT_EQ(a.run(r).size(), b.run(r).size()) << "run " << r;
+    for (std::size_t k = 0; k < a.run(r).size(); ++k) {
+      // Exact double equality on purpose: the guarantee is bit-identity,
+      // not approximate agreement.
+      EXPECT_EQ(a.run(r)[k], b.run(r)[k]) << "run " << r << " rep " << k;
+    }
+  }
+}
+
+TEST(ParallelRunner, MatchesSerialBitIdentical) {
+  const auto spec = small_spec();
+  const RunMatrix serial = run_experiment(spec, pure_kernel);
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                           std::size_t{16}}) {
+    const RunMatrix parallel =
+        run_experiment_parallel(spec, pure_factory(), jobs);
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelRunner, SimSyncBenchParallelMatchesSerial) {
+  sim::Simulator s(topo::Machine::vera(), sim::SimConfig::vera());
+  ompsim::TeamConfig team;
+  team.n_threads = 8;
+  bench::SimSyncBench sb(s, team);
+  ExperimentSpec spec;
+  spec.runs = 4;
+  spec.reps = 5;
+  spec.seed = 99;
+  const auto serial = sb.run_protocol(bench::SyncConstruct::reduction, spec);
+  const auto parallel =
+      sb.run_protocol(bench::SyncConstruct::reduction, spec, 3);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(ParallelRunner, Jobs1RunsInlineOnCallingThread) {
+  std::atomic<int> off_thread{0};
+  const auto caller = std::this_thread::get_id();
+  ExperimentSpec spec = small_spec();
+  const auto factory = [&](const RunSlot&) -> RepKernel {
+    return [&, caller](const RepContext& c) {
+      if (std::this_thread::get_id() != caller) ++off_thread;
+      return pure_kernel(c);
+    };
+  };
+  const auto m = run_experiment_parallel(spec, factory, 1);
+  EXPECT_EQ(off_thread.load(), 0);
+  expect_bit_identical(run_experiment(spec, pure_kernel), m);
+}
+
+TEST(ParallelRunner, MoreJobsThanRunsStillCorrect) {
+  ExperimentSpec spec = small_spec();
+  spec.runs = 2;
+  const auto m = run_experiment_parallel(spec, pure_factory(), 64);
+  expect_bit_identical(run_experiment(spec, pure_kernel), m);
+}
+
+TEST(ParallelRunner, KernelExceptionPropagates) {
+  ExperimentSpec spec = small_spec();
+  const auto factory = [](const RunSlot& slot) -> RepKernel {
+    return [run = slot.run](const RepContext& c) -> double {
+      if (run == 3 && c.rep == 1 && !c.warmup) {
+        throw std::runtime_error("kernel blew up");
+      }
+      return 1.0;
+    };
+  };
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_THROW((void)run_experiment_parallel(spec, factory, jobs),
+                 std::runtime_error)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelRunner, FactoryExceptionPropagates) {
+  ExperimentSpec spec = small_spec();
+  const auto factory = [](const RunSlot& slot) -> RepKernel {
+    if (slot.run == 1) throw std::logic_error("no kernel for you");
+    return pure_kernel;
+  };
+  EXPECT_THROW((void)run_experiment_parallel(spec, factory, 4),
+               std::logic_error);
+}
+
+TEST(ParallelRunner, FactorySeesProtocolRunSeeds) {
+  ExperimentSpec spec = small_spec(1234);
+  std::mutex mu;
+  std::vector<RunSlot> slots;
+  const auto factory = [&](const RunSlot& slot) -> RepKernel {
+    {
+      std::lock_guard lock(mu);
+      slots.push_back(slot);
+    }
+    return pure_kernel;
+  };
+  (void)run_experiment_parallel(spec, factory, 4);
+  ASSERT_EQ(slots.size(), spec.runs);
+  for (const auto& slot : slots) {
+    EXPECT_EQ(slot.cell, 0u);
+    EXPECT_EQ(slot.run_seed, derive_run_seed(spec.seed, slot.run));
+  }
+}
+
+TEST(ParallelRunner, SweepPreservesCellOrderAndLabels) {
+  std::vector<ExperimentCell> cells;
+  for (int i = 0; i < 5; ++i) {
+    ExperimentCell cell;
+    cell.spec = small_spec(100 + static_cast<std::uint64_t>(i));
+    cell.spec.name = "cell-" + std::to_string(i);
+    cell.spec.runs = 3 + static_cast<std::size_t>(i);
+    cell.make_kernel = pure_factory();
+    cells.push_back(std::move(cell));
+  }
+  ParallelConfig cfg;
+  cfg.jobs = 4;
+  const BatchResult batch = ParallelRunner(cfg).run_sweep(cells);
+  ASSERT_EQ(batch.size(), cells.size());
+  EXPECT_EQ(batch.total_runs(), 3u + 4u + 5u + 6u + 7u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expect_bit_identical(run_experiment(cells[i].spec, pure_kernel),
+                         batch.matrix(i));
+  }
+  EXPECT_NE(batch.find("cell-2"), nullptr);
+  EXPECT_EQ(batch.find("cell-2"), &batch.matrix(2));
+  EXPECT_EQ(batch.find("no-such-cell"), nullptr);
+}
+
+TEST(ParallelRunner, BatchResultMerge) {
+  BatchResult a;
+  a.add(RunMatrix("one"));
+  BatchResult b;
+  RunMatrix two("two");
+  two.add_run({1.0, 2.0});
+  b.add(std::move(two));
+  a.merge(std::move(b));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.matrix(0).label(), "one");
+  EXPECT_EQ(a.matrix(1).label(), "two");
+  EXPECT_EQ(a.total_runs(), 1u);
+}
+
+TEST(ParallelRunner, ResolveJobs) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+TEST(RunMatrix, AppendRunsMergesShards) {
+  RunMatrix a("shard");
+  a.add_run({1.0, 2.0});
+  RunMatrix b("ignored-label");
+  b.add_run({3.0, 4.0});
+  b.add_run({5.0});
+  a.append_runs(b);
+  ASSERT_EQ(a.runs(), 3u);
+  EXPECT_EQ(a.label(), "shard");
+  EXPECT_EQ(a.run(1)[0], 3.0);
+  EXPECT_EQ(a.run(2)[0], 5.0);
+}
+
+TEST(RunMatrix, SelfAppendDuplicatesRuns) {
+  RunMatrix m("self");
+  m.add_run({1.0});
+  m.add_run({2.0, 3.0});
+  m.append_runs(m);
+  ASSERT_EQ(m.runs(), 4u);
+  EXPECT_EQ(m.run(2)[0], 1.0);
+  EXPECT_EQ(m.run(3)[0], 2.0);
+  EXPECT_EQ(m.run(3)[1], 3.0);
+}
+
+}  // namespace
+}  // namespace omv
