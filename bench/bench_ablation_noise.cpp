@@ -25,14 +25,24 @@ struct Row {
   std::string signature;
 };
 
-Row run_case(const std::string& name, const sim::SimConfig& cfg,
-             const ompsim::TeamConfig& team, std::uint64_t seed) {
+Row run_case(cli::RunContext& ctx, const std::string& name,
+             const sim::SimConfig& cfg, const ompsim::TeamConfig& team,
+             std::uint64_t seed) {
   auto machine = topo::Machine::dardel();
   sim::Simulator s(std::move(machine), cfg);
   bench::SimSyncBench sb(s, team);
-  const auto m = sb.run_protocol(bench::SyncConstruct::reduction,
-                                 harness::paper_spec(seed, 8, 40),
-                                     harness::jobs());
+  const auto spec = harness::paper_spec(seed, 8, 40);
+  // The config variants are one-knob toggles of the named case, so the
+  // case name is the honest fingerprint of `cfg`.
+  const auto m = ctx.protocol(
+      name, spec,
+      harness::cell_key("syncbench", "Dardel", team)
+          .add("construct", "reduction")
+          .add("ablation_case", name),
+      [&] {
+        return sb.run_protocol(bench::SyncConstruct::reduction, spec,
+                               ctx.jobs());
+      });
   const auto ps = m.pooled_summary();
   return {name,
           ps.mean,
@@ -42,10 +52,7 @@ Row run_case(const std::string& name, const sim::SimConfig& cfg,
           characterize(m).to_string()};
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_ablation(cli::RunContext& ctx) {
   harness::header(
       "Ablation — which mechanism produces which variability signature",
       "(not a paper experiment; backs the design decisions in DESIGN.md)");
@@ -56,35 +63,38 @@ int main(int argc, char** argv) {
   const auto pinned = harness::pinned_team(128);
   const auto unpinned = harness::unpinned_team(128);
 
-  rows.push_back(run_case("pinned, full model", full, pinned, 9001));
-  rows.push_back(run_case("unpinned, full model", full, unpinned, 9001));
+  rows.push_back(run_case(ctx, "pinned, full model", full, pinned, 9001));
+  rows.push_back(
+      run_case(ctx, "unpinned, full model", full, unpinned, 9001));
 
   {
     auto cfg = full;
     cfg.costs.oversub_stall_mean = 0.0;  // no scheduler stalls
     rows.push_back(
-        run_case("unpinned, no oversub stalls", cfg, unpinned, 9001));
+        run_case(ctx, "unpinned, no oversub stalls", cfg, unpinned, 9001));
   }
   {
     auto cfg = full;
     cfg.freq.run_cap_prob = 0.0;  // no run-scoped frequency cap
-    rows.push_back(run_case("pinned, no run cap", cfg, pinned, 9001));
+    rows.push_back(run_case(ctx, "pinned, no run cap", cfg, pinned, 9001));
   }
   {
     auto cfg = full;
     cfg.noise = sim::NoiseConfig::quiet();  // no OS noise at all
-    rows.push_back(run_case("pinned, no OS noise", cfg, pinned, 9001));
+    rows.push_back(
+        run_case(ctx, "pinned, no OS noise", cfg, pinned, 9001));
   }
   {
     auto cfg = full;
     cfg.noise.degrade_prob = 0.0;  // no degraded runs
-    rows.push_back(run_case("pinned, no degraded runs", cfg, pinned, 9001));
+    rows.push_back(
+        run_case(ctx, "pinned, no degraded runs", cfg, pinned, 9001));
   }
   {
     auto team = pinned;
     team.barrier_alg = ompsim::BarrierAlgorithm::centralized;
     rows.push_back(
-        run_case("pinned, centralized barrier", full, team, 9001));
+        run_case(ctx, "pinned, centralized barrier", full, team, 9001));
   }
 
   report::Table t({"configuration", "mean (us)", "pooled CV", "max/min",
@@ -94,16 +104,24 @@ int main(int argc, char** argv) {
                report::fmt_fixed(r.cv, 5), report::fmt_fixed(r.max_over_min, 1),
                report::fmt_fixed(r.run_spread, 4), r.signature});
   }
-  std::printf("%s\n", t.render().c_str());
+  ctx.table("ablation_matrix", t);
 
-  harness::verdict(rows[2].max_over_min < rows[1].max_over_min / 5.0,
-                   "removing oversubscription stalls collapses the unpinned "
-                   "heavy tail => stalls are the orders-of-magnitude "
-                   "mechanism");
-  harness::verdict(rows[4].cv <= rows[0].cv,
-                   "removing OS noise does not increase pinned jitter");
-  harness::verdict(rows[6].mean > rows[0].mean,
-                   "centralized barrier costs more than the tree at 128 "
-                   "threads (why runtimes use trees)");
+  ctx.verdict(rows[2].max_over_min < rows[1].max_over_min / 5.0,
+              "removing oversubscription stalls collapses the unpinned "
+              "heavy tail => stalls are the orders-of-magnitude "
+              "mechanism");
+  ctx.verdict(rows[4].cv <= rows[0].cv,
+              "removing OS noise does not increase pinned jitter");
+  ctx.verdict(rows[6].mean > rows[0].mean,
+              "centralized barrier costs more than the tree at 128 "
+              "threads (why runtimes use trees)");
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "ablation_noise",
+    "Ablation — which simulator mechanism produces which variability "
+    "signature",
+    run_ablation};
+
+}  // namespace

@@ -21,8 +21,8 @@ using namespace omv;
 
 namespace {
 
-void run_platform(const harness::Platform& p, std::size_t threads,
-                  std::uint64_t seed) {
+void run_platform(cli::RunContext& ctx, const harness::Platform& p,
+                  std::size_t threads, std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
   std::printf("-- %s, %zu threads --\n", p.name, threads);
   report::Table t({"schedule", "chunk", "mean rep (us)", "pooled CV"});
@@ -33,11 +33,18 @@ void run_platform(const harness::Platform& p, std::size_t threads,
   for (auto kind : {ompsim::Schedule::static_, ompsim::Schedule::dynamic,
                     ompsim::Schedule::guided}) {
     for (std::size_t chunk : {1ul, 8ul, 128ul}) {
-      bench::SimSchedBench sb(s, harness::pinned_team(threads),
-                              bench::EpccParams::schedbench(), 10000);
-      const auto m = sb.run_protocol(
-          kind, chunk, harness::paper_spec(seed + chunk, 5, 10),
-              harness::jobs());
+      const auto team = harness::pinned_team(threads);
+      bench::SimSchedBench sb(s, team, bench::EpccParams::schedbench(),
+                              10000);
+      const auto spec = harness::paper_spec(seed + chunk, 5, 10);
+      const auto m = ctx.protocol(
+          std::string(p.name) + "/" + ompsim::schedule_name(kind) + "_" +
+              std::to_string(chunk),
+          spec,
+          harness::cell_key("schedbench", p.name, team)
+              .add("schedule", ompsim::schedule_name(kind))
+              .add("chunk", chunk),
+          [&] { return sb.run_protocol(kind, chunk, spec, ctx.jobs()); });
       const double mean = m.grand_mean();
       t.add_row({ompsim::schedule_name(kind), std::to_string(chunk),
                  report::fmt_fixed(mean, 1),
@@ -50,29 +57,33 @@ void run_platform(const harness::Platform& p, std::size_t threads,
       }
     }
   }
-  std::printf("%s\n", t.render().c_str());
-  harness::verdict(dynamic_1 > guided_1 && dynamic_1 > static_1,
-                   std::string(p.name) +
-                       ": dynamic_1 is the most expensive configuration");
+  ctx.table(std::string(p.name) + "_sweep", t);
+  ctx.verdict(dynamic_1 > guided_1 && dynamic_1 > static_1,
+              std::string(p.name) +
+                  ": dynamic_1 is the most expensive configuration");
   // Guided's decaying chunks cost little per thread and rebalance noise,
   // so it tracks static within noise (sometimes beating it).
-  harness::verdict(std::abs(guided_1 - static_1) < 0.02 * static_1,
-                   std::string(p.name) +
-                       ": guided_1 tracks static_1 within 2%");
-  harness::verdict(dynamic_128 < dynamic_1,
-                   std::string(p.name) +
-                       ": larger chunks shrink dynamic overhead");
+  ctx.verdict(std::abs(guided_1 - static_1) < 0.02 * static_1,
+              std::string(p.name) +
+                  ": guided_1 tracks static_1 within 2%");
+  ctx.verdict(dynamic_128 < dynamic_1,
+              std::string(p.name) +
+                  ": larger chunks shrink dynamic overhead");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_chunk_sweep(cli::RunContext& ctx) {
   harness::header(
       "Extension — schedbench schedule x chunk sweep (paper §4.2)",
       "the paper ran static/dynamic/guided with various chunk sizes and "
       "reported chunk=1; this regenerates the full sweep");
-  run_platform(harness::dardel(), 128, 9101);
-  run_platform(harness::vera(), 30, 9201);
+  run_platform(ctx, harness::dardel(), 128, 9101);
+  run_platform(ctx, harness::vera(), 30, 9201);
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "ext_chunk_sweep",
+    "Extension — schedbench schedule x chunk sweep (paper §4.2)",
+    run_chunk_sweep};
+
+}  // namespace

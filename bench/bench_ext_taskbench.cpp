@@ -17,28 +17,33 @@ namespace {
 /// Tasking needs no benchmark object — the team is the whole state.
 struct NoBench {};
 
-RunMatrix run_tasking(sim::Simulator& s, const ompsim::TeamConfig& cfg,
+RunMatrix run_tasking(cli::RunContext& ctx, const std::string& label,
+                      sim::Simulator& s, const ompsim::TeamConfig& cfg,
                       bool master, std::uint64_t seed) {
   const auto spec = harness::paper_spec(seed, 8, 30);
-  return bench::run_protocol_sharded(
-      s, cfg, spec, harness::jobs(),
-      [](sim::Simulator&) { return NoBench{}; },
-      [master](NoBench&, ompsim::SimTeam& team) {
-        team.begin_rep();
-        const double t0 = team.now();
-        if (master) {
-          ompsim::master_task_generation(team, 64 * team.size(), 1e-6);
-        } else {
-          ompsim::parallel_task_generation(team, 64, 1e-6);
-        }
-        return (team.now() - t0) * 1e6;
+  return ctx.protocol(
+      label, spec,
+      harness::cell_key("taskbench", "Dardel", cfg)
+          .add("pattern", master ? "master" : "parallel"),
+      [&] {
+        return bench::run_protocol_sharded(
+            s, cfg, spec, ctx.jobs(),
+            [](sim::Simulator&) { return NoBench{}; },
+            [master](NoBench&, ompsim::SimTeam& team) {
+              team.begin_rep();
+              const double t0 = team.now();
+              if (master) {
+                ompsim::master_task_generation(team, 64 * team.size(),
+                                               1e-6);
+              } else {
+                ompsim::parallel_task_generation(team, 64, 1e-6);
+              }
+              return (team.now() - t0) * 1e6;
+            });
       });
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_taskbench(cli::RunContext& ctx) {
   harness::header(
       "Extension — EPCC taskbench subset (simulated platforms)",
       "parallel task generation scales with the team; master task "
@@ -54,14 +59,17 @@ int main(int argc, char** argv) {
   double mas32 = 0.0;
   double mas128 = 0.0;
   for (std::size_t threads : {32ul, 128ul}) {
+    const std::string ts = std::to_string(threads);
     const auto mp =
-        run_tasking(s, harness::pinned_team(threads), false, 9301 + threads);
+        run_tasking(ctx, "parallel/t" + ts, s,
+                    harness::pinned_team(threads), false, 9301 + threads);
     const auto mm =
-        run_tasking(s, harness::pinned_team(threads), true, 9401 + threads);
-    t.add_row({"parallel generation", std::to_string(threads),
+        run_tasking(ctx, "master/t" + ts, s, harness::pinned_team(threads),
+                    true, 9401 + threads);
+    t.add_row({"parallel generation", ts,
                report::fmt_fixed(mp.grand_mean(), 1),
                report::fmt_fixed(mp.pooled_summary().cv, 5)});
-    t.add_row({"master generation", std::to_string(threads),
+    t.add_row({"master generation", ts,
                report::fmt_fixed(mm.grand_mean(), 1),
                report::fmt_fixed(mm.pooled_summary().cv, 5)});
     if (threads == 32) {
@@ -72,23 +80,33 @@ int main(int argc, char** argv) {
       mas128 = mm.grand_mean();
     }
   }
-  std::printf("%s\n", t.render().c_str());
+  ctx.table("task_generation", t);
   // Per-task totals are fixed per thread for parallel generation, so the
   // rep time stays near-flat with team size; master generation's rep time
   // grows with total tasks (64*T) at a near-serial producer.
-  harness::verdict(mas128 > mas32 * 2.0,
-                   "master generation degrades with team size (producer "
-                   "bottleneck)");
-  harness::verdict(par128 < mas128,
-                   "parallel generation beats master generation at scale");
+  ctx.verdict(mas128 > mas32 * 2.0,
+              "master generation degrades with team size (producer "
+              "bottleneck)");
+  ctx.verdict(par128 < mas128,
+              "parallel generation beats master generation at scale");
 
   // Pinning still matters for tasking.
-  const auto pin = run_tasking(s, harness::pinned_team(128), false, 9501);
-  const auto unpin =
-      run_tasking(s, harness::unpinned_team(128), false, 9502);
+  const auto pin = run_tasking(ctx, "parallel/t128/pinned", s,
+                               harness::pinned_team(128), false, 9501);
+  const auto unpin = run_tasking(ctx, "parallel/t128/unpinned", s,
+                                 harness::unpinned_team(128), false, 9502);
   std::printf("tasking, 128 threads: pinned CV %.5f vs unpinned CV %.5f\n",
               pin.pooled_summary().cv, unpin.pooled_summary().cv);
-  harness::verdict(unpin.pooled_summary().cv > pin.pooled_summary().cv,
-                   "unpinned tasking inherits the Fig. 4 variability");
+  ctx.metric("pinned_cv", pin.pooled_summary().cv);
+  ctx.metric("unpinned_cv", unpin.pooled_summary().cv);
+  ctx.verdict(unpin.pooled_summary().cv > pin.pooled_summary().cv,
+              "unpinned tasking inherits the Fig. 4 variability");
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "ext_taskbench", "Extension — EPCC taskbench subset (simulated "
+    "platforms)",
+    run_taskbench};
+
+}  // namespace

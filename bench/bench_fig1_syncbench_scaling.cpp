@@ -16,7 +16,7 @@ using namespace omv;
 
 namespace {
 
-void run_platform(const harness::Platform& p,
+void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   const std::vector<std::size_t>& counts,
                   std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
@@ -25,12 +25,27 @@ void run_platform(const harness::Platform& p,
   double first = 0.0;
   double last = 0.0;
   for (std::size_t t : counts) {
-    bench::SimSyncBench sb(s, harness::pinned_team(t));
+    const auto team = harness::pinned_team(t);
+    bench::SimSyncBench sb(s, team);
     const auto spec = harness::paper_spec(seed + t);
-    const auto red =
-        sb.run_protocol(bench::SyncConstruct::reduction, spec, harness::jobs());
-    const auto bar = sb.run_protocol(bench::SyncConstruct::barrier, spec,
-        harness::jobs());
+    const std::string cell =
+        std::string(p.name) + "/t" + std::to_string(t) + "/";
+    const auto red = ctx.protocol(
+        cell + "reduction", spec,
+        harness::cell_key("syncbench", p.name, team)
+            .add("construct", "reduction"),
+        [&] {
+          return sb.run_protocol(bench::SyncConstruct::reduction, spec,
+                                 ctx.jobs());
+        });
+    const auto bar = ctx.protocol(
+        cell + "barrier", spec,
+        harness::cell_key("syncbench", p.name, team)
+            .add("construct", "barrier"),
+        [&] {
+          return sb.run_protocol(bench::SyncConstruct::barrier, spec,
+                                 ctx.jobs());
+        });
     const double red_per =
         red.grand_mean() /
         static_cast<double>(sb.innerreps(bench::SyncConstruct::reduction));
@@ -41,25 +56,23 @@ void run_platform(const harness::Platform& p,
     if (t == counts.front()) first = red_per;
     if (t == counts.back()) last = red_per;
   }
-  std::printf("%s\n", series.render(report::Format::ascii, 3).c_str());
-  harness::verdict(last > first,
-                   std::string(p.name) +
-                       ": reduction time grows with thread count");
+  ctx.series(p.name, series, 3);
+  ctx.verdict(last > first,
+              std::string(p.name) +
+                  ": reduction time grows with thread count");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_fig1(cli::RunContext& ctx) {
   harness::header(
       "Figure 1 — syncbench execution time vs HW threads",
       "time increases with threads; sharp increase crossing the second "
       "socket and engaging SMT (Dardel >128); reduction is the most "
       "time-consuming synchronization micro-benchmark");
 
-  run_platform(harness::dardel(),
+  run_platform(ctx, harness::dardel(),
                {4, 8, 16, 32, 64, 96, 128, 160, 192, 254}, 2001);
-  run_platform(harness::vera(), {2, 4, 8, 12, 16, 20, 24, 28, 30}, 2002);
+  run_platform(ctx, harness::vera(), {2, 4, 8, 12, 16, 20, 24, 28, 30},
+               2002);
 
   // Reduction vs the other constructs at full Dardel scale.
   auto p = harness::dardel();
@@ -79,8 +92,13 @@ int main(int argc, char** argv) {
       worst_other = std::max(worst_other, us);
     }
   }
-  std::printf("%s\n", t.render().c_str());
-  harness::verdict(reduction_cost > worst_other,
-                   "reduction is the most expensive team-wide construct");
+  ctx.table("construct_cost_dardel128", t);
+  ctx.verdict(reduction_cost > worst_other,
+              "reduction is the most expensive team-wide construct");
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "fig1", "Figure 1 — syncbench execution time vs HW threads", run_fig1};
+
+}  // namespace

@@ -14,7 +14,7 @@ using namespace omv;
 
 namespace {
 
-void run_platform(const harness::Platform& p,
+void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   const std::vector<std::size_t>& counts,
                   std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
@@ -30,9 +30,16 @@ void run_platform(const harness::Platform& p,
   for (std::size_t t : counts) {
     std::vector<double> row;
     for (auto k : bench::all_stream_kernels()) {
-      bench::SimStream st(s, harness::pinned_team(t));
+      const auto team = harness::pinned_team(t);
+      bench::SimStream st(s, team);
       const auto spec = harness::paper_spec(seed + t, 10, 50);
-      const auto m = st.run_protocol(k, spec, harness::jobs());
+      const auto m = ctx.protocol(
+          std::string(p.name) + "/t" + std::to_string(t) + "/" +
+              bench::stream_kernel_name(k),
+          spec,
+          harness::cell_key("babelstream", p.name, team)
+              .add("kernel", bench::stream_kernel_name(k)),
+          [&] { return st.run_protocol(k, spec, ctx.jobs()); });
       row.push_back(m.grand_mean());
       if (k == bench::StreamKernel::triad) {
         if (t == counts.front()) first_triad = m.grand_mean();
@@ -41,21 +48,25 @@ void run_platform(const harness::Platform& p,
     }
     series.add(static_cast<double>(t), std::move(row));
   }
-  std::printf("%s\n", series.render(report::Format::ascii, 3).c_str());
-  harness::verdict(
+  ctx.series(p.name, series, 3);
+  ctx.verdict(
       last_triad < first_triad,
       std::string(p.name) + ": execution time decreases with more threads");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_fig2(cli::RunContext& ctx) {
   harness::header(
       "Figure 2 — BabelStream execution time (ms) vs HW threads",
       "execution time reduces when launching more parallel threads, on "
       "both Dardel and Vera");
-  run_platform(harness::dardel(), {2, 4, 8, 16, 32, 64, 128, 254}, 3001);
-  run_platform(harness::vera(), {2, 4, 8, 16, 24, 30}, 3002);
+  run_platform(ctx, harness::dardel(), {2, 4, 8, 16, 32, 64, 128, 254},
+               3001);
+  run_platform(ctx, harness::vera(), {2, 4, 8, 16, 24, 30}, 3002);
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "fig2", "Figure 2 — BabelStream execution time (ms) vs HW threads",
+    run_fig2};
+
+}  // namespace

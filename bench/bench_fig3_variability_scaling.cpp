@@ -32,7 +32,7 @@ SpreadRow spread(const RunMatrix& m) {
   return r;
 }
 
-void run_platform(const harness::Platform& p,
+void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   const std::vector<std::size_t>& counts,
                   std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
@@ -47,19 +47,44 @@ void run_platform(const harness::Platform& p,
   double sched_spread_sum = 0.0;
   double sync_spread_high = 0.0;
   for (std::size_t t : counts) {
-    bench::SimSchedBench sched(s, harness::pinned_team(t),
-                               bench::EpccParams::schedbench(), 10000);
-    const auto m_sched = sched.run_protocol(
-        ompsim::Schedule::dynamic, 1, harness::paper_spec(seed + t, 10, 30),
-            harness::jobs());
-    bench::SimSyncBench sync(s, harness::pinned_team(t));
-    const auto m_sync = sync.run_protocol(
-        bench::SyncConstruct::reduction, harness::paper_spec(seed + t),
-            harness::jobs());
-    bench::SimStream stream(s, harness::pinned_team(t));
-    const auto m_stream = stream.run_protocol(
-        bench::StreamKernel::triad, harness::paper_spec(seed + t, 10, 50),
-            harness::jobs());
+    const auto team = harness::pinned_team(t);
+    const std::string cell =
+        std::string(p.name) + "/t" + std::to_string(t) + "/";
+
+    bench::SimSchedBench sched(s, team, bench::EpccParams::schedbench(),
+                               10000);
+    const auto spec_sched = harness::paper_spec(seed + t, 10, 30);
+    const auto m_sched = ctx.protocol(
+        cell + "schedbench", spec_sched,
+        harness::cell_key("schedbench", p.name, team)
+            .add("schedule", "dynamic")
+            .add("chunk", std::uint64_t{1}),
+        [&] {
+          return sched.run_protocol(ompsim::Schedule::dynamic, 1,
+                                    spec_sched, ctx.jobs());
+        });
+
+    bench::SimSyncBench sync(s, team);
+    const auto spec_sync = harness::paper_spec(seed + t);
+    const auto m_sync = ctx.protocol(
+        cell + "syncbench", spec_sync,
+        harness::cell_key("syncbench", p.name, team)
+            .add("construct", "reduction"),
+        [&] {
+          return sync.run_protocol(bench::SyncConstruct::reduction,
+                                   spec_sync, ctx.jobs());
+        });
+
+    bench::SimStream stream(s, team);
+    const auto spec_stream = harness::paper_spec(seed + t, 10, 50);
+    const auto m_stream = ctx.protocol(
+        cell + "stream", spec_stream,
+        harness::cell_key("babelstream", p.name, team)
+            .add("kernel", "triad"),
+        [&] {
+          return stream.run_protocol(bench::StreamKernel::triad,
+                                     spec_stream, ctx.jobs());
+        });
 
     const auto a = spread(m_sched);
     const auto b = spread(m_sync);
@@ -74,27 +99,32 @@ void run_platform(const harness::Platform& p,
     if (t == counts.front()) sync_spread_low = sync_sp;
     if (t == counts.back()) sync_spread_high = sync_sp;
   }
-  std::printf("%s\n", series.render(report::Format::ascii, 4).c_str());
-  harness::verdict(sync_spread_high > sync_spread_low,
-                   std::string(p.name) +
-                       ": syncbench variability grows with thread count");
-  harness::verdict(sched_spread_sum < sync_spread_sum,
-                   std::string(p.name) +
-                       ": schedbench is the least affected benchmark "
-                       "(mean spread across counts)");
+  ctx.series(p.name, series, 4);
+  ctx.verdict(sync_spread_high > sync_spread_low,
+              std::string(p.name) +
+                  ": syncbench variability grows with thread count");
+  ctx.verdict(sched_spread_sum < sync_spread_sum,
+              std::string(p.name) +
+                  ": schedbench is the least affected benchmark "
+                  "(mean spread across counts)");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_fig3(cli::RunContext& ctx) {
   harness::header(
       "Figure 3 — scalability of performance variability (normalized "
       "min/max)",
       "variability grows with thread count for syncbench and BabelStream "
       "(>=128 HW threads on Dardel, >=30 on Vera); schedbench is least "
       "affected");
-  run_platform(harness::dardel(), {4, 16, 64, 128, 254}, 4001);
-  run_platform(harness::vera(), {2, 8, 16, 24, 30}, 4064);
+  run_platform(ctx, harness::dardel(), {4, 16, 64, 128, 254}, 4001);
+  run_platform(ctx, harness::vera(), {2, 8, 16, 24, 30}, 4064);
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "fig3",
+    "Figure 3 — scalability of performance variability (normalized "
+    "min/max)",
+    run_fig3};
+
+}  // namespace

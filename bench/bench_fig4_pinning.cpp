@@ -21,7 +21,8 @@ using namespace omv;
 
 namespace {
 
-void per_run_table(const char* title, const RunMatrix& m, int digits = 1) {
+void per_run_table(cli::RunContext& ctx, const std::string& slug,
+                   const char* title, const RunMatrix& m, int digits = 1) {
   std::printf("%s\n", title);
   report::Table t({"run #", "mean", "min", "max", "cv"});
   for (std::size_t r = 0; r < m.runs(); ++r) {
@@ -31,13 +32,10 @@ void per_run_table(const char* title, const RunMatrix& m, int digits = 1) {
                report::fmt_fixed(s.max, digits),
                report::fmt_fixed(s.cv, 4)});
   }
-  std::printf("%s\n", t.render().c_str());
+  ctx.table(slug, t);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_fig4(cli::RunContext& ctx) {
   harness::header(
       "Figure 4 — lower variability after thread-pinning (Dardel)",
       "pinning reduces run-to-run variability for schedbench@16thr, "
@@ -49,35 +47,69 @@ int main(int argc, char** argv) {
 
   // (a)/(d) schedbench, 16 threads.
   {
-    bench::SimSchedBench before(s, harness::unpinned_team(16),
+    const auto unpinned = harness::unpinned_team(16);
+    const auto pinned = harness::pinned_team(16);
+    bench::SimSchedBench before(s, unpinned,
                                 bench::EpccParams::schedbench(), 10000);
-    const auto mb = before.run_protocol(ompsim::Schedule::dynamic, 1,
-                                        harness::paper_spec(5001, 10, 20),
-                                            harness::jobs());
-    bench::SimSchedBench after(s, harness::pinned_team(16),
+    const auto spec_b = harness::paper_spec(5001, 10, 20);
+    const auto mb = ctx.protocol(
+        "sched16/unpinned", spec_b,
+        harness::cell_key("schedbench", p.name, unpinned)
+            .add("schedule", "dynamic")
+            .add("chunk", std::uint64_t{1}),
+        [&] {
+          return before.run_protocol(ompsim::Schedule::dynamic, 1, spec_b,
+                                     ctx.jobs());
+        });
+    bench::SimSchedBench after(s, pinned,
                                bench::EpccParams::schedbench(), 10000);
-    const auto ma = after.run_protocol(ompsim::Schedule::dynamic, 1,
-                                       harness::paper_spec(5002, 10, 20),
-                                           harness::jobs());
-    per_run_table("(a) schedbench 16 thr, BEFORE pinning (us):", mb);
-    per_run_table("(d) schedbench 16 thr, AFTER pinning (us):", ma);
-    harness::verdict(ma.run_to_run_cv() <= mb.run_to_run_cv(),
-                     "schedbench: pinning reduces run-to-run variation");
+    const auto spec_a = harness::paper_spec(5002, 10, 20);
+    const auto ma = ctx.protocol(
+        "sched16/pinned", spec_a,
+        harness::cell_key("schedbench", p.name, pinned)
+            .add("schedule", "dynamic")
+            .add("chunk", std::uint64_t{1}),
+        [&] {
+          return after.run_protocol(ompsim::Schedule::dynamic, 1, spec_a,
+                                    ctx.jobs());
+        });
+    per_run_table(ctx, "sched16_unpinned",
+                  "(a) schedbench 16 thr, BEFORE pinning (us):", mb);
+    per_run_table(ctx, "sched16_pinned",
+                  "(d) schedbench 16 thr, AFTER pinning (us):", ma);
+    ctx.verdict(ma.run_to_run_cv() <= mb.run_to_run_cv(),
+                "schedbench: pinning reduces run-to-run variation");
   }
 
   // (b)/(e) syncbench reduction, 128 threads.
   {
-    bench::SimSyncBench before(s, harness::unpinned_team(128));
-    const auto mb = before.run_protocol(bench::SyncConstruct::reduction,
-                                        harness::paper_spec(5003),
-                                            harness::jobs());
-    bench::SimSyncBench after(s, harness::pinned_team(128));
-    const auto ma = after.run_protocol(bench::SyncConstruct::reduction,
-                                       harness::paper_spec(5004),
-                                           harness::jobs());
-    per_run_table("(b) syncbench reduction 128 thr, BEFORE pinning (us):",
+    const auto unpinned = harness::unpinned_team(128);
+    const auto pinned = harness::pinned_team(128);
+    bench::SimSyncBench before(s, unpinned);
+    const auto spec_b = harness::paper_spec(5003);
+    const auto mb = ctx.protocol(
+        "sync128/unpinned", spec_b,
+        harness::cell_key("syncbench", p.name, unpinned)
+            .add("construct", "reduction"),
+        [&] {
+          return before.run_protocol(bench::SyncConstruct::reduction,
+                                     spec_b, ctx.jobs());
+        });
+    bench::SimSyncBench after(s, pinned);
+    const auto spec_a = harness::paper_spec(5004);
+    const auto ma = ctx.protocol(
+        "sync128/pinned", spec_a,
+        harness::cell_key("syncbench", p.name, pinned)
+            .add("construct", "reduction"),
+        [&] {
+          return after.run_protocol(bench::SyncConstruct::reduction,
+                                    spec_a, ctx.jobs());
+        });
+    per_run_table(ctx, "sync128_unpinned",
+                  "(b) syncbench reduction 128 thr, BEFORE pinning (us):",
                   mb);
-    per_run_table("(e) syncbench reduction 128 thr, AFTER pinning (us):",
+    per_run_table(ctx, "sync128_pinned",
+                  "(e) syncbench reduction 128 thr, AFTER pinning (us):",
                   ma);
     const auto sb = mb.pooled_summary();
     const auto sa = ma.pooled_summary();
@@ -85,15 +117,17 @@ int main(int argc, char** argv) {
                 sb.min, sb.max, sb.max / sb.min);
     std::printf("pinned rep-time range:   %.1f .. %.1f us (%.1fx)\n\n",
                 sa.min, sa.max, sa.max / sa.min);
-    harness::verdict(sb.max / sb.min > 100.0,
-                     "unpinned syncbench spans orders of magnitude");
-    harness::verdict(sa.max / sa.min < 2.0,
-                     "pinned syncbench variability nearly eliminated");
+    ctx.metric("sync128_unpinned_max_over_min", sb.max / sb.min);
+    ctx.metric("sync128_pinned_max_over_min", sa.max / sa.min);
+    ctx.verdict(sb.max / sb.min > 100.0,
+                "unpinned syncbench spans orders of magnitude");
+    ctx.verdict(sa.max / sa.min < 2.0,
+                "pinned syncbench variability nearly eliminated");
     const auto bf = stats::brown_forsythe(ma.flatten(), mb.flatten());
-    harness::verdict(bf.significant,
-                     "variance reduction statistically significant "
-                     "(Brown-Forsythe p=" +
-                         report::fmt(bf.p_value, 4) + ")");
+    ctx.verdict(bf.significant,
+                "variance reduction statistically significant "
+                "(Brown-Forsythe p=" +
+                    report::fmt(bf.p_value, 4) + ")");
     std::printf("unpinned signature: %s\n\n",
                 characterize(mb).to_string().c_str());
   }
@@ -104,15 +138,25 @@ int main(int argc, char** argv) {
                      "pinned nmin", "pinned nmax"});
     bool all_tighter = true;
     double worst_unpinned_ratio = 0.0;
+    const auto unpinned = harness::unpinned_team(128);
+    const auto pinned = harness::pinned_team(128);
     for (auto k : bench::all_stream_kernels()) {
-      bench::SimStream before(s, harness::unpinned_team(128));
-      const auto mb =
-          before.run_protocol(k, harness::paper_spec(5005, 10, 50),
-              harness::jobs());
-      bench::SimStream after(s, harness::pinned_team(128));
-      const auto ma =
-          after.run_protocol(k, harness::paper_spec(5006, 10, 50),
-              harness::jobs());
+      bench::SimStream before(s, unpinned);
+      const auto spec_b = harness::paper_spec(5005, 10, 50);
+      const auto mb = ctx.protocol(
+          std::string("stream128/unpinned/") + bench::stream_kernel_name(k),
+          spec_b,
+          harness::cell_key("babelstream", p.name, unpinned)
+              .add("kernel", bench::stream_kernel_name(k)),
+          [&] { return before.run_protocol(k, spec_b, ctx.jobs()); });
+      bench::SimStream after(s, pinned);
+      const auto spec_a = harness::paper_spec(5006, 10, 50);
+      const auto ma = ctx.protocol(
+          std::string("stream128/pinned/") + bench::stream_kernel_name(k),
+          spec_a,
+          harness::cell_key("babelstream", p.name, pinned)
+              .add("kernel", bench::stream_kernel_name(k)),
+          [&] { return after.run_protocol(k, spec_a, ctx.jobs()); });
       double ub_min = 1.0;
       double ub_max = 0.0;
       double pb_min = 1.0;
@@ -131,10 +175,18 @@ int main(int argc, char** argv) {
     }
     std::printf("(c)/(f) BabelStream 128 thr, normalized min/max:\n%s\n",
                 t.render().c_str());
+    ctx.record_table("stream128_norm_minmax", t);
     std::printf("worst unpinned max/min ratio: %.1fx\n", worst_unpinned_ratio);
-    harness::verdict(all_tighter,
-                     "BabelStream: pinned min/max spread tighter for every "
-                     "kernel");
+    ctx.metric("stream128_worst_unpinned_ratio", worst_unpinned_ratio);
+    ctx.verdict(all_tighter,
+                "BabelStream: pinned min/max spread tighter for every "
+                "kernel");
   }
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "fig4", "Figure 4 — lower variability after thread-pinning (Dardel)",
+    run_fig4};
+
+}  // namespace

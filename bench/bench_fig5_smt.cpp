@@ -41,10 +41,7 @@ ompsim::TeamConfig mt_team(std::size_t n) {
   return cfg;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_fig5(cli::RunContext& ctx) {
   harness::header(
       "Figure 5 — higher variability due to SMT (Dardel)",
       "MT (both HW threads of each core) is much noisier than ST (one HW "
@@ -54,18 +51,41 @@ int main(int argc, char** argv) {
   auto p = harness::dardel();
   sim::Simulator s(p.machine, p.config);
 
+  const auto sched_cell = [&](const char* label,
+                              const ompsim::TeamConfig& team,
+                              const ExperimentSpec& spec) {
+    bench::SimSchedBench sb(s, team, bench::EpccParams::schedbench(),
+                            10000);
+    return ctx.protocol(
+        label, spec,
+        harness::cell_key("schedbench", p.name, team)
+            .add("schedule", "dynamic")
+            .add("chunk", std::uint64_t{1}),
+        [&] {
+          return sb.run_protocol(ompsim::Schedule::dynamic, 1, spec,
+                                 ctx.jobs());
+        });
+  };
+  const auto stream_cell = [&](const std::string& label,
+                               const ompsim::TeamConfig& team,
+                               const ExperimentSpec& spec) {
+    bench::SimStream st(s, team);
+    return ctx.protocol(
+        label, spec,
+        harness::cell_key("babelstream", p.name, team)
+            .add("kernel", "triad"),
+        [&] {
+          return st.run_protocol(bench::StreamKernel::triad, spec,
+                                 ctx.jobs());
+        });
+  };
+
   // (a)/(d) schedbench, 128 threads.
   {
-    bench::SimSchedBench st(s, st_team(128),
-                            bench::EpccParams::schedbench(), 10000);
-    const auto ms = st.run_protocol(ompsim::Schedule::dynamic, 1,
-                                    harness::paper_spec(6001, 10, 20),
-                                        harness::jobs());
-    bench::SimSchedBench mt(s, mt_team(128),
-                            bench::EpccParams::schedbench(), 10000);
-    const auto mm = mt.run_protocol(ompsim::Schedule::dynamic, 1,
-                                    harness::paper_spec(6002, 10, 20),
-                                        harness::jobs());
+    const auto ms =
+        sched_cell("sched128/st", st_team(128), harness::paper_spec(6001, 10, 20));
+    const auto mm =
+        sched_cell("sched128/mt", mt_team(128), harness::paper_spec(6002, 10, 20));
     report::Table t({"config", "grand mean (us)", "pooled CV",
                      "worst run CV"});
     auto worst_cv = [](const RunMatrix& m) {
@@ -82,8 +102,9 @@ int main(int argc, char** argv) {
                report::fmt_fixed(mm.pooled_summary().cv, 5),
                report::fmt_fixed(worst_cv(mm), 5)});
     std::printf("(a)/(d) schedbench 128 threads:\n%s\n", t.render().c_str());
-    harness::verdict(mm.pooled_summary().cv > ms.pooled_summary().cv,
-                     "schedbench: MT repetitions far more variable than ST");
+    ctx.record_table("sched128_st_vs_mt", t);
+    ctx.verdict(mm.pooled_summary().cv > ms.pooled_summary().cv,
+                "schedbench: MT repetitions far more variable than ST");
   }
 
   // (b)/(e) syncbench, 32 threads: CV per run for each construct.
@@ -92,12 +113,20 @@ int main(int argc, char** argv) {
                      "ST worst CV", "MT worst CV"});
     bool mt_noisier_everywhere = true;
     for (auto c : bench::all_sync_constructs()) {
-      bench::SimSyncBench st(s, st_team(32));
-      const auto ms = st.run_protocol(c, harness::paper_spec(6003),
-          harness::jobs());
-      bench::SimSyncBench mt(s, mt_team(32));
-      const auto mm = mt.run_protocol(c, harness::paper_spec(6004),
-          harness::jobs());
+      const auto run_sync = [&](const char* mode,
+                                const ompsim::TeamConfig& team,
+                                const ExperimentSpec& spec) {
+        bench::SimSyncBench sb(s, team);
+        return ctx.protocol(
+            std::string("sync32/") + mode + "/" +
+                bench::sync_construct_name(c),
+            spec,
+            harness::cell_key("syncbench", p.name, team)
+                .add("construct", bench::sync_construct_name(c)),
+            [&] { return sb.run_protocol(c, spec, ctx.jobs()); });
+      };
+      const auto ms = run_sync("st", st_team(32), harness::paper_spec(6003));
+      const auto mm = run_sync("mt", mt_team(32), harness::paper_spec(6004));
       const auto cv_stats_s = stats::summarize(ms.run_cvs());
       const auto cv_stats_m = stats::summarize(mm.run_cvs());
       t.add_row({bench::sync_construct_name(c),
@@ -114,41 +143,41 @@ int main(int argc, char** argv) {
     }
     std::printf("(b)/(e) syncbench 32 threads, per-run CV:\n%s\n",
                 t.render().c_str());
-    harness::verdict(mt_noisier_everywhere,
-                     "syncbench: MT CV higher for for/single/ordered/"
-                     "reduction");
+    ctx.record_table("sync32_cv_per_construct", t);
+    ctx.verdict(mt_noisier_everywhere,
+                "syncbench: MT CV higher for for/single/ordered/"
+                "reduction");
   }
 
   // (c)/(f) BabelStream, 128 threads and the small-scale comparison.
   {
-    bench::SimStream st(s, st_team(128));
-    const auto ms = st.run_protocol(bench::StreamKernel::triad,
-                                    harness::paper_spec(6005, 10, 50),
-                                        harness::jobs());
-    bench::SimStream mt(s, mt_team(128));
-    const auto mm = mt.run_protocol(bench::StreamKernel::triad,
-                                    harness::paper_spec(6006, 10, 50),
-                                        harness::jobs());
+    const auto ms = stream_cell("stream128/st", st_team(128),
+                                harness::paper_spec(6005, 10, 50));
+    const auto mm = stream_cell("stream128/mt", mt_team(128),
+                                harness::paper_spec(6006, 10, 50));
     std::printf(
         "(c)/(f) BabelStream triad 128 threads: ST %.3f ms (CV %.4f) vs "
         "MT %.3f ms (CV %.4f)\n",
         ms.grand_mean(), ms.pooled_summary().cv, mm.grand_mean(),
         mm.pooled_summary().cv);
-    harness::verdict(mm.grand_mean() >= ms.grand_mean() * 0.95,
-                     "BabelStream does not benefit from using SMT");
+    ctx.metric("stream128_st_ms", ms.grand_mean());
+    ctx.metric("stream128_mt_ms", mm.grand_mean());
+    ctx.verdict(mm.grand_mean() >= ms.grand_mean() * 0.95,
+                "BabelStream does not benefit from using SMT");
 
-    bench::SimStream st8(s, st_team(8));
-    const auto ms8 = st8.run_protocol(bench::StreamKernel::triad,
-                                      harness::paper_spec(6007, 10, 50),
-                                          harness::jobs());
-    bench::SimStream mt8(s, mt_team(8));
-    const auto mm8 = mt8.run_protocol(bench::StreamKernel::triad,
-                                      harness::paper_spec(6008, 10, 50),
-                                          harness::jobs());
+    const auto ms8 = stream_cell("stream8/st", st_team(8),
+                                 harness::paper_spec(6007, 10, 50));
+    const auto mm8 = stream_cell("stream8/mt", mt_team(8),
+                                 harness::paper_spec(6008, 10, 50));
     std::printf("BabelStream triad 8 threads: ST %.3f ms vs MT %.3f ms\n",
                 ms8.grand_mean(), mm8.grand_mean());
-    harness::verdict(mm8.grand_mean() / ms8.grand_mean() < 1.5,
-                     "at small scale ST does not outperform MT much");
+    ctx.verdict(mm8.grand_mean() / ms8.grand_mean() < 1.5,
+                "at small scale ST does not outperform MT much");
   }
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "fig5", "Figure 5 — higher variability due to SMT (Dardel)", run_fig5};
+
+}  // namespace

@@ -21,10 +21,15 @@ namespace {
 
 using PanelResult = harness::FreqPanelResult;
 
-PanelResult run_panel(sim::Simulator& s, const std::string& places,
+PanelResult run_panel(cli::RunContext& ctx, const std::string& label,
+                      sim::Simulator& s, const std::string& places,
                       std::uint64_t seed) {
-  return harness::run_freq_panel(
-      s, places, harness::paper_spec(seed, 10, 20),
+  SpecKey key;
+  key.add("bench", "schedbench_freq_panel");
+  key.add("platform", "Vera:dippy");
+  return harness::run_freq_panel_cached(
+      ctx, label, std::move(key), s, places,
+      harness::paper_spec(seed, 10, 20),
       [](sim::Simulator& sim, const ompsim::TeamConfig& cfg) {
         return bench::SimSchedBench(sim, cfg,
                                     bench::EpccParams::schedbench(), 10000);
@@ -34,7 +39,8 @@ PanelResult run_panel(sim::Simulator& s, const std::string& places,
       });
 }
 
-void report_panel(const char* label, const PanelResult& r, double fmax) {
+void report_panel(cli::RunContext& ctx, const std::string& slug,
+                  const char* label, const PanelResult& r, double fmax) {
   std::printf("%s\n", label);
   report::Table t({"run #", "mean (us)", "min (us)", "max (us)", "cv"});
   for (std::size_t i = 0; i < r.matrix.runs(); ++i) {
@@ -44,19 +50,20 @@ void report_panel(const char* label, const PanelResult& r, double fmax) {
                report::fmt_fixed(s.cv, 4)});
   }
   std::printf("%s", t.render().c_str());
+  ctx.record_table(slug, t);
   const auto e = r.trace.extremes();
+  // Both are O(samples) scans over the merged trace — compute once.
+  const double below = r.trace.fraction_below(fmax, 0.95);
+  const std::size_t episodes = r.trace.episode_count(fmax, 0.95);
   std::printf(
       "frequency trace: %zu samples, min %.2f / mean %.2f / max %.2f GHz, "
       "%.1f%% below 0.95*fmax, %zu dip episodes\n\n",
-      r.trace.size(), e.min, e.mean, e.max,
-      r.trace.fraction_below(fmax, 0.95) * 100.0,
-      r.trace.episode_count(fmax, 0.95));
+      r.trace.size(), e.min, e.mean, e.max, below * 100.0, episodes);
+  ctx.metric(slug + "_below_fmax_fraction", below);
+  ctx.metric(slug + "_dip_episodes", static_cast<double>(episodes));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_fig6(cli::RunContext& ctx) {
   harness::header(
       "Figure 6 — schedbench variability from frequency variation (Vera)",
       "cross-NUMA placement shows higher execution-time variability and a "
@@ -68,18 +75,28 @@ int main(int argc, char** argv) {
   sim::Simulator s(p.machine, p.config);
   const double fmax = p.machine.max_ghz();
 
-  const auto one_numa = run_panel(s, "{0}:16:1", 7001);
-  const auto two_numa = run_panel(s, "{0}:8:1,{16}:8:1", 7002);
+  const auto one_numa = run_panel(ctx, "one_numa", s, "{0}:16:1", 7001);
+  const auto two_numa =
+      run_panel(ctx, "two_numa", s, "{0}:8:1,{16}:8:1", 7002);
 
-  report_panel("(a)+(b) 16 cores from ONE NUMA node:", one_numa, fmax);
-  report_panel("(c)+(d) 16 cores from TWO NUMA nodes:", two_numa, fmax);
+  report_panel(ctx, "one_numa",
+               "(a)+(b) 16 cores from ONE NUMA node:", one_numa, fmax);
+  report_panel(ctx, "two_numa",
+               "(c)+(d) 16 cores from TWO NUMA nodes:", two_numa, fmax);
 
-  harness::verdict(two_numa.matrix.pooled_summary().cv >
-                       one_numa.matrix.pooled_summary().cv,
-                   "cross-NUMA placement has higher execution-time CV");
-  harness::verdict(two_numa.trace.fraction_below(fmax, 0.95) >
-                       one_numa.trace.fraction_below(fmax, 0.95),
-                   "cross-NUMA frequency trace shows a larger sub-fmax "
-                   "region (the paper's brown region)");
+  ctx.verdict(two_numa.matrix.pooled_summary().cv >
+                  one_numa.matrix.pooled_summary().cv,
+              "cross-NUMA placement has higher execution-time CV");
+  ctx.verdict(two_numa.trace.fraction_below(fmax, 0.95) >
+                  one_numa.trace.fraction_below(fmax, 0.95),
+              "cross-NUMA frequency trace shows a larger sub-fmax "
+              "region (the paper's brown region)");
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "fig6",
+    "Figure 6 — schedbench variability from frequency variation (Vera)",
+    run_fig6};
+
+}  // namespace

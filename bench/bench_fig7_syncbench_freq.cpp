@@ -17,10 +17,15 @@ namespace {
 
 using PanelResult = harness::FreqPanelResult;
 
-PanelResult run_panel(sim::Simulator& s, const std::string& places,
+PanelResult run_panel(cli::RunContext& ctx, const std::string& label,
+                      sim::Simulator& s, const std::string& places,
                       std::uint64_t seed) {
-  return harness::run_freq_panel(
-      s, places, harness::paper_spec(seed),
+  SpecKey key;
+  key.add("bench", "syncbench_freq_panel");
+  key.add("platform", "Vera:dippy");
+  key.add("construct", "reduction");
+  return harness::run_freq_panel_cached(
+      ctx, label, std::move(key), s, places, harness::paper_spec(seed),
       [](sim::Simulator& sim, const ompsim::TeamConfig& cfg) {
         return bench::SimSyncBench(sim, cfg);
       },
@@ -29,10 +34,7 @@ PanelResult run_panel(sim::Simulator& s, const std::string& places,
       });
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+int run_fig7(cli::RunContext& ctx) {
   harness::header(
       "Figure 7 — syncbench (reduction) and frequency variation (Vera)",
       "16 cores across two NUMA nodes show more run-to-run and "
@@ -44,8 +46,8 @@ int main(int argc, char** argv) {
   sim::Simulator s(p.machine, p.config);
   const double fmax = p.machine.max_ghz();
 
-  const auto one = run_panel(s, "{0}:16:1", 8001);
-  const auto two = run_panel(s, "{0}:8:1,{16}:8:1", 8002);
+  const auto one = run_panel(ctx, "one_numa", s, "{0}:16:1", 8001);
+  const auto two = run_panel(ctx, "two_numa", s, "{0}:8:1,{16}:8:1", 8002);
 
   report::Table t({"placement", "grand mean (us)", "pooled CV",
                    "run-to-run CV", "% samples < 0.95 fmax",
@@ -59,16 +61,22 @@ int main(int argc, char** argv) {
   };
   add("one NUMA node (cores 0-15)", one);
   add("two NUMA nodes (8+8)", two);
-  std::printf("%s\n", t.render().c_str());
+  ctx.table("placement_comparison", t);
 
-  harness::verdict(two.matrix.grand_mean() > one.matrix.grand_mean(),
-                   "cross-NUMA reduction is slower (socket-step barrier + "
-                   "frequency dips)");
-  harness::verdict(two.matrix.pooled_summary().cv >
-                       one.matrix.pooled_summary().cv,
-                   "cross-NUMA reduction shows more variation");
-  harness::verdict(two.trace.fraction_below(fmax, 0.95) >
-                       one.trace.fraction_below(fmax, 0.95),
-                   "frequency trace confirms more dips cross-NUMA");
+  ctx.verdict(two.matrix.grand_mean() > one.matrix.grand_mean(),
+              "cross-NUMA reduction is slower (socket-step barrier + "
+              "frequency dips)");
+  ctx.verdict(two.matrix.pooled_summary().cv >
+                  one.matrix.pooled_summary().cv,
+              "cross-NUMA reduction shows more variation");
+  ctx.verdict(two.trace.fraction_below(fmax, 0.95) >
+                  one.trace.fraction_below(fmax, 0.95),
+              "frequency trace confirms more dips cross-NUMA");
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "fig7", "Figure 7 — syncbench (reduction) and frequency variation (Vera)",
+    run_fig7};
+
+}  // namespace

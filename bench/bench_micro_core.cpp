@@ -1,12 +1,20 @@
-// Google-benchmark micros for the library's own hot paths: statistics
-// kernels, the OMP_PLACES parser, the event queue, the noise model, and
-// the worksharing schedulers. These guard the simulator's performance
-// envelope (a 254-thread x 100-rep x 10-run experiment must stay seconds).
+// Microbenchmarks for the library's own hot paths: statistics kernels, the
+// OMP_PLACES parser, the event queue, the noise model, and the worksharing
+// schedulers. These guard the simulator's performance envelope (a
+// 254-thread x 100-rep x 10-run experiment must stay seconds).
+//
+// Self-timed (adaptive batch loop over steady_clock) so the harness builds
+// everywhere and registers into the omnivar campaign driver like every
+// other bench. Unlike the fig/table harnesses this one measures wall
+// clock, so its numbers — and its JSON artifact — are inherently
+// non-deterministic and outside the campaign's byte-stability guarantee.
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdlib>
+#include <functional>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "core/bootstrap.hpp"
 #include "core/descriptive.hpp"
 #include "core/rng.hpp"
@@ -15,115 +23,134 @@
 #include "sim/noise.hpp"
 #include "topo/places.hpp"
 
+using namespace omv;
+
 namespace {
 
 std::vector<double> sample_data(std::size_t n) {
-  omv::Rng rng(7);
+  Rng rng(7);
   std::vector<double> v;
   v.reserve(n);
   for (std::size_t i = 0; i < n; ++i) v.push_back(rng.normal(100.0, 5.0));
   return v;
 }
 
-void BM_Summarize(benchmark::State& state) {
-  const auto v = sample_data(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(omv::stats::summarize(v));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Summarize)->Arg(100)->Arg(1000)->Arg(10000);
+/// Volatile sink defeating dead-code elimination of the measured calls.
+volatile double g_sink = 0.0;
 
-void BM_OnlineStats(benchmark::State& state) {
-  const auto v = sample_data(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    omv::stats::OnlineStats s;
-    for (double x : v) s.add(x);
-    benchmark::DoNotOptimize(s.variance());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_OnlineStats)->Arg(1000)->Arg(100000);
-
-void BM_Percentile(benchmark::State& state) {
-  const auto v = sample_data(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(omv::stats::percentile(v, 99.0));
-  }
-}
-BENCHMARK(BM_Percentile)->Arg(1000)->Arg(10000);
-
-void BM_BootstrapMeanCi(benchmark::State& state) {
-  const auto v = sample_data(100);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        omv::stats::bootstrap_mean_ci(v, static_cast<std::size_t>(
-                                             state.range(0))));
-  }
-}
-BENCHMARK(BM_BootstrapMeanCi)->Arg(200)->Arg(2000);
-
-void BM_PlacesParseAbstract(benchmark::State& state) {
-  const auto m = omv::topo::Machine::dardel();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(omv::topo::parse_places("cores", m));
-  }
-}
-BENCHMARK(BM_PlacesParseAbstract);
-
-void BM_PlacesParseExplicit(benchmark::State& state) {
-  const auto m = omv::topo::Machine::dardel();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        omv::topo::parse_places("{0:4}:32:4,{128:4}:32:4", m));
-  }
-}
-BENCHMARK(BM_PlacesParseExplicit);
-
-void BM_EventQueueThroughput(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    omv::sim::EventQueue q;
-    omv::Rng rng(3);
-    for (std::size_t i = 0; i < n; ++i) {
-      q.schedule(rng.next_double(), [] {});
+/// Times `fn` (which returns a double folded into the sink): repeats
+/// batches until `min_seconds` of wall time accumulate, returns ns/call.
+double time_ns_per_call(const std::function<double()>& fn,
+                        double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  std::size_t batch = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < batch; ++i) g_sink = g_sink + fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= min_seconds) {
+      return s * 1e9 / static_cast<double>(batch);
     }
-    q.run();
-    benchmark::DoNotOptimize(q.now());
+    // Grow toward the time target (at least double to converge fast).
+    batch *= 2;
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(10000);
 
-void BM_NoisePreemptionQuery(benchmark::State& state) {
-  const auto m = omv::topo::Machine::dardel();
-  omv::sim::NoiseModel nm(m, omv::sim::NoiseConfig::dardel());
-  nm.begin_run(1, m.primary_threads());
-  double t = 0.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(nm.preemption_delay(5, t, t + 0.001));
-    t += 0.001;
-  }
-}
-BENCHMARK(BM_NoisePreemptionQuery);
+int run_micro(cli::RunContext& ctx) {
+  harness::header(
+      "Micro — core hot-path timings (ns/op, wall clock)",
+      "(not a paper experiment; guards the simulator's performance "
+      "envelope — values are machine-dependent)");
 
-void BM_DynamicScheduleLoop(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  omv::sim::Simulator s(omv::topo::Machine::dardel(),
-                        omv::sim::SimConfig::ideal());
-  omv::ompsim::TeamConfig cfg;
-  cfg.n_threads = threads;
-  for (auto _ : state) {
-    omv::ompsim::SimTeam team(s, cfg, 1);
-    team.begin_run(1);
-    omv::ompsim::for_loop(team, omv::ompsim::Schedule::dynamic, 1,
-                          threads * 256, 1e-6);
-    benchmark::DoNotOptimize(team.now());
+  const bool quick = [] {
+    const char* q = std::getenv("OMNIVAR_QUICK");
+    return q && q[0] == '1';
+  }();
+  const double budget = quick ? 0.005 : 0.05;
+
+  struct Case {
+    const char* name;
+    std::function<double()> fn;
+  };
+
+  const auto d100 = sample_data(100);
+  const auto d1k = sample_data(1000);
+  const auto d10k = sample_data(10000);
+  const auto machine = topo::Machine::dardel();
+
+  // Per-invocation state for the stateful micros, captured by reference —
+  // NOT function-local statics, which would dangle on a second invocation
+  // of this run function (NoiseModel keeps a reference to `machine`) and
+  // leak measurement position across calls.
+  sim::NoiseModel noise(machine, sim::NoiseConfig::dardel());
+  noise.begin_run(1, machine.primary_threads());
+  double noise_t = 0.0;
+  sim::Simulator dyn_sim(topo::Machine::dardel(), sim::SimConfig::ideal());
+
+  std::vector<Case> cases;
+  cases.push_back({"summarize/1k",
+                   [&] { return stats::summarize(d1k).mean; }});
+  cases.push_back({"summarize/10k",
+                   [&] { return stats::summarize(d10k).mean; }});
+  cases.push_back({"online_stats/1k", [&] {
+                     stats::OnlineStats s;
+                     for (double x : d1k) s.add(x);
+                     return s.variance();
+                   }});
+  cases.push_back({"percentile99/10k",
+                   [&] { return stats::percentile(d10k, 99.0); }});
+  cases.push_back({"bootstrap_mean_ci/100x200", [&] {
+                     return stats::bootstrap_mean_ci(d100, 200).lo;
+                   }});
+  cases.push_back({"places_parse/abstract", [&] {
+                     return static_cast<double>(
+                         topo::parse_places("cores", machine).size());
+                   }});
+  cases.push_back({"places_parse/explicit", [&] {
+                     return static_cast<double>(
+                         topo::parse_places("{0:4}:32:4,{128:4}:32:4",
+                                            machine)
+                             .size());
+                   }});
+  cases.push_back({"event_queue/1k", [&] {
+                     sim::EventQueue q;
+                     Rng rng(3);
+                     for (std::size_t i = 0; i < 1000; ++i) {
+                       q.schedule(rng.next_double(), [] {});
+                     }
+                     q.run();
+                     return q.now();
+                   }});
+  cases.push_back({"noise_preemption/query", [&] {
+                     noise_t += 0.001;
+                     return noise.preemption_delay(5, noise_t,
+                                                   noise_t + 0.001);
+                   }});
+  cases.push_back({"dynamic_schedule/16thr", [&] {
+                     ompsim::TeamConfig cfg;
+                     cfg.n_threads = 16;
+                     ompsim::SimTeam team(dyn_sim, cfg, 1);
+                     team.begin_run(1);
+                     ompsim::for_loop(team, ompsim::Schedule::dynamic, 1,
+                                      16 * 256, 1e-6);
+                     return team.now();
+                   }});
+
+  report::Table t({"case", "ns/op"});
+  bool all_positive = true;
+  for (const auto& c : cases) {
+    const double ns = time_ns_per_call(c.fn, budget);
+    all_positive &= ns > 0.0;
+    t.add_row({c.name, report::fmt_fixed(ns, 1)});
+    ctx.metric(std::string("ns_per_op/") + c.name, ns);
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0) * 256);
+  ctx.table("hot_paths", t);
+  ctx.verdict(all_positive, "all hot-path micros measured");
+  return 0;
 }
-BENCHMARK(BM_DynamicScheduleLoop)->Arg(16)->Arg(128);
+
+[[maybe_unused]] const cli::Registration reg{
+    "micro_core", "Micro — core hot-path wall-clock timings (ns/op)",
+    run_micro};
 
 }  // namespace
-
-BENCHMARK_MAIN();

@@ -9,8 +9,9 @@
 
 using namespace omv;
 
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+namespace {
+
+int run_table1(cli::RunContext& ctx) {
   harness::header("Table 1 — EPCC micro-benchmark parameters",
                   "schedbench: 100 reps, 15us delay, 1000us test time, "
                   "8192 itersperthr; syncbench: 100 reps, 0.1us delay, "
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   t.add_row({"test time (us)", report::fmt_fixed(sched.test_time_us, 0),
              report::fmt_fixed(sync.test_time_us, 0)});
   t.add_row({"itersperthr", std::to_string(sched.itersperthr), "-"});
-  std::printf("%s\n", t.render().c_str());
+  ctx.table("epcc_parameters", t);
 
   // Show what the test-time calibration yields for the reduction construct
   // at representative scales (the innerreps EPCC would pick).
@@ -46,9 +47,14 @@ int main(int argc, char** argv) {
                        bench::SyncConstruct::reduction))});
     }
   }
-  std::printf("%s\n", cal.render().c_str());
+  ctx.table("innerreps_calibration", cal);
 
-  harness::verdict(sched.outer_reps == 100 && sync.delay_us == 0.1,
-                   "Table 1 parameters wired through the EPCC protocol");
+  ctx.verdict(sched.outer_reps == 100 && sync.delay_us == 0.1,
+              "Table 1 parameters wired through the EPCC protocol");
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "table1", "Table 1 — EPCC micro-benchmark parameters", run_table1};
+
+}  // namespace

@@ -14,8 +14,9 @@
 
 using namespace omv;
 
-int main(int argc, char** argv) {
-  harness::parse_args(argc, argv);
+namespace {
+
+int run_table2(cli::RunContext& ctx) {
   harness::header(
       "Table 2 — schedbench (dynamic_1) higher execution time (us)",
       "Dardel: ~124,000us @4thr, ~154,200us @254thr with run 9 at "
@@ -41,12 +42,20 @@ int main(int argc, char** argv) {
   std::vector<std::string> headers{"run #"};
   for (auto& c : cols) {
     sim::Simulator s(c.platform.machine, c.platform.config);
-    bench::SimSchedBench sb(s, harness::pinned_team(c.threads),
-                            bench::EpccParams::schedbench(),
+    const auto team = harness::pinned_team(c.threads);
+    bench::SimSchedBench sb(s, team, bench::EpccParams::schedbench(),
                             /*max_grabs_per_rep=*/10000);
     const auto spec = harness::paper_spec(c.seed);
-    results.push_back(
-        sb.run_protocol(ompsim::Schedule::dynamic, 1, spec, harness::jobs()));
+    results.push_back(ctx.protocol(
+        std::string(c.platform.name) + "/t" + std::to_string(c.threads),
+        spec,
+        harness::cell_key("schedbench", c.platform.name, team)
+            .add("schedule", "dynamic")
+            .add("chunk", std::uint64_t{1}),
+        [&] {
+          return sb.run_protocol(ompsim::Schedule::dynamic, 1, spec,
+                                 ctx.jobs());
+        }));
     headers.push_back(std::string(c.platform.name) + " " +
                       std::to_string(c.threads) + " thr");
   }
@@ -60,7 +69,7 @@ int main(int argc, char** argv) {
     }
     t.add_row(std::move(row));
   }
-  std::printf("%s\n", t.render().c_str());
+  ctx.table("per_run_means", t);
 
   report::Table stats({"column", "grand mean (us)", "run spread (max/min)",
                        "run-to-run CV"});
@@ -70,16 +79,22 @@ int main(int argc, char** argv) {
                    report::fmt_fixed(results[i].run_mean_spread(), 4),
                    report::fmt_fixed(results[i].run_to_run_cv(), 5)});
   }
-  std::printf("%s\n", stats.render().c_str());
+  ctx.table("column_stats", stats);
 
-  harness::verdict(results[0].grand_mean() < results[1].grand_mean() &&
-                       results[2].grand_mean() < results[3].grand_mean(),
-                   "execution time grows with thread count under dynamic_1");
-  harness::verdict(results[0].run_mean_spread() < 1.01 &&
-                       results[2].run_mean_spread() < 1.01,
-                   "4-thread columns are tight (<1% run spread)");
-  harness::verdict(results[1].run_mean_spread() > 1.03 ||
-                       results[3].run_mean_spread() > 1.03,
-                   "a full-node column shows a run-level outlier");
+  ctx.verdict(results[0].grand_mean() < results[1].grand_mean() &&
+                  results[2].grand_mean() < results[3].grand_mean(),
+              "execution time grows with thread count under dynamic_1");
+  ctx.verdict(results[0].run_mean_spread() < 1.01 &&
+                  results[2].run_mean_spread() < 1.01,
+              "4-thread columns are tight (<1% run spread)");
+  ctx.verdict(results[1].run_mean_spread() > 1.03 ||
+                  results[3].run_mean_spread() > 1.03,
+              "a full-node column shows a run-level outlier");
   return 0;
 }
+
+[[maybe_unused]] const cli::Registration reg{
+    "table2", "Table 2 — schedbench (dynamic_1) execution time per run",
+    run_table2};
+
+}  // namespace

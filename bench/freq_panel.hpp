@@ -4,13 +4,20 @@
 // while capturing each run's 100 Hz frequency trace, merged in protocol
 // order. Delegates to bench_suite/protocol.hpp's per-run cloning contract
 // (single implementation) via its end-of-run hook.
+//
+// The cached variant persists the panel's trace as a ".trace.csv" sidecar
+// of the RunMatrix cache entry, so a cached campaign cell restores the
+// whole panel (matrix + frequency-dip statistics) without recomputing.
 
+#include <exception>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.hpp"
 #include "bench_suite/protocol.hpp"
 #include "freqlog/logger.hpp"
+#include "freqlog/trace_csv.hpp"
 
 namespace omv::harness {
 
@@ -28,6 +35,7 @@ template <typename MakeBench, typename Rep>
 [[nodiscard]] FreqPanelResult run_freq_panel(const sim::Simulator& base,
                                              const std::string& places,
                                              const ExperimentSpec& spec,
+                                             std::size_t n_jobs,
                                              MakeBench make_bench, Rep rep) {
   ompsim::TeamConfig cfg;
   cfg.n_threads = 16;
@@ -42,7 +50,7 @@ template <typename MakeBench, typename Rep>
 
   FreqPanelResult out;
   out.matrix = bench::run_protocol_sharded(
-      base, cfg, spec, jobs(),
+      base, cfg, spec, n_jobs,
       [make_bench, cfg](sim::Simulator& sim) { return make_bench(sim, cfg); },
       rep,
       [trace_slots](auto& /*bench*/, ompsim::SimTeam& team,
@@ -52,6 +60,41 @@ template <typename MakeBench, typename Rep>
             freqlog::sample_sim(reader, 0.0, team.now(), 0.01));
       });
   for (const auto& tr : traces) out.trace.append(tr);
+  return out;
+}
+
+/// run_freq_panel through the campaign result cache: the matrix goes into
+/// the spec-hash cache as usual and the trace rides along as a sidecar. A
+/// missing/corrupt sidecar vetoes the hit, so the cache can only ever
+/// restore the complete panel.
+template <typename MakeBench, typename Rep>
+[[nodiscard]] FreqPanelResult run_freq_panel_cached(
+    cli::RunContext& ctx, const std::string& label, SpecKey key,
+    const sim::Simulator& base, const std::string& places,
+    const ExperimentSpec& spec, MakeBench make_bench, Rep rep) {
+  key.add("places_panel", places);
+  FreqPanelResult out;
+  out.matrix = ctx.protocol(
+      label, spec, std::move(key),
+      [&] {
+        auto panel = run_freq_panel(base, places, spec, ctx.jobs(),
+                                    make_bench, rep);
+        out.trace = std::move(panel.trace);
+        return std::move(panel.matrix);
+      },
+      /*save_extra=*/
+      [&out](const std::string& stem) {
+        freqlog::save_freq_trace(stem + ".trace.csv", out.trace);
+      },
+      /*load_extra=*/
+      [&out](const std::string& stem) {
+        try {
+          out.trace = freqlog::load_freq_trace(stem + ".trace.csv");
+          return true;
+        } catch (const std::exception&) {
+          return false;
+        }
+      });
   return out;
 }
 

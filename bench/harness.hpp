@@ -1,64 +1,54 @@
 #pragma once
 // Shared scaffolding for the paper-reproduction bench harnesses.
 //
-// Every binary reproduces one table or figure of the paper. Binaries run
-// with no arguments using the paper's full protocol (10 runs x 100 outer
-// repetitions); set OMNIVAR_QUICK=1 to shrink the protocol for smoke runs,
-// or OMNIVAR_RUNS / OMNIVAR_REPS to override explicitly.
+// Every harness reproduces one table or figure of the paper and registers
+// itself into the omnivar registry (cli/registry.hpp); the same source
+// builds a standalone binary and one entry of the unified campaign driver.
+// Harnesses run with no arguments using the paper's full protocol (10 runs
+// x 100 outer repetitions); set OMNIVAR_QUICK=1 to shrink the protocol for
+// smoke runs, or OMNIVAR_RUNS / OMNIVAR_REPS to override explicitly.
 //
 // Protocol execution is sharded across worker threads: pass --jobs=N (or
 // set OMNIVAR_JOBS=N; 0 = one worker per hardware thread) to run the R
 // independent runs of every configuration concurrently. Results are
 // bit-identical to the serial default (--jobs=1) because each run derives
-// its entire state from its run seed.
+// its entire state from its run seed. With --out DIR, every protocol cell
+// persists through the spec-hash result cache and the harness emits a JSON
+// artifact (cli/campaign.hpp).
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <set>
 #include <string>
 
+#include "cli/campaign.hpp"
+#include "cli/options.hpp"
+#include "cli/registry.hpp"
 #include "core/experiment.hpp"
 #include "core/parallel_runner.hpp"
 #include "core/report.hpp"
+#include "core/spec_hash.hpp"
 #include "omp_model/team.hpp"
 #include "sim/simulator.hpp"
 #include "topo/topology.hpp"
 
 namespace omv::harness {
 
-/// Mutable process-wide jobs override (set by parse_args; 0 = unset, fall
-/// back to the OMNIVAR_JOBS environment variable, then serial).
+/// Mutable process-wide jobs override (kept for tests and ad-hoc callers;
+/// harness code should use RunContext::jobs()).
 inline std::size_t& jobs_override() {
   static std::size_t value = 0;
   return value;
 }
 
-/// Strictly parses a non-negative integer. Returns false on empty,
-/// non-digit, negative, or overflowing input (strtoul alone would happily
-/// wrap "-4").
+/// Strict non-negative integer parse (see cli::parse_uint).
 inline bool parse_uint(const char* text, std::size_t& out) {
-  if (text == nullptr || *text == '\0') return false;
-  for (const char* p = text; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long v = std::strtoul(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) return false;
-  out = static_cast<std::size_t>(v);
-  return true;
+  return cli::parse_uint(text, out);
 }
 
-/// Strictly parses a job count ("0" = hardware concurrency) — a typo'd
-/// jobs value must not silently become "saturate every core" on a
-/// measurement harness.
+/// Strict job-count parse ("0" = hardware concurrency).
 inline bool parse_job_count(const char* text, std::size_t& out) {
-  std::size_t v = 0;
-  if (!parse_uint(text, v)) return false;
-  out = resolve_jobs(v);
-  return true;
+  return cli::parse_job_count(text, out);
 }
 
 /// Applies a protocol-count override from the environment: a malformed or
@@ -83,65 +73,37 @@ inline void apply_count_env(const char* name, std::size_t& value) {
   }
 }
 
-/// Effective worker count for sharded protocol execution: the --jobs
-/// override, else OMNIVAR_JOBS (where 0 means hardware concurrency), else
-/// 1 (serial — the paper's original execution model). A malformed
-/// OMNIVAR_JOBS is reported once and ignored.
-inline std::size_t jobs() {
-  if (jobs_override() != 0) return jobs_override();
-  if (const char* j = std::getenv("OMNIVAR_JOBS")) {
-    std::size_t n = 0;
-    if (parse_job_count(j, n)) return n;
-    static bool warned = [&] {
-      std::fprintf(stderr,
-                   "harness: ignoring malformed OMNIVAR_JOBS='%s' "
-                   "(expected a non-negative integer); running serial\n",
-                   j);
-      return true;
-    }();
-    (void)warned;
-  }
-  return 1;
-}
+/// Effective worker count honoring jobs_override() then OMNIVAR_JOBS
+/// (kept for tests; harness run functions receive the resolved count via
+/// RunContext::jobs()).
+inline std::size_t jobs() { return cli::effective_jobs(jobs_override()); }
 
-/// Parses the shared harness flags (currently --jobs=N / --jobs N).
-/// Malformed jobs values are reported and ignored; other unrecognized
-/// arguments are ignored so harnesses stay zero-config.
+/// Parses the shared harness flags into jobs_override() (kept for tests
+/// and ad-hoc embedding; the binaries' real entry points are
+/// cli::run_standalone / cli::run_campaign).
 inline void parse_args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      value = arg + 7;
-    } else if (std::strcmp(arg, "--jobs") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "harness: --jobs requires a value\n");
-        continue;
-      }
-      value = argv[++i];
-    } else {
-      continue;
-    }
-    std::size_t n = 0;
-    if (parse_job_count(value, n)) {
-      jobs_override() = n;
-    } else {
-      std::fprintf(stderr,
-                   "harness: ignoring malformed --jobs value '%s' "
-                   "(expected a non-negative integer)\n",
-                   value);
-    }
+  const cli::Options o = cli::parse_options(argc, argv);
+  for (const auto& e : o.errors) {
+    std::fprintf(stderr, "harness: ignoring %s\n", e.c_str());
   }
+  if (o.jobs != 0) jobs_override() = o.jobs;
 }
 
-/// Runs a spec through the ParallelRunner honoring the harness job count;
-/// `make_kernel` builds one private kernel per run. This is the generic
-/// entry point for ad-hoc kernels that have no Sim* benchmark object —
-/// harnesses built on the bench_suite classes go through their
-/// run_protocol(..., jobs) overloads instead.
+/// Runs a spec through the ParallelRunner honoring the harness job count
+/// (jobs_override / OMNIVAR_JOBS); `make_kernel` builds one private kernel
+/// per run. Generic entry point for ad-hoc kernels that have no Sim*
+/// benchmark object.
 inline RunMatrix run_sharded(const ExperimentSpec& spec,
                              const RunKernelFactory& make_kernel) {
   return run_experiment_parallel(spec, make_kernel, jobs());
+}
+
+/// As above with an explicit worker count; 0 means one worker per
+/// hardware thread, consistent with --jobs / OMNIVAR_JOBS.
+inline RunMatrix run_sharded(const ExperimentSpec& spec,
+                             const RunKernelFactory& make_kernel,
+                             std::size_t n_jobs) {
+  return run_experiment_parallel(spec, make_kernel, resolve_jobs(n_jobs));
 }
 
 /// Protocol spec honoring the environment overrides.
@@ -193,6 +155,36 @@ inline ompsim::TeamConfig unpinned_team(std::size_t threads) {
   return cfg;
 }
 
+/// Cache-key fingerprint of a team configuration — every TeamConfig field
+/// that changes the simulated timings (threads, places, bind, barrier
+/// algorithm, the unpinned-placement knobs, and the inter-repetition
+/// wall-clock gap).
+inline SpecKey& add_team_key(SpecKey& k, const ompsim::TeamConfig& cfg) {
+  k.add("threads", cfg.n_threads);
+  k.add("places", cfg.places_spec);
+  k.add("bind", static_cast<std::uint64_t>(cfg.bind));
+  k.add("barrier", static_cast<std::uint64_t>(cfg.barrier_alg));
+  k.add("migrate_prob", cfg.placement.migrate_prob);
+  k.add("bad_migration_prob", cfg.placement.bad_migration_prob);
+  k.add("rescue_prob", cfg.placement.rescue_prob);
+  k.add("inter_rep_gap", cfg.inter_rep_gap);
+  return k;
+}
+
+/// Starts a cache key for one protocol cell: benchmark kind, platform (or
+/// configuration variant) name, team. Append benchmark-specific fields
+/// (construct, schedule, chunk, kernel, ...) before passing it to
+/// RunContext::protocol.
+inline SpecKey cell_key(std::string_view bench_kind,
+                        std::string_view platform,
+                        const ompsim::TeamConfig& team) {
+  SpecKey k;
+  k.add("bench", bench_kind);
+  k.add("platform", platform);
+  add_team_key(k, team);
+  return k;
+}
+
 /// Prints the standard harness header.
 inline void header(const std::string& experiment, const std::string& claim) {
   std::printf("%s", report::banner(experiment).c_str());
@@ -200,6 +192,8 @@ inline void header(const std::string& experiment, const std::string& claim) {
 }
 
 /// Prints the "shape check" verdict line the EXPERIMENTS.md records.
+/// Prefer RunContext::verdict (records into the JSON artifact) in harness
+/// run functions; this stays for ad-hoc callers.
 inline void verdict(bool ok, const std::string& what) {
   std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH", what.c_str());
 }

@@ -1,0 +1,445 @@
+#include "cli/campaign.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "cli/options.hpp"
+#include "cli/registry.hpp"
+#include "core/json_writer.hpp"
+#include "core/trace_io.hpp"
+
+namespace omv::cli {
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!f) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+/// Reads a whole file; empty optional-style: returns false when absent.
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream os;
+  os << f.rdbuf();
+  out = os.str();
+  return f.good() || f.eof();
+}
+
+}  // namespace
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create directory '" + dir +
+                             "': " + ec.message());
+  }
+}
+
+RunContext::RunContext(std::string harness, std::size_t jobs,
+                       std::string out_dir)
+    : harness_(std::move(harness)),
+      jobs_(jobs == 0 ? 1 : jobs),
+      out_dir_(std::move(out_dir)) {
+  if (caching()) {
+    ensure_dir(out_dir_ + "/cache");
+  }
+}
+
+RunMatrix RunContext::protocol(const std::string& label,
+                               const ExperimentSpec& spec, SpecKey config,
+                               const std::function<RunMatrix()>& compute,
+                               const ExtraSave& save_extra,
+                               const ExtraLoad& load_extra) {
+  config.add("harness", harness_);
+  config.add("label", label);
+  config.add_spec(spec);
+  const std::string hash = config.hex();
+
+  CellRecord rec;
+  rec.label = label;
+  rec.hash = hash;
+  rec.seed = spec.seed;
+  rec.runs = spec.runs;
+  rec.reps = spec.reps;
+  rec.warmup = spec.warmup;
+
+  const std::string stem =
+      caching() ? out_dir_ + "/cache/" + hash : std::string();
+
+  if (caching()) {
+    // The .key file is written last (commit marker) and must match the
+    // canonical key exactly — a hash collision or a stale/corrupt entry
+    // degrades to a recompute, never to silently serving wrong data.
+    std::string stored_key;
+    if (read_file(stem + ".key", stored_key) &&
+        stored_key == config.canonical()) {
+      try {
+        RunMatrix m = io::load_run_matrix(stem + ".csv", label);
+        // Shape must match the spec exactly: protocol cells are full
+        // spec.runs x spec.reps rectangles, so a parseable-but-truncated
+        // file (interrupted copy of a campaign dir) must degrade to a
+        // recompute, never be served as valid data.
+        bool shape_ok = m.runs() == spec.runs;
+        for (std::size_t r = 0; shape_ok && r < m.runs(); ++r) {
+          shape_ok = m.run(r).size() == spec.reps;
+        }
+        if (shape_ok && (!load_extra || load_extra(stem))) {
+          ++hits_;
+          rec.cached = true;
+          cells_.push_back(std::move(rec));
+          return m;
+        }
+        std::fprintf(stderr,
+                     "[omnivar] cache entry %s for '%s' is inconsistent; "
+                     "recomputing\n",
+                     hash.c_str(), label.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "[omnivar] cache entry %s for '%s' unreadable (%s); "
+                     "recomputing\n",
+                     hash.c_str(), label.c_str(), e.what());
+      }
+    }
+  }
+
+  RunMatrix m = compute();
+  // Normalize to the cell label: the compute path labels matrices with
+  // spec.name while a cache load uses `label` — a cold/warm run must
+  // return indistinguishable objects.
+  m.set_label(label);
+  ++misses_;
+  if (caching()) {
+    io::save_run_matrix(stem + ".csv", m);
+    if (save_extra) save_extra(stem);
+    write_file(stem + ".key", config.canonical());
+  }
+  cells_.push_back(std::move(rec));
+  return m;
+}
+
+void RunContext::series(const std::string& name, const report::Series& s,
+                        int digits) {
+  std::printf("%s\n", s.render(report::Format::ascii, digits).c_str());
+  series_.push_back({name, s.x_name(), s.names(), s.points()});
+}
+
+void RunContext::table(const std::string& name, const report::Table& t) {
+  std::printf("%s\n", t.render().c_str());
+  record_table(name, t);
+}
+
+void RunContext::record_table(const std::string& name,
+                              const report::Table& t) {
+  tables_.push_back({name, t.header(), t.data()});
+}
+
+void RunContext::verdict(bool ok, const std::string& text) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH", text.c_str());
+  verdicts_.push_back({ok, text});
+}
+
+void RunContext::metric(const std::string& name, double value) {
+  metrics_.push_back({name, value});
+}
+
+bool RunContext::all_ok() const noexcept {
+  for (const auto& v : verdicts_) {
+    if (!v.ok) return false;
+  }
+  return true;
+}
+
+std::string RunContext::artifact_json(const std::string& description) const {
+  json::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("omnivar-artifact-v1");
+  w.key("harness").value(harness_);
+  w.key("description").value(description);
+
+  w.key("cells").begin_array();
+  for (const auto& c : cells_) {
+    w.begin_object();
+    w.key("label").value(c.label);
+    w.key("spec_hash").value(c.hash);
+    w.key("seed").value(static_cast<std::uint64_t>(c.seed));
+    w.key("runs").value(c.runs);
+    w.key("reps").value(c.reps);
+    w.key("warmup").value(c.warmup);
+    w.key("csv").value("cache/" + c.hash + ".csv");
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("series").begin_array();
+  for (const auto& s : series_) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("x_name").value(s.x_name);
+    w.key("columns").begin_array();
+    for (const auto& c : s.columns) w.value(c);
+    w.end_array();
+    w.key("points").begin_array();
+    for (const auto& [x, ys] : s.points) {
+      w.begin_array();
+      w.value(x);
+      for (const double y : ys) w.value(y);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("tables").begin_array();
+  for (const auto& t : tables_) {
+    w.begin_object();
+    w.key("name").value(t.name);
+    w.key("header").begin_array();
+    for (const auto& h : t.header) w.value(h);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const auto& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("metrics").begin_array();
+  for (const auto& m : metrics_) {
+    w.begin_object();
+    w.key("name").value(m.name);
+    w.key("value").value(m.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("verdicts").begin_array();
+  for (const auto& v : verdicts_) {
+    w.begin_object();
+    w.key("ok").value(v.ok);
+    w.key("text").value(v.text);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+void print_usage(const char* argv0, bool campaign) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--jobs N] [--out DIR]%s\n"
+               "  --list       list registered harnesses\n"
+               "%s"
+               "  --jobs N     shard each protocol's runs over N workers\n"
+               "               (0 = one per hardware thread; default: "
+               "OMNIVAR_JOBS, else serial)\n"
+               "  --out DIR    campaign directory: per-harness JSON "
+               "artifacts,\n"
+               "               campaign.json, and the spec-hash result "
+               "cache\n",
+               argv0, campaign ? " [--only GLOB]..." : "",
+               campaign
+                   ? "  --only GLOB  run only harnesses matching the glob "
+                     "(repeatable)\n"
+                   : "");
+}
+
+void report_option_errors(const Options& o) {
+  for (const auto& e : o.errors) {
+    std::fprintf(stderr, "[omnivar] ignoring %s\n", e.c_str());
+  }
+}
+
+struct HarnessOutcome {
+  std::string name;
+  int exit_code = 0;
+  std::size_t verdicts_ok = 0;
+  std::size_t verdicts_total = 0;
+  std::size_t cached = 0;
+  std::size_t computed = 0;
+  double seconds = 0.0;
+  bool artifact_written = false;
+};
+
+/// Runs one harness under a fresh context; writes its artifact when an
+/// out dir is configured.
+HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
+                       const std::string& out_dir) {
+  HarnessOutcome out;
+  out.name = h.name;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Everything that can throw is inside this block — a bad --out path
+  // (RunContext's ensure_dir), a failing harness, or an artifact write
+  // error must mark this harness FAILED, not std::terminate the campaign.
+  try {
+    RunContext ctx(h.name, jobs, out_dir);
+    out.exit_code = h.run(ctx);
+    out.verdicts_total = ctx.verdicts().size();
+    for (const auto& v : ctx.verdicts()) {
+      if (v.ok) ++out.verdicts_ok;
+    }
+    out.cached = ctx.cache_hits();
+    out.computed = ctx.cache_misses();
+    if (!out_dir.empty() && out.exit_code == 0) {
+      write_file(out_dir + "/" + h.name + ".json",
+                 ctx.artifact_json(h.description));
+      out.artifact_written = true;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[omnivar] %s failed: %s\n", h.name.c_str(),
+                 e.what());
+    out.exit_code = 1;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+void write_campaign_json(const std::string& out_dir, std::size_t jobs,
+                         const std::vector<HarnessOutcome>& outcomes) {
+  json::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("omnivar-campaign-v1");
+  w.key("jobs").value(jobs);
+  bool ok = true;
+  w.key("harnesses").begin_array();
+  for (const auto& o : outcomes) {
+    ok &= o.exit_code == 0;
+    w.begin_object();
+    w.key("name").value(o.name);
+    w.key("exit_code").value(static_cast<std::int64_t>(o.exit_code));
+    w.key("verdicts_ok").value(o.verdicts_ok);
+    w.key("verdicts_total").value(o.verdicts_total);
+    w.key("cells_cached").value(o.cached);
+    w.key("cells_computed").value(o.computed);
+    w.key("seconds").value(o.seconds);
+    if (o.artifact_written) {
+      w.key("artifact").value(o.name + ".json");
+    } else {
+      w.key("artifact").null();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("ok").value(ok);
+  w.end_object();
+  write_file(out_dir + "/campaign.json", w.str());
+}
+
+void report_outcome(const HarnessOutcome& o) {
+  std::fprintf(stderr,
+               "[omnivar] %s: %s — %zu/%zu shape checks ok, cells: %zu "
+               "cached + %zu computed (%.1fs)\n",
+               o.name.c_str(), o.exit_code == 0 ? "done" : "FAILED",
+               o.verdicts_ok, o.verdicts_total, o.cached, o.computed,
+               o.seconds);
+}
+
+}  // namespace
+
+int run_standalone(int argc, char** argv) {
+  const Options o = parse_options(argc, argv);
+  report_option_errors(o);
+  if (o.help) {
+    print_usage(argv[0], /*campaign=*/false);
+    return 0;
+  }
+  const auto& all = Registry::instance().all();
+  if (all.size() != 1) {
+    std::fprintf(stderr,
+                 "[omnivar] standalone binary expects exactly one "
+                 "registered harness, found %zu\n",
+                 all.size());
+    return 2;
+  }
+  const HarnessInfo& h = all.front();
+  if (o.list) {
+    std::printf("%-16s %s\n", h.name.c_str(), h.description.c_str());
+    return 0;
+  }
+  if (!o.only.empty()) {
+    std::fprintf(stderr,
+                 "[omnivar] --only has no effect on a standalone binary "
+                 "(it always runs '%s'); use the omnivar driver to select "
+                 "harnesses\n",
+                 h.name.c_str());
+  }
+  const HarnessOutcome out =
+      run_one(h, effective_jobs(o.jobs), o.out_dir);
+  if (!o.out_dir.empty()) {
+    report_outcome(out);
+    try {
+      write_campaign_json(o.out_dir, effective_jobs(o.jobs), {out});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[omnivar] cannot write campaign.json: %s\n",
+                   e.what());
+      return out.exit_code != 0 ? out.exit_code : 1;
+    }
+  }
+  return out.exit_code;
+}
+
+int run_campaign(int argc, char** argv) {
+  const Options o = parse_options(argc, argv);
+  report_option_errors(o);
+  if (o.help) {
+    print_usage(argv[0], /*campaign=*/true);
+    return 0;
+  }
+  const auto& reg = Registry::instance();
+  if (o.list) {
+    for (const auto& h : reg.all()) {
+      std::printf("%-16s %s\n", h.name.c_str(), h.description.c_str());
+    }
+    return 0;
+  }
+  const auto selected = reg.match(o.only);
+  if (selected.empty()) {
+    std::fprintf(stderr, "[omnivar] no harness matches");
+    for (const auto& g : o.only) std::fprintf(stderr, " '%s'", g.c_str());
+    std::fprintf(stderr, "; try --list\n");
+    return 2;
+  }
+
+  const std::size_t jobs = effective_jobs(o.jobs);
+  std::vector<HarnessOutcome> outcomes;
+  int rc = 0;
+  for (const HarnessInfo* h : selected) {
+    std::fprintf(stderr, "[omnivar] running %s (%zu of %zu)\n",
+                 h->name.c_str(), outcomes.size() + 1, selected.size());
+    outcomes.push_back(run_one(*h, jobs, o.out_dir));
+    report_outcome(outcomes.back());
+    if (outcomes.back().exit_code != 0) rc = 1;
+  }
+  if (!o.out_dir.empty()) {
+    try {
+      write_campaign_json(o.out_dir, jobs, outcomes);
+      std::fprintf(stderr, "[omnivar] campaign summary: %s/campaign.json\n",
+                   o.out_dir.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[omnivar] cannot write campaign.json: %s\n",
+                   e.what());
+      rc = rc != 0 ? rc : 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace omv::cli

@@ -1,0 +1,168 @@
+#pragma once
+// Campaign execution context: the artifact + result-cache layer under every
+// harness.
+//
+// A RunContext is handed to each harness's run function. It provides:
+//   * jobs() — the sharding knob (--jobs / OMNIVAR_JOBS);
+//   * protocol() — cached protocol execution: each run_protocol invocation
+//     is keyed by a canonical spec fingerprint (harness, label, seed, runs,
+//     reps, warmup, benchmark config); its RunMatrix persists as
+//     <out>/cache/<hash>.csv with the canonical key in <hash>.key, so a
+//     re-invocation loads the bit-identical matrix instead of recomputing
+//     (the CSV stores 17-significant-digit times — a lossless double
+//     round-trip);
+//   * series()/table()/verdict()/metric() — print exactly what the
+//     pre-campaign harnesses printed, additionally recording the data for
+//     the JSON artifact.
+//
+// Artifacts: <out>/<harness>.json holds the science (cells, series at
+// full precision, tables, metrics, verdicts) and is byte-stable across
+// cached re-runs provided the harness records only deterministic data —
+// every fig/table harness does; micro_core, which records wall-clock
+// ns/op metrics, is the documented exception. Wall-clock timing and cache
+// provenance go to <out>/campaign.json, which is expected to differ
+// between invocations.
+//
+// The cache validates the stored canonical key on every hit (collision /
+// stale-key defense) and falls back to recomputing — a cache can never
+// make a campaign wrong, only faster. It does NOT version the simulator:
+// after changing model code, start a fresh --out directory.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/run_matrix.hpp"
+#include "core/spec_hash.hpp"
+
+namespace omv::cli {
+
+/// Provenance of one cached protocol cell.
+struct CellRecord {
+  std::string label;
+  std::string hash;       ///< 16-hex spec hash (cache file stem).
+  std::uint64_t seed = 0;
+  std::size_t runs = 0;
+  std::size_t reps = 0;
+  std::size_t warmup = 0;
+  bool cached = false;    ///< served from cache this invocation.
+};
+
+struct VerdictRecord {
+  bool ok = false;
+  std::string text;
+};
+
+struct SeriesRecord {
+  std::string name;
+  std::string x_name;
+  std::vector<std::string> columns;
+  std::vector<std::pair<double, std::vector<double>>> points;
+};
+
+struct TableRecord {
+  std::string name;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct MetricRecord {
+  std::string name;
+  double value = 0.0;
+};
+
+class RunContext {
+ public:
+  /// `out_dir` empty disables artifacts and caching (standalone default).
+  RunContext(std::string harness, std::size_t jobs, std::string out_dir);
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+  [[nodiscard]] const std::string& harness() const noexcept {
+    return harness_;
+  }
+  [[nodiscard]] const std::string& out_dir() const noexcept {
+    return out_dir_;
+  }
+  [[nodiscard]] bool caching() const noexcept { return !out_dir_.empty(); }
+
+  /// Hook persisting extra per-cell data next to the RunMatrix CSV; `stem`
+  /// is "<out>/cache/<hash>" (append your own extension). Load returns
+  /// false to veto the cache hit (missing/corrupt sidecar => recompute).
+  using ExtraSave = std::function<void(const std::string& stem)>;
+  using ExtraLoad = std::function<bool(const std::string& stem)>;
+
+  /// Runs one protocol cell through the result cache. `config` carries the
+  /// benchmark-specific fingerprint fields; harness, label and the spec's
+  /// protocol parameters are appended here. On a validated cache hit
+  /// `compute` is not invoked.
+  [[nodiscard]] RunMatrix protocol(const std::string& label,
+                                   const ExperimentSpec& spec, SpecKey config,
+                                   const std::function<RunMatrix()>& compute,
+                                   const ExtraSave& save_extra = nullptr,
+                                   const ExtraLoad& load_extra = nullptr);
+
+  /// Prints the series exactly as the harnesses always did
+  /// (printf("%s\n", render(ascii, digits))) and records it for the
+  /// artifact at full precision.
+  void series(const std::string& name, const report::Series& s,
+              int digits = 4);
+
+  /// Prints the table (printf("%s\n", render())) and records it.
+  void table(const std::string& name, const report::Table& t);
+
+  /// Records a table without printing (for call sites with bespoke
+  /// surrounding output).
+  void record_table(const std::string& name, const report::Table& t);
+
+  /// Prints the standard "[SHAPE-OK] ..." verdict line and records it.
+  void verdict(bool ok, const std::string& text);
+
+  /// Records a named scalar (artifact only; no output).
+  void metric(const std::string& name, double value);
+
+  [[nodiscard]] std::size_t cache_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t cache_misses() const noexcept { return misses_; }
+  [[nodiscard]] bool all_ok() const noexcept;
+  [[nodiscard]] const std::vector<VerdictRecord>& verdicts() const noexcept {
+    return verdicts_;
+  }
+  [[nodiscard]] const std::vector<CellRecord>& cells() const noexcept {
+    return cells_;
+  }
+
+  /// The deterministic artifact document (schema omnivar-artifact-v1).
+  [[nodiscard]] std::string artifact_json(
+      const std::string& description) const;
+
+ private:
+  std::string harness_;
+  std::size_t jobs_ = 1;
+  std::string out_dir_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::vector<CellRecord> cells_;
+  std::vector<SeriesRecord> series_;
+  std::vector<TableRecord> tables_;
+  std::vector<MetricRecord> metrics_;
+  std::vector<VerdictRecord> verdicts_;
+};
+
+/// Creates `dir` (and parents). Throws std::runtime_error on failure.
+void ensure_dir(const std::string& dir);
+
+/// main() body for a standalone harness binary: parses the shared flags
+/// and runs the binary's single registered harness (writing its artifact
+/// when --out is given).
+[[nodiscard]] int run_standalone(int argc, char** argv);
+
+/// main() body for the omnivar driver: --list / --only / --jobs / --out
+/// over every registered harness; writes per-harness artifacts plus
+/// campaign.json. Driver chrome goes to stderr so stdout stays exactly the
+/// concatenated harness reports (and is byte-identical across cached
+/// re-runs).
+[[nodiscard]] int run_campaign(int argc, char** argv);
+
+}  // namespace omv::cli

@@ -1,0 +1,50 @@
+#pragma once
+// Shared command-line / environment handling for the campaign driver and
+// the standalone harness binaries.
+//
+// Every binary accepts the same flags:
+//   --list            list registered harnesses and exit
+//   --only <glob>     select harnesses by name glob (repeatable; omnivar)
+//   --jobs[=]N        shard each protocol's runs over N workers (0 = one
+//                     per hardware thread); falls back to OMNIVAR_JOBS
+//   --out[=]DIR       campaign directory: JSON artifacts + result cache
+//   --help            usage
+// Parsing is strict: a typo'd jobs value must not silently become
+// "saturate every core" on a measurement harness, so malformed values are
+// reported and ignored rather than guessed at.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace omv::cli {
+
+/// Strictly parses a non-negative integer. Returns false on empty,
+/// non-digit, negative, or overflowing input (strtoul alone would happily
+/// wrap "-4").
+[[nodiscard]] bool parse_uint(const char* text, std::size_t& out);
+
+/// Strictly parses a job count ("0" = hardware concurrency).
+[[nodiscard]] bool parse_job_count(const char* text, std::size_t& out);
+
+/// Parsed options shared by omnivar and the standalone binaries.
+struct Options {
+  bool list = false;
+  bool help = false;
+  std::vector<std::string> only;  ///< --only name globs (empty = all).
+  std::size_t jobs = 0;           ///< resolved worker count; 0 = unset.
+  std::string out_dir;            ///< --out campaign dir; empty = none.
+  std::vector<std::string> errors;  ///< malformed/unknown arguments.
+};
+
+/// Parses argv. Unknown arguments and malformed values are collected in
+/// `errors` (reported by the caller); parsing always completes.
+[[nodiscard]] Options parse_options(int argc, char** argv);
+
+/// Effective worker count: `cli_jobs` when set (non-zero), else the
+/// OMNIVAR_JOBS environment variable (0 there = hardware concurrency; a
+/// malformed value is reported once to stderr and ignored), else 1 —
+/// serial, the paper's original execution model.
+[[nodiscard]] std::size_t effective_jobs(std::size_t cli_jobs);
+
+}  // namespace omv::cli

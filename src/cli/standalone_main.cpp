@@ -1,0 +1,10 @@
+// main() for a standalone harness binary: each bench/bench_*.cpp is
+// compiled together with this file, so the binary runs exactly the one
+// harness the translation unit registered (same flags, artifact and cache
+// behavior as running it through the omnivar driver).
+
+#include "cli/campaign.hpp"
+
+int main(int argc, char** argv) {
+  return omv::cli::run_standalone(argc, argv);
+}

@@ -16,7 +16,11 @@ std::vector<double> autocorrelation(std::span<const double> xs,
   mean /= static_cast<double>(n);
   double denom = 0.0;
   for (double x : xs) denom += (x - mean) * (x - mean);
-  if (denom <= 0.0) return {};
+  // NaN input makes denom NaN, and `NaN <= 0.0` is false — without the
+  // isnan check a poisoned series would produce an all-NaN correlogram
+  // that downstream peak scans silently read as "no periodicity". Treat it
+  // like the other degenerate inputs: no correlogram at all.
+  if (std::isnan(denom) || denom <= 0.0) return {};
 
   max_lag = std::min(max_lag, n - 1);
   std::vector<double> r;

@@ -14,7 +14,9 @@
 namespace omv::stats {
 
 /// Sample autocorrelation at lags 1..max_lag (lag 0 omitted; it is 1).
-/// Returns an empty vector when the series is shorter than 3 or constant.
+/// Returns an empty vector when the series is shorter than 3, constant, or
+/// contains NaN (a poisoned series has no meaningful correlogram; the
+/// derived analyses below then report "no structure" instead of garbage).
 [[nodiscard]] std::vector<double> autocorrelation(std::span<const double> xs,
                                                   std::size_t max_lag);
 

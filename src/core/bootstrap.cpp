@@ -1,6 +1,7 @@
 #include "core/bootstrap.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "core/descriptive.hpp"
@@ -14,6 +15,12 @@ ConfidenceInterval bootstrap_ci(std::span<const double> xs,
   ConfidenceInterval ci;
   ci.level = level;
   if (xs.empty()) return ci;
+  if (has_nan(xs)) {
+    // Resampled statistics of a NaN-poisoned sample cannot be ordered, so
+    // the percentile bounds would be garbage — propagate NaN throughout.
+    ci.point = ci.lo = ci.hi = std::numeric_limits<double>::quiet_NaN();
+    return ci;
+  }
   ci.point = stat(xs);
   if (xs.size() == 1 || resamples == 0) {
     ci.lo = ci.hi = ci.point;

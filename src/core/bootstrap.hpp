@@ -23,7 +23,9 @@ struct ConfidenceInterval {
 using Statistic = std::function<double(std::span<const double>)>;
 
 /// Percentile bootstrap CI with `resamples` resamples at confidence `level`.
-/// Deterministic given `seed`.
+/// Deterministic given `seed`. An empty sample returns the zero interval;
+/// a single-element sample (or resamples == 0) collapses to a point
+/// interval; a sample containing NaN yields NaN point/lo/hi.
 [[nodiscard]] ConfidenceInterval bootstrap_ci(std::span<const double> xs,
                                               const Statistic& stat,
                                               std::size_t resamples = 2000,

@@ -16,8 +16,16 @@ void OnlineStats::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
+  // mean_/m2_ propagate NaN arithmetically, but std::min/max would drop it
+  // (NaN comparisons are false) — force the extrema to NaN too so a
+  // poisoned sample cannot report clean-looking min/max.
+  if (std::isnan(x)) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
 }
 
 double OnlineStats::variance() const noexcept {
@@ -53,6 +61,13 @@ std::vector<double> sorted_copy(std::span<const double> xs) {
   return v;
 }
 
+bool has_nan(std::span<const double> xs) noexcept {
+  for (const double x : xs) {
+    if (std::isnan(x)) return true;
+  }
+  return false;
+}
+
 double percentile_sorted(std::span<const double> sorted, double p) noexcept {
   if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted[0];
@@ -65,12 +80,16 @@ double percentile_sorted(std::span<const double> sorted, double p) noexcept {
 }
 
 double percentile(std::span<const double> xs, double p) {
+  // NaN breaks std::sort's strict weak ordering, which would make the
+  // "sorted" order (and thus any percentile) garbage — propagate instead.
+  if (has_nan(xs)) return std::numeric_limits<double>::quiet_NaN();
   const auto v = sorted_copy(xs);
   return percentile_sorted(v, p);
 }
 
 double mad(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
+  if (has_nan(xs)) return std::numeric_limits<double>::quiet_NaN();
   auto v = sorted_copy(xs);
   const double med = percentile_sorted(v, 50.0);
   for (auto& x : v) x = std::abs(x - med);
@@ -80,6 +99,9 @@ double mad(std::span<const double> xs) {
 }
 
 double geomean(std::span<const double> xs) {
+  // Non-positive values are skipped by design (documented); NaN is not a
+  // "value outside the domain" but a poisoned input — propagate it.
+  if (has_nan(xs)) return std::numeric_limits<double>::quiet_NaN();
   double sum_log = 0.0;
   std::size_t n = 0;
   for (double x : xs) {
@@ -95,6 +117,16 @@ Summary summarize(std::span<const double> xs) {
   Summary s;
   s.n = xs.size();
   if (xs.empty()) return s;
+  if (has_nan(xs)) {
+    // Order statistics are undefined once sorting is (NaN breaks the
+    // comparator); make every moment NaN rather than returning a mixture
+    // of garbage order stats and NaN means.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    s.mean = s.stddev = s.cv = s.min = s.max = nan;
+    s.median = s.p25 = s.p75 = s.p99 = s.iqr = s.mad = nan;
+    s.skewness = s.kurtosis = nan;
+    return s;
+  }
 
   OnlineStats acc;
   for (double x : xs) acc.add(x);

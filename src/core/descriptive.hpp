@@ -49,20 +49,31 @@ class OnlineStats {
 };
 
 /// Linear-interpolation percentile (type-7, the numpy/R default).
-/// `p` in [0, 100]. The input need not be sorted. Returns 0 for empty input.
+/// `p` in [0, 100]. The input need not be sorted. Returns 0 for empty input
+/// and NaN when any input value is NaN (NaN breaks sorting, so every order
+/// statistic of such a sample is meaningless).
 [[nodiscard]] double percentile(std::span<const double> xs, double p);
 
-/// Percentile of an already ascending-sorted sample (no copy).
+/// Percentile of an already ascending-sorted sample (no copy). The input
+/// must be genuinely sorted and NaN-free — use percentile() when that is
+/// not guaranteed.
 [[nodiscard]] double percentile_sorted(std::span<const double> sorted,
                                        double p) noexcept;
 
 /// Median absolute deviation, scaled by 1.4826 so it estimates sigma for
-/// normal data (robust spread estimate).
+/// normal data (robust spread estimate). NaN inputs propagate to NaN.
 [[nodiscard]] double mad(std::span<const double> xs);
 
-/// Geometric mean (expects strictly positive input; non-positive values are
-/// skipped). Returns 0 for empty/all-skipped input.
+/// Geometric mean. Non-positive values are *silently skipped* — callers
+/// averaging data that can legitimately contain zeros or negatives (e.g.
+/// differences) must filter or transform first; the mean is taken over the
+/// positive subset only. Returns 0 for empty/all-skipped input; NaN inputs
+/// propagate to NaN.
 [[nodiscard]] double geomean(std::span<const double> xs);
+
+/// True when any element is NaN (the poisoned-sample check used by the
+/// batch statistics above).
+[[nodiscard]] bool has_nan(std::span<const double> xs) noexcept;
 
 /// Batch summary of one sample of execution times.
 struct Summary {
@@ -91,7 +102,9 @@ struct Summary {
   }
 };
 
-/// Computes the full summary of a sample.
+/// Computes the full summary of a sample. If any value is NaN, every
+/// statistic of the returned Summary is NaN (n still reports the sample
+/// size) — a poisoned sample must not yield plausible-looking numbers.
 [[nodiscard]] Summary summarize(std::span<const double> xs);
 
 /// Returns an ascending-sorted copy.

@@ -1,0 +1,85 @@
+#pragma once
+// Minimal streaming JSON writer for machine-readable experiment artifacts.
+//
+// The campaign driver persists every harness's series, tables, verdicts and
+// run-matrix provenance as JSON. The writer is deliberately tiny (no DOM, no
+// parsing) and *deterministic*: doubles are rendered with std::to_chars in
+// shortest round-trip form, so re-serializing identical data yields
+// byte-identical files — the property the result cache's "second run is
+// bit-identical" guarantee rests on.
+
+#include <concepts>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace omv::json {
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding quotes).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Renders a double as a JSON number token: shortest form that round-trips
+/// to the same double ("1.5", "0.1", "1e+300"). NaN and infinities are not
+/// representable in JSON and are rendered as null.
+[[nodiscard]] std::string number(double v);
+
+/// Streaming writer producing pretty-printed (2-space indent) JSON.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("fig3");
+///   w.key("points").begin_array(); w.value(1.0); w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+/// Misuse (value without key inside an object, unbalanced end_*) throws
+/// std::logic_error — artifact writing bugs must not produce silent garbage.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next emitted value belongs to it.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool b);
+  /// One template for all integer types: fixed-width overloads would be
+  /// ambiguous for std::size_t on platforms where it is a distinct type
+  /// (e.g. unsigned long vs unsigned long long on macOS).
+  template <std::integral T>
+    requires(!std::same_as<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return value_int(static_cast<std::int64_t>(v));
+    } else {
+      return value_uint(static_cast<std::uint64_t>(v));
+    }
+  }
+  JsonWriter& null();
+
+  /// Finishes and returns the document. Throws if containers are unbalanced.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Scope : std::uint8_t { object, array };
+
+  JsonWriter& value_uint(std::uint64_t v);
+  JsonWriter& value_int(std::int64_t v);
+  void before_value();
+  void newline_indent();
+
+  std::ostringstream os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+}  // namespace omv::json

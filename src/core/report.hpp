@@ -24,6 +24,15 @@ class Table {
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
 
+  /// Raw header / row cells (artifact serialization).
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data()
+      const noexcept {
+    return rows_;
+  }
+
   /// Renders to a string in the requested format.
   [[nodiscard]] std::string render(Format f = Format::ascii) const;
 
@@ -58,6 +67,17 @@ class Series {
 
   [[nodiscard]] std::string render(Format f = Format::ascii,
                                    int digits = 4) const;
+
+  /// Raw data (artifact serialization: full precision, not the rendered
+  /// fixed-digit strings).
+  [[nodiscard]] const std::string& x_name() const noexcept { return x_name_; }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] const std::vector<std::pair<double, std::vector<double>>>&
+  points() const noexcept {
+    return points_;
+  }
 
  private:
   std::string x_name_;

@@ -46,6 +46,9 @@ class RunMatrix {
     return data_.at(r);
   }
   [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  /// Relabels the matrix (the result cache normalizes computed and
+  /// cache-loaded matrices to the same cell label).
+  void set_label(std::string label) { label_ = std::move(label); }
 
   /// Summary of run `r`.
   [[nodiscard]] stats::Summary run_summary(std::size_t r) const;

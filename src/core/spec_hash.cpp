@@ -1,0 +1,66 @@
+#include "core/spec_hash.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+namespace omv {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+SpecKey& SpecKey::add(std::string_view field, std::string_view value) {
+  canonical_ += std::to_string(field.size());
+  canonical_ += ':';
+  canonical_ += field;
+  canonical_ += '=';
+  canonical_ += std::to_string(value.size());
+  canonical_ += ':';
+  canonical_ += value;
+  canonical_ += ';';
+  return *this;
+}
+
+SpecKey& SpecKey::add_uint(std::string_view field, std::uint64_t value) {
+  return add(field, std::string_view(std::to_string(value)));
+}
+
+SpecKey& SpecKey::add_int(std::string_view field, std::int64_t value) {
+  return add(field, std::string_view(std::to_string(value)));
+}
+
+SpecKey& SpecKey::add(std::string_view field, bool value) {
+  return add(field, std::string_view(value ? "true" : "false"));
+}
+
+SpecKey& SpecKey::add(std::string_view field, double value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return add(field, std::string_view(buf, res.ptr - buf));
+}
+
+SpecKey& SpecKey::add_spec(const ExperimentSpec& spec) {
+  add("seed", static_cast<std::uint64_t>(spec.seed));
+  add("runs", spec.runs);
+  add("reps", spec.reps);
+  add("warmup", spec.warmup);
+  return *this;
+}
+
+std::uint64_t SpecKey::hash64() const noexcept { return fnv1a64(canonical_); }
+
+std::string SpecKey::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash64()));
+  return buf;
+}
+
+}  // namespace omv

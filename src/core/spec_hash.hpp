@@ -1,0 +1,74 @@
+#pragma once
+// Canonical experiment-cell fingerprints for the result cache.
+//
+// A campaign cell (one run_protocol invocation of one harness) is uniquely
+// identified by its label, protocol parameters (seed/runs/reps/warmup) and
+// benchmark configuration (platform, threads, places, construct, ...). The
+// SpecKey builds a canonical `field=value;` string out of those and hashes
+// it with FNV-1a 64; the hex hash names the cached RunMatrix CSV while the
+// canonical string is persisted alongside it so collisions and stale keys
+// are detected on load instead of silently serving the wrong data.
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace omv {
+
+struct ExperimentSpec;
+
+/// FNV-1a 64-bit over raw bytes (seed-stable across platforms and builds).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Ordered, canonical key of one cacheable experiment cell.
+class SpecKey {
+ public:
+  /// Appends one field. Field order is significant (the canonical string is
+  /// ordered), and both name and value are length-prefixed so adjacent
+  /// fields cannot alias ("ab"+"c" vs "a"+"bc").
+  SpecKey& add(std::string_view field, std::string_view value);
+  /// Without this overload a string literal would convert to bool (a
+  /// standard conversion, preferred over string_view's user-defined one)
+  /// and every literal-valued field would silently become "true".
+  SpecKey& add(std::string_view field, const char* value) {
+    return add(field, std::string_view(value));
+  }
+  /// One template for all integer types: fixed-width overloads would be
+  /// ambiguous for std::size_t on platforms where it is a distinct type.
+  template <std::integral T>
+    requires(!std::same_as<T, bool>)
+  SpecKey& add(std::string_view field, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return add_int(field, static_cast<std::int64_t>(value));
+    } else {
+      return add_uint(field, static_cast<std::uint64_t>(value));
+    }
+  }
+  SpecKey& add(std::string_view field, bool value);
+  /// Doubles are rendered in shortest round-trip form, so the key is exact.
+  SpecKey& add(std::string_view field, double value);
+
+  /// Appends the protocol parameters of `spec` (seed, runs, reps, warmup).
+  SpecKey& add_spec(const ExperimentSpec& spec);
+
+  /// The canonical string all fields were folded into.
+  [[nodiscard]] const std::string& canonical() const noexcept {
+    return canonical_;
+  }
+
+  /// FNV-1a 64 of the canonical string.
+  [[nodiscard]] std::uint64_t hash64() const noexcept;
+
+  /// hash64 as 16 lowercase hex digits (cache file stem).
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  SpecKey& add_uint(std::string_view field, std::uint64_t value);
+  SpecKey& add_int(std::string_view field, std::int64_t value);
+
+  std::string canonical_;
+};
+
+}  // namespace omv

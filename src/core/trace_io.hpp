@@ -13,14 +13,25 @@
 
 namespace omv::io {
 
-/// Writes a RunMatrix as CSV: header "run,rep,time", one row per
-/// repetition.
+/// Writes a RunMatrix as CSV: header "run,rep,time", a "# runs=N" metadata
+/// line (the authoritative run count, preserving empty runs), then one row
+/// per repetition with 17-significant-digit times (lossless double
+/// round-trip).
 void write_run_matrix_csv(std::ostream& os, const RunMatrix& m);
 [[nodiscard]] std::string run_matrix_to_csv(const RunMatrix& m);
 
 /// Parses the CSV produced by write_run_matrix_csv. Rows may arrive in any
-/// order; runs are reassembled by index (missing runs become empty and are
-/// dropped from the tail). Throws std::invalid_argument on malformed input.
+/// order; runs are reassembled by index; lines starting with '#' are
+/// metadata/comments; CRLF line endings are tolerated. The parser is
+/// strict — std::invalid_argument is thrown on:
+///   * a bad header or malformed run/rep/time field,
+///   * trailing garbage after the time field ("0,0,1.5,junk"),
+///   * duplicate (run, rep) cells (would silently overwrite a measurement),
+///   * gapped rep indices within a run (a lost repetition must not be
+///     silently compacted),
+///   * a gap in run indices when the file carries no "# runs=N" metadata
+///     (files written by write_run_matrix_csv always do; in those, a run
+///     with no rows is an intentionally empty run).
 [[nodiscard]] RunMatrix read_run_matrix_csv(std::istream& is,
                                             std::string label = "");
 [[nodiscard]] RunMatrix run_matrix_from_csv(const std::string& csv,

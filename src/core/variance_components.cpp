@@ -16,15 +16,28 @@ VarianceComponents decompose_variance(
   double total_n = 0.0;
   std::size_t k = 0;
   double sum_ni_sq = 0.0;
+  bool any_nan = false;
   for (const auto& g : groups) {
     if (g.empty()) continue;
     ++k;
     const double ni = static_cast<double>(g.size());
     total_n += ni;
     sum_ni_sq += ni * ni;
-    for (double x : g) total_sum += x;
+    for (double x : g) {
+      any_nan |= std::isnan(x);
+      total_sum += x;
+    }
   }
   if (k < 2 || total_n <= static_cast<double>(k)) return vc;
+  if (any_nan) {
+    // Without this, NaN sums flow into `ms_within > 0.0` (false for NaN)
+    // and the function returns a plausible-looking f=0 / p=1 verdict for a
+    // poisoned input. Make every derived quantity NaN instead.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    vc.grand_mean = vc.var_between = vc.var_within = nan;
+    vc.icc = vc.f_statistic = vc.p_value = nan;
+    return vc;
+  }
   vc.grand_mean = total_sum / total_n;
 
   double ss_between = 0.0;

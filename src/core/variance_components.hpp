@@ -27,7 +27,10 @@ struct VarianceComponents {
 };
 
 /// Decomposes `groups` (one vector of repetition times per run).
-/// Groups may have unequal sizes; empty groups are skipped.
+/// Groups may have unequal sizes; empty groups are skipped. Fewer than two
+/// non-empty groups (or no within-group degrees of freedom) returns the
+/// all-zero default; any NaN observation makes every derived field NaN
+/// instead of the plausible-looking f=0/p=1 it used to produce.
 [[nodiscard]] VarianceComponents decompose_variance(
     std::span<const std::vector<double>> groups);
 

@@ -1,0 +1,94 @@
+#include "freqlog/trace_csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace omv::freqlog {
+
+namespace {
+
+[[noreturn]] void bad_line(const char* what, std::size_t line_no) {
+  throw std::invalid_argument("freq-trace CSV: " + std::string(what) +
+                              " at line " + std::to_string(line_no));
+}
+
+void write_double(std::ostream& os, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  os.write(buf, res.ptr - buf);
+}
+
+}  // namespace
+
+void write_freq_trace_csv(std::ostream& os, const FreqTrace& trace) {
+  os << "time,core,ghz\n";
+  for (const auto& s : trace.samples()) {
+    write_double(os, s.time);
+    os << ',' << s.core << ',';
+    write_double(os, s.ghz);
+    os << '\n';
+  }
+}
+
+std::string freq_trace_to_csv(const FreqTrace& trace) {
+  std::ostringstream os;
+  write_freq_trace_csv(os, trace);
+  return os.str();
+}
+
+FreqTrace read_freq_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("freq-trace CSV: empty input");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != "time,core,ghz") {
+    throw std::invalid_argument("freq-trace CSV: bad header '" + line + "'");
+  }
+  FreqTrace trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    FreqSample s;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    auto r1 = std::from_chars(p, end, s.time);
+    if (r1.ec != std::errc{} || r1.ptr == end || *r1.ptr != ',') {
+      bad_line("bad time", line_no);
+    }
+    auto r2 = std::from_chars(r1.ptr + 1, end, s.core);
+    if (r2.ec != std::errc{} || r2.ptr == end || *r2.ptr != ',') {
+      bad_line("bad core", line_no);
+    }
+    auto r3 = std::from_chars(r2.ptr + 1, end, s.ghz);
+    if (r3.ec != std::errc{}) bad_line("bad ghz", line_no);
+    if (r3.ptr != end) bad_line("trailing garbage after ghz", line_no);
+    trace.add(s);
+  }
+  return trace;
+}
+
+FreqTrace freq_trace_from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  return read_freq_trace_csv(is);
+}
+
+void save_freq_trace(const std::string& path, const FreqTrace& trace) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  write_freq_trace_csv(f, trace);
+  if (!f) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+FreqTrace load_freq_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "'");
+  return read_freq_trace_csv(f);
+}
+
+}  // namespace omv::freqlog

@@ -1,0 +1,35 @@
+#pragma once
+// CSV round-trip for frequency traces, mirroring core/trace_io's dialect:
+// a "time,core,ghz" header, one row per sample with 17-significant-digit
+// doubles (lossless round-trip), and strict parsing (trailing garbage or
+// malformed fields throw instead of silently truncating a trace).
+//
+// The result cache persists each fig6/fig7 panel's trace next to its
+// RunMatrix so a cached campaign cell restores the *whole* panel —
+// frequency-dip statistics included — bit-identically.
+
+#include <iosfwd>
+#include <string>
+
+#include "freqlog/logger.hpp"
+
+namespace omv::freqlog {
+
+/// Writes a trace as "time,core,ghz" CSV.
+void write_freq_trace_csv(std::ostream& os, const FreqTrace& trace);
+[[nodiscard]] std::string freq_trace_to_csv(const FreqTrace& trace);
+
+/// Parses the CSV produced by write_freq_trace_csv. Sample order is
+/// preserved (episode counting is order-sensitive). Throws
+/// std::invalid_argument on a bad header, malformed fields, or trailing
+/// garbage; tolerates blank lines and CRLF endings. Unlike the run-matrix
+/// dialect, '#' lines carry no metadata here and are skipped wholesale by
+/// design (a trace's sample count is self-describing).
+[[nodiscard]] FreqTrace read_freq_trace_csv(std::istream& is);
+[[nodiscard]] FreqTrace freq_trace_from_csv(const std::string& csv);
+
+/// File variants (std::runtime_error on IO failure).
+void save_freq_trace(const std::string& path, const FreqTrace& trace);
+[[nodiscard]] FreqTrace load_freq_trace(const std::string& path);
+
+}  // namespace omv::freqlog

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -98,6 +99,30 @@ TEST(LjungBox, StructuredSeriesLowP) {
 
 TEST(LjungBox, DegenerateInput) {
   EXPECT_EQ(ljung_box({}).p_value, 1.0);
+}
+
+TEST(Autocorrelation, NanInputYieldsNoCorrelogram) {
+  // Regression: `NaN <= 0.0` is false, so a poisoned series used to
+  // produce an all-NaN correlogram that peak scans read as "no
+  // periodicity" while ljung_box reported NaN statistics.
+  std::vector<double> v;
+  for (int i = 0; i < 32; ++i) v.push_back(i % 4);
+  v[7] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(autocorrelation(v, 10).empty());
+  const auto p = dominant_period(v, 10);
+  EXPECT_FALSE(p.significant);
+  EXPECT_EQ(p.lag, 0u);
+  const auto lb = ljung_box(v, 10);
+  EXPECT_EQ(lb.statistic, 0.0);
+  EXPECT_EQ(lb.p_value, 1.0);
+}
+
+TEST(Autocorrelation, TinySeriesYieldNoCorrelogram) {
+  EXPECT_TRUE(autocorrelation(std::vector<double>{}, 5).empty());
+  EXPECT_TRUE(autocorrelation(std::vector<double>{1.0}, 5).empty());
+  EXPECT_TRUE(autocorrelation(std::vector<double>{1.0, 2.0}, 5).empty());
+  EXPECT_TRUE(
+      autocorrelation(std::vector<double>{1.0, 2.0, 3.0}, 0).empty());
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/descriptive.hpp"
@@ -85,6 +87,24 @@ TEST(Bootstrap, CustomStatistic) {
       v, [](std::span<const double> s) { return summarize(s).max; }, 300);
   EXPECT_DOUBLE_EQ(ci.point, summarize(v).max);
   EXPECT_LE(ci.hi, ci.point + 1e-12);  // max of resample <= sample max
+}
+
+TEST(Bootstrap, NanInputPropagatesToWholeInterval) {
+  const std::vector<double> v{1.0, std::numeric_limits<double>::quiet_NaN(),
+                              3.0};
+  const auto ci = bootstrap_mean_ci(v, 200);
+  EXPECT_TRUE(std::isnan(ci.point));
+  EXPECT_TRUE(std::isnan(ci.lo));
+  EXPECT_TRUE(std::isnan(ci.hi));
+  EXPECT_DOUBLE_EQ(ci.level, 0.95);
+}
+
+TEST(Bootstrap, SingleElementCollapsesToPoint) {
+  const std::vector<double> v{4.25};
+  const auto ci = bootstrap_median_ci(v, 500);
+  EXPECT_DOUBLE_EQ(ci.point, 4.25);
+  EXPECT_DOUBLE_EQ(ci.lo, 4.25);
+  EXPECT_DOUBLE_EQ(ci.hi, 4.25);
 }
 
 }  // namespace

@@ -1,0 +1,371 @@
+// Unit tests for the cli layer: option parsing, the harness registry and
+// glob selection, the RunContext spec-hash result cache, and artifact
+// determinism.
+
+#include "cli/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "cli/registry.hpp"
+
+namespace omv::cli {
+namespace {
+
+// ---------------------------------------------------------------- options
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(Options, ParsesAllFlags) {
+  std::vector<std::string> args{"prog",   "--list", "--only", "fig*",
+                                "--jobs", "3",      "--out",  "/tmp/x"};
+  auto argv = argv_of(args);
+  const auto o = parse_options(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(o.list);
+  ASSERT_EQ(o.only.size(), 1u);
+  EXPECT_EQ(o.only[0], "fig*");
+  EXPECT_EQ(o.jobs, 3u);
+  EXPECT_EQ(o.out_dir, "/tmp/x");
+  EXPECT_TRUE(o.errors.empty());
+}
+
+TEST(Options, EqualsFormAndRepeatedOnly) {
+  std::vector<std::string> args{"prog", "--only=fig1", "--only=table*",
+                                "--jobs=2", "--out=/tmp/y"};
+  auto argv = argv_of(args);
+  const auto o = parse_options(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(o.only.size(), 2u);
+  EXPECT_EQ(o.only[1], "table*");
+  EXPECT_EQ(o.jobs, 2u);
+  EXPECT_EQ(o.out_dir, "/tmp/y");
+}
+
+TEST(Options, MalformedAndUnknownArgumentsAreCollected) {
+  std::vector<std::string> args{"prog", "--jobs", "-4", "--bogus",
+                                "--only"};
+  auto argv = argv_of(args);
+  const auto o = parse_options(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(o.jobs, 0u);  // -4 rejected, not wrapped
+  EXPECT_EQ(o.errors.size(), 3u);  // bad jobs, unknown, missing value
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, GlobMatch) {
+  EXPECT_TRUE(glob_match("fig3", "fig3"));
+  EXPECT_FALSE(glob_match("fig3", "fig31"));
+  EXPECT_TRUE(glob_match("fig*", "fig31"));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("fig?", "fig7"));
+  EXPECT_FALSE(glob_match("fig?", "fig"));
+  EXPECT_TRUE(glob_match("*bench*", "ext_taskbench"));
+  EXPECT_FALSE(glob_match("table*", "fig1"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(Registry, AddFindMatchAndDuplicateRejection) {
+  Registry r;
+  r.add({"fig2", "two", [](RunContext&) { return 0; }});
+  r.add({"fig10", "ten", [](RunContext&) { return 0; }});
+  r.add({"table1", "t1", [](RunContext&) { return 0; }});
+  EXPECT_THROW(r.add({"fig2", "dup", [](RunContext&) { return 0; }}),
+               std::invalid_argument);
+
+  // Deterministic name-sorted listing regardless of insertion order.
+  ASSERT_EQ(r.all().size(), 3u);
+  EXPECT_EQ(r.all()[0].name, "fig10");
+  EXPECT_EQ(r.all()[1].name, "fig2");
+  EXPECT_EQ(r.all()[2].name, "table1");
+
+  EXPECT_NE(r.find("table1"), nullptr);
+  EXPECT_EQ(r.find("nope"), nullptr);
+
+  const auto figs = r.match({"fig*"});
+  ASSERT_EQ(figs.size(), 2u);
+  EXPECT_EQ(r.match({}).size(), 3u);  // empty globs = everything
+  EXPECT_TRUE(r.match({"zzz*"}).empty());
+}
+
+// ------------------------------------------------------------ run context
+
+class CampaignCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("omnivar_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static ExperimentSpec small_spec() {
+    ExperimentSpec spec;
+    spec.runs = 2;
+    spec.reps = 3;
+    spec.warmup = 0;
+    spec.seed = 11;
+    return spec;
+  }
+
+  static RunMatrix make_matrix() {
+    RunMatrix m("cell");
+    m.add_run({1.0, 2.0, 3.0});
+    m.add_run({4.0 / 3.0, 5.0, 6.0});
+    return m;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CampaignCacheTest, SecondInvocationIsServedFromCache) {
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  SpecKey key;
+  key.add("bench", "fake");
+
+  RunContext ctx1("testh", 1, dir_);
+  const auto m1 = ctx1.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(ctx1.cache_misses(), 1u);
+  EXPECT_EQ(ctx1.cache_hits(), 0u);
+
+  RunContext ctx2("testh", 1, dir_);
+  const auto m2 = ctx2.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 1);  // not recomputed
+  EXPECT_EQ(ctx2.cache_hits(), 1u);
+  ASSERT_EQ(m2.runs(), m1.runs());
+  for (std::size_t r = 0; r < m1.runs(); ++r) {
+    for (std::size_t k = 0; k < m1.run(r).size(); ++k) {
+      EXPECT_EQ(m2.run(r)[k], m1.run(r)[k]);  // bit-identical
+    }
+  }
+}
+
+TEST_F(CampaignCacheTest, DifferentKeyOrHarnessOrSpecMisses) {
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  SpecKey key;
+  key.add("bench", "fake");
+  {
+    RunContext ctx("testh", 1, dir_);
+    (void)ctx.protocol("cell", small_spec(), key, compute);
+  }
+  {
+    SpecKey other;
+    other.add("bench", "other");  // different config
+    RunContext ctx("testh", 1, dir_);
+    (void)ctx.protocol("cell", small_spec(), other, compute);
+  }
+  {
+    RunContext ctx("otherh", 1, dir_);  // different harness
+    (void)ctx.protocol("cell", small_spec(), key, compute);
+  }
+  {
+    auto spec = small_spec();
+    spec.seed = 12;  // different seed
+    RunContext ctx("testh", 1, dir_);
+    (void)ctx.protocol("cell", spec, key, compute);
+  }
+  EXPECT_EQ(computes, 4);
+}
+
+TEST_F(CampaignCacheTest, CorruptCsvOrKeyMismatchRecomputes) {
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  SpecKey key;
+  key.add("bench", "fake");
+  RunContext ctx1("testh", 1, dir_);
+  (void)ctx1.protocol("cell", small_spec(), key, compute);
+  ASSERT_EQ(computes, 1);
+
+  // Corrupt the stored CSV: the validated load must fall back to compute.
+  const std::string cache = dir_ + "/cache";
+  for (const auto& e : std::filesystem::directory_iterator(cache)) {
+    if (e.path().extension() == ".csv") {
+      std::ofstream f(e.path());
+      f << "run,rep,time\n0,0,1.0,garbage\n";
+    }
+  }
+  RunContext ctx2("testh", 1, dir_);
+  (void)ctx2.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(ctx2.cache_hits(), 0u);
+
+  // Healthy again after the recompute rewrote it.
+  RunContext ctx3("testh", 1, dir_);
+  (void)ctx3.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+
+  // A stale .key (hash collision / hand-edited entry) must also recompute.
+  for (const auto& e : std::filesystem::directory_iterator(cache)) {
+    if (e.path().extension() == ".key") {
+      std::ofstream f(e.path());
+      f << "not-the-canonical-key";
+    }
+  }
+  RunContext ctx4("testh", 1, dir_);
+  (void)ctx4.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 3);
+}
+
+TEST_F(CampaignCacheTest, TruncatedButParseableCacheCsvRecomputes) {
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  SpecKey key;
+  key.add("bench", "fake");
+  RunContext ctx1("testh", 1, dir_);
+  (void)ctx1.protocol("cell", small_spec(), key, compute);
+  ASSERT_EQ(computes, 1);
+
+  // Rewrite the entry as a valid CSV with the right run count but too few
+  // reps (an interrupted copy): the shape check must veto the hit.
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir_ + "/cache")) {
+    if (e.path().extension() == ".csv") {
+      std::ofstream f(e.path());
+      f << "run,rep,time\n# runs=2\n0,0,1.0\n0,1,2.0\n0,2,3.0\n1,0,4.0\n";
+    }
+  }
+  RunContext ctx2("testh", 1, dir_);
+  (void)ctx2.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(ctx2.cache_hits(), 0u);
+}
+
+TEST_F(CampaignCacheTest, ColdAndWarmMatricesHaveTheSameLabel) {
+  SpecKey key;
+  key.add("bench", "fake");
+  RunContext ctx1("testh", 1, dir_);
+  const auto cold =
+      ctx1.protocol("cell", small_spec(), key, [] { return make_matrix(); });
+  EXPECT_EQ(cold.label(), "cell");  // not make_matrix's internal label
+  RunContext ctx2("testh", 1, dir_);
+  const auto warm =
+      ctx2.protocol("cell", small_spec(), key, [] { return make_matrix(); });
+  EXPECT_EQ(warm.label(), cold.label());
+}
+
+TEST_F(CampaignCacheTest, SidecarVetoForcesRecompute) {
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  SpecKey key;
+  key.add("bench", "fake");
+  bool sidecar_ok = false;
+  const auto save = [](const std::string& stem) {
+    std::ofstream f(stem + ".extra");
+    f << "payload";
+  };
+  const auto load = [&](const std::string& stem) {
+    std::ifstream f(stem + ".extra");
+    return sidecar_ok && f.good();
+  };
+  RunContext ctx1("testh", 1, dir_);
+  (void)ctx1.protocol("cell", small_spec(), key, compute, save, load);
+  EXPECT_EQ(computes, 1);
+
+  // load_extra returning false vetoes the hit.
+  RunContext ctx2("testh", 1, dir_);
+  (void)ctx2.protocol("cell", small_spec(), key, compute, save, load);
+  EXPECT_EQ(computes, 2);
+
+  sidecar_ok = true;
+  RunContext ctx3("testh", 1, dir_);
+  (void)ctx3.protocol("cell", small_spec(), key, compute, save, load);
+  EXPECT_EQ(computes, 2);  // sidecar accepted: cache hit
+  EXPECT_EQ(ctx3.cache_hits(), 1u);
+}
+
+TEST_F(CampaignCacheTest, NoOutDirDisablesCaching) {
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  SpecKey key;
+  key.add("bench", "fake");
+  RunContext ctx("testh", 1, "");
+  (void)ctx.protocol("cell", small_spec(), key, compute);
+  (void)ctx.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_FALSE(ctx.caching());
+}
+
+TEST_F(CampaignCacheTest, ArtifactJsonIsDeterministicAndComplete) {
+  const auto build = [&](RunContext& ctx) {
+    SpecKey key;
+    key.add("bench", "fake");
+    (void)ctx.protocol("cell", small_spec(), key,
+                       [] { return make_matrix(); });
+    report::Series s("threads", {"a", "b"});
+    s.add(1.0, {0.5, 1.0 / 3.0});
+    // Silence the print during tests? The print goes to stdout; gtest
+    // tolerates it and the byte-stability of the artifact is the point.
+    ctx.series("main", s, 3);
+    report::Table t({"k", "v"});
+    t.add_row({"x", "1"});
+    ctx.record_table("tbl", t);
+    ctx.metric("speed", 2.5);
+    ctx.verdict(true, "shape holds");
+  };
+  RunContext ctx1("testh", 1, dir_);
+  build(ctx1);
+  const auto a1 = ctx1.artifact_json("desc");
+
+  RunContext ctx2("testh", 1, dir_);  // second pass: cells from cache
+  build(ctx2);
+  const auto a2 = ctx2.artifact_json("desc");
+  EXPECT_EQ(a1, a2);  // byte-stable across cached re-runs
+
+  EXPECT_NE(a1.find("\"schema\": \"omnivar-artifact-v1\""),
+            std::string::npos);
+  EXPECT_NE(a1.find("\"harness\": \"testh\""), std::string::npos);
+  EXPECT_NE(a1.find("\"spec_hash\""), std::string::npos);
+  EXPECT_NE(a1.find("\"x_name\": \"threads\""), std::string::npos);
+  EXPECT_NE(a1.find("0.3333333333333333"), std::string::npos);  // full prec
+  EXPECT_NE(a1.find("\"shape holds\""), std::string::npos);
+  EXPECT_NE(a1.find("\"speed\""), std::string::npos);
+  EXPECT_TRUE(ctx2.all_ok());
+}
+
+TEST_F(CampaignCacheTest, VerdictTracksFailures) {
+  RunContext ctx("testh", 1, "");
+  ctx.verdict(true, "good");
+  EXPECT_TRUE(ctx.all_ok());
+  ctx.verdict(false, "bad");
+  EXPECT_FALSE(ctx.all_ok());
+  ASSERT_EQ(ctx.verdicts().size(), 2u);
+}
+
+}  // namespace
+}  // namespace omv::cli

@@ -234,5 +234,62 @@ TEST_P(PercentileMonotone, MonotoneInP) {
 INSTANTIATE_TEST_SUITE_P(Sizes, PercentileMonotone,
                          ::testing::Values(1, 2, 3, 5, 10, 33, 100, 1000));
 
+// NaN robustness: NaN breaks std::sort's strict weak ordering, so every
+// order statistic of a poisoned sample must propagate NaN instead of
+// returning sort garbage.
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(NanRobustness, HasNanDetects) {
+  EXPECT_FALSE(has_nan({}));
+  EXPECT_FALSE(has_nan(std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(has_nan(std::vector<double>{1.0, kNan, 2.0}));
+}
+
+TEST(NanRobustness, PercentilePropagatesNan) {
+  const std::vector<double> v{3.0, kNan, 1.0, 2.0};
+  EXPECT_TRUE(std::isnan(percentile(v, 50.0)));
+  EXPECT_TRUE(std::isnan(percentile(v, 0.0)));
+}
+
+TEST(NanRobustness, MadPropagatesNan) {
+  const std::vector<double> v{1.0, 2.0, kNan};
+  EXPECT_TRUE(std::isnan(mad(v)));
+}
+
+TEST(NanRobustness, GeomeanPropagatesNanButSkipsNonPositive) {
+  EXPECT_TRUE(std::isnan(geomean(std::vector<double>{1.0, kNan})));
+  // Non-positive values are skipped by design (documented behavior).
+  EXPECT_DOUBLE_EQ(geomean(std::vector<double>{-5.0, 0.0, 4.0, 9.0}), 6.0);
+}
+
+TEST(NanRobustness, SummarizePoisonsEveryMoment) {
+  const std::vector<double> v{10.0, kNan, 30.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_TRUE(std::isnan(s.stddev));
+  EXPECT_TRUE(std::isnan(s.cv));
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_TRUE(std::isnan(s.max));
+  EXPECT_TRUE(std::isnan(s.median));
+  EXPECT_TRUE(std::isnan(s.p99));
+  EXPECT_TRUE(std::isnan(s.iqr));
+  EXPECT_TRUE(std::isnan(s.mad));
+  EXPECT_TRUE(std::isnan(s.skewness));
+  EXPECT_TRUE(std::isnan(s.kurtosis));
+}
+
+TEST(NanRobustness, OnlineStatsExtremaPropagateNan) {
+  OnlineStats s;
+  s.add(5.0);
+  s.add(kNan);
+  s.add(1.0);  // NaN must stick even when later samples are clean
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_EQ(s.count(), 3u);
+}
+
 }  // namespace
 }  // namespace omv::stats

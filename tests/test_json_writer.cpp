@@ -1,0 +1,95 @@
+// Unit tests for core/json_writer: structure, escaping, number rendering,
+// and misuse detection.
+
+#include "core/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace omv::json {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.begin_object().end_object();
+    EXPECT_EQ(w.str(), "{}\n");
+  }
+  {
+    JsonWriter w;
+    w.begin_array().end_array();
+    EXPECT_EQ(w.str(), "[]\n");
+  }
+}
+
+TEST(JsonWriter, NestedStructure) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fig3");
+  w.key("ok").value(true);
+  w.key("count").value(std::uint64_t{42});
+  w.key("points").begin_array();
+  w.value(1.5);
+  w.value(2.5);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"name\": \"fig3\",\n"
+            "  \"ok\": true,\n"
+            "  \"count\": 42,\n"
+            "  \"points\": [\n"
+            "    1.5,\n"
+            "    2.5\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(escape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+  EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, NumbersRoundTripShortest) {
+  EXPECT_EQ(number(1.0), "1");
+  EXPECT_EQ(number(0.1), "0.1");
+  EXPECT_EQ(number(-2.5), "-2.5");
+  // Shortest form must parse back to the identical double.
+  const double v = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(number(v)), v);
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), std::logic_error);  // incomplete document
+  }
+}
+
+}  // namespace
+}  // namespace omv::json

@@ -1,0 +1,83 @@
+// Unit tests for core/spec_hash: canonical keys, field aliasing defense,
+// and hash stability.
+
+#include "core/spec_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace omv {
+namespace {
+
+TEST(SpecHash, Fnv1aKnownVectors) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(SpecHash, CanonicalStringIsLengthPrefixed) {
+  SpecKey k;
+  k.add("bench", "syncbench");
+  EXPECT_EQ(k.canonical(), "5:bench=9:syncbench;");
+}
+
+TEST(SpecHash, AdjacentFieldsCannotAlias) {
+  SpecKey a;
+  a.add("ab", "c");
+  SpecKey b;
+  b.add("a", "bc");
+  EXPECT_NE(a.canonical(), b.canonical());
+  EXPECT_NE(a.hash64(), b.hash64());
+}
+
+TEST(SpecHash, FieldOrderMatters) {
+  SpecKey a;
+  a.add("x", std::uint64_t{1}).add("y", std::uint64_t{2});
+  SpecKey b;
+  b.add("y", std::uint64_t{2}).add("x", std::uint64_t{1});
+  EXPECT_NE(a.hash64(), b.hash64());
+}
+
+TEST(SpecHash, DoublesAreExact) {
+  SpecKey a;
+  a.add("v", 0.1);
+  SpecKey b;
+  b.add("v", 0.1 + 1e-18);  // rounds to the same double
+  SpecKey c;
+  c.add("v", 0.2);
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_NE(a.canonical(), c.canonical());
+}
+
+TEST(SpecHash, AddSpecCoversProtocolParameters) {
+  ExperimentSpec spec;
+  spec.seed = 7;
+  spec.runs = 10;
+  spec.reps = 100;
+  spec.warmup = 1;
+  SpecKey a;
+  a.add_spec(spec);
+  spec.reps = 99;
+  SpecKey b;
+  b.add_spec(spec);
+  EXPECT_NE(a.hash64(), b.hash64());
+}
+
+TEST(SpecHash, HexIsSixteenLowercaseDigits) {
+  SpecKey k;
+  k.add("bench", "syncbench");
+  const auto h = k.hex();
+  ASSERT_EQ(h.size(), 16u);
+  for (char c : h) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+  // Stable across invocations (the cache's file names must not drift).
+  SpecKey k2;
+  k2.add("bench", "syncbench");
+  EXPECT_EQ(k2.hex(), h);
+}
+
+}  // namespace
+}  // namespace omv

@@ -1,0 +1,74 @@
+// Unit tests for freqlog/trace_csv: frequency-trace CSV round-trips and
+// strict parsing (the fig6/fig7 cache sidecar format).
+
+#include "freqlog/trace_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace omv::freqlog {
+namespace {
+
+FreqTrace sample() {
+  FreqTrace t;
+  t.add({0.00, 0, 2.45});
+  t.add({0.01, 0, 2.25});
+  t.add({0.00, 1, 2.45 / 3.0});  // exercise full precision
+  return t;
+}
+
+TEST(TraceCsv, RoundTripExact) {
+  const auto t = sample();
+  const auto back = freq_trace_from_csv(freq_trace_to_csv(t));
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.samples()[i].time, t.samples()[i].time);
+    EXPECT_EQ(back.samples()[i].core, t.samples()[i].core);
+    EXPECT_EQ(back.samples()[i].ghz, t.samples()[i].ghz);
+  }
+}
+
+TEST(TraceCsv, RoundTripPreservesDerivedStatistics) {
+  const auto t = sample();
+  const auto back = freq_trace_from_csv(freq_trace_to_csv(t));
+  EXPECT_EQ(back.fraction_below(2.45, 0.95), t.fraction_below(2.45, 0.95));
+  EXPECT_EQ(back.episode_count(2.45, 0.95), t.episode_count(2.45, 0.95));
+  EXPECT_EQ(back.extremes().mean, t.extremes().mean);
+}
+
+TEST(TraceCsv, EmptyTraceRoundTrips) {
+  const auto back = freq_trace_from_csv(freq_trace_to_csv(FreqTrace{}));
+  EXPECT_EQ(back.size(), 0u);
+}
+
+TEST(TraceCsv, RejectsMalformedInput) {
+  EXPECT_THROW(freq_trace_from_csv(""), std::invalid_argument);
+  EXPECT_THROW(freq_trace_from_csv("nope\n"), std::invalid_argument);
+  EXPECT_THROW(freq_trace_from_csv("time,core,ghz\nx,0,2.0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(freq_trace_from_csv("time,core,ghz\n0.0,y,2.0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(freq_trace_from_csv("time,core,ghz\n0.0,0,zz\n"),
+               std::invalid_argument);
+  EXPECT_THROW(freq_trace_from_csv("time,core,ghz\n0.0,0,2.0,junk\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceCsv, ToleratesCommentsBlanksAndCrlf) {
+  const auto t = freq_trace_from_csv(
+      "time,core,ghz\r\n# comment\r\n\r\n0.5,3,2.25\r\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.samples()[0].core, 3u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].ghz, 2.25);
+}
+
+TEST(TraceCsv, FileErrorsThrow) {
+  EXPECT_THROW(load_freq_trace("/nonexistent/dir/x.csv"),
+               std::runtime_error);
+  EXPECT_THROW(save_freq_trace("/nonexistent/dir/x.csv", FreqTrace{}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace omv::freqlog

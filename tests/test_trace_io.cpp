@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
+
+#include "core/rng.hpp"
 
 namespace omv::io {
 namespace {
@@ -63,6 +66,67 @@ TEST(TraceIo, RejectsMalformedRows) {
                std::invalid_argument);
 }
 
+TEST(TraceIo, RejectsTrailingGarbageAfterTime) {
+  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,0,1.5,junk\n"),
+               std::invalid_argument);
+  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,0,1.5 \n"),
+               std::invalid_argument);
+  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,0,1.5x\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsDuplicateCells) {
+  EXPECT_THROW(
+      run_matrix_from_csv("run,rep,time\n0,0,1.0\n0,0,2.0\n"),
+      std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsGappedRepIndices) {
+  // rep 1 is missing: silently compacting would misalign rep-indexed
+  // analyses (periodic-noise detection).
+  EXPECT_THROW(
+      run_matrix_from_csv("run,rep,time\n0,0,1.0\n0,2,3.0\n"),
+      std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsRunGapWithoutMetadata) {
+  // No "# runs=" line: a run with no rows means the file is truncated.
+  EXPECT_THROW(
+      run_matrix_from_csv("run,rep,time\n0,0,1.0\n2,0,3.0\n"),
+      std::invalid_argument);
+}
+
+TEST(TraceIo, MetadataPreservesEmptyRuns) {
+  RunMatrix m("holes");
+  m.add_run({1.0, 2.0});
+  m.add_run({});       // empty middle run
+  m.add_run({5.0});
+  m.add_run({});       // empty trailing run
+  const auto back = run_matrix_from_csv(run_matrix_to_csv(m), "holes");
+  ASSERT_EQ(back.runs(), 4u);
+  EXPECT_EQ(back.run(0).size(), 2u);
+  EXPECT_EQ(back.run(1).size(), 0u);
+  EXPECT_EQ(back.run(2).size(), 1u);
+  EXPECT_EQ(back.run(3).size(), 0u);
+}
+
+TEST(TraceIo, RejectsRowBeyondDeclaredRuns) {
+  EXPECT_THROW(
+      run_matrix_from_csv("run,rep,time\n# runs=1\n1,0,2.0\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      run_matrix_from_csv("run,rep,time\n# runs=x\n0,0,1.0\n"),
+      std::invalid_argument);
+}
+
+TEST(TraceIo, ToleratesCrlfAndComments) {
+  const auto m = run_matrix_from_csv(
+      "run,rep,time\r\n# a comment\r\n0,0,1.5\r\n0,1,2.5\r\n");
+  ASSERT_EQ(m.runs(), 1u);
+  EXPECT_DOUBLE_EQ(m.run(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(m.run(0)[1], 2.5);
+}
+
 TEST(TraceIo, ToleratesBlankLinesAndShuffledRows) {
   const auto m = run_matrix_from_csv(
       "run,rep,time\n1,0,5.0\n\n0,1,2.0\n0,0,1.0\n");
@@ -70,6 +134,37 @@ TEST(TraceIo, ToleratesBlankLinesAndShuffledRows) {
   EXPECT_DOUBLE_EQ(m.run(0)[0], 1.0);
   EXPECT_DOUBLE_EQ(m.run(0)[1], 2.0);
   EXPECT_DOUBLE_EQ(m.run(1)[0], 5.0);
+}
+
+TEST(TraceIo, RoundTripExactForRaggedFullPrecisionMatrices) {
+  // Property: write -> read is the identity for every representable
+  // double, including adversarial precision and ragged/empty rows.
+  omv::Rng rng(20260729);
+  RunMatrix m("precision");
+  for (std::size_t r = 0; r < 8; ++r) {
+    std::vector<double> reps;
+    const std::size_t k = r == 3 ? 0 : 1 + (r * 7) % 13;  // ragged + empty
+    for (std::size_t i = 0; i < k; ++i) {
+      // Stress the 17-digit path: irrational-ish products over wide
+      // magnitudes.
+      const double x = rng.normal(0.0, 1.0) * std::pow(10.0, (int(i) % 9) - 4);
+      reps.push_back(x * (1.0 / 3.0) + 0.1);
+    }
+    m.add_run(std::move(reps));
+  }
+  const auto back = run_matrix_from_csv(run_matrix_to_csv(m), "precision");
+  ASSERT_EQ(back.runs(), m.runs());
+  for (std::size_t r = 0; r < m.runs(); ++r) {
+    ASSERT_EQ(back.run(r).size(), m.run(r).size());
+    for (std::size_t k = 0; k < m.run(r).size(); ++k) {
+      // Bit-exact, not just close.
+      EXPECT_EQ(back.run(r)[k], m.run(r)[k]) << "run " << r << " rep " << k;
+    }
+  }
+  // Identical derived metrics (the property the result cache rests on).
+  EXPECT_EQ(back.grand_mean(), m.grand_mean());
+  EXPECT_EQ(back.pooled_summary().cv, m.pooled_summary().cv);
+  EXPECT_EQ(back.run_to_run_cv(), m.run_to_run_cv());
 }
 
 TEST(TraceIo, FileSaveLoad) {

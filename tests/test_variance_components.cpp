@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -87,6 +89,31 @@ TEST(VarianceComponents, AllConstant) {
   EXPECT_EQ(vc.var_between, 0.0);
   EXPECT_EQ(vc.var_within, 0.0);
   EXPECT_EQ(vc.icc, 0.0);
+}
+
+TEST(VarianceComponents, NanObservationPoisonsEveryField) {
+  // Regression: NaN sums used to flow into `ms_within > 0.0` (false for
+  // NaN) and return a plausible-looking f=0 / p=1 verdict.
+  const std::vector<std::vector<double>> g{
+      {1.0, 2.0, 3.0},
+      {4.0, std::numeric_limits<double>::quiet_NaN(), 6.0}};
+  const auto vc = decompose_variance(g);
+  EXPECT_TRUE(std::isnan(vc.grand_mean));
+  EXPECT_TRUE(std::isnan(vc.var_between));
+  EXPECT_TRUE(std::isnan(vc.var_within));
+  EXPECT_TRUE(std::isnan(vc.icc));
+  EXPECT_TRUE(std::isnan(vc.f_statistic));
+  EXPECT_TRUE(std::isnan(vc.p_value));
+}
+
+TEST(VarianceComponents, SingleElementGroupsAreDegenerate) {
+  // Two one-element groups: no within-group degrees of freedom.
+  const std::vector<std::vector<double>> g{{1.0}, {2.0}};
+  const auto vc = decompose_variance(g);
+  EXPECT_EQ(vc.var_between, 0.0);
+  EXPECT_EQ(vc.var_within, 0.0);
+  EXPECT_EQ(vc.f_statistic, 0.0);
+  EXPECT_EQ(vc.p_value, 1.0);
 }
 
 }  // namespace
