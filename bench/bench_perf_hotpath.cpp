@@ -1,0 +1,257 @@
+// perf_hotpath — tracked perf-regression harness for the simulator's query
+// kernels.
+//
+// Every figure/table cell funnels through Simulator::exec, whose inner loop
+// is NoiseModel::preemption_delay + FreqModel::mean_factor /
+// elapsed_for_work. This harness materializes event/episode streams at
+// three densities, then self-times each kernel twice over the same frozen
+// stream and query sequence:
+//
+//   * the indexed implementation (sorted-merge horizon + prefix-sum
+//     interval queries — the production path), and
+//   * the retained brute-force reference (sim/reference.hpp), which is the
+//     pre-index O(events) scan — the baseline every BENCH_hotpath.json
+//     records its speedup against.
+//
+// Results go to stdout, to the JSON artifact (wall-clock metrics — like
+// micro_core this harness is outside the campaign's byte-stability
+// guarantee), and to BENCH_hotpath.json (override the path with
+// OMNIVAR_HOTPATH_OUT), the repo's accumulating perf trajectory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "cli/hotpath_report.hpp"
+#include "sim/reference.hpp"
+
+using namespace omv;
+
+namespace {
+
+/// Volatile sink defeating dead-code elimination of the measured calls.
+volatile double g_sink = 0.0;
+
+/// ns/call of `fn`, batch-grown until `min_seconds` of wall time accrue.
+double time_ns_per_call(const std::function<double()>& fn,
+                        double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  std::size_t batch = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < batch; ++i) g_sink = g_sink + fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= min_seconds) {
+      return s * 1e9 / static_cast<double>(batch);
+    }
+    batch *= 2;
+  }
+}
+
+/// Median ns/call over `reps` independent timing repetitions.
+double median_ns(const std::function<double()>& fn, double min_seconds,
+                 std::size_t reps) {
+  std::vector<double> t;
+  t.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    t.push_back(time_ns_per_call(fn, min_seconds));
+  }
+  std::sort(t.begin(), t.end());
+  return t[t.size() / 2];
+}
+
+struct Density {
+  const char* name;
+  double kworker_rate;   ///< noise events per second per HW thread.
+  double episode_rate;   ///< frequency dips per second per NUMA domain.
+  double episode_mean;   ///< mean dip duration — scaled down with rate so
+                         ///< concurrent-dip counts stay realistic.
+};
+
+/// Deterministic query-window mix: start times across the stream, window
+/// lengths from 10 us to 0.3 s, so both the scan-window and the prefix-sum
+/// query paths are exercised.
+struct Windows {
+  std::vector<double> t0;
+  std::vector<double> t1;
+  std::vector<std::size_t> where;  ///< HW thread / core, cycling.
+  std::size_t next = 0;
+
+  Windows(double horizon, std::size_t n_places, std::uint64_t seed) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < 256; ++i) {
+      const double a = rng.uniform(0.0, 0.7 * horizon);
+      t0.push_back(a);
+      t1.push_back(a + rng.uniform(1e-5, 0.3));
+      where.push_back(rng.next_below(n_places));
+    }
+  }
+
+  std::size_t step() {
+    next = (next + 1) % t0.size();
+    return next;
+  }
+};
+
+int run_perf_hotpath(cli::RunContext& ctx) {
+  harness::header(
+      "perf_hotpath — simulator query-kernel timings (ns/op, wall clock)",
+      "(not a paper experiment; tracks the hot-path perf trajectory — "
+      "indexed queries vs the retained brute-force baseline)");
+
+  const bool quick = [] {
+    const char* q = std::getenv("OMNIVAR_QUICK");
+    return q && q[0] == '1';
+  }();
+  const double budget = quick ? 0.002 : 0.02;
+  const std::size_t reps = quick ? 3 : 7;
+  const double horizon = quick ? 0.5 : 2.0;
+
+  const auto machine = topo::Machine::vera();
+  const std::vector<Density> densities = {
+      {"low", 2.0, 0.05, 0.6},
+      {"mid", 50.0, 20.0, 0.05},
+      {"high", 10000.0, 2000.0, 0.002},
+  };
+
+  cli::HotpathReport report;
+  report.quick = quick;
+  report.sim_machine = machine.name();
+  report::Table table(
+      {"kernel", "density", "events", "indexed ns/op", "baseline ns/op",
+       "speedup"});
+  bool all_measured = true;
+
+  const auto record = [&](const char* kernel, const char* density,
+                          std::size_t events, double opt_ns,
+                          double base_ns) {
+    report.kernels.push_back({kernel, density, events, opt_ns, base_ns});
+    table.add_row({kernel, density, std::to_string(events),
+                   report::fmt_fixed(opt_ns, 1),
+                   base_ns > 0.0 ? report::fmt_fixed(base_ns, 1) : "-",
+                   base_ns > 0.0 ? report::fmt_fixed(base_ns / opt_ns, 1)
+                                 : "-"});
+    all_measured &= opt_ns > 0.0;
+    const std::string stem =
+        std::string("ns_per_op/") + kernel + "/" + density;
+    ctx.metric(stem + "/indexed", opt_ns);
+    if (base_ns > 0.0) ctx.metric(stem + "/baseline", base_ns);
+  };
+
+  for (const auto& d : densities) {
+    // --- NoiseModel::preemption_delay --------------------------------
+    sim::NoiseConfig ncfg = sim::NoiseConfig::vera();
+    ncfg.kworker_rate_per_cpu = d.kworker_rate;
+    sim::NoiseModel noise(machine, ncfg);
+    noise.begin_run(42, machine.primary_threads());
+    noise.materialize_to(horizon);
+    std::size_t n_events = 0;
+    for (const auto& v : noise.events()) n_events += v.size();
+
+    Windows nw(horizon, machine.n_threads(), 7);
+    const double noise_opt = median_ns(
+        [&] {
+          const std::size_t k = nw.step();
+          return noise.preemption_delay(nw.where[k], nw.t0[k], nw.t1[k]);
+        },
+        budget, reps);
+    const double noise_base = median_ns(
+        [&] {
+          const std::size_t k = nw.step();
+          return sim::reference::preemption_delay(noise, machine, nw.where[k],
+                                                  nw.t0[k], nw.t1[k]);
+        },
+        budget, reps);
+    record("preemption_delay", d.name, n_events, noise_opt, noise_base);
+
+    // --- FreqModel::mean_factor / elapsed_for_work -------------------
+    sim::FreqConfig fcfg = sim::FreqConfig::vera_dippy();
+    fcfg.episode_rate = d.episode_rate;
+    fcfg.episode_mean = d.episode_mean;
+    sim::FreqModel freq(machine, fcfg);
+    freq.begin_run(42);
+    freq.materialize_to(horizon);
+    std::size_t n_eps = 0;
+    for (std::size_t dom = 0; dom < machine.n_numa(); ++dom) {
+      n_eps += freq.episodes(dom).size();
+    }
+
+    Windows fw(horizon, machine.n_cores(), 11);
+    const double mf_opt = median_ns(
+        [&] {
+          const std::size_t k = fw.step();
+          return freq.mean_factor(fw.where[k], fw.t0[k], fw.t1[k]);
+        },
+        budget, reps);
+    const double mf_base = median_ns(
+        [&] {
+          const std::size_t k = fw.step();
+          return sim::reference::mean_factor(freq, fw.where[k], fw.t0[k],
+                                             fw.t1[k]);
+        },
+        budget, reps);
+    record("mean_factor", d.name, n_eps, mf_opt, mf_base);
+
+    // elapsed_for_work: work sized so every fixed-point window stays
+    // inside the materialized horizon (factors are clamped >= 0.1).
+    Windows ww(horizon * 0.5, machine.n_cores(), 13);
+    const double ew_opt = median_ns(
+        [&] {
+          const std::size_t k = ww.step();
+          return freq.elapsed_for_work(ww.where[k], ww.t0[k], 1e-3);
+        },
+        budget, reps);
+    const double ew_base = median_ns(
+        [&] {
+          const std::size_t k = ww.step();
+          return sim::reference::elapsed_for_work(freq, ww.where[k],
+                                                  ww.t0[k], 1e-3);
+        },
+        budget, reps);
+    record("elapsed_for_work", d.name, n_eps, ew_opt, ew_base);
+  }
+
+  // --- Full SimTeam barrier phase (absolute, no scan baseline) --------
+  {
+    sim::Simulator simulator(topo::Machine::vera(), sim::SimConfig::vera());
+    ompsim::SimTeam team(simulator, harness::pinned_team(16), 1);
+    team.begin_run(1);
+    const double barrier_ns = median_ns(
+        [&] {
+          team.compute(1e-5);
+          team.barrier();
+          return team.now();
+        },
+        budget, reps);
+    record("team_barrier_phase", "vera16", 0, barrier_ns, 0.0);
+  }
+
+  ctx.table("hotpath", table);
+
+  // Trajectory destination: explicit override first; inside a campaign the
+  // file belongs in the campaign directory with the other artifacts (a full
+  // `omnivar --out DIR` run must not clobber the committed trajectory
+  // point); only a deliberate standalone run writes the CWD default.
+  const char* out_env = std::getenv("OMNIVAR_HOTPATH_OUT");
+  const std::string out_path =
+      out_env != nullptr
+          ? std::string(out_env)
+          : (ctx.caching() ? ctx.out_dir() + "/BENCH_hotpath.json"
+                           : std::string("BENCH_hotpath.json"));
+  const bool written = cli::write_hotpath_report(report, out_path);
+  std::printf("\nperf trajectory: %s %s\n", out_path.c_str(),
+              written ? "written" : "WRITE FAILED");
+  ctx.verdict(all_measured && written,
+              "all hot-path kernels measured; " + out_path + " written");
+  return written ? 0 : 1;
+}
+
+[[maybe_unused]] const cli::Registration reg{
+    "perf_hotpath",
+    "Perf — simulator query-kernel timings vs brute-force baseline (ns/op)",
+    run_perf_hotpath};
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include "cli/hotpath_report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/json_writer.hpp"
+
+namespace omv::cli {
+namespace {
+
+const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_flavor() {
+#if defined(NDEBUG)
+  return "optimized";
+#else
+  return "assertions";
+#endif
+}
+
+}  // namespace
+
+std::string hotpath_report_json(const HotpathReport& report) {
+  if (report.kernels.empty()) {
+    throw std::invalid_argument(
+        "hotpath_report_json: refusing to render an empty report");
+  }
+  json::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("omnivar-bench-hotpath-v1");
+  w.key("quick").value(report.quick);
+  w.key("machine").begin_object();
+  w.key("sim_machine").value(report.sim_machine);
+  w.key("hardware_concurrency")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.key("compiler").value(compiler_id());
+  w.key("build").value(build_flavor());
+  // The baseline is the retained pre-index scan as a *pure query* (it
+  // reads already-materialized streams, skipping the horizon bookkeeping
+  // the production path pays) — low-density ratios near or below 1.0 are
+  // expected; the indexed path's purpose is the dense regime.
+  w.key("baseline_definition")
+      .value("brute-force scan over materialized streams "
+             "(sim/reference.hpp); no horizon bookkeeping");
+  w.end_object();
+  w.key("kernels").begin_array();
+  for (const auto& k : report.kernels) {
+    w.begin_object();
+    w.key("kernel").value(k.kernel);
+    w.key("density").value(k.density);
+    w.key("stream_events").value(k.stream_events);
+    w.key("optimized_ns_per_op").value(k.optimized_ns);
+    if (k.baseline_ns > 0.0) {
+      w.key("baseline_ns_per_op").value(k.baseline_ns);
+      w.key("speedup").value(k.optimized_ns > 0.0
+                                 ? k.baseline_ns / k.optimized_ns
+                                 : 0.0);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool write_hotpath_report(const HotpathReport& report,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << hotpath_report_json(report) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace omv::cli

@@ -1,0 +1,46 @@
+#pragma once
+// BENCH_hotpath.json — the repo's tracked hot-path perf trajectory.
+//
+// The perf_hotpath harness self-times the simulator's query kernels
+// (preemption_delay, mean_factor, elapsed_for_work, a full SimTeam barrier
+// phase) at several event densities, against the retained brute-force
+// reference implementations (sim/reference.hpp) as the in-file baseline.
+// This module renders those measurements as a machine-readable JSON
+// document so successive commits accumulate a comparable perf curve, and
+// CI can validate the file's shape in quick mode.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace omv::cli {
+
+/// One (kernel, density) measurement. `baseline_ns` is the median ns/op of
+/// the pre-index brute-force reference over the same stream and query
+/// sequence; 0 means the kernel has no scan baseline (e.g. the barrier
+/// phase, which is reported absolute).
+struct HotpathKernelResult {
+  std::string kernel;
+  std::string density;
+  std::size_t stream_events = 0;  ///< events/episodes materialized.
+  double optimized_ns = 0.0;      ///< median ns/op, indexed implementation.
+  double baseline_ns = 0.0;       ///< median ns/op, brute-force reference.
+};
+
+struct HotpathReport {
+  bool quick = false;          ///< OMNIVAR_QUICK measurement (reduced budget).
+  std::string sim_machine;     ///< simulated topology preset name.
+  std::vector<HotpathKernelResult> kernels;
+};
+
+/// Renders the report as schema "omnivar-bench-hotpath-v1" JSON (includes
+/// host metadata: hardware concurrency, compiler, build flavor). Throws
+/// std::invalid_argument when the report holds no kernels — an empty perf
+/// file must fail loudly, not accumulate silently.
+[[nodiscard]] std::string hotpath_report_json(const HotpathReport& report);
+
+/// Writes the rendered report to `path`. Returns false on I/O failure.
+bool write_hotpath_report(const HotpathReport& report,
+                          const std::string& path);
+
+}  // namespace omv::cli

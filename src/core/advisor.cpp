@@ -27,9 +27,9 @@ std::string stable_places(const topo::Machine& machine, std::size_t n_threads,
   std::size_t emitted = 0;
   for (std::size_t core = 0; core < machine.n_cores() && emitted < n_threads;
        ++core) {
-    const auto threads = machine.core_threads(core).to_vector();
+    const auto threads = machine.core_threads(core);
     if (threads.empty()) continue;
-    std::size_t primary = threads[0];
+    std::size_t primary = threads.first();
     for (std::size_t h : threads) {
       if (machine.thread(h).smt_index == 0) primary = h;
     }

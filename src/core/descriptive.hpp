@@ -60,6 +60,14 @@ class OnlineStats {
 [[nodiscard]] double percentile_sorted(std::span<const double> sorted,
                                        double p) noexcept;
 
+/// Percentile via selection (std::nth_element) instead of a full sort:
+/// O(n) rather than O(n log n) for one order statistic. Partially reorders
+/// `xs` in place; the input must be NaN-free. Selects the exact elements a
+/// full sort would, so the interpolated result is bit-identical to
+/// percentile_sorted(sorted_copy(xs), p).
+[[nodiscard]] double percentile_in_place(std::span<double> xs,
+                                         double p) noexcept;
+
 /// Median absolute deviation, scaled by 1.4826 so it estimates sigma for
 /// normal data (robust spread estimate). NaN inputs propagate to NaN.
 [[nodiscard]] double mad(std::span<const double> xs);

@@ -76,32 +76,35 @@ void SimTeam::set_clocks(std::span<const double> t) {
   std::copy(t.begin(), t.end(), clocks_.begin());
 }
 
-std::size_t SimTeam::numa_span() const {
+std::size_t SimTeam::count_span(std::size_t (topo::HwThread::*domain)) const {
+  // barrier_cost() runs once per synchronization episode — use a reusable
+  // scratch bitmap (epoch-tagged so it never needs clearing) instead of
+  // allocating a vector<bool> per call.
   const auto& pl = placement_model_.current();
-  std::vector<bool> seen(sim_.machine().n_numa(), false);
+  const std::size_t n_domains =
+      std::max(sim_.machine().n_numa(), sim_.machine().n_sockets());
+  if (span_scratch_.size() < n_domains) span_scratch_.resize(n_domains, 0);
+  if (++span_epoch_ == 0) {  // epoch wrap: stale tags could alias — reset
+    std::fill(span_scratch_.begin(), span_scratch_.end(), 0);
+    span_epoch_ = 1;
+  }
   std::size_t n = 0;
   for (std::size_t h : pl.hw) {
-    const std::size_t d = sim_.machine().thread(h).numa;
-    if (!seen[d]) {
-      seen[d] = true;
+    const std::size_t d = sim_.machine().thread(h).*domain;
+    if (span_scratch_[d] != span_epoch_) {
+      span_scratch_[d] = span_epoch_;
       ++n;
     }
   }
   return n;
 }
 
+std::size_t SimTeam::numa_span() const {
+  return count_span(&topo::HwThread::numa);
+}
+
 std::size_t SimTeam::socket_span() const {
-  const auto& pl = placement_model_.current();
-  std::vector<bool> seen(sim_.machine().n_sockets(), false);
-  std::size_t n = 0;
-  for (std::size_t h : pl.hw) {
-    const std::size_t s = sim_.machine().thread(h).socket;
-    if (!seen[s]) {
-      seen[s] = true;
-      ++n;
-    }
-  }
-  return n;
+  return count_span(&topo::HwThread::socket);
 }
 
 double SimTeam::barrier_cost() const {

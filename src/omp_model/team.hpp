@@ -133,6 +133,10 @@ class SimTeam {
 
  private:
   void rebuild_placement(std::uint64_t seed);
+  /// Distinct values of the given HwThread domain field across the team's
+  /// current placement (shared engine of numa_span / socket_span).
+  [[nodiscard]] std::size_t count_span(
+      std::size_t(topo::HwThread::*domain)) const;
   [[nodiscard]] std::size_t numa_span() const;
   [[nodiscard]] std::size_t socket_span() const;
 
@@ -141,6 +145,10 @@ class SimTeam {
   std::uint64_t seed_;
   sim::PlacementModel placement_model_;
   std::vector<double> clocks_;
+  /// Epoch-tagged scratch for count_span (mutable: spans are logically
+  /// const queries; the scratch is pure memoization space).
+  mutable std::vector<std::uint32_t> span_scratch_;
+  mutable std::uint32_t span_epoch_ = 0;
 };
 
 }  // namespace omv::ompsim

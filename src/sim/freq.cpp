@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace omv::sim {
+namespace {
+
+/// Domains holding at most this many episodes are integrated by the
+/// historical full scan, which reproduces the pre-index floating-point
+/// accumulation bit for bit; larger domains use the prefix-sum index.
+constexpr std::size_t kScanEpisodes = 48;
+
+}  // namespace
 
 FreqConfig FreqConfig::vera() {
   FreqConfig c;
@@ -58,7 +67,14 @@ FreqConfig FreqConfig::flat() {
 FreqModel::FreqModel(const topo::Machine& machine, FreqConfig cfg)
     : machine_(machine), cfg_(cfg) {
   episodes_.resize(machine.n_numa());
+  index_.resize(machine.n_numa());
   next_arrival_.resize(machine.n_numa(), 0.0);
+  core_numa_.resize(machine.n_cores(), 0);
+  for (std::size_t core = 0; core < machine.n_cores(); ++core) {
+    const auto threads = machine.core_threads(core);
+    core_numa_[core] =
+        threads.empty() ? 0 : machine.thread(threads.first()).numa;
+  }
   begin_run(0);
 }
 
@@ -78,6 +94,7 @@ void FreqModel::begin_run(std::uint64_t run_seed) {
   load_fraction_ = 1.0;
   rate_ = cfg_.episode_rate * activity_mult_;
   for (auto& v : episodes_) v.clear();
+  for (auto& idx : index_) idx.clear();
   for (auto& t : next_arrival_) {
     t = rate_ > 0.0 ? episode_rng_.exponential(rate_) : 1e300;
   }
@@ -93,6 +110,25 @@ void FreqModel::set_activity_domains(std::size_t n_domains) {
     // generated are kept; only the future changes).
     for (auto& t : next_arrival_) {
       t = rate_ > 0.0 ? horizon_ + episode_rng_.exponential(rate_) : 1e300;
+    }
+  }
+}
+
+void FreqModel::index_new_episodes() {
+  for (std::size_t d = 0; d < episodes_.size(); ++d) {
+    const auto& eps = episodes_[d];
+    auto& idx = index_[d];
+    if (idx.max_end.empty()) {
+      idx.max_end.push_back(-std::numeric_limits<double>::infinity());
+    }
+    for (std::size_t k = idx.red_uncapped.size(); k < eps.size(); ++k) {
+      const FreqEpisode& ep = eps[k];
+      idx.max_end.push_back(std::max(idx.max_end.back(), ep.end));
+      const double len = ep.end - ep.start;
+      idx.red_uncapped.append((1.0 - std::min(1.0, ep.depth)) * len);
+      idx.red_capped.append(
+          (cfg_.run_cap_depth - std::min(cfg_.run_cap_depth, ep.depth)) *
+          len);
     }
   }
 }
@@ -116,19 +152,29 @@ void FreqModel::ensure_horizon(double t) {
       next_arrival_[d] += episode_rng_.exponential(rate_);
     }
   }
+  index_new_episodes();
   horizon_ = target;
 }
 
 double FreqModel::factor(std::size_t core, double t) {
   ensure_horizon(t);
   double f = run_capped() ? cfg_.run_cap_depth : 1.0;
-  const std::size_t numa = machine_.core_threads(core).empty()
-                               ? 0
-                               : machine_.thread(machine_.core_threads(core)
-                                                     .first())
-                                     .numa;
-  for (const auto& ep : episodes_[numa]) {
-    if (t >= ep.start && t < ep.end) f = std::min(f, ep.depth);
+  const std::size_t numa = core_numa(core);
+  const auto& eps = episodes_[numa];
+  const auto& idx = index_[numa];
+  // Episodes active at t have start <= t (a start-sorted prefix) and
+  // end > t; walk the prefix backwards, stopping once the running max end
+  // proves no earlier episode can still be active. min() is exact, so this
+  // matches the historical full scan bit for bit.
+  const std::size_t j = static_cast<std::size_t>(
+      std::upper_bound(eps.begin(), eps.end(), t,
+                       [](double tv, const FreqEpisode& e) {
+                         return tv < e.start;
+                       }) -
+      eps.begin());
+  for (std::size_t k = j; k-- > 0;) {
+    if (idx.max_end[k + 1] <= t) break;
+    if (t < eps[k].end) f = std::min(f, eps[k].depth);
   }
   return f;
 }
@@ -141,33 +187,113 @@ double FreqModel::sample_ghz(std::size_t core, double t) {
   return std::max(0.1, f) * machine_.max_ghz();
 }
 
-double FreqModel::mean_factor(std::size_t core, double t0, double t1) {
+double FreqModel::window_reduction(std::size_t numa, double t0, double t1,
+                                   double base) const {
+  const auto& eps = episodes_[numa];
+  const auto& idx = index_[numa];
+  const auto by_start = [](const FreqEpisode& e, double t) {
+    return e.start < t;
+  };
+  const auto j0 = static_cast<std::size_t>(
+      std::lower_bound(eps.begin(), eps.end(), t0, by_start) - eps.begin());
+  const auto j1 = static_cast<std::size_t>(
+      std::lower_bound(eps.begin(), eps.end(), t1, by_start) - eps.begin());
+  // base is either 1.0 or run_cap_depth — pick the matching weight index.
+  const stats::PrefixSum& red =
+      base == 1.0 ? idx.red_uncapped : idx.red_capped;
+  const auto weight = [&](const FreqEpisode& ep) {
+    return base - std::min(base, ep.depth);
+  };
+
+  // Episodes starting inside [t0, t1), credited at full length by the
+  // prefix sums; boundary overlaps are corrected explicitly below.
+  double r = red.range(j0, j1);
+
+  // Right boundary: episodes active at t1 (start < t1, end > t1). Those
+  // starting inside the window were credited past t1 — trim the excess;
+  // those starting before t0 cover the whole window. The back-scan stops
+  // as soon as the running max end proves no earlier episode reaches t1.
+  for (std::size_t k = j1; k-- > 0;) {
+    if (idx.max_end[k + 1] <= t1) break;
+    const FreqEpisode& ep = eps[k];
+    if (ep.end <= t1) continue;
+    if (ep.start >= t0) {
+      r -= weight(ep) * (ep.end - t1);
+    } else {
+      r += weight(ep) * (t1 - t0);
+    }
+  }
+
+  // Left boundary: episodes straddling t0 (start < t0 < end <= t1) — the
+  // window-covering case (end > t1) was already handled above.
+  for (std::size_t k = j0; k-- > 0;) {
+    if (idx.max_end[k + 1] <= t0) break;
+    const FreqEpisode& ep = eps[k];
+    if (ep.end > t0 && ep.end <= t1) {
+      r += weight(ep) * (ep.end - t0);
+    }
+  }
+  return r;
+}
+
+double FreqModel::mean_factor_impl(std::size_t core, double t0, double t1,
+                                   bool* flat_out) {
+  if (flat_out != nullptr) *flat_out = false;
   if (t1 <= t0) return factor(core, t0);
   ensure_horizon(t1);
   const double base = run_capped() ? cfg_.run_cap_depth : 1.0;
-  const std::size_t numa = machine_.thread(
-      machine_.core_threads(core).first()).numa;
+  const std::size_t numa = core_numa(core);
+  const auto& eps = episodes_[numa];
   // Integrate: base everywhere, lowered inside episodes. Episodes may
-  // overlap; take min depth per overlap by processing in time order.
-  // For simplicity (episodes rarely overlap at the configured rates),
-  // accumulate reduction per episode and clamp.
+  // overlap; accumulate reduction per episode and clamp (episodes rarely
+  // overlap at the configured rates) — the historical semantics, now
+  // answered by the index for large domains.
   double integral = base * (t1 - t0);
-  for (const auto& ep : episodes_[numa]) {
-    const double lo = std::max(t0, ep.start);
-    const double hi = std::min(t1, ep.end);
-    if (hi > lo) {
-      const double depth = std::min(base, ep.depth);
-      integral -= (base - depth) * (hi - lo);
+  bool overlapped = false;
+  if (eps.size() <= kScanEpisodes) {
+    // Historical accumulation order — bit-identical to the pre-index scan.
+    for (const auto& ep : eps) {
+      const double lo = std::max(t0, ep.start);
+      const double hi = std::min(t1, ep.end);
+      if (hi > lo) {
+        overlapped = true;
+        const double depth = std::min(base, ep.depth);
+        integral -= (base - depth) * (hi - lo);
+      }
     }
+  } else {
+    const double r = window_reduction(numa, t0, t1, base);
+    overlapped = r != 0.0;
+    integral -= r;
   }
+  if (flat_out != nullptr) *flat_out = !overlapped;
   return std::max(0.1, integral / (t1 - t0));
+}
+
+double FreqModel::mean_factor(std::size_t core, double t0, double t1) {
+  return mean_factor_impl(core, t0, t1, nullptr);
 }
 
 double FreqModel::elapsed_for_work(std::size_t core, double t0, double work) {
   if (work <= 0.0) return 0.0;
   double d = work;  // initial guess: full speed
+  // Episode-boundary-aware early exit: once a window is verified
+  // episode-free, any shorter window is flat too and the fixed-point step
+  // costs pure arithmetic — no episode search, no horizon call (the wider
+  // window already extended it).
+  double flat_hi = t0;
   for (int iter = 0; iter < 4; ++iter) {
-    const double m = mean_factor(core, t0, t0 + d);
+    const double t1 = t0 + d;
+    double m;
+    if (t1 > t0 && t1 <= flat_hi) {
+      const double base = run_capped() ? cfg_.run_cap_depth : 1.0;
+      const double integral = base * (t1 - t0);
+      m = std::max(0.1, integral / (t1 - t0));
+    } else {
+      bool flat = false;
+      m = mean_factor_impl(core, t0, t1, &flat);
+      if (flat && t1 > flat_hi) flat_hi = t1;
+    }
     const double nd = work / m;
     if (std::abs(nd - d) < 1e-12) return nd;
     d = nd;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/prefix_index.hpp"
 #include "core/rng.hpp"
 #include "topo/topology.hpp"
 
@@ -78,7 +79,8 @@ class FreqModel {
   void set_load_fraction(double f) noexcept { load_fraction_ = f; }
 
   /// Frequency multiplier (0 < m <= ~1) for `core` at time `t`,
-  /// without white jitter (deterministic component).
+  /// without white jitter (deterministic component). Indexed: binary search
+  /// on episode starts plus a max-end-pruned back-scan over straddlers.
   double factor(std::size_t core, double t);
 
   /// Instantaneous frequency in GHz including white jitter — what the
@@ -86,12 +88,35 @@ class FreqModel {
   double sample_ghz(std::size_t core, double t);
 
   /// Mean multiplier over [t0, t1) for `core` (exact episode integration).
+  ///
+  /// Indexed: two binary searches on the start-sorted episode vector; the
+  /// episodes fully inside the window are integrated by compensated prefix
+  /// sums in O(1), and the episodes partially overlapping either window
+  /// boundary are enumerated and trimmed explicitly (a max-end-pruned
+  /// back-scan), so partial overlaps are exact. Domains holding few
+  /// episodes take the historical full-scan path, which reproduces the
+  /// pre-index floating-point accumulation bit for bit.
   double mean_factor(std::size_t core, double t0, double t1);
 
   /// Elapsed wall time to complete `work` seconds of fmax-rate compute
   /// starting at `t0` on `core` (inverts the factor integral; fixed-point
   /// iteration, converges in a few steps because factors are in [0.5, 1]).
+  /// Flat-frequency windows — the common case — cost one indexed episode
+  /// lookup per fixed-point step: a verified-flat span is carried between
+  /// steps so shrinking windows skip the episode search entirely.
   double elapsed_for_work(std::size_t core, double t0, double work);
+
+  /// Materializes episode arrivals up to time `t` (normally done lazily;
+  /// exposed so the differential oracle and the perf_hotpath bench can pin
+  /// the episode history before pure-query timing).
+  void materialize_to(double t) { ensure_horizon(t); }
+
+  /// NUMA domain hosting `core` (0 for cores with no HW threads — the
+  /// guard FreqModel::factor always had and mean_factor historically
+  /// lacked).
+  [[nodiscard]] std::size_t core_numa(std::size_t core) const noexcept {
+    return core < core_numa_.size() ? core_numa_[core] : 0;
+  }
 
   /// True when this run is frequency-capped (cap drawn AND load above the
   /// gating threshold).
@@ -107,13 +132,45 @@ class FreqModel {
   }
 
  private:
+  /// Query-side index over one domain's start-sorted episode vector.
+  /// Episodes arrive in start order, so all arrays are append-only and
+  /// extended incrementally per horizon extension.
+  struct DomainIndex {
+    /// max episode end over episodes_[d][0..k) — prunes the back-scan that
+    /// enumerates episodes straddling a window boundary.
+    std::vector<double> max_end;
+    /// Σ (1 - depth)·(end - start): full-episode reduction under the
+    /// uncapped base (base = 1).
+    stats::PrefixSum red_uncapped;
+    /// Σ max(0, run_cap_depth - depth)·(end - start): reduction under the
+    /// capped base.
+    stats::PrefixSum red_capped;
+
+    void clear() {
+      max_end.clear();
+      red_uncapped.clear();
+      red_capped.clear();
+    }
+  };
+
   void ensure_horizon(double t);
+  void index_new_episodes();
+  /// Reduction Σ w·|[t0,t1) ∩ episode| over domain `numa` under `base`,
+  /// where w = base - min(base, depth). Indexed query (see mean_factor).
+  double window_reduction(std::size_t numa, double t0, double t1,
+                          double base) const;
+  /// mean_factor plus a flatness report (`flat_out` true when no episode
+  /// overlapped the window) feeding elapsed_for_work's early exit.
+  double mean_factor_impl(std::size_t core, double t0, double t1,
+                          bool* flat_out);
 
   const topo::Machine& machine_;
   FreqConfig cfg_;
   Rng episode_rng_;
   Rng jitter_rng_;
   std::vector<std::vector<FreqEpisode>> episodes_;  ///< per NUMA domain.
+  std::vector<DomainIndex> index_;
+  std::vector<std::size_t> core_numa_;  ///< core → NUMA domain (guarded).
   std::vector<double> next_arrival_;
   double horizon_ = 0.0;
   double rate_ = 0.0;

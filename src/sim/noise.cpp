@@ -1,9 +1,18 @@
 #include "sim/noise.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace omv::sim {
+namespace {
+
+/// Windows holding at most this many events are summed by the historical
+/// sequential scan, which reproduces the pre-index floating-point
+/// accumulation bit for bit; wider windows use the O(1) prefix-sum range.
+constexpr std::size_t kScanWindow = 48;
+
+}  // namespace
 
 NoiseConfig NoiseConfig::dardel() {
   NoiseConfig c;
@@ -42,6 +51,14 @@ NoiseConfig NoiseConfig::quiet() {
 NoiseModel::NoiseModel(const topo::Machine& machine, NoiseConfig cfg)
     : machine_(machine), cfg_(cfg) {
   per_cpu_events_.resize(machine.n_threads());
+  cum_.resize(machine.n_threads());
+  indexed_len_.resize(machine.n_threads(), 0);
+  core_threads_.resize(machine.n_cores());
+  for (std::size_t core = 0; core < machine.n_cores(); ++core) {
+    for (std::size_t h : machine.core_threads(core)) {
+      core_threads_[core].push_back(h);
+    }
+  }
   kworker_next_.resize(machine.n_threads(), 0.0);
   busy_.resize(machine.n_threads(), false);
   tick_phase_.resize(machine.n_threads(), 0.0);
@@ -58,6 +75,8 @@ void NoiseModel::begin_run(std::uint64_t run_seed, const topo::CpuSet& busy) {
   Rng degrade_rng = base.fork(6);
 
   for (auto& v : per_cpu_events_) v.clear();
+  for (auto& c : cum_) c.clear();
+  std::fill(indexed_len_.begin(), indexed_len_.end(), 0);
   degraded_ = degrade_rng.bernoulli(cfg_.degrade_prob);
 
   const double daemon_rate =
@@ -78,7 +97,7 @@ void NoiseModel::begin_run(std::uint64_t run_seed, const topo::CpuSet& busy) {
 
 void NoiseModel::set_busy(const topo::CpuSet& busy) {
   std::fill(busy_.begin(), busy_.end(), false);
-  for (std::size_t h : busy.to_vector()) {
+  for (std::size_t h : busy) {
     if (h < busy_.size()) busy_[h] = true;
   }
 }
@@ -86,28 +105,27 @@ void NoiseModel::set_busy(const topo::CpuSet& busy) {
 void NoiseModel::place_daemon(double t, double dur) {
   // Find a fully idle core; failing that, an idle sibling; failing that,
   // preempt a busy HW thread chosen uniformly.
-  std::vector<std::size_t> idle_siblings_of_busy;
-  std::vector<std::size_t> busy_cpus;
+  scratch_busy_.clear();
   for (std::size_t h = 0; h < busy_.size(); ++h) {
-    if (busy_[h]) busy_cpus.push_back(h);
+    if (busy_[h]) scratch_busy_.push_back(h);
   }
-  if (busy_cpus.empty()) return;  // nothing to disturb
+  if (scratch_busy_.empty()) return;  // nothing to disturb
 
   // Wake-affinity miss: land on the cache-hot previous CPU regardless of
   // idle capacity. More likely the fuller the node is.
-  const double busy_fraction = static_cast<double>(busy_cpus.size()) /
+  const double busy_fraction = static_cast<double>(scratch_busy_.size()) /
                                static_cast<double>(busy_.size());
   if (placement_rng_.bernoulli(cfg_.daemon_miss_factor * busy_fraction)) {
     const std::size_t victim =
-        busy_cpus[placement_rng_.next_below(busy_cpus.size())];
+        scratch_busy_[placement_rng_.next_below(scratch_busy_.size())];
     per_cpu_events_[victim].push_back({t, dur, victim});
     return;
   }
 
   // Idle core: a core none of whose HW threads are busy.
-  for (std::size_t core = 0; core < machine_.n_cores(); ++core) {
+  for (const auto& threads : core_threads_) {
     bool any_busy = false;
-    for (std::size_t h : machine_.core_threads(core).to_vector()) {
+    for (std::size_t h : threads) {
       if (busy_[h]) {
         any_busy = true;
         break;
@@ -117,14 +135,15 @@ void NoiseModel::place_daemon(double t, double dur) {
   }
 
   // Idle SMT sibling of a busy HW thread.
+  scratch_siblings_.clear();
   for (std::size_t h = 0; h < busy_.size(); ++h) {
     if (busy_[h]) continue;
     const auto sib = machine_.sibling(h);
-    if (sib && busy_[*sib]) idle_siblings_of_busy.push_back(*sib);
+    if (sib && busy_[*sib]) scratch_siblings_.push_back(*sib);
   }
-  if (!idle_siblings_of_busy.empty()) {
-    const std::size_t victim = idle_siblings_of_busy[placement_rng_.next_below(
-        idle_siblings_of_busy.size())];
+  if (!scratch_siblings_.empty()) {
+    const std::size_t victim = scratch_siblings_[placement_rng_.next_below(
+        scratch_siblings_.size())];
     per_cpu_events_[victim].push_back(
         {t, dur * cfg_.smt_absorb_factor, victim});
     return;
@@ -132,8 +151,31 @@ void NoiseModel::place_daemon(double t, double dur) {
 
   // Full preemption of a random busy thread.
   const std::size_t victim =
-      busy_cpus[placement_rng_.next_below(busy_cpus.size())];
+      scratch_busy_[placement_rng_.next_below(scratch_busy_.size())];
   per_cpu_events_[victim].push_back({t, dur, victim});
+}
+
+void NoiseModel::index_new_events() {
+  for (std::size_t h = 0; h < per_cpu_events_.size(); ++h) {
+    auto& v = per_cpu_events_[h];
+    const std::size_t sorted = indexed_len_[h];
+    if (v.size() == sorted) continue;
+    // Every event of this extension carries a time >= the previous horizon
+    // (each source's next-arrival clock had crossed it), so sorting the
+    // fresh tail alone restores global order — untouched CPUs and the
+    // already-sorted head are never re-sorted.
+    std::sort(v.begin() + static_cast<std::ptrdiff_t>(sorted), v.end(),
+              [](const NoiseEvent& a, const NoiseEvent& b) {
+                return a.time < b.time;
+              });
+    assert(sorted == 0 || v[sorted].time >= v[sorted - 1].time);
+    auto& cum = cum_[h];
+    cum.reserve(v.size());
+    for (std::size_t k = sorted; k < v.size(); ++k) {
+      cum.append(v[k].duration);
+    }
+    indexed_len_[h] = v.size();
+  }
 }
 
 void NoiseModel::ensure_horizon(double t) {
@@ -175,14 +217,7 @@ void NoiseModel::ensure_horizon(double t) {
     }
   }
 
-  // Keep per-CPU lists sorted (appends are near-sorted; events from
-  // different sources may interleave).
-  for (auto& v : per_cpu_events_) {
-    std::sort(v.begin(), v.end(),
-              [](const NoiseEvent& a, const NoiseEvent& b) {
-                return a.time < b.time;
-              });
-  }
+  index_new_events();
   horizon_ = target;
 }
 
@@ -212,11 +247,30 @@ double NoiseModel::preemption_delay(std::size_t h, double t0, double t1) {
   }
 
   const auto& v = per_cpu_events_[h];
-  auto it = std::lower_bound(
-      v.begin(), v.end(), t0,
-      [](const NoiseEvent& e, double t) { return e.time < t; });
-  for (; it != v.end() && it->time < t1; ++it) {
-    delay += it->duration * factor;
+  const auto by_time = [](const NoiseEvent& e, double t) {
+    return e.time < t;
+  };
+  const auto lo = std::lower_bound(v.begin(), v.end(), t0, by_time);
+  // Peek ahead: narrow windows (the common case) are summed by the
+  // historical sequential scan, which reproduces the pre-index
+  // floating-point accumulation bit for bit and needs no second binary
+  // search. Only once the walk exceeds kScanWindow events is the window
+  // end located by binary search and the prefix-sum range used.
+  auto probe = lo;
+  std::size_t in_window = 0;
+  while (probe != v.end() && probe->time < t1 && in_window <= kScanWindow) {
+    ++probe;
+    ++in_window;
+  }
+  if (in_window <= kScanWindow) {
+    for (auto it = lo; it != probe; ++it) {
+      delay += it->duration * factor;
+    }
+  } else {
+    const auto hi = std::lower_bound(probe, v.end(), t1, by_time);
+    const auto i = static_cast<std::size_t>(lo - v.begin());
+    const auto j = static_cast<std::size_t>(hi - v.begin());
+    delay += cum_[h].range(i, j) * factor;
   }
   return delay;
 }

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/prefix_index.hpp"
 #include "core/rng.hpp"
 #include "topo/topology.hpp"
 
@@ -99,7 +100,28 @@ class NoiseModel {
 
   /// Total preemption seconds charged to HW thread `h` by events arriving in
   /// [t0, t1). Includes the analytic timer-tick term.
+  ///
+  /// Indexed: two binary searches locate the window in the per-CPU sorted
+  /// event vector; narrow windows are summed by the pre-index sequential
+  /// scan (bit-identical to the historical implementation), wide windows by
+  /// the compensated duration prefix sums in O(1).
   double preemption_delay(std::size_t h, double t0, double t1);
+
+  /// Materializes all noise sources up to time `t` (normally done lazily by
+  /// preemption_delay; exposed so the differential oracle and the
+  /// perf_hotpath bench can pin the event history before pure-query timing).
+  void materialize_to(double t) { ensure_horizon(t); }
+
+  /// Per-HW-thread timer-tick phase offset in [0, tick_period) — part of
+  /// the analytic tick term (exposed for the brute-force reference query).
+  [[nodiscard]] double tick_phase(std::size_t h) const {
+    return tick_phase_.at(h);
+  }
+
+  /// True when HW thread `h` currently hosts a benchmark thread.
+  [[nodiscard]] bool busy(std::size_t h) const noexcept {
+    return h < busy_.size() && busy_[h];
+  }
 
   /// True when the current run is in the degraded state.
   [[nodiscard]] bool degraded() const noexcept { return degraded_; }
@@ -115,6 +137,9 @@ class NoiseModel {
  private:
   void ensure_horizon(double t);
   void place_daemon(double t, double dur);
+  /// Sorts freshly appended per-CPU tails and extends the duration prefix
+  /// sums. Only CPUs whose vectors grew since the last call are touched.
+  void index_new_events();
 
   const topo::Machine& machine_;
   NoiseConfig cfg_;
@@ -123,6 +148,18 @@ class NoiseModel {
   Rng irq_rng_;
   Rng placement_rng_;
   std::vector<std::vector<NoiseEvent>> per_cpu_events_;  ///< sorted by time.
+  /// cum_[h] holds compensated prefix sums of per_cpu_events_[h] durations
+  /// (size == events + 1); kept in lockstep by index_new_events().
+  std::vector<stats::PrefixSum> cum_;
+  /// Number of leading events of per_cpu_events_[h] already sorted+indexed.
+  std::vector<std::size_t> indexed_len_;
+  /// Per-core HW-thread lists, cached from the (immutable) machine so the
+  /// daemon-placement scan does not rebuild CpuSets per event.
+  std::vector<std::vector<std::size_t>> core_threads_;
+  /// Reusable scratch for place_daemon (busy CPUs / idle SMT siblings) —
+  /// cleared per call, capacity retained across the run.
+  std::vector<std::size_t> scratch_busy_;
+  std::vector<std::size_t> scratch_siblings_;
   std::vector<double> kworker_next_;
   double daemon_next_ = 0.0;
   double irq_next_ = 0.0;

@@ -28,13 +28,13 @@ void PlacementModel::initial_place() {
   // Occupancy per HW thread, to spread threads whose sets overlap.
   std::vector<std::size_t> occupancy(machine_->n_threads(), 0);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto options = affinities_[i].to_vector();
+    const topo::CpuSet& options = affinities_[i];
     if (options.empty()) {
       throw std::invalid_argument("PlacementModel: empty affinity set");
     }
     // Least-occupied member of the set; prefer smt_index 0 on ties (the OS
     // fills physical cores before hyperthreads).
-    std::size_t best = options[0];
+    std::size_t best = options.first();
     for (std::size_t cand : options) {
       const auto& tb = machine_->thread(best);
       const auto& tc = machine_->thread(cand);

@@ -1,0 +1,75 @@
+#include "sim/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omv::sim::reference {
+
+double preemption_delay(const NoiseModel& m, const topo::Machine& machine,
+                        std::size_t h, double t0, double t1) {
+  const NoiseConfig& cfg = m.config();
+  if (t1 <= t0 || h >= m.events().size()) return 0.0;
+
+  double delay = 0.0;
+  if (cfg.tick_duration > 0.0 && cfg.tick_period > 0.0) {
+    const double phase = m.tick_phase(h);
+    const double first =
+        std::ceil((t0 - phase) / cfg.tick_period) * cfg.tick_period + phase;
+    if (first < t1) {
+      const double n = std::floor((t1 - first) / cfg.tick_period) + 1.0;
+      delay += n * cfg.tick_duration;
+    }
+  }
+
+  double factor = 1.0;
+  if (const auto sib = machine.sibling(h); sib && !m.busy(*sib)) {
+    factor = cfg.smt_absorb_factor;
+  }
+
+  const auto& v = m.events()[h];
+  auto it = std::lower_bound(
+      v.begin(), v.end(), t0,
+      [](const NoiseEvent& e, double t) { return e.time < t; });
+  for (; it != v.end() && it->time < t1; ++it) {
+    delay += it->duration * factor;
+  }
+  return delay;
+}
+
+double mean_factor(FreqModel& m, std::size_t core, double t0, double t1) {
+  if (t1 <= t0) return factor(m, core, t0);
+  const double base = m.run_capped() ? m.config().run_cap_depth : 1.0;
+  double integral = base * (t1 - t0);
+  for (const auto& ep : m.episodes(m.core_numa(core))) {
+    const double lo = std::max(t0, ep.start);
+    const double hi = std::min(t1, ep.end);
+    if (hi > lo) {
+      const double depth = std::min(base, ep.depth);
+      integral -= (base - depth) * (hi - lo);
+    }
+  }
+  return std::max(0.1, integral / (t1 - t0));
+}
+
+double factor(FreqModel& m, std::size_t core, double t) {
+  double f = m.run_capped() ? m.config().run_cap_depth : 1.0;
+  for (const auto& ep : m.episodes(m.core_numa(core))) {
+    if (t >= ep.start && t < ep.end) f = std::min(f, ep.depth);
+  }
+  return f;
+}
+
+double elapsed_for_work(FreqModel& m, std::size_t core, double t0,
+                        double work) {
+  if (work <= 0.0) return 0.0;
+  double d = work;
+  for (int iter = 0; iter < 4; ++iter) {
+    const double mf = mean_factor(m, core, t0, t0 + d);
+    const double nd = work / mf;
+    if (std::abs(nd - d) < 1e-12) return nd;
+    d = nd;
+  }
+  return d;
+}
+
+}  // namespace omv::sim::reference

@@ -15,7 +15,7 @@ bool pin_current_thread(const CpuSet& set) noexcept {
   if (set.empty()) return false;
   cpu_set_t mask;
   CPU_ZERO(&mask);
-  for (std::size_t cpu : set.to_vector()) {
+  for (std::size_t cpu : set) {
     if (cpu < CPU_SETSIZE) CPU_SET(cpu, &mask);
   }
   return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;

@@ -100,14 +100,7 @@ std::size_t CpuSet::first() const {
 std::vector<std::size_t> CpuSet::to_vector() const {
   std::vector<std::size_t> out;
   out.reserve(count());
-  for (std::size_t w = 0; w < bits_.size(); ++w) {
-    std::uint64_t word = bits_[w];
-    while (word) {
-      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
-      out.push_back(w * 64 + bit);
-      word &= word - 1;
-    }
-  }
+  for (std::size_t cpu : *this) out.push_back(cpu);
   return out;
 }
 

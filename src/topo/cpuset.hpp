@@ -2,8 +2,10 @@
 // Dynamic CPU sets, the common currency between the places parser, the
 // proc_bind mapper, the native affinity layer and the simulator.
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,69 @@ namespace omv::topo {
 class CpuSet {
  public:
   CpuSet() = default;
+
+  /// Forward iterator over members in ascending order. Allocation-free —
+  /// the simulator's per-event hot paths iterate sets directly instead of
+  /// materializing a std::vector via to_vector().
+  class const_iterator {
+   public:
+    using value_type = std::size_t;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+
+    std::size_t operator*() const noexcept {
+      return word_ * 64 +
+             static_cast<std::size_t>(std::countr_zero(current_));
+    }
+
+    const_iterator& operator++() noexcept {
+      current_ &= current_ - 1;  // clear lowest set bit
+      advance();
+      return *this;
+    }
+
+    const_iterator operator++(int) noexcept {
+      const_iterator old = *this;
+      ++*this;
+      return old;
+    }
+
+    bool operator==(const const_iterator& o) const noexcept {
+      return word_ == o.word_ && current_ == o.current_;
+    }
+
+   private:
+    friend class CpuSet;
+    const_iterator(const std::uint64_t* words, std::size_t n_words,
+                   std::size_t word) noexcept
+        : words_(words), n_words_(n_words), word_(word) {
+      if (word_ < n_words_) current_ = words_[word_];
+      advance();
+    }
+
+    /// Skips empty words until a set bit or the end is reached.
+    void advance() noexcept {
+      while (current_ == 0 && word_ < n_words_) {
+        ++word_;
+        current_ = word_ < n_words_ ? words_[word_] : 0;
+      }
+      if (current_ == 0) word_ = n_words_;
+    }
+
+    const std::uint64_t* words_ = nullptr;
+    std::size_t n_words_ = 0;
+    std::size_t word_ = 0;
+    std::uint64_t current_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return {bits_.data(), bits_.size(), 0};
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return {bits_.data(), bits_.size(), bits_.size()};
+  }
 
   /// Singleton set {cpu}.
   static CpuSet single(std::size_t cpu);

@@ -110,7 +110,7 @@ class Parser {
     }
     for (long c = 0; c < count; ++c) {
       CpuSet shifted;
-      for (std::size_t cpu : base.to_vector()) {
+      for (std::size_t cpu : base) {
         const long id = static_cast<long>(cpu) + c * stride;
         if (id < 0) fail("place shifted below 0");
         shifted.add(static_cast<std::size_t>(id));
@@ -165,7 +165,7 @@ void validate(const PlaceList& places, const Machine& m,
     if (p.empty()) {
       throw std::invalid_argument("OMP_PLACES '" + spec + "': empty place");
     }
-    for (std::size_t cpu : p.to_vector()) {
+    for (std::size_t cpu : p) {
       if (cpu >= m.n_threads()) {
         throw std::invalid_argument(
             "OMP_PLACES '" + spec + "': hardware thread " +

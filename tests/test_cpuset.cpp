@@ -111,5 +111,44 @@ TEST(CpuSet, LargeIds) {
   EXPECT_EQ(s.first(), 1023u);
 }
 
+TEST(CpuSetIteration, MatchesToVector) {
+  CpuSet s = CpuSet::parse("0-3,63-65,640");
+  std::vector<std::size_t> iterated;
+  for (std::size_t cpu : s) iterated.push_back(cpu);
+  EXPECT_EQ(iterated, s.to_vector());
+  EXPECT_EQ(iterated.size(), s.count());
+}
+
+TEST(CpuSetIteration, EmptySet) {
+  CpuSet s;
+  EXPECT_TRUE(s.begin() == s.end());
+  s.add(5);
+  s.remove(5);
+  for (std::size_t cpu : s) {
+    FAIL() << "unexpected member " << cpu;
+  }
+}
+
+TEST(CpuSetIteration, SkipsInteriorEmptyWords) {
+  // Members in words 0 and 3, nothing in words 1-2.
+  CpuSet s;
+  s.add(1);
+  s.add(200);
+  std::vector<std::size_t> iterated;
+  for (std::size_t cpu : s) iterated.push_back(cpu);
+  EXPECT_EQ(iterated, (std::vector<std::size_t>{1, 200}));
+}
+
+TEST(CpuSetIteration, ForwardIteratorSemantics) {
+  CpuSet s = CpuSet::parse("4,7");
+  auto it = s.begin();
+  EXPECT_EQ(*it, 4u);
+  auto copy = it++;
+  EXPECT_EQ(*copy, 4u);
+  EXPECT_EQ(*it, 7u);
+  ++it;
+  EXPECT_TRUE(it == s.end());
+}
+
 }  // namespace
 }  // namespace omv::topo

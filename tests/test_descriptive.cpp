@@ -291,5 +291,46 @@ TEST(NanRobustness, OnlineStatsExtremaPropagateNan) {
   EXPECT_EQ(s.count(), 3u);
 }
 
+TEST(PercentileInPlace, BitIdenticalToSortedPath) {
+  // percentile() now selects with nth_element instead of sorting; the
+  // selected elements are the exact order statistics, so the interpolated
+  // result must match the sorted path bit for bit — including fractional
+  // ranks, duplicates, and negative values.
+  std::vector<double> xs = {5.0,  -3.25, 7.5, 7.5, 0.0,  12.125,
+                            -3.25, 2.0,  9.0, 1.0, 42.0, -17.5};
+  for (double p : {0.0, 1.0, 10.0, 25.0, 33.3, 50.0, 66.7, 75.0, 90.0,
+                   99.0, 100.0}) {
+    const auto sorted = sorted_copy(xs);
+    std::vector<double> scratch = xs;
+    EXPECT_EQ(percentile_in_place(scratch, p), percentile_sorted(sorted, p))
+        << "p=" << p;
+    EXPECT_EQ(percentile(xs, p), percentile_sorted(sorted, p)) << "p=" << p;
+  }
+}
+
+TEST(PercentileInPlace, DegenerateSizes) {
+  std::vector<double> empty;
+  EXPECT_EQ(percentile_in_place(empty, 50.0), 0.0);
+  std::vector<double> one = {3.5};
+  EXPECT_EQ(percentile_in_place(one, 50.0), 3.5);
+  std::vector<double> two = {4.0, 2.0};
+  EXPECT_EQ(percentile_in_place(two, 50.0), 3.0);
+  EXPECT_EQ(percentile_in_place(two, 100.0), 4.0);
+}
+
+TEST(PercentileInPlace, ComposesAfterPartialReordering) {
+  // bootstrap_ci selects two bounds from the same buffer; the second
+  // selection must still find exact order statistics on the partially
+  // reordered data.
+  std::vector<double> xs;
+  for (int i = 0; i < 501; ++i) xs.push_back(std::cos(i * 0.7) * 100.0);
+  const auto sorted = sorted_copy(xs);
+  std::vector<double> scratch = xs;
+  const double lo = percentile_in_place(scratch, 2.5);
+  const double hi = percentile_in_place(scratch, 97.5);
+  EXPECT_EQ(lo, percentile_sorted(sorted, 2.5));
+  EXPECT_EQ(hi, percentile_sorted(sorted, 97.5));
+}
+
 }  // namespace
 }  // namespace omv::stats

@@ -59,17 +59,10 @@ TEST(DelayLoop, CalibrationIsPositive) {
   EXPECT_GT(ipu, 0.0);
 }
 
-TEST(DelayLoop, SpinDelayApproximatesTarget) {
-  const double ipu = calibrate_delay_per_us();
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < 100; ++i) spin_delay(50.0, ipu);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double us =
-      std::chrono::duration<double, std::micro>(t1 - t0).count() / 100.0;
-  // Within 3x either way — CI machines are noisy, we only need the order.
-  EXPECT_GT(us, 50.0 / 3.0);
-  EXPECT_LT(us, 50.0 * 3.0);
-}
+// Note: the wall-clock-sensitive spin-delay accuracy check lives in
+// test_epcc_timing.cpp (labeled `integration`, excluded from the quick
+// lane) — under a parallel ctest run the scheduler can stretch any single
+// spin batch far past its target, which made it flaky here.
 
 TEST(DelayLoop, ZeroDelayReturnsImmediately) {
   spin_delay(0.0, 1000.0);  // must not hang or crash
