@@ -25,18 +25,18 @@ struct Row {
   std::string signature;
 };
 
-Row run_case(cli::RunContext& ctx, const std::string& name,
-             const sim::SimConfig& cfg, const ompsim::TeamConfig& team,
-             std::uint64_t seed) {
-  auto machine = topo::Machine::dardel();
-  sim::Simulator s(std::move(machine), cfg);
+Row run_case(cli::RunContext& ctx, const harness::Platform& p,
+             const std::string& name, const sim::SimConfig& cfg,
+             const ompsim::TeamConfig& team, std::uint64_t seed) {
+  sim::Simulator s(p.machine, cfg);
   bench::SimSyncBench sb(s, team);
   const auto spec = harness::paper_spec(seed, 8, 40);
   // The config variants are one-knob toggles of the named case, so the
-  // case name is the honest fingerprint of `cfg`.
+  // case name (on top of the scenario fingerprint of the base bundle) is
+  // the honest fingerprint of `cfg`.
   const auto m = ctx.protocol(
       name, spec,
-      harness::cell_key("syncbench", "Dardel", team)
+      harness::cell_key("syncbench", p, team)
           .add("construct", "reduction")
           .add("ablation_case", name),
       [&] {
@@ -54,47 +54,52 @@ Row run_case(cli::RunContext& ctx, const std::string& name,
 
 int run_ablation(cli::RunContext& ctx) {
   harness::header(
+      ctx,
       "Ablation — which mechanism produces which variability signature",
       "(not a paper experiment; backs the design decisions in DESIGN.md)");
 
   std::vector<Row> rows;
 
-  const auto full = sim::SimConfig::dardel();
-  const auto pinned = harness::pinned_team(128);
-  const auto unpinned = harness::unpinned_team(128);
+  const auto p = harness::primary(ctx);
+  const auto full = p.config;
+  const std::size_t threads = harness::full_team(p.machine);
+  const auto pinned = harness::pinned_team(threads);
+  const auto unpinned = harness::unpinned_team(threads);
 
-  rows.push_back(run_case(ctx, "pinned, full model", full, pinned, 9001));
   rows.push_back(
-      run_case(ctx, "unpinned, full model", full, unpinned, 9001));
+      run_case(ctx, p, "pinned, full model", full, pinned, 9001));
+  rows.push_back(
+      run_case(ctx, p, "unpinned, full model", full, unpinned, 9001));
 
   {
     auto cfg = full;
     cfg.costs.oversub_stall_mean = 0.0;  // no scheduler stalls
-    rows.push_back(
-        run_case(ctx, "unpinned, no oversub stalls", cfg, unpinned, 9001));
+    rows.push_back(run_case(ctx, p, "unpinned, no oversub stalls", cfg,
+                            unpinned, 9001));
   }
   {
     auto cfg = full;
     cfg.freq.run_cap_prob = 0.0;  // no run-scoped frequency cap
-    rows.push_back(run_case(ctx, "pinned, no run cap", cfg, pinned, 9001));
+    rows.push_back(
+        run_case(ctx, p, "pinned, no run cap", cfg, pinned, 9001));
   }
   {
     auto cfg = full;
     cfg.noise = sim::NoiseConfig::quiet();  // no OS noise at all
     rows.push_back(
-        run_case(ctx, "pinned, no OS noise", cfg, pinned, 9001));
+        run_case(ctx, p, "pinned, no OS noise", cfg, pinned, 9001));
   }
   {
     auto cfg = full;
     cfg.noise.degrade_prob = 0.0;  // no degraded runs
     rows.push_back(
-        run_case(ctx, "pinned, no degraded runs", cfg, pinned, 9001));
+        run_case(ctx, p, "pinned, no degraded runs", cfg, pinned, 9001));
   }
   {
     auto team = pinned;
     team.barrier_alg = ompsim::BarrierAlgorithm::centralized;
     rows.push_back(
-        run_case(ctx, "pinned, centralized barrier", full, team, 9001));
+        run_case(ctx, p, "pinned, centralized barrier", full, team, 9001));
   }
 
   report::Table t({"configuration", "mean (us)", "pooled CV", "max/min",
@@ -113,8 +118,9 @@ int run_ablation(cli::RunContext& ctx) {
   ctx.verdict(rows[4].cv <= rows[0].cv,
               "removing OS noise does not increase pinned jitter");
   ctx.verdict(rows[6].mean > rows[0].mean,
-              "centralized barrier costs more than the tree at 128 "
-              "threads (why runtimes use trees)");
+              "centralized barrier costs more than the tree at " +
+                  std::to_string(threads) +
+                  " threads (why runtimes use trees)");
   return 0;
 }
 

@@ -24,7 +24,7 @@ namespace {
 void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   std::size_t threads, std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
-  std::printf("-- %s, %zu threads --\n", p.name, threads);
+  std::printf("-- %s, %zu threads --\n", p.name.c_str(), threads);
   report::Table t({"schedule", "chunk", "mean rep (us)", "pooled CV"});
   double static_1 = 0.0;
   double dynamic_1 = 0.0;
@@ -38,10 +38,10 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                               10000);
       const auto spec = harness::paper_spec(seed + chunk, 5, 10);
       const auto m = ctx.protocol(
-          std::string(p.name) + "/" + ompsim::schedule_name(kind) + "_" +
+          p.name + "/" + ompsim::schedule_name(kind) + "_" +
               std::to_string(chunk),
           spec,
-          harness::cell_key("schedbench", p.name, team)
+          harness::cell_key("schedbench", p, team)
               .add("schedule", ompsim::schedule_name(kind))
               .add("chunk", chunk),
           [&] { return sb.run_protocol(kind, chunk, spec, ctx.jobs()); });
@@ -57,27 +57,29 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
       }
     }
   }
-  ctx.table(std::string(p.name) + "_sweep", t);
+  ctx.table(p.name + "_sweep", t);
   ctx.verdict(dynamic_1 > guided_1 && dynamic_1 > static_1,
-              std::string(p.name) +
-                  ": dynamic_1 is the most expensive configuration");
+              p.name + ": dynamic_1 is the most expensive configuration");
   // Guided's decaying chunks cost little per thread and rebalance noise,
   // so it tracks static within noise (sometimes beating it).
   ctx.verdict(std::abs(guided_1 - static_1) < 0.02 * static_1,
-              std::string(p.name) +
-                  ": guided_1 tracks static_1 within 2%");
+              p.name + ": guided_1 tracks static_1 within 2%");
   ctx.verdict(dynamic_128 < dynamic_1,
-              std::string(p.name) +
-                  ": larger chunks shrink dynamic overhead");
+              p.name + ": larger chunks shrink dynamic overhead");
 }
 
 int run_chunk_sweep(cli::RunContext& ctx) {
   harness::header(
-      "Extension — schedbench schedule x chunk sweep (paper §4.2)",
+      ctx, "Extension — schedbench schedule x chunk sweep (paper §4.2)",
       "the paper ran static/dynamic/guided with various chunk sizes and "
       "reported chunk=1; this regenerates the full sweep");
-  run_platform(ctx, harness::dardel(), 128, 9101);
-  run_platform(ctx, harness::vera(), 30, 9201);
+  const auto ps = harness::platforms(ctx);
+  if (harness::scenario_mode(ctx)) {
+    run_platform(ctx, ps[0], harness::full_team(ps[0].machine), 9101);
+  } else {
+    run_platform(ctx, ps[0], 128, 9101);
+    run_platform(ctx, ps[1], 30, 9201);
+  }
   return 0;
 }
 

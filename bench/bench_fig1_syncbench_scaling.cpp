@@ -20,7 +20,7 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   const std::vector<std::size_t>& counts,
                   std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
-  std::printf("-- %s --\n", p.name);
+  std::printf("-- %s --\n", p.name.c_str());
   report::Series series("threads", {"reduction_us", "barrier_us"});
   double first = 0.0;
   double last = 0.0;
@@ -28,11 +28,10 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
     const auto team = harness::pinned_team(t);
     bench::SimSyncBench sb(s, team);
     const auto spec = harness::paper_spec(seed + t);
-    const std::string cell =
-        std::string(p.name) + "/t" + std::to_string(t) + "/";
+    const std::string cell = p.name + "/t" + std::to_string(t) + "/";
     const auto red = ctx.protocol(
         cell + "reduction", spec,
-        harness::cell_key("syncbench", p.name, team)
+        harness::cell_key("syncbench", p, team)
             .add("construct", "reduction"),
         [&] {
           return sb.run_protocol(bench::SyncConstruct::reduction, spec,
@@ -40,7 +39,7 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
         });
     const auto bar = ctx.protocol(
         cell + "barrier", spec,
-        harness::cell_key("syncbench", p.name, team)
+        harness::cell_key("syncbench", p, team)
             .add("construct", "barrier"),
         [&] {
           return sb.run_protocol(bench::SyncConstruct::barrier, spec,
@@ -58,26 +57,30 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
   }
   ctx.series(p.name, series, 3);
   ctx.verdict(last > first,
-              std::string(p.name) +
-                  ": reduction time grows with thread count");
+              p.name + ": reduction time grows with thread count");
 }
 
 int run_fig1(cli::RunContext& ctx) {
   harness::header(
-      "Figure 1 — syncbench execution time vs HW threads",
+      ctx, "Figure 1 — syncbench execution time vs HW threads",
       "time increases with threads; sharp increase crossing the second "
       "socket and engaging SMT (Dardel >128); reduction is the most "
       "time-consuming synchronization micro-benchmark");
 
-  run_platform(ctx, harness::dardel(),
-               {4, 8, 16, 32, 64, 96, 128, 160, 192, 254}, 2001);
-  run_platform(ctx, harness::vera(), {2, 4, 8, 12, 16, 20, 24, 28, 30},
-               2002);
+  const auto ps = harness::platforms(ctx);
+  if (harness::scenario_mode(ctx)) {
+    run_platform(ctx, ps[0], harness::thread_ladder(ps[0].machine), 2001);
+  } else {
+    run_platform(ctx, ps[0], {4, 8, 16, 32, 64, 96, 128, 160, 192, 254},
+                 2001);
+    run_platform(ctx, ps[1], {2, 4, 8, 12, 16, 20, 24, 28, 30}, 2002);
+  }
 
-  // Reduction vs the other constructs at full Dardel scale.
-  auto p = harness::dardel();
+  // Reduction vs the other constructs at full scale (Dardel by default).
+  const auto& p = ps[0];
   sim::Simulator s(p.machine, p.config);
-  bench::SimSyncBench sb(s, harness::pinned_team(128));
+  bench::SimSyncBench sb(s,
+                         harness::pinned_team(harness::full_team(p.machine)));
   report::Table t({"construct", "ideal instance (us)"});
   double reduction_cost = 0.0;
   double worst_other = 0.0;

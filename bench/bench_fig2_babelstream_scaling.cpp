@@ -18,7 +18,7 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   const std::vector<std::size_t>& counts,
                   std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
-  std::printf("-- %s (array 2^25 doubles) --\n", p.name);
+  std::printf("-- %s (array 2^25 doubles) --\n", p.name.c_str());
   std::vector<std::string> names;
   for (auto k : bench::all_stream_kernels()) {
     names.push_back(std::string(bench::stream_kernel_name(k)) + "_ms");
@@ -34,10 +34,10 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
       bench::SimStream st(s, team);
       const auto spec = harness::paper_spec(seed + t, 10, 50);
       const auto m = ctx.protocol(
-          std::string(p.name) + "/t" + std::to_string(t) + "/" +
+          p.name + "/t" + std::to_string(t) + "/" +
               bench::stream_kernel_name(k),
           spec,
-          harness::cell_key("babelstream", p.name, team)
+          harness::cell_key("babelstream", p, team)
               .add("kernel", bench::stream_kernel_name(k)),
           [&] { return st.run_protocol(k, spec, ctx.jobs()); });
       row.push_back(m.grand_mean());
@@ -51,17 +51,21 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
   ctx.series(p.name, series, 3);
   ctx.verdict(
       last_triad < first_triad,
-      std::string(p.name) + ": execution time decreases with more threads");
+      p.name + ": execution time decreases with more threads");
 }
 
 int run_fig2(cli::RunContext& ctx) {
   harness::header(
-      "Figure 2 — BabelStream execution time (ms) vs HW threads",
+      ctx, "Figure 2 — BabelStream execution time (ms) vs HW threads",
       "execution time reduces when launching more parallel threads, on "
       "both Dardel and Vera");
-  run_platform(ctx, harness::dardel(), {2, 4, 8, 16, 32, 64, 128, 254},
-               3001);
-  run_platform(ctx, harness::vera(), {2, 4, 8, 16, 24, 30}, 3002);
+  const auto ps = harness::platforms(ctx);
+  if (harness::scenario_mode(ctx)) {
+    run_platform(ctx, ps[0], harness::thread_ladder(ps[0].machine), 3001);
+  } else {
+    run_platform(ctx, ps[0], {2, 4, 8, 16, 32, 64, 128, 254}, 3001);
+    run_platform(ctx, ps[1], {2, 4, 8, 16, 24, 30}, 3002);
+  }
   return 0;
 }
 

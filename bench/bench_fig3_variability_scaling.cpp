@@ -36,7 +36,7 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   const std::vector<std::size_t>& counts,
                   std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
-  std::printf("-- %s --\n", p.name);
+  std::printf("-- %s --\n", p.name.c_str());
   report::Series series(
       "threads",
       {"sched_nmin", "sched_nmax", "sync_nmin", "sync_nmax",
@@ -48,15 +48,14 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
   double sync_spread_high = 0.0;
   for (std::size_t t : counts) {
     const auto team = harness::pinned_team(t);
-    const std::string cell =
-        std::string(p.name) + "/t" + std::to_string(t) + "/";
+    const std::string cell = p.name + "/t" + std::to_string(t) + "/";
 
     bench::SimSchedBench sched(s, team, bench::EpccParams::schedbench(),
                                10000);
     const auto spec_sched = harness::paper_spec(seed + t, 10, 30);
     const auto m_sched = ctx.protocol(
         cell + "schedbench", spec_sched,
-        harness::cell_key("schedbench", p.name, team)
+        harness::cell_key("schedbench", p, team)
             .add("schedule", "dynamic")
             .add("chunk", std::uint64_t{1}),
         [&] {
@@ -68,7 +67,7 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
     const auto spec_sync = harness::paper_spec(seed + t);
     const auto m_sync = ctx.protocol(
         cell + "syncbench", spec_sync,
-        harness::cell_key("syncbench", p.name, team)
+        harness::cell_key("syncbench", p, team)
             .add("construct", "reduction"),
         [&] {
           return sync.run_protocol(bench::SyncConstruct::reduction,
@@ -79,7 +78,7 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
     const auto spec_stream = harness::paper_spec(seed + t, 10, 50);
     const auto m_stream = ctx.protocol(
         cell + "stream", spec_stream,
-        harness::cell_key("babelstream", p.name, team)
+        harness::cell_key("babelstream", p, team)
             .add("kernel", "triad"),
         [&] {
           return stream.run_protocol(bench::StreamKernel::triad,
@@ -101,23 +100,27 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
   }
   ctx.series(p.name, series, 4);
   ctx.verdict(sync_spread_high > sync_spread_low,
-              std::string(p.name) +
-                  ": syncbench variability grows with thread count");
+              p.name + ": syncbench variability grows with thread count");
   ctx.verdict(sched_spread_sum < sync_spread_sum,
-              std::string(p.name) +
-                  ": schedbench is the least affected benchmark "
-                  "(mean spread across counts)");
+              p.name + ": schedbench is the least affected benchmark "
+                       "(mean spread across counts)");
 }
 
 int run_fig3(cli::RunContext& ctx) {
   harness::header(
+      ctx,
       "Figure 3 — scalability of performance variability (normalized "
       "min/max)",
       "variability grows with thread count for syncbench and BabelStream "
       "(>=128 HW threads on Dardel, >=30 on Vera); schedbench is least "
       "affected");
-  run_platform(ctx, harness::dardel(), {4, 16, 64, 128, 254}, 4001);
-  run_platform(ctx, harness::vera(), {2, 8, 16, 24, 30}, 4064);
+  const auto ps = harness::platforms(ctx);
+  if (harness::scenario_mode(ctx)) {
+    run_platform(ctx, ps[0], harness::thread_ladder(ps[0].machine), 4001);
+  } else {
+    run_platform(ctx, ps[0], {4, 16, 64, 128, 254}, 4001);
+    run_platform(ctx, ps[1], {2, 8, 16, 24, 30}, 4064);
+  }
   return 0;
 }
 

@@ -37,24 +37,32 @@ void per_run_table(cli::RunContext& ctx, const std::string& slug,
 
 int run_fig4(cli::RunContext& ctx) {
   harness::header(
-      "Figure 4 — lower variability after thread-pinning (Dardel)",
+      ctx, "Figure 4 — lower variability after thread-pinning (Dardel)",
       "pinning reduces run-to-run variability for schedbench@16thr, "
       "removes >3-orders-of-magnitude syncbench@128thr swings, and "
       "shrinks BabelStream@128thr min/max spread (up to 6x unpinned)");
 
-  auto p = harness::dardel();
+  const auto p = harness::primary(ctx);
   sim::Simulator s(p.machine, p.config);
+  // The paper's Dardel stage sizes, derived so any scenario scales them:
+  // a small NUMA-local team (16 on Dardel) and an every-core team (128).
+  const std::size_t t_sched = std::min(
+      std::max<std::size_t>(2, p.machine.n_threads() / 16),
+      p.machine.n_threads());
+  const std::size_t t_full = harness::full_team(p.machine);
+  const std::string ss = std::to_string(t_sched);
+  const std::string fs = std::to_string(t_full);
 
   // (a)/(d) schedbench, 16 threads.
   {
-    const auto unpinned = harness::unpinned_team(16);
-    const auto pinned = harness::pinned_team(16);
+    const auto unpinned = harness::unpinned_team(t_sched);
+    const auto pinned = harness::pinned_team(t_sched);
     bench::SimSchedBench before(s, unpinned,
                                 bench::EpccParams::schedbench(), 10000);
     const auto spec_b = harness::paper_spec(5001, 10, 20);
     const auto mb = ctx.protocol(
-        "sched16/unpinned", spec_b,
-        harness::cell_key("schedbench", p.name, unpinned)
+        "sched" + ss + "/unpinned", spec_b,
+        harness::cell_key("schedbench", p, unpinned)
             .add("schedule", "dynamic")
             .add("chunk", std::uint64_t{1}),
         [&] {
@@ -65,31 +73,31 @@ int run_fig4(cli::RunContext& ctx) {
                                bench::EpccParams::schedbench(), 10000);
     const auto spec_a = harness::paper_spec(5002, 10, 20);
     const auto ma = ctx.protocol(
-        "sched16/pinned", spec_a,
-        harness::cell_key("schedbench", p.name, pinned)
+        "sched" + ss + "/pinned", spec_a,
+        harness::cell_key("schedbench", p, pinned)
             .add("schedule", "dynamic")
             .add("chunk", std::uint64_t{1}),
         [&] {
           return after.run_protocol(ompsim::Schedule::dynamic, 1, spec_a,
                                     ctx.jobs());
         });
-    per_run_table(ctx, "sched16_unpinned",
-                  "(a) schedbench 16 thr, BEFORE pinning (us):", mb);
-    per_run_table(ctx, "sched16_pinned",
-                  "(d) schedbench 16 thr, AFTER pinning (us):", ma);
+    per_run_table(ctx, "sched" + ss + "_unpinned",
+                  ("(a) schedbench " + ss + " thr, BEFORE pinning (us):").c_str(), mb);
+    per_run_table(ctx, "sched" + ss + "_pinned",
+                  ("(d) schedbench " + ss + " thr, AFTER pinning (us):").c_str(), ma);
     ctx.verdict(ma.run_to_run_cv() <= mb.run_to_run_cv(),
                 "schedbench: pinning reduces run-to-run variation");
   }
 
   // (b)/(e) syncbench reduction, 128 threads.
   {
-    const auto unpinned = harness::unpinned_team(128);
-    const auto pinned = harness::pinned_team(128);
+    const auto unpinned = harness::unpinned_team(t_full);
+    const auto pinned = harness::pinned_team(t_full);
     bench::SimSyncBench before(s, unpinned);
     const auto spec_b = harness::paper_spec(5003);
     const auto mb = ctx.protocol(
-        "sync128/unpinned", spec_b,
-        harness::cell_key("syncbench", p.name, unpinned)
+        "sync" + fs + "/unpinned", spec_b,
+        harness::cell_key("syncbench", p, unpinned)
             .add("construct", "reduction"),
         [&] {
           return before.run_protocol(bench::SyncConstruct::reduction,
@@ -98,18 +106,20 @@ int run_fig4(cli::RunContext& ctx) {
     bench::SimSyncBench after(s, pinned);
     const auto spec_a = harness::paper_spec(5004);
     const auto ma = ctx.protocol(
-        "sync128/pinned", spec_a,
-        harness::cell_key("syncbench", p.name, pinned)
+        "sync" + fs + "/pinned", spec_a,
+        harness::cell_key("syncbench", p, pinned)
             .add("construct", "reduction"),
         [&] {
           return after.run_protocol(bench::SyncConstruct::reduction,
                                     spec_a, ctx.jobs());
         });
-    per_run_table(ctx, "sync128_unpinned",
-                  "(b) syncbench reduction 128 thr, BEFORE pinning (us):",
+    per_run_table(ctx, "sync" + fs + "_unpinned",
+                  ("(b) syncbench reduction " + fs +
+                   " thr, BEFORE pinning (us):").c_str(),
                   mb);
-    per_run_table(ctx, "sync128_pinned",
-                  "(e) syncbench reduction 128 thr, AFTER pinning (us):",
+    per_run_table(ctx, "sync" + fs + "_pinned",
+                  ("(e) syncbench reduction " + fs +
+                   " thr, AFTER pinning (us):").c_str(),
                   ma);
     const auto sb = mb.pooled_summary();
     const auto sa = ma.pooled_summary();
@@ -117,8 +127,8 @@ int run_fig4(cli::RunContext& ctx) {
                 sb.min, sb.max, sb.max / sb.min);
     std::printf("pinned rep-time range:   %.1f .. %.1f us (%.1fx)\n\n",
                 sa.min, sa.max, sa.max / sa.min);
-    ctx.metric("sync128_unpinned_max_over_min", sb.max / sb.min);
-    ctx.metric("sync128_pinned_max_over_min", sa.max / sa.min);
+    ctx.metric("sync" + fs + "_unpinned_max_over_min", sb.max / sb.min);
+    ctx.metric("sync" + fs + "_pinned_max_over_min", sa.max / sa.min);
     ctx.verdict(sb.max / sb.min > 100.0,
                 "unpinned syncbench spans orders of magnitude");
     ctx.verdict(sa.max / sa.min < 2.0,
@@ -138,23 +148,23 @@ int run_fig4(cli::RunContext& ctx) {
                      "pinned nmin", "pinned nmax"});
     bool all_tighter = true;
     double worst_unpinned_ratio = 0.0;
-    const auto unpinned = harness::unpinned_team(128);
-    const auto pinned = harness::pinned_team(128);
+    const auto unpinned = harness::unpinned_team(t_full);
+    const auto pinned = harness::pinned_team(t_full);
     for (auto k : bench::all_stream_kernels()) {
       bench::SimStream before(s, unpinned);
       const auto spec_b = harness::paper_spec(5005, 10, 50);
       const auto mb = ctx.protocol(
-          std::string("stream128/unpinned/") + bench::stream_kernel_name(k),
+          "stream" + fs + "/unpinned/" + bench::stream_kernel_name(k),
           spec_b,
-          harness::cell_key("babelstream", p.name, unpinned)
+          harness::cell_key("babelstream", p, unpinned)
               .add("kernel", bench::stream_kernel_name(k)),
           [&] { return before.run_protocol(k, spec_b, ctx.jobs()); });
       bench::SimStream after(s, pinned);
       const auto spec_a = harness::paper_spec(5006, 10, 50);
       const auto ma = ctx.protocol(
-          std::string("stream128/pinned/") + bench::stream_kernel_name(k),
+          "stream" + fs + "/pinned/" + bench::stream_kernel_name(k),
           spec_a,
-          harness::cell_key("babelstream", p.name, pinned)
+          harness::cell_key("babelstream", p, pinned)
               .add("kernel", bench::stream_kernel_name(k)),
           [&] { return after.run_protocol(k, spec_a, ctx.jobs()); });
       double ub_min = 1.0;
@@ -173,11 +183,11 @@ int run_fig4(cli::RunContext& ctx) {
                  report::fmt_fixed(ub_max, 3), report::fmt_fixed(pb_min, 3),
                  report::fmt_fixed(pb_max, 3)});
     }
-    std::printf("(c)/(f) BabelStream 128 thr, normalized min/max:\n%s\n",
-                t.render().c_str());
-    ctx.record_table("stream128_norm_minmax", t);
+    std::printf("(c)/(f) BabelStream %s thr, normalized min/max:\n%s\n",
+                fs.c_str(), t.render().c_str());
+    ctx.record_table("stream" + fs + "_norm_minmax", t);
     std::printf("worst unpinned max/min ratio: %.1fx\n", worst_unpinned_ratio);
-    ctx.metric("stream128_worst_unpinned_ratio", worst_unpinned_ratio);
+    ctx.metric("stream" + fs + "_worst_unpinned_ratio", worst_unpinned_ratio);
     ctx.verdict(all_tighter,
                 "BabelStream: pinned min/max spread tighter for every "
                 "kernel");

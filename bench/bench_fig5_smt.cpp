@@ -12,6 +12,7 @@
 // worst); BabelStream does not benefit from SMT; at small thread counts
 // ST does not outperform MT much for BabelStream.
 
+#include <algorithm>
 #include <string>
 
 #include "bench/harness.hpp"
@@ -23,7 +24,9 @@ using namespace omv;
 
 namespace {
 
-// ST: first siblings of `n` cores. MT: both siblings of n/2 cores.
+// ST: first siblings of `n` cores. MT: both siblings of n/2 cores (the
+// second siblings' OS ids start at n_cores under the Linux numbering the
+// machines use — 128 on Dardel).
 ompsim::TeamConfig st_team(std::size_t n) {
   ompsim::TeamConfig cfg;
   cfg.n_threads = n;
@@ -32,10 +35,11 @@ ompsim::TeamConfig st_team(std::size_t n) {
   return cfg;
 }
 
-ompsim::TeamConfig mt_team(std::size_t n) {
+ompsim::TeamConfig mt_team(const topo::Machine& m, std::size_t n) {
   ompsim::TeamConfig cfg;
   cfg.n_threads = n;
-  cfg.places_spec = "{0}:" + std::to_string(n / 2) + ":1,{128}:" +
+  cfg.places_spec = "{0}:" + std::to_string(n / 2) + ":1,{" +
+                    std::to_string(m.n_cores()) + "}:" +
                     std::to_string(n / 2) + ":1";
   cfg.bind = topo::ProcBind::close;
   return cfg;
@@ -43,13 +47,36 @@ ompsim::TeamConfig mt_team(std::size_t n) {
 
 int run_fig5(cli::RunContext& ctx) {
   harness::header(
-      "Figure 5 — higher variability due to SMT (Dardel)",
+      ctx, "Figure 5 — higher variability due to SMT (Dardel)",
       "MT (both HW threads of each core) is much noisier than ST (one HW "
       "thread per core, sibling free for the OS) at equal thread counts; "
       "BabelStream does not benefit from SMT");
 
-  auto p = harness::dardel();
+  const auto p = harness::primary(ctx);
+  if (p.machine.smt_per_core() < 2) {
+    // The ST/MT contrast needs hyperthreads; a no-SMT scenario has no MT
+    // configuration to measure.
+    std::printf("scenario '%s' has no SMT (1 HW thread per core); the "
+                "ST-vs-MT contrast does not apply.\n",
+                p.name.c_str());
+    return 0;
+  }
   sim::Simulator s(p.machine, p.config);
+  // Stage sizes derived from the machine (Dardel: 128 / 32 / 8).
+  const std::size_t t_full = 2 * (p.machine.n_cores() / 2);
+  if (t_full < 4 || p.machine.n_cores() < 2) {
+    std::printf("scenario '%s' is too small for the ST/MT split (%zu "
+                "physical cores); the contrast does not apply.\n",
+                p.name.c_str(), p.machine.n_cores());
+    return 0;
+  }
+  const std::size_t t_sync = std::min(
+      2 * std::max<std::size_t>(2, p.machine.n_cores() / 8), t_full);
+  const std::size_t t_small =
+      2 * std::max<std::size_t>(1, p.machine.n_cores() / 32);
+  const std::string fsn = std::to_string(t_full);
+  const std::string syn = std::to_string(t_sync);
+  const std::string smn = std::to_string(t_small);
 
   const auto sched_cell = [&](const char* label,
                               const ompsim::TeamConfig& team,
@@ -58,7 +85,7 @@ int run_fig5(cli::RunContext& ctx) {
                             10000);
     return ctx.protocol(
         label, spec,
-        harness::cell_key("schedbench", p.name, team)
+        harness::cell_key("schedbench", p, team)
             .add("schedule", "dynamic")
             .add("chunk", std::uint64_t{1}),
         [&] {
@@ -72,7 +99,7 @@ int run_fig5(cli::RunContext& ctx) {
     bench::SimStream st(s, team);
     return ctx.protocol(
         label, spec,
-        harness::cell_key("babelstream", p.name, team)
+        harness::cell_key("babelstream", p, team)
             .add("kernel", "triad"),
         [&] {
           return st.run_protocol(bench::StreamKernel::triad, spec,
@@ -82,10 +109,12 @@ int run_fig5(cli::RunContext& ctx) {
 
   // (a)/(d) schedbench, 128 threads.
   {
-    const auto ms =
-        sched_cell("sched128/st", st_team(128), harness::paper_spec(6001, 10, 20));
-    const auto mm =
-        sched_cell("sched128/mt", mt_team(128), harness::paper_spec(6002, 10, 20));
+    const auto ms = sched_cell(("sched" + fsn + "/st").c_str(),
+                               st_team(t_full),
+                               harness::paper_spec(6001, 10, 20));
+    const auto mm = sched_cell(("sched" + fsn + "/mt").c_str(),
+                               mt_team(p.machine, t_full),
+                               harness::paper_spec(6002, 10, 20));
     report::Table t({"config", "grand mean (us)", "pooled CV",
                      "worst run CV"});
     auto worst_cv = [](const RunMatrix& m) {
@@ -95,14 +124,15 @@ int run_fig5(cli::RunContext& ctx) {
       }
       return w;
     };
-    t.add_row({"ST 128thr", report::fmt_fixed(ms.grand_mean(), 1),
+    t.add_row({"ST " + fsn + "thr", report::fmt_fixed(ms.grand_mean(), 1),
                report::fmt_fixed(ms.pooled_summary().cv, 5),
                report::fmt_fixed(worst_cv(ms), 5)});
-    t.add_row({"MT 128thr", report::fmt_fixed(mm.grand_mean(), 1),
+    t.add_row({"MT " + fsn + "thr", report::fmt_fixed(mm.grand_mean(), 1),
                report::fmt_fixed(mm.pooled_summary().cv, 5),
                report::fmt_fixed(worst_cv(mm), 5)});
-    std::printf("(a)/(d) schedbench 128 threads:\n%s\n", t.render().c_str());
-    ctx.record_table("sched128_st_vs_mt", t);
+    std::printf("(a)/(d) schedbench %s threads:\n%s\n", fsn.c_str(),
+                t.render().c_str());
+    ctx.record_table("sched" + fsn + "_st_vs_mt", t);
     ctx.verdict(mm.pooled_summary().cv > ms.pooled_summary().cv,
                 "schedbench: MT repetitions far more variable than ST");
   }
@@ -118,15 +148,17 @@ int run_fig5(cli::RunContext& ctx) {
                                 const ExperimentSpec& spec) {
         bench::SimSyncBench sb(s, team);
         return ctx.protocol(
-            std::string("sync32/") + mode + "/" +
+            "sync" + syn + "/" + mode + "/" +
                 bench::sync_construct_name(c),
             spec,
-            harness::cell_key("syncbench", p.name, team)
+            harness::cell_key("syncbench", p, team)
                 .add("construct", bench::sync_construct_name(c)),
             [&] { return sb.run_protocol(c, spec, ctx.jobs()); });
       };
-      const auto ms = run_sync("st", st_team(32), harness::paper_spec(6003));
-      const auto mm = run_sync("mt", mt_team(32), harness::paper_spec(6004));
+      const auto ms =
+          run_sync("st", st_team(t_sync), harness::paper_spec(6003));
+      const auto mm = run_sync("mt", mt_team(p.machine, t_sync),
+                               harness::paper_spec(6004));
       const auto cv_stats_s = stats::summarize(ms.run_cvs());
       const auto cv_stats_m = stats::summarize(mm.run_cvs());
       t.add_row({bench::sync_construct_name(c),
@@ -141,9 +173,9 @@ int run_fig5(cli::RunContext& ctx) {
         mt_noisier_everywhere &= cv_stats_m.mean > cv_stats_s.mean;
       }
     }
-    std::printf("(b)/(e) syncbench 32 threads, per-run CV:\n%s\n",
-                t.render().c_str());
-    ctx.record_table("sync32_cv_per_construct", t);
+    std::printf("(b)/(e) syncbench %s threads, per-run CV:\n%s\n",
+                syn.c_str(), t.render().c_str());
+    ctx.record_table("sync" + syn + "_cv_per_construct", t);
     ctx.verdict(mt_noisier_everywhere,
                 "syncbench: MT CV higher for for/single/ordered/"
                 "reduction");
@@ -151,26 +183,28 @@ int run_fig5(cli::RunContext& ctx) {
 
   // (c)/(f) BabelStream, 128 threads and the small-scale comparison.
   {
-    const auto ms = stream_cell("stream128/st", st_team(128),
+    const auto ms = stream_cell("stream" + fsn + "/st", st_team(t_full),
                                 harness::paper_spec(6005, 10, 50));
-    const auto mm = stream_cell("stream128/mt", mt_team(128),
-                                harness::paper_spec(6006, 10, 50));
+    const auto mm =
+        stream_cell("stream" + fsn + "/mt", mt_team(p.machine, t_full),
+                    harness::paper_spec(6006, 10, 50));
     std::printf(
-        "(c)/(f) BabelStream triad 128 threads: ST %.3f ms (CV %.4f) vs "
+        "(c)/(f) BabelStream triad %s threads: ST %.3f ms (CV %.4f) vs "
         "MT %.3f ms (CV %.4f)\n",
-        ms.grand_mean(), ms.pooled_summary().cv, mm.grand_mean(),
-        mm.pooled_summary().cv);
-    ctx.metric("stream128_st_ms", ms.grand_mean());
-    ctx.metric("stream128_mt_ms", mm.grand_mean());
+        fsn.c_str(), ms.grand_mean(), ms.pooled_summary().cv,
+        mm.grand_mean(), mm.pooled_summary().cv);
+    ctx.metric("stream" + fsn + "_st_ms", ms.grand_mean());
+    ctx.metric("stream" + fsn + "_mt_ms", mm.grand_mean());
     ctx.verdict(mm.grand_mean() >= ms.grand_mean() * 0.95,
                 "BabelStream does not benefit from using SMT");
 
-    const auto ms8 = stream_cell("stream8/st", st_team(8),
+    const auto ms8 = stream_cell("stream" + smn + "/st", st_team(t_small),
                                  harness::paper_spec(6007, 10, 50));
-    const auto mm8 = stream_cell("stream8/mt", mt_team(8),
-                                 harness::paper_spec(6008, 10, 50));
-    std::printf("BabelStream triad 8 threads: ST %.3f ms vs MT %.3f ms\n",
-                ms8.grand_mean(), mm8.grand_mean());
+    const auto mm8 =
+        stream_cell("stream" + smn + "/mt", mt_team(p.machine, t_small),
+                    harness::paper_spec(6008, 10, 50));
+    std::printf("BabelStream triad %s threads: ST %.3f ms vs MT %.3f ms\n",
+                smn.c_str(), ms8.grand_mean(), mm8.grand_mean());
     ctx.verdict(mm8.grand_mean() / ms8.grand_mean() < 1.5,
                 "at small scale ST does not outperform MT much");
   }

@@ -21,14 +21,16 @@ namespace {
 
 using PanelResult = harness::FreqPanelResult;
 
-PanelResult run_panel(cli::RunContext& ctx, const std::string& label,
-                      sim::Simulator& s, const std::string& places,
+PanelResult run_panel(cli::RunContext& ctx, const harness::Platform& p,
+                      const std::string& label, sim::Simulator& s,
+                      const std::string& places, std::size_t threads,
                       std::uint64_t seed) {
   SpecKey key;
   key.add("bench", "schedbench_freq_panel");
-  key.add("platform", "Vera:dippy");
+  key.add("platform", p.name + ":dippy");
+  key.add("scenario_fp", p.fingerprint);
   return harness::run_freq_panel_cached(
-      ctx, label, std::move(key), s, places,
+      ctx, label, std::move(key), s, places, threads,
       harness::paper_spec(seed, 10, 20),
       [](sim::Simulator& sim, const ompsim::TeamConfig& cfg) {
         return bench::SimSchedBench(sim, cfg,
@@ -65,24 +67,38 @@ void report_panel(cli::RunContext& ctx, const std::string& slug,
 
 int run_fig6(cli::RunContext& ctx) {
   harness::header(
+      ctx,
       "Figure 6 — schedbench variability from frequency variation (Vera)",
       "cross-NUMA placement shows higher execution-time variability and a "
       "frequency trace with many more sub-fmax episodes than the "
       "single-NUMA placement");
 
-  auto p = harness::vera();
-  p.config.freq = sim::FreqConfig::vera_dippy();  // the Figs. 6/7 session
+  // The active-DVFS session on the scenario platform (the paper measured
+  // a dippy Vera session).
+  const auto p = harness::freq_session_platform(ctx);
+  const auto geo = harness::freq_panel_geometry(p);
+  if (!geo.applicable) {
+    std::printf("%s\n", geo.reason.c_str());
+    return 0;
+  }
   sim::Simulator s(p.machine, p.config);
   const double fmax = p.machine.max_ghz();
 
-  const auto one_numa = run_panel(ctx, "one_numa", s, "{0}:16:1", 7001);
+  const auto one_numa =
+      run_panel(ctx, p, "one_numa", s, geo.one_places, geo.threads, 7001);
   const auto two_numa =
-      run_panel(ctx, "two_numa", s, "{0}:8:1,{16}:8:1", 7002);
+      run_panel(ctx, p, "two_numa", s, geo.two_places, geo.threads, 7002);
 
   report_panel(ctx, "one_numa",
-               "(a)+(b) 16 cores from ONE NUMA node:", one_numa, fmax);
+               ("(a)+(b) " + std::to_string(geo.threads) +
+                " cores from ONE NUMA node:")
+                   .c_str(),
+               one_numa, fmax);
   report_panel(ctx, "two_numa",
-               "(c)+(d) 16 cores from TWO NUMA nodes:", two_numa, fmax);
+               ("(c)+(d) " + std::to_string(geo.threads) +
+                " cores from TWO NUMA nodes:")
+                   .c_str(),
+               two_numa, fmax);
 
   ctx.verdict(two_numa.matrix.pooled_summary().cv >
                   one_numa.matrix.pooled_summary().cv,

@@ -17,15 +17,18 @@ namespace {
 
 using PanelResult = harness::FreqPanelResult;
 
-PanelResult run_panel(cli::RunContext& ctx, const std::string& label,
-                      sim::Simulator& s, const std::string& places,
+PanelResult run_panel(cli::RunContext& ctx, const harness::Platform& p,
+                      const std::string& label, sim::Simulator& s,
+                      const std::string& places, std::size_t threads,
                       std::uint64_t seed) {
   SpecKey key;
   key.add("bench", "syncbench_freq_panel");
-  key.add("platform", "Vera:dippy");
+  key.add("platform", p.name + ":dippy");
+  key.add("scenario_fp", p.fingerprint);
   key.add("construct", "reduction");
   return harness::run_freq_panel_cached(
-      ctx, label, std::move(key), s, places, harness::paper_spec(seed),
+      ctx, label, std::move(key), s, places, threads,
+      harness::paper_spec(seed),
       [](sim::Simulator& sim, const ompsim::TeamConfig& cfg) {
         return bench::SimSyncBench(sim, cfg);
       },
@@ -36,18 +39,25 @@ PanelResult run_panel(cli::RunContext& ctx, const std::string& label,
 
 int run_fig7(cli::RunContext& ctx) {
   harness::header(
+      ctx,
       "Figure 7 — syncbench (reduction) and frequency variation (Vera)",
       "16 cores across two NUMA nodes show more run-to-run and "
       "within-run variation than 16 cores of one node, coinciding with "
       "sub-fmax frequency episodes");
 
-  auto p = harness::vera();
-  p.config.freq = sim::FreqConfig::vera_dippy();
+  const auto p = harness::freq_session_platform(ctx);
+  const auto geo = harness::freq_panel_geometry(p);
+  if (!geo.applicable) {
+    std::printf("%s\n", geo.reason.c_str());
+    return 0;
+  }
   sim::Simulator s(p.machine, p.config);
   const double fmax = p.machine.max_ghz();
 
-  const auto one = run_panel(ctx, "one_numa", s, "{0}:16:1", 8001);
-  const auto two = run_panel(ctx, "two_numa", s, "{0}:8:1,{16}:8:1", 8002);
+  const auto one =
+      run_panel(ctx, p, "one_numa", s, geo.one_places, geo.threads, 8001);
+  const auto two =
+      run_panel(ctx, p, "two_numa", s, geo.two_places, geo.threads, 8002);
 
   report::Table t({"placement", "grand mean (us)", "pooled CV",
                    "run-to-run CV", "% samples < 0.95 fmax",
@@ -59,8 +69,13 @@ int run_fig7(cli::RunContext& ctx) {
                report::fmt_pct(r.trace.fraction_below(fmax, 0.95), 2),
                std::to_string(r.trace.episode_count(fmax, 0.95))});
   };
-  add("one NUMA node (cores 0-15)", one);
-  add("two NUMA nodes (8+8)", two);
+  const std::string one_label =
+      "one NUMA node (cores 0-" + std::to_string(geo.threads - 1) + ")";
+  const std::string two_label =
+      "two NUMA nodes (" + std::to_string(geo.threads / 2) + "+" +
+      std::to_string(geo.threads / 2) + ")";
+  add(one_label.c_str(), one);
+  add(two_label.c_str(), two);
   ctx.table("placement_comparison", t);
 
   ctx.verdict(two.matrix.grand_mean() > one.matrix.grand_mean(),

@@ -58,6 +58,7 @@ double time_ns_per_call(const std::function<double()>& fn,
 
 int run_micro(cli::RunContext& ctx) {
   harness::header(
+      ctx,
       "Micro — core hot-path timings (ns/op, wall clock)",
       "(not a paper experiment; guards the simulator's performance "
       "envelope — values are machine-dependent)");
@@ -76,16 +77,29 @@ int run_micro(cli::RunContext& ctx) {
   const auto d100 = sample_data(100);
   const auto d1k = sample_data(1000);
   const auto d10k = sample_data(10000);
-  const auto machine = topo::Machine::dardel();
+  const auto platform = harness::primary(ctx);
+  const auto& machine = platform.machine;
+  // Explicit-places parse micro sized to the machine (Dardel:
+  // "{0:4}:32:4,{128:4}:32:4" — two striped socket-halves).
+  const std::size_t pl_stride =
+      std::max<std::size_t>(1, machine.n_threads() / 64);
+  const std::size_t pl_count =
+      std::max<std::size_t>(1, machine.n_threads() / (2 * pl_stride));
+  const std::string places_explicit =
+      "{0:" + std::to_string(pl_stride) + "}:" + std::to_string(pl_count) +
+      ":" + std::to_string(pl_stride) + ",{" +
+      std::to_string(machine.n_threads() / 2) + ":" +
+      std::to_string(pl_stride) + "}:" + std::to_string(pl_count) + ":" +
+      std::to_string(pl_stride);
 
   // Per-invocation state for the stateful micros, captured by reference —
   // NOT function-local statics, which would dangle on a second invocation
   // of this run function (NoiseModel keeps a reference to `machine`) and
   // leak measurement position across calls.
-  sim::NoiseModel noise(machine, sim::NoiseConfig::dardel());
+  sim::NoiseModel noise(machine, platform.config.noise);
   noise.begin_run(1, machine.primary_threads());
   double noise_t = 0.0;
-  sim::Simulator dyn_sim(topo::Machine::dardel(), sim::SimConfig::ideal());
+  sim::Simulator dyn_sim(machine, sim::SimConfig::ideal());
 
   std::vector<Case> cases;
   cases.push_back({"summarize/1k",
@@ -108,8 +122,7 @@ int run_micro(cli::RunContext& ctx) {
                    }});
   cases.push_back({"places_parse/explicit", [&] {
                      return static_cast<double>(
-                         topo::parse_places("{0:4}:32:4,{128:4}:32:4",
-                                            machine)
+                         topo::parse_places(places_explicit, machine)
                              .size());
                    }});
   cases.push_back({"event_queue/1k", [&] {
@@ -126,13 +139,15 @@ int run_micro(cli::RunContext& ctx) {
                      return noise.preemption_delay(5, noise_t,
                                                    noise_t + 0.001);
                    }});
+  const std::size_t dyn_threads =
+      std::min<std::size_t>(16, machine.n_threads());
   cases.push_back({"dynamic_schedule/16thr", [&] {
                      ompsim::TeamConfig cfg;
-                     cfg.n_threads = 16;
+                     cfg.n_threads = dyn_threads;
                      ompsim::SimTeam team(dyn_sim, cfg, 1);
                      team.begin_run(1);
                      ompsim::for_loop(team, ompsim::Schedule::dynamic, 1,
-                                      16 * 256, 1e-6);
+                                      dyn_threads * 256, 1e-6);
                      return team.now();
                    }});
 

@@ -98,6 +98,7 @@ struct Windows {
 
 int run_perf_hotpath(cli::RunContext& ctx) {
   harness::header(
+      ctx,
       "perf_hotpath — simulator query-kernel timings (ns/op, wall clock)",
       "(not a paper experiment; tracks the hot-path perf trajectory — "
       "indexed queries vs the retained brute-force baseline)");
@@ -110,7 +111,13 @@ int run_perf_hotpath(cli::RunContext& ctx) {
   const std::size_t reps = quick ? 3 : 7;
   const double horizon = quick ? 0.5 : 2.0;
 
-  const auto machine = topo::Machine::vera();
+  // The paper's DVFS-active platform by default (Vera); the selected
+  // scenario (with its active-DVFS session freq profile) otherwise.
+  const auto platform = ctx.scenario()
+                            ? harness::freq_session_platform(ctx)
+                            : harness::vera();
+  if (!ctx.scenario()) ctx.note_platform(platform.name, platform.fingerprint);
+  const auto& machine = platform.machine;
   const std::vector<Density> densities = {
       {"low", 2.0, 0.05, 0.6},
       {"mid", 50.0, 20.0, 0.05},
@@ -143,7 +150,7 @@ int run_perf_hotpath(cli::RunContext& ctx) {
 
   for (const auto& d : densities) {
     // --- NoiseModel::preemption_delay --------------------------------
-    sim::NoiseConfig ncfg = sim::NoiseConfig::vera();
+    sim::NoiseConfig ncfg = platform.config.noise;
     ncfg.kworker_rate_per_cpu = d.kworker_rate;
     sim::NoiseModel noise(machine, ncfg);
     noise.begin_run(42, machine.primary_threads());
@@ -168,7 +175,7 @@ int run_perf_hotpath(cli::RunContext& ctx) {
     record("preemption_delay", d.name, n_events, noise_opt, noise_base);
 
     // --- FreqModel::mean_factor / elapsed_for_work -------------------
-    sim::FreqConfig fcfg = sim::FreqConfig::vera_dippy();
+    sim::FreqConfig fcfg = platform.freq_session;
     fcfg.episode_rate = d.episode_rate;
     fcfg.episode_mean = d.episode_mean;
     sim::FreqModel freq(machine, fcfg);
@@ -216,8 +223,10 @@ int run_perf_hotpath(cli::RunContext& ctx) {
 
   // --- Full SimTeam barrier phase (absolute, no scan baseline) --------
   {
-    sim::Simulator simulator(topo::Machine::vera(), sim::SimConfig::vera());
-    ompsim::SimTeam team(simulator, harness::pinned_team(16), 1);
+    sim::Simulator simulator(machine, platform.config);
+    const std::size_t t_barrier =
+        std::min<std::size_t>(16, harness::full_team(machine));
+    ompsim::SimTeam team(simulator, harness::pinned_team(t_barrier), 1);
     team.begin_run(1);
     const double barrier_ns = median_ns(
         [&] {
@@ -226,7 +235,9 @@ int run_perf_hotpath(cli::RunContext& ctx) {
           return team.now();
         },
         budget, reps);
-    record("team_barrier_phase", "vera16", 0, barrier_ns, 0.0);
+    record("team_barrier_phase",
+           (machine.name() + std::to_string(t_barrier)).c_str(), 0,
+           barrier_ns, 0.0);
   }
 
   ctx.table("hotpath", table);
@@ -234,13 +245,19 @@ int run_perf_hotpath(cli::RunContext& ctx) {
   // Trajectory destination: explicit override first; inside a campaign the
   // file belongs in the campaign directory with the other artifacts (a full
   // `omnivar --out DIR` run must not clobber the committed trajectory
-  // point); only a deliberate standalone run writes the CWD default.
+  // point); only a deliberate standalone run writes the CWD default — and a
+  // scenario run gets a scenario-suffixed default, because its numbers are
+  // calibrated to a different machine and must never overwrite the
+  // committed default-platform trajectory.
   const char* out_env = std::getenv("OMNIVAR_HOTPATH_OUT");
+  const std::string default_name =
+      ctx.scenario() ? "BENCH_hotpath." + ctx.scenario()->name + ".json"
+                     : std::string("BENCH_hotpath.json");
   const std::string out_path =
       out_env != nullptr
           ? std::string(out_env)
-          : (ctx.caching() ? ctx.out_dir() + "/BENCH_hotpath.json"
-                           : std::string("BENCH_hotpath.json"));
+          : (ctx.caching() ? ctx.out_dir() + "/" + default_name
+                           : default_name);
   const bool written = cli::write_hotpath_report(report, out_path);
   std::printf("\nperf trajectory: %s %s\n", out_path.c_str(),
               written ? "written" : "WRITE FAILED");

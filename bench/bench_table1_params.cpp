@@ -12,7 +12,7 @@ using namespace omv;
 namespace {
 
 int run_table1(cli::RunContext& ctx) {
-  harness::header("Table 1 — EPCC micro-benchmark parameters",
+  harness::header(ctx, "Table 1 — EPCC micro-benchmark parameters",
                   "schedbench: 100 reps, 15us delay, 1000us test time, "
                   "8192 itersperthr; syncbench: 100 reps, 0.1us delay, "
                   "1000us test time");
@@ -34,10 +34,11 @@ int run_table1(cli::RunContext& ctx) {
   // at representative scales (the innerreps EPCC would pick).
   report::Table cal({"platform", "threads", "ideal instance (us)",
                      "calibrated innerreps"});
-  for (auto& p : {harness::dardel(), harness::vera()}) {
+  for (const auto& p : harness::platforms(ctx)) {
     sim::Simulator s(p.machine, p.config);
     for (std::size_t threads :
-         {std::size_t{4}, p.machine.n_threads() - 2}) {
+         {std::min<std::size_t>(4, p.machine.n_threads()),
+          harness::spare2_team(p.machine)}) {
       bench::SimSyncBench sb(s, harness::pinned_team(threads), sync);
       const double inst =
           sb.ideal_instance_us(bench::SyncConstruct::reduction);

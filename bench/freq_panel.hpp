@@ -26,19 +26,62 @@ struct FreqPanelResult {
   freqlog::FreqTrace trace;
 };
 
-/// Runs `spec` over `places` (16 threads, close bind) against per-run
-/// clones of `base`, sampling each run's whole timeline at 100 Hz — like
-/// the paper's logger — after the run's last timed repetition.
+/// Geometry of the frequency figures' one-NUMA-vs-two-NUMA contrast on a
+/// platform: equal-sized teams (Vera: 16 threads) placed on one domain
+/// ("{0}:16:1") vs split across two ("{0}:8:1,{16}:8:1"). Not applicable
+/// on single-NUMA machines or flat-frequency profiles — `reason` then
+/// carries the explanatory line the harness prints before exiting 0.
+struct FreqPanelGeometry {
+  bool applicable = false;
+  std::string reason;
+  std::size_t threads = 0;  ///< team size of BOTH panels (always even).
+  std::string one_places;
+  std::string two_places;
+};
+
+inline FreqPanelGeometry freq_panel_geometry(const Platform& p) {
+  FreqPanelGeometry g;
+  if (p.machine.n_numa() < 2) {
+    g.reason = "scenario '" + p.name +
+               "' has a single NUMA domain; the one-vs-two NUMA placement "
+               "contrast does not apply.";
+    return g;
+  }
+  if (p.config.freq.episode_rate <= 0.0) {
+    g.reason = "scenario '" + p.name +
+               "' has a flat frequency profile (no dip episodes); the "
+               "frequency-variation contrast does not apply.";
+    return g;
+  }
+  const std::size_t cpn = cores_per_numa(p.machine);
+  const std::size_t per = std::min(cpn, p.machine.n_cores() / 2);
+  // Both panels must run the SAME team size or the CV contrast would
+  // partly measure team size, not placement — so round down to an even
+  // count that splits cleanly across the two domains.
+  const std::size_t half = std::max<std::size_t>(1, per / 2);
+  g.applicable = true;
+  g.threads = 2 * half;
+  g.one_places = "{0}:" + std::to_string(g.threads) + ":1";
+  g.two_places = "{0}:" + std::to_string(half) + ":1,{" +
+                 std::to_string(cpn) + "}:" + std::to_string(half) + ":1";
+  return g;
+}
+
+/// Runs `spec` over `places` (`n_threads` threads — the paper's panels
+/// used 16, one per place — close bind) against per-run clones of `base`,
+/// sampling each run's whole timeline at 100 Hz — like the paper's logger
+/// — after the run's last timed repetition.
 /// `make_bench(sim, team_cfg)` builds the per-run benchmark object;
 /// `rep(bench, team)` executes one repetition and returns microseconds.
 template <typename MakeBench, typename Rep>
 [[nodiscard]] FreqPanelResult run_freq_panel(const sim::Simulator& base,
                                              const std::string& places,
+                                             std::size_t n_threads,
                                              const ExperimentSpec& spec,
                                              std::size_t n_jobs,
                                              MakeBench make_bench, Rep rep) {
   ompsim::TeamConfig cfg;
-  cfg.n_threads = 16;
+  cfg.n_threads = n_threads;
   cfg.places_spec = places;
   cfg.bind = topo::ProcBind::close;
 
@@ -71,14 +114,16 @@ template <typename MakeBench, typename Rep>
 [[nodiscard]] FreqPanelResult run_freq_panel_cached(
     cli::RunContext& ctx, const std::string& label, SpecKey key,
     const sim::Simulator& base, const std::string& places,
-    const ExperimentSpec& spec, MakeBench make_bench, Rep rep) {
+    std::size_t n_threads, const ExperimentSpec& spec, MakeBench make_bench,
+    Rep rep) {
   key.add("places_panel", places);
+  key.add("threads_panel", n_threads);
   FreqPanelResult out;
   out.matrix = ctx.protocol(
       label, spec, std::move(key),
       [&] {
-        auto panel = run_freq_panel(base, places, spec, ctx.jobs(),
-                                    make_bench, rep);
+        auto panel = run_freq_panel(base, places, n_threads, spec,
+                                    ctx.jobs(), make_bench, rep);
         out.trace = std::move(panel.trace);
         return std::move(panel.matrix);
       },

@@ -16,10 +16,12 @@
 // persists through the spec-hash result cache and the harness emits a JSON
 // artifact (cli/campaign.hpp).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "cli/campaign.hpp"
 #include "cli/options.hpp"
@@ -29,6 +31,7 @@
 #include "core/report.hpp"
 #include "core/spec_hash.hpp"
 #include "omp_model/team.hpp"
+#include "scenario/registry.hpp"
 #include "sim/simulator.hpp"
 #include "topo/topology.hpp"
 
@@ -123,19 +126,111 @@ inline ExperimentSpec paper_spec(std::uint64_t seed, std::size_t runs = 10,
   return spec;
 }
 
-/// The two platforms of the paper.
+/// One materialized platform a harness runs on: a scenario's machine and
+/// calibration, plus the scenario fingerprint every cell key absorbs so
+/// cached cells can never be served across platforms.
 struct Platform {
-  const char* name;
+  std::string name;  ///< display name ("Dardel", "Vera", scenario display).
   topo::Machine machine;
   sim::SimConfig config;
+  /// Frequency profile of an active-DVFS session on this platform (the
+  /// paper's Figs. 6/7 regime); see freq_session_platform().
+  sim::FreqConfig freq_session;
+  std::string fingerprint;  ///< ScenarioSpec fingerprint (16-hex).
 };
 
+/// Materializes a scenario into a runnable platform.
+inline Platform to_platform(const scenario::ScenarioSpec& s) {
+  return {s.display, s.machine.build(), s.sim, s.freq_session,
+          s.fingerprint()};
+}
+
+/// The two platforms of the paper — thin wrappers over the scenario
+/// catalog (pinned bit-identical to the legacy factory bundles by
+/// tests/test_scenario.cpp).
 inline Platform dardel() {
-  return {"Dardel", topo::Machine::dardel(), sim::SimConfig::dardel()};
+  return to_platform(scenario::ScenarioRegistry::instance().get("dardel"));
 }
 
 inline Platform vera() {
-  return {"Vera", topo::Machine::vera(), sim::SimConfig::vera()};
+  return to_platform(scenario::ScenarioRegistry::instance().get("vera"));
+}
+
+/// The platforms this invocation contrasts: the paper's Dardel+Vera pair
+/// by default, the single selected scenario under --scenario /
+/// OMNIVAR_SCENARIO. Each is recorded into the artifact's provenance.
+inline std::vector<Platform> platforms(cli::RunContext& ctx) {
+  std::vector<Platform> out;
+  if (const auto* s = ctx.scenario()) {
+    out.push_back(to_platform(*s));
+  } else {
+    out.push_back(dardel());
+    out.push_back(vera());
+  }
+  for (const auto& p : out) ctx.note_platform(p.name, p.fingerprint);
+  return out;
+}
+
+/// The single platform of the non-contrast harnesses (the paper staged
+/// them on Dardel); the selected scenario when one is active.
+inline Platform primary(cli::RunContext& ctx) {
+  Platform p = ctx.scenario() ? to_platform(*ctx.scenario()) : dardel();
+  ctx.note_platform(p.name, p.fingerprint);
+  return p;
+}
+
+/// The frequency-figure platform: the scenario with its active-DVFS
+/// session profile swapped in (default: the paper's dippy Vera session).
+inline Platform freq_session_platform(cli::RunContext& ctx) {
+  Platform p = ctx.scenario() ? to_platform(*ctx.scenario()) : vera();
+  p.config.freq = p.freq_session;
+  ctx.note_platform(p.name, p.fingerprint);
+  return p;
+}
+
+/// True when a --scenario / OMNIVAR_SCENARIO selection replaced the paper
+/// defaults (harnesses derive generic team sizes instead of the paper's
+/// hand-picked ladders).
+inline bool scenario_mode(const cli::RunContext& ctx) {
+  return ctx.scenario() != nullptr;
+}
+
+/// Near-geometric thread ladder for an arbitrary machine: 2, 4, 8, ...
+/// capped at the paper's spare-2-CPUs protocol size. Used by the scaling
+/// harnesses in scenario mode (the paper platforms keep the publication's
+/// hand-picked ladders).
+inline std::vector<std::size_t> thread_ladder(const topo::Machine& m) {
+  const std::size_t cap =
+      m.n_threads() > 4 ? m.n_threads() - 2 : m.n_threads();
+  std::vector<std::size_t> out;
+  for (std::size_t t = 2; t < cap; t *= 2) out.push_back(t);
+  if (out.empty() || out.back() != cap) out.push_back(cap);
+  return out;
+}
+
+/// The "full but not oversaturated" team size: every physical core when
+/// the machine has SMT headroom for the OS, else all-but-two HW threads
+/// (Dardel: 128, Vera: 30 — the paper's full-scale columns).
+inline std::size_t full_team(const topo::Machine& m) {
+  return std::min(m.n_cores(),
+                  m.n_threads() > 2 ? m.n_threads() - 2 : m.n_threads());
+}
+
+/// The paper's spare-2-CPUs full-node team (Dardel: 254, Vera: 30),
+/// clamped so machines with <= 2 HW threads use every thread instead of
+/// wrapping below zero.
+inline std::size_t spare2_team(const topo::Machine& m) {
+  return m.n_threads() > 2 ? m.n_threads() - 2 : m.n_threads();
+}
+
+/// Physical cores in NUMA domain 0 (uniform machines: n_cores / n_numa);
+/// sizes the frequency figures' one-domain-vs-two-domains panels.
+inline std::size_t cores_per_numa(const topo::Machine& m) {
+  std::set<std::size_t> cores;
+  for (const auto& t : m.threads()) {
+    if (t.numa == 0) cores.insert(t.core);
+  }
+  return cores.size();
 }
 
 /// Standard pinned team config (OMP_PLACES=threads, OMP_PROC_BIND=close).
@@ -171,21 +266,37 @@ inline SpecKey& add_team_key(SpecKey& k, const ompsim::TeamConfig& cfg) {
   return k;
 }
 
-/// Starts a cache key for one protocol cell: benchmark kind, platform (or
-/// configuration variant) name, team. Append benchmark-specific fields
-/// (construct, schedule, chunk, kernel, ...) before passing it to
-/// RunContext::protocol.
-inline SpecKey cell_key(std::string_view bench_kind,
-                        std::string_view platform,
+/// Starts a cache key for one protocol cell: benchmark kind, platform and
+/// its scenario fingerprint, team. The fingerprint covers every machine /
+/// noise / freq / mem / cost parameter, so cells simulated under one
+/// scenario can never satisfy a lookup from another. Append benchmark-
+/// specific fields (construct, schedule, chunk, kernel, ...) before
+/// passing it to RunContext::protocol.
+inline SpecKey cell_key(std::string_view bench_kind, const Platform& p,
                         const ompsim::TeamConfig& team) {
   SpecKey k;
   k.add("bench", bench_kind);
-  k.add("platform", platform);
+  k.add("platform", p.name);
+  k.add("scenario_fp", p.fingerprint);
   add_team_key(k, team);
   return k;
 }
 
-/// Prints the standard harness header.
+/// Prints the standard harness header; in scenario mode a "Scenario:"
+/// line (name, fingerprint, geometry) makes the report self-describing.
+/// The default paper mode prints exactly the historical header.
+inline void header(cli::RunContext& ctx, const std::string& experiment,
+                   const std::string& claim) {
+  std::printf("%s", report::banner(experiment).c_str());
+  if (const auto* s = ctx.scenario()) {
+    std::printf("Scenario: %s [%s %s] %s\n", s->display.c_str(),
+                s->name.c_str(), s->fingerprint().c_str(),
+                s->geometry_summary().c_str());
+  }
+  std::printf("Paper claim: %s\n\n", claim.c_str());
+}
+
+/// Header without scenario context (ad-hoc callers).
 inline void header(const std::string& experiment, const std::string& claim) {
   std::printf("%s", report::banner(experiment).c_str());
   std::printf("Paper claim: %s\n\n", claim.c_str());

@@ -1,0 +1,14 @@
+# Smoke-check one example binary: it must exit 0 and print something.
+# Invoked by the example_* ctest entries (see CMakeLists.txt) as
+#   cmake -DEXE=<binary> -P run_example_smoke.cmake
+execute_process(COMMAND ${EXE}
+  OUTPUT_VARIABLE example_stdout
+  RESULT_VARIABLE example_rc)
+if(NOT example_rc EQUAL 0)
+  message(FATAL_ERROR "example exited with '${example_rc}'")
+endif()
+string(STRIP "${example_stdout}" example_stripped)
+if(example_stripped STREQUAL "")
+  message(FATAL_ERROR "example produced empty stdout")
+endif()
+message("${example_stdout}")

@@ -12,6 +12,7 @@
 #include "cli/registry.hpp"
 #include "core/json_writer.hpp"
 #include "core/trace_io.hpp"
+#include "scenario/registry.hpp"
 
 namespace omv::cli {
 
@@ -46,13 +47,23 @@ void ensure_dir(const std::string& dir) {
 }
 
 RunContext::RunContext(std::string harness, std::size_t jobs,
-                       std::string out_dir)
+                       std::string out_dir,
+                       std::optional<scenario::ScenarioSpec> scenario)
     : harness_(std::move(harness)),
       jobs_(jobs == 0 ? 1 : jobs),
-      out_dir_(std::move(out_dir)) {
+      out_dir_(std::move(out_dir)),
+      scenario_(std::move(scenario)) {
   if (caching()) {
     ensure_dir(out_dir_ + "/cache");
   }
+}
+
+void RunContext::note_platform(const std::string& name,
+                               const std::string& fingerprint) {
+  for (const auto& [n, f] : platforms_) {
+    if (n == name && f == fingerprint) return;
+  }
+  platforms_.emplace_back(name, fingerprint);
 }
 
 RunMatrix RunContext::protocol(const std::string& label,
@@ -76,13 +87,16 @@ RunMatrix RunContext::protocol(const std::string& label,
   const std::string stem =
       caching() ? out_dir_ + "/cache/" + hash : std::string();
 
+  // Expected .key commit-file content: the cache schema stamp line, then
+  // the canonical key. A whole-file comparison rejects pre-stamp caches
+  // (no stamp line), other cache generations, hash collisions and
+  // stale/corrupt entries alike — all degrade to a recompute.
+  const std::string expected_key =
+      std::string(kCacheKeySchema) + "\n" + config.canonical();
+
   if (caching()) {
-    // The .key file is written last (commit marker) and must match the
-    // canonical key exactly — a hash collision or a stale/corrupt entry
-    // degrades to a recompute, never to silently serving wrong data.
     std::string stored_key;
-    if (read_file(stem + ".key", stored_key) &&
-        stored_key == config.canonical()) {
+    if (read_file(stem + ".key", stored_key) && stored_key == expected_key) {
       try {
         RunMatrix m = io::load_run_matrix(stem + ".csv", label);
         // Shape must match the spec exactly: protocol cells are full
@@ -121,7 +135,7 @@ RunMatrix RunContext::protocol(const std::string& label,
   if (caching()) {
     io::save_run_matrix(stem + ".csv", m);
     if (save_extra) save_extra(stem);
-    write_file(stem + ".key", config.canonical());
+    write_file(stem + ".key", expected_key);
   }
   cells_.push_back(std::move(rec));
   return m;
@@ -162,9 +176,41 @@ bool RunContext::all_ok() const noexcept {
 std::string RunContext::artifact_json(const std::string& description) const {
   json::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("omnivar-artifact-v1");
+  w.key("schema").value("omnivar-artifact-v2");
   w.key("harness").value(harness_);
   w.key("description").value(description);
+
+  // Scenario provenance: the active --scenario selection (null = the
+  // paper's Dardel+Vera default), plus every platform the harness actually
+  // ran on, so archived runs are self-describing.
+  w.key("scenario");
+  if (scenario_) {
+    w.begin_object();
+    w.key("name").value(scenario_->name);
+    w.key("display").value(scenario_->display);
+    w.key("fingerprint").value(scenario_->fingerprint());
+    w.key("geometry").value(scenario_->geometry_summary());
+    w.key("machine").begin_object();
+    w.key("label").value(scenario_->machine.label);
+    w.key("sockets").value(scenario_->machine.sockets);
+    w.key("numa_per_socket").value(scenario_->machine.numa_per_socket);
+    w.key("cores_per_numa").value(scenario_->machine.cores_per_numa);
+    w.key("smt").value(scenario_->machine.smt);
+    w.key("base_ghz").value(scenario_->machine.base_ghz);
+    w.key("max_ghz").value(scenario_->machine.max_ghz);
+    w.end_object();
+    w.end_object();
+  } else {
+    w.null();
+  }
+  w.key("platforms").begin_array();
+  for (const auto& [name, fingerprint] : platforms_) {
+    w.begin_object();
+    w.key("name").value(name);
+    w.key("fingerprint").value(fingerprint);
+    w.end_object();
+  }
+  w.end_array();
 
   w.key("cells").begin_array();
   for (const auto& c : cells_) {
@@ -244,12 +290,19 @@ namespace {
 
 void print_usage(const char* argv0, bool campaign) {
   std::fprintf(stderr,
-               "usage: %s [--list] [--jobs N] [--out DIR]%s\n"
+               "usage: %s [--list] [--scenarios] [--jobs N] "
+               "[--scenario S] [--out DIR]%s\n"
                "  --list       list registered harnesses\n"
+               "  --scenarios  list the scenario catalog\n"
                "%s"
                "  --jobs N     shard each protocol's runs over N workers\n"
                "               (0 = one per hardware thread; default: "
                "OMNIVAR_JOBS, else serial)\n"
+               "  --scenario S run on scenario S: a catalog name or a "
+               "scenario-file\n"
+               "               path (default: OMNIVAR_SCENARIO, else the "
+               "paper's\n"
+               "               Dardel+Vera pair)\n"
                "  --out DIR    campaign directory: per-harness JSON "
                "artifacts,\n"
                "               campaign.json, and the spec-hash result "
@@ -259,6 +312,28 @@ void print_usage(const char* argv0, bool campaign) {
                    ? "  --only GLOB  run only harnesses matching the glob "
                      "(repeatable)\n"
                    : "");
+}
+
+void print_scenarios() {
+  for (const auto& s : scenario::ScenarioRegistry::instance().all()) {
+    std::printf("%-12s %-10s %s\n      %s\n", s.name.c_str(),
+                s.display.c_str(), s.geometry_summary().c_str(),
+                s.description.c_str());
+  }
+}
+
+/// Resolves the --scenario / OMNIVAR_SCENARIO selection. Returns false
+/// (with a stderr report) when the selection cannot be resolved.
+bool resolve_scenario(const std::string& selection,
+                      std::optional<scenario::ScenarioSpec>& out) {
+  if (selection.empty()) return true;
+  try {
+    out = scenario::resolve(selection);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[omnivar] %s\n", e.what());
+    return false;
+  }
 }
 
 void report_option_errors(const Options& o) {
@@ -281,7 +356,8 @@ struct HarnessOutcome {
 /// Runs one harness under a fresh context; writes its artifact when an
 /// out dir is configured.
 HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
-                       const std::string& out_dir) {
+                       const std::string& out_dir,
+                       const std::optional<scenario::ScenarioSpec>& scn) {
   HarnessOutcome out;
   out.name = h.name;
   const auto t0 = std::chrono::steady_clock::now();
@@ -289,7 +365,7 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
   // (RunContext's ensure_dir), a failing harness, or an artifact write
   // error must mark this harness FAILED, not std::terminate the campaign.
   try {
-    RunContext ctx(h.name, jobs, out_dir);
+    RunContext ctx(h.name, jobs, out_dir, scn);
     out.exit_code = h.run(ctx);
     out.verdicts_total = ctx.verdicts().size();
     for (const auto& v : ctx.verdicts()) {
@@ -313,11 +389,21 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
 }
 
 void write_campaign_json(const std::string& out_dir, std::size_t jobs,
+                         const std::optional<scenario::ScenarioSpec>& scn,
                          const std::vector<HarnessOutcome>& outcomes) {
   json::JsonWriter w;
   w.begin_object();
   w.key("schema").value("omnivar-campaign-v1");
   w.key("jobs").value(jobs);
+  w.key("scenario");
+  if (scn) {
+    w.begin_object();
+    w.key("name").value(scn->name);
+    w.key("fingerprint").value(scn->fingerprint());
+    w.end_object();
+  } else {
+    w.null();
+  }
   bool ok = true;
   w.key("harnesses").begin_array();
   for (const auto& o : outcomes) {
@@ -361,6 +447,12 @@ int run_standalone(int argc, char** argv) {
     print_usage(argv[0], /*campaign=*/false);
     return 0;
   }
+  if (o.list_scenarios) {
+    print_scenarios();
+    return 0;
+  }
+  std::optional<scenario::ScenarioSpec> scn;
+  if (!resolve_scenario(effective_scenario(o.scenario), scn)) return 2;
   const auto& all = Registry::instance().all();
   if (all.size() != 1) {
     std::fprintf(stderr,
@@ -382,11 +474,11 @@ int run_standalone(int argc, char** argv) {
                  h.name.c_str());
   }
   const HarnessOutcome out =
-      run_one(h, effective_jobs(o.jobs), o.out_dir);
+      run_one(h, effective_jobs(o.jobs), o.out_dir, scn);
   if (!o.out_dir.empty()) {
     report_outcome(out);
     try {
-      write_campaign_json(o.out_dir, effective_jobs(o.jobs), {out});
+      write_campaign_json(o.out_dir, effective_jobs(o.jobs), scn, {out});
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[omnivar] cannot write campaign.json: %s\n",
                    e.what());
@@ -410,6 +502,12 @@ int run_campaign(int argc, char** argv) {
     }
     return 0;
   }
+  if (o.list_scenarios) {
+    print_scenarios();
+    return 0;
+  }
+  std::optional<scenario::ScenarioSpec> scn;
+  if (!resolve_scenario(effective_scenario(o.scenario), scn)) return 2;
   const auto selected = reg.match(o.only);
   if (selected.empty()) {
     std::fprintf(stderr, "[omnivar] no harness matches");
@@ -421,16 +519,21 @@ int run_campaign(int argc, char** argv) {
   const std::size_t jobs = effective_jobs(o.jobs);
   std::vector<HarnessOutcome> outcomes;
   int rc = 0;
+  if (scn) {
+    std::fprintf(stderr, "[omnivar] scenario %s (%s, %s)\n",
+                 scn->name.c_str(), scn->display.c_str(),
+                 scn->fingerprint().c_str());
+  }
   for (const HarnessInfo* h : selected) {
     std::fprintf(stderr, "[omnivar] running %s (%zu of %zu)\n",
                  h->name.c_str(), outcomes.size() + 1, selected.size());
-    outcomes.push_back(run_one(*h, jobs, o.out_dir));
+    outcomes.push_back(run_one(*h, jobs, o.out_dir, scn));
     report_outcome(outcomes.back());
     if (outcomes.back().exit_code != 0) rc = 1;
   }
   if (!o.out_dir.empty()) {
     try {
-      write_campaign_json(o.out_dir, jobs, outcomes);
+      write_campaign_json(o.out_dir, jobs, scn, outcomes);
       std::fprintf(stderr, "[omnivar] campaign summary: %s/campaign.json\n",
                    o.out_dir.c_str());
     } catch (const std::exception& e) {

@@ -25,20 +25,38 @@
 //
 // The cache validates the stored canonical key on every hit (collision /
 // stale-key defense) and falls back to recomputing — a cache can never
-// make a campaign wrong, only faster. It does NOT version the simulator:
-// after changing model code, start a fresh --out directory.
+// make a campaign wrong, only faster. Every .key commit file additionally
+// opens with a cache schema stamp (kCacheKeySchema): entries written by a
+// different cache/simulator generation fail the stamp check and degrade to
+// a recompute instead of silently serving stale cells. Bump the stamp
+// whenever model changes invalidate archived RunMatrix data.
+//
+// Scenario threading: when a --scenario / OMNIVAR_SCENARIO selection is
+// active, the resolved ScenarioSpec rides on the RunContext; harnesses run
+// on it instead of the paper's Dardel+Vera pair, and its fingerprint is
+// folded into every cell key (via harness::cell_key), so cached cells can
+// never be served across platforms.
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/run_matrix.hpp"
 #include "core/spec_hash.hpp"
+#include "scenario/scenario.hpp"
 
 namespace omv::cli {
+
+/// Cache generation stamp: the first line of every cache .key commit file.
+/// Entries missing it (pre-stamp caches) or carrying another generation
+/// are ignored and recomputed.
+inline constexpr std::string_view kCacheKeySchema = "omnivar-cache-v2";
 
 /// Provenance of one cached protocol cell.
 struct CellRecord {
@@ -77,9 +95,22 @@ struct MetricRecord {
 class RunContext {
  public:
   /// `out_dir` empty disables artifacts and caching (standalone default).
-  RunContext(std::string harness, std::size_t jobs, std::string out_dir);
+  /// `scenario` engaged = run on that platform instead of the paper's
+  /// Dardel+Vera default (harnesses read it via scenario()).
+  RunContext(std::string harness, std::size_t jobs, std::string out_dir,
+             std::optional<scenario::ScenarioSpec> scenario = std::nullopt);
 
   [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// The active scenario selection; nullptr in the default paper mode.
+  [[nodiscard]] const scenario::ScenarioSpec* scenario() const noexcept {
+    return scenario_ ? &*scenario_ : nullptr;
+  }
+
+  /// Records a platform this harness ran on (display name + scenario
+  /// fingerprint; deduplicated) for the artifact's provenance block.
+  void note_platform(const std::string& name,
+                     const std::string& fingerprint);
   [[nodiscard]] const std::string& harness() const noexcept {
     return harness_;
   }
@@ -133,7 +164,8 @@ class RunContext {
     return cells_;
   }
 
-  /// The deterministic artifact document (schema omnivar-artifact-v1).
+  /// The deterministic artifact document (schema omnivar-artifact-v2:
+  /// v1 plus the scenario/platform provenance blocks).
   [[nodiscard]] std::string artifact_json(
       const std::string& description) const;
 
@@ -141,6 +173,8 @@ class RunContext {
   std::string harness_;
   std::size_t jobs_ = 1;
   std::string out_dir_;
+  std::optional<scenario::ScenarioSpec> scenario_;
+  std::vector<std::pair<std::string, std::string>> platforms_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::vector<CellRecord> cells_;

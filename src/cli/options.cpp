@@ -57,6 +57,10 @@ Options parse_options(int argc, char** argv) {
       o.list = true;
       continue;
     }
+    if (std::strcmp(arg, "--scenarios") == 0) {
+      o.list_scenarios = true;
+      continue;
+    }
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       o.help = true;
       continue;
@@ -75,6 +79,10 @@ Options parse_options(int argc, char** argv) {
       }
       continue;
     }
+    if (const char* v = flag_value("--scenario", argc, argv, i, o.errors)) {
+      o.scenario = v;
+      continue;
+    }
     if (const char* v = flag_value("--out", argc, argv, i, o.errors)) {
       o.out_dir = v;
       continue;
@@ -82,6 +90,7 @@ Options parse_options(int argc, char** argv) {
     // flag_value may already have recorded a missing-value error for this
     // argument; only flag it as unknown when it did not consume it.
     if (std::strcmp(arg, "--only") != 0 && std::strcmp(arg, "--jobs") != 0 &&
+        std::strcmp(arg, "--scenario") != 0 &&
         std::strcmp(arg, "--out") != 0) {
       o.errors.push_back("unknown argument '" + std::string(arg) + "'");
     }
@@ -104,6 +113,12 @@ std::size_t effective_jobs(std::size_t cli_jobs) {
     (void)warned;
   }
   return 1;
+}
+
+std::string effective_scenario(const std::string& cli_scenario) {
+  if (!cli_scenario.empty()) return cli_scenario;
+  if (const char* s = std::getenv("OMNIVAR_SCENARIO")) return s;
+  return {};
 }
 
 }  // namespace omv::cli

@@ -4,9 +4,13 @@
 //
 // Every binary accepts the same flags:
 //   --list            list registered harnesses and exit
+//   --scenarios       list the scenario catalog and exit
 //   --only <glob>     select harnesses by name glob (repeatable; omnivar)
 //   --jobs[=]N        shard each protocol's runs over N workers (0 = one
 //                     per hardware thread); falls back to OMNIVAR_JOBS
+//   --scenario[=]S    run on scenario S: a catalog name or a scenario-file
+//                     path; falls back to OMNIVAR_SCENARIO, else the
+//                     paper's Dardel+Vera default
 //   --out[=]DIR       campaign directory: JSON artifacts + result cache
 //   --help            usage
 // Parsing is strict: a typo'd jobs value must not silently become
@@ -30,9 +34,11 @@ namespace omv::cli {
 /// Parsed options shared by omnivar and the standalone binaries.
 struct Options {
   bool list = false;
+  bool list_scenarios = false;  ///< --scenarios catalog listing.
   bool help = false;
   std::vector<std::string> only;  ///< --only name globs (empty = all).
   std::size_t jobs = 0;           ///< resolved worker count; 0 = unset.
+  std::string scenario;           ///< --scenario name/path; empty = unset.
   std::string out_dir;            ///< --out campaign dir; empty = none.
   std::vector<std::string> errors;  ///< malformed/unknown arguments.
 };
@@ -46,5 +52,10 @@ struct Options {
 /// malformed value is reported once to stderr and ignored), else 1 —
 /// serial, the paper's original execution model.
 [[nodiscard]] std::size_t effective_jobs(std::size_t cli_jobs);
+
+/// Effective scenario selector: `cli_scenario` when non-empty, else the
+/// OMNIVAR_SCENARIO environment variable, else "" — the paper's default
+/// Dardel+Vera contrast mode.
+[[nodiscard]] std::string effective_scenario(const std::string& cli_scenario);
 
 }  // namespace omv::cli

@@ -1,0 +1,233 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace omv::scenario {
+
+namespace {
+
+/// The paper's Dardel node. Geometry and calibration are the legacy
+/// factories' values — sim comes straight from SimConfig::dardel(), and
+/// the geometry numbers mirror topo::Machine::dardel() (pinned equivalent
+/// by tests/test_scenario.cpp).
+ScenarioSpec dardel_preset() {
+  ScenarioSpec s;
+  s.name = "dardel";
+  s.display = "Dardel";
+  s.description =
+      "paper platform: 2x AMD EPYC Zen2 64-core SMT-2, quad-NUMA per "
+      "socket (Cray, PDC/KTH)";
+  s.machine = {"dardel", /*sockets=*/2, /*numa_per_socket=*/4,
+               /*cores_per_numa=*/16, /*smt=*/2, /*base_ghz=*/2.25,
+               /*max_ghz=*/3.4};
+  s.sim = sim::SimConfig::dardel();
+  // Dardel's frequency is nearly flat even in active sessions; its
+  // session profile is its baseline profile.
+  s.freq_session = s.sim.freq;
+  return s;
+}
+
+/// The paper's Vera node. Its active-DVFS session profile is the Figs. 6/7
+/// vera_dippy() calibration.
+ScenarioSpec vera_preset() {
+  ScenarioSpec s;
+  s.name = "vera";
+  s.display = "Vera";
+  s.description =
+      "paper platform: 2x Intel Xeon Gold 6130 16-core, no SMT, one NUMA "
+      "domain per socket (C3SE Chalmers)";
+  s.machine = {"vera", /*sockets=*/2, /*numa_per_socket=*/1,
+               /*cores_per_numa=*/16, /*smt=*/1, /*base_ghz=*/2.1,
+               /*max_ghz=*/3.7};
+  s.sim = sim::SimConfig::vera();
+  s.freq_session = sim::FreqConfig::vera_dippy();
+  return s;
+}
+
+/// The examples/custom_platform.cpp machine, promoted to a preset: one
+/// socket, four NUMA domains, SMT-2 — a desktop-EPYC-like box with
+/// Dardel's noise calibration and a narrower memory system.
+ScenarioSpec epyc_like_preset() {
+  ScenarioSpec s;
+  s.name = "epyc-like";
+  s.display = "EpycLike";
+  s.description =
+      "1x 48-core quad-NUMA SMT-2 (the custom_platform example machine): "
+      "NUMA-span effects without a second socket";
+  s.machine = {"epyc-like", /*sockets=*/1, /*numa_per_socket=*/4,
+               /*cores_per_numa=*/12, /*smt=*/2, /*base_ghz=*/2.4,
+               /*max_ghz=*/3.6};
+  s.sim = sim::SimConfig::dardel();
+  s.sim.mem.domain_gbps = 40.0;
+  // Mild dip pressure in active sessions: a consumer part under a
+  // shared-desktop power budget, with NUMA-spanning workloads stressing
+  // the single package's uncore budget hardest.
+  s.freq_session = s.sim.freq;
+  s.freq_session.episode_rate = 0.05;
+  s.freq_session.depth_lo = 0.85;
+  s.freq_session.depth_hi = 0.95;
+  s.freq_session.cross_numa_rate_mult = 6.0;
+  return s;
+}
+
+/// A noisy cloud node: small, oversold, heavily preempted. Exercises the
+/// daemon-placement and degradation machinery far beyond the paper's
+/// production-cluster profiles.
+ScenarioSpec noisy_cloud_preset() {
+  ScenarioSpec s;
+  s.name = "noisy-cloud";
+  s.display = "NoisyCloud";
+  s.description =
+      "2x 8-core SMT-2 cloud node with heavy preemption: 16x Dardel's "
+      "daemon pressure, frequent degraded runs, busy IRQ landing zone";
+  s.machine = {"noisy-cloud", /*sockets=*/2, /*numa_per_socket=*/1,
+               /*cores_per_numa=*/8, /*smt=*/2, /*base_ghz=*/2.0,
+               /*max_ghz=*/3.0};
+  s.sim = sim::SimConfig::vera();
+  s.sim.noise.daemon_rate = 480.0;       // neighbors, agents, cron storms
+  s.sim.noise.daemon_mean = 250e-6;
+  s.sim.noise.kworker_rate_per_cpu = 1.2;
+  s.sim.noise.irq_rate = 0.6;
+  s.sim.noise.irq_cpus = 2;
+  s.sim.noise.degrade_prob = 0.30;       // nearly one run in three
+  s.sim.noise.degrade_rate_mult = 8.0;
+  s.sim.noise.daemon_miss_factor = 0.6;  // cache-hot wakeups dominate
+  s.sim.costs.migration_cost = 90e-6;    // cold caches after every steal
+  s.sim.freq.episode_rate = 0.05;
+  s.sim.freq.depth_lo = 0.70;
+  s.sim.freq.depth_hi = 0.90;
+  s.sim.freq.run_cap_prob = 0.15;        // power-capped neighbors
+  s.sim.freq.run_cap_depth = 0.85;
+  s.freq_session = s.sim.freq;
+  s.freq_session.episode_rate = 0.25;
+  return s;
+}
+
+/// A quiet, tuned HPC node: ticks only plus a whisper of daemon activity,
+/// flat frequency. The near-ideal baseline end of the catalog.
+ScenarioSpec quiet_hpc_preset() {
+  ScenarioSpec s;
+  s.name = "quiet-hpc";
+  s.display = "QuietHPC";
+  s.description =
+      "2x 2-NUMA 24-core tuned HPC node: minimal daemons, no degraded "
+      "runs, flat frequency — the noise floor of the catalog";
+  s.machine = {"quiet-hpc", /*sockets=*/2, /*numa_per_socket=*/2,
+               /*cores_per_numa=*/24, /*smt=*/1, /*base_ghz=*/2.6,
+               /*max_ghz=*/3.8};
+  s.sim = sim::SimConfig::dardel();
+  s.sim.noise.daemon_rate = 2.0;
+  s.sim.noise.kworker_rate_per_cpu = 0.01;
+  s.sim.noise.irq_rate = 0.01;
+  s.sim.noise.degrade_prob = 0.0;
+  s.sim.freq = sim::FreqConfig::flat();
+  s.sim.mem.domain_gbps = 55.0;
+  s.freq_session = s.sim.freq;
+  return s;
+}
+
+/// A DVFS-unstable machine: Vera's geometry with an order of magnitude
+/// more dip pressure and deep dips — the high-dip regime the paper's
+/// Figs. 6/7 sessions only brushed.
+ScenarioSpec dvfs_dippy_preset() {
+  ScenarioSpec s;
+  s.name = "dvfs-dippy";
+  s.display = "DvfsDippy";
+  s.description =
+      "Vera-like 2x 16-core with deep, frequent frequency dips and a "
+      "common run-scoped cap: variability dominated by DVFS, not noise";
+  s.machine = {"dvfs-dippy", /*sockets=*/2, /*numa_per_socket=*/1,
+               /*cores_per_numa=*/16, /*smt=*/1, /*base_ghz=*/2.1,
+               /*max_ghz=*/3.7};
+  s.sim = sim::SimConfig::vera();
+  s.sim.freq.episode_rate = 0.30;
+  s.sim.freq.episode_mean = 0.8;
+  s.sim.freq.depth_lo = 0.55;
+  s.sim.freq.depth_hi = 0.85;
+  s.sim.freq.run_cap_prob = 0.25;
+  s.sim.freq.run_cap_depth = 0.80;
+  s.sim.freq.cross_numa_rate_mult = 6.0;
+  s.freq_session = s.sim.freq;
+  s.freq_session.episode_rate = 0.60;
+  return s;
+}
+
+}  // namespace
+
+ScenarioRegistry::ScenarioRegistry() {
+  scenarios_.push_back(dardel_preset());
+  scenarios_.push_back(vera_preset());
+  scenarios_.push_back(epyc_like_preset());
+  scenarios_.push_back(noisy_cloud_preset());
+  scenarios_.push_back(quiet_hpc_preset());
+  scenarios_.push_back(dvfs_dippy_preset());
+  std::sort(scenarios_.begin(), scenarios_.end(),
+            [](const ScenarioSpec& a, const ScenarioSpec& b) {
+              return a.name < b.name;
+            });
+}
+
+const ScenarioRegistry& ScenarioRegistry::instance() {
+  static const ScenarioRegistry registry;
+  return registry;
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const
+    noexcept {
+  for (const auto& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const ScenarioSpec& ScenarioRegistry::get(const std::string& name) const {
+  const ScenarioSpec* s = find(name);
+  if (s == nullptr) {
+    throw std::out_of_range("unknown scenario '" + name +
+                            "' (catalog: " + names() + ")");
+  }
+  return *s;
+}
+
+std::string ScenarioRegistry::names() const {
+  std::string out;
+  for (const auto& s : scenarios_) {
+    if (!out.empty()) out += ", ";
+    out += s.name;
+  }
+  return out;
+}
+
+ScenarioSpec load_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("cannot open scenario file '" + path + "'");
+  }
+  std::ostringstream os;
+  os << f.rdbuf();
+  if (f.bad()) {
+    throw std::runtime_error("read failed for scenario file '" + path +
+                             "'");
+  }
+  return parse_text(os.str(), path);
+}
+
+ScenarioSpec resolve(const std::string& name_or_path) {
+  if (const ScenarioSpec* s =
+          ScenarioRegistry::instance().find(name_or_path)) {
+    return *s;
+  }
+  if (name_or_path.find('/') != std::string::npos ||
+      name_or_path.find('.') != std::string::npos) {
+    return load_file(name_or_path);
+  }
+  throw std::runtime_error(
+      "unknown scenario '" + name_or_path + "' (catalog: " +
+      ScenarioRegistry::instance().names() +
+      "; or pass a scenario-file path containing '/' or '.')");
+}
+
+}  // namespace omv::scenario

@@ -1,0 +1,329 @@
+#include "scenario/scenario.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "core/json_writer.hpp"
+#include "scenario/registry.hpp"
+
+namespace omv::scenario {
+
+namespace {
+
+/// Enumerates every numeric field of a ScenarioSpec in the fixed canonical
+/// order. One visitor drives the fingerprint, the serializer and the
+/// parser, so the three can never disagree about the field set. `f` is
+/// called as f(name, ref) with ref being std::size_t& or double& (const
+/// when SpecT is const).
+template <typename FreqT, typename F>
+void freq_fields(const std::string& prefix, FreqT& c, F&& f) {
+  f(prefix + "episode_rate", c.episode_rate);
+  f(prefix + "episode_mean", c.episode_mean);
+  f(prefix + "episode_sigma_log", c.episode_sigma_log);
+  f(prefix + "depth_lo", c.depth_lo);
+  f(prefix + "depth_hi", c.depth_hi);
+  f(prefix + "jitter", c.jitter);
+  f(prefix + "run_cap_prob", c.run_cap_prob);
+  f(prefix + "run_cap_depth", c.run_cap_depth);
+  f(prefix + "cap_load_threshold", c.cap_load_threshold);
+  f(prefix + "cross_numa_rate_mult", c.cross_numa_rate_mult);
+}
+
+template <typename SpecT, typename F>
+void for_each_field(SpecT& s, F&& f) {
+  f(std::string("machine.sockets"), s.machine.sockets);
+  f(std::string("machine.numa_per_socket"), s.machine.numa_per_socket);
+  f(std::string("machine.cores_per_numa"), s.machine.cores_per_numa);
+  f(std::string("machine.smt"), s.machine.smt);
+  f(std::string("machine.base_ghz"), s.machine.base_ghz);
+  f(std::string("machine.max_ghz"), s.machine.max_ghz);
+
+  f(std::string("noise.tick_period"), s.sim.noise.tick_period);
+  f(std::string("noise.tick_duration"), s.sim.noise.tick_duration);
+  f(std::string("noise.daemon_rate"), s.sim.noise.daemon_rate);
+  f(std::string("noise.daemon_mean"), s.sim.noise.daemon_mean);
+  f(std::string("noise.daemon_sigma_log"), s.sim.noise.daemon_sigma_log);
+  f(std::string("noise.kworker_rate_per_cpu"),
+    s.sim.noise.kworker_rate_per_cpu);
+  f(std::string("noise.kworker_mean"), s.sim.noise.kworker_mean);
+  f(std::string("noise.kworker_sigma_log"), s.sim.noise.kworker_sigma_log);
+  f(std::string("noise.irq_rate"), s.sim.noise.irq_rate);
+  f(std::string("noise.irq_xm"), s.sim.noise.irq_xm);
+  f(std::string("noise.irq_alpha"), s.sim.noise.irq_alpha);
+  f(std::string("noise.irq_cpus"), s.sim.noise.irq_cpus);
+  f(std::string("noise.degrade_prob"), s.sim.noise.degrade_prob);
+  f(std::string("noise.degrade_rate_mult"), s.sim.noise.degrade_rate_mult);
+  f(std::string("noise.daemon_miss_factor"), s.sim.noise.daemon_miss_factor);
+  f(std::string("noise.smt_absorb_factor"), s.sim.noise.smt_absorb_factor);
+
+  freq_fields("freq.", s.sim.freq, f);
+  freq_fields("freq_session.", s.freq_session, f);
+
+  f(std::string("mem.domain_gbps"), s.sim.mem.domain_gbps);
+  f(std::string("mem.per_core_gbps"), s.sim.mem.per_core_gbps);
+  f(std::string("mem.remote_numa_factor"), s.sim.mem.remote_numa_factor);
+  f(std::string("mem.remote_socket_factor"),
+    s.sim.mem.remote_socket_factor);
+  f(std::string("mem.jitter_sigma_log"), s.sim.mem.jitter_sigma_log);
+
+  f(std::string("costs.fork_base"), s.sim.costs.fork_base);
+  f(std::string("costs.fork_per_thread"), s.sim.costs.fork_per_thread);
+  f(std::string("costs.barrier_base"), s.sim.costs.barrier_base);
+  f(std::string("costs.barrier_per_level"), s.sim.costs.barrier_per_level);
+  f(std::string("costs.barrier_numa_step"), s.sim.costs.barrier_numa_step);
+  f(std::string("costs.barrier_socket_step"),
+    s.sim.costs.barrier_socket_step);
+  f(std::string("costs.barrier_central_per_thread"),
+    s.sim.costs.barrier_central_per_thread);
+  f(std::string("costs.reduction_per_level"),
+    s.sim.costs.reduction_per_level);
+  f(std::string("costs.critical_enter"), s.sim.costs.critical_enter);
+  f(std::string("costs.lock_op"), s.sim.costs.lock_op);
+  f(std::string("costs.atomic_op"), s.sim.costs.atomic_op);
+  f(std::string("costs.atomic_contention"), s.sim.costs.atomic_contention);
+  f(std::string("costs.static_setup"), s.sim.costs.static_setup);
+  f(std::string("costs.sched_grab_base"), s.sim.costs.sched_grab_base);
+  f(std::string("costs.sched_grab_contention"),
+    s.sim.costs.sched_grab_contention);
+  f(std::string("costs.ordered_wait"), s.sim.costs.ordered_wait);
+  f(std::string("costs.single_arbitration"),
+    s.sim.costs.single_arbitration);
+  f(std::string("costs.migration_cost"), s.sim.costs.migration_cost);
+  f(std::string("costs.oversub_stall_mean"),
+    s.sim.costs.oversub_stall_mean);
+  f(std::string("costs.oversub_stall_sigma"),
+    s.sim.costs.oversub_stall_sigma);
+  f(std::string("costs.work_scale"), s.sim.costs.work_scale);
+  f(std::string("costs.smt_throughput"), s.sim.costs.smt_throughput);
+  f(std::string("costs.smt_jitter"), s.sim.costs.smt_jitter);
+  f(std::string("costs.smt_sync_overhead"), s.sim.costs.smt_sync_overhead);
+  f(std::string("costs.smt_sync_jitter"), s.sim.costs.smt_sync_jitter);
+}
+
+/// Functor overload set for the field visitor (lambdas can't overload).
+template <typename UintF, typename DoubleF>
+struct FieldVisitor {
+  UintF on_uint;
+  DoubleF on_double;
+  void operator()(const std::string& n, std::size_t& v) { on_uint(n, v); }
+  void operator()(const std::string& n, const std::size_t& v) {
+    on_uint(n, const_cast<std::size_t&>(v));
+  }
+  void operator()(const std::string& n, double& v) { on_double(n, v); }
+  void operator()(const std::string& n, const double& v) {
+    on_double(n, const_cast<double&>(v));
+  }
+};
+
+template <typename UintF, typename DoubleF>
+FieldVisitor<UintF, DoubleF> field_visitor(UintF u, DoubleF d) {
+  return {std::move(u), std::move(d)};
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void parse_fail(const std::string& origin, std::size_t line,
+                             const std::string& what) {
+  throw std::runtime_error("scenario " + origin + ":" +
+                           std::to_string(line) + ": " + what);
+}
+
+bool parse_double_strict(std::string_view text, double& out) {
+  const std::string buf(text);
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+bool parse_size_strict(std::string_view text, std::size_t& out) {
+  const std::string buf(text);
+  if (buf.empty()) return false;
+  for (const char c : buf) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+topo::Machine MachineSpec::build() const {
+  return topo::Machine::uniform(label, sockets, numa_per_socket,
+                                cores_per_numa, smt, base_ghz, max_ghz);
+}
+
+SpecKey ScenarioSpec::key() const {
+  SpecKey k;
+  k.add("scenario", name);
+  k.add("display", display);
+  k.add("machine.label", machine.label);
+  for_each_field(
+      *this, field_visitor(
+                 [&k](const std::string& n, std::size_t& v) { k.add(n, v); },
+                 [&k](const std::string& n, double& v) { k.add(n, v); }));
+  return k;
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::ostringstream os;
+  os << "# omnivar scenario: " << name << "\n";
+  os << "name = " << name << "\n";
+  os << "display = " << display << "\n";
+  if (!description.empty()) os << "description = " << description << "\n";
+  os << "machine.label = " << machine.label << "\n";
+  for_each_field(
+      *this,
+      field_visitor(
+          [&os](const std::string& n, std::size_t& v) {
+            os << n << " = " << v << "\n";
+          },
+          [&os](const std::string& n, double& v) {
+            os << n << " = " << json::number(v) << "\n";
+          }));
+  return os.str();
+}
+
+std::string ScenarioSpec::geometry_summary() const {
+  std::ostringstream os;
+  os << machine.sockets << (machine.sockets == 1 ? " socket" : " sockets")
+     << " x " << machine.numa_per_socket << " NUMA x "
+     << machine.cores_per_numa << " cores x SMT-" << machine.smt << ", "
+     << machine.base_ghz << "-" << machine.max_ghz << " GHz";
+  return os.str();
+}
+
+ScenarioSpec parse_text(const std::string& text, const std::string& origin) {
+  ScenarioSpec spec;
+  bool any_field = false;
+  bool name_set = false;
+  bool display_set = false;
+  std::set<std::string> seen;
+  std::istringstream is(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      parse_fail(origin, line_no,
+                 "expected 'key = value', got '" + std::string(line) + "'");
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) parse_fail(origin, line_no, "empty key");
+    if (!seen.insert(key).second) {
+      parse_fail(origin, line_no, "duplicate assignment of '" + key + "'");
+    }
+
+    if (key == "base") {
+      if (any_field) {
+        parse_fail(origin, line_no,
+                   "'base' must precede every overridden field");
+      }
+      const ScenarioSpec* preset =
+          ScenarioRegistry::instance().find(std::string(value));
+      if (preset == nullptr) {
+        parse_fail(origin, line_no,
+                   "unknown base preset '" + std::string(value) + "'");
+      }
+      const std::string keep_name = spec.name;
+      const std::string keep_display = spec.display;
+      const std::string keep_desc = spec.description;
+      spec = *preset;
+      if (!keep_name.empty()) spec.name = keep_name;
+      if (!keep_display.empty()) spec.display = keep_display;
+      if (!keep_desc.empty()) spec.description = keep_desc;
+      continue;
+    }
+    if (key == "name") {
+      spec.name = std::string(value);
+      name_set = true;
+      continue;
+    }
+    if (key == "display") {
+      spec.display = std::string(value);
+      display_set = true;
+      continue;
+    }
+    if (key == "description") {
+      spec.description = std::string(value);
+      continue;
+    }
+    if (key == "machine.label") {
+      spec.machine.label = std::string(value);
+      any_field = true;
+      continue;
+    }
+
+    bool matched = false;
+    bool ok = true;
+    for_each_field(
+        spec,
+        field_visitor(
+            [&](const std::string& n, std::size_t& v) {
+              if (n != key) return;
+              matched = true;
+              ok = parse_size_strict(value, v);
+            },
+            [&](const std::string& n, double& v) {
+              if (n != key) return;
+              matched = true;
+              ok = parse_double_strict(value, v);
+            }));
+    if (!matched) parse_fail(origin, line_no, "unknown key '" + key + "'");
+    if (!ok) {
+      parse_fail(origin, line_no,
+                 "malformed value '" + std::string(value) + "' for '" + key +
+                     "'");
+    }
+    any_field = true;
+  }
+
+  if (spec.name.empty()) {
+    throw std::runtime_error("scenario " + origin +
+                             ": missing required 'name'");
+  }
+  // A renamed derivation must not masquerade as its base: when the file
+  // sets a fresh name without a display, the name is the display.
+  if (!display_set && (name_set || spec.display.empty())) {
+    spec.display = spec.name;
+  }
+  if (spec.machine.label == "machine") spec.machine.label = spec.name;
+  // Surface geometry errors (zero dimensions, max_ghz < base_ghz) at load
+  // time, not deep inside the first harness that builds the machine.
+  // Machine's own validation throws std::invalid_argument; rewrap so every
+  // scenario-load failure is one exception type naming the origin.
+  try {
+    (void)spec.machine.build();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("scenario " + origin + ": invalid machine (" +
+                             e.what() + ")");
+  }
+  return spec;
+}
+
+}  // namespace omv::scenario

@@ -1,0 +1,97 @@
+#pragma once
+// Declarative platform scenarios.
+//
+// The paper contrasts one R×K protocol across two concrete machines
+// (Dardel and Vera). This layer turns platform identity into *data*: a
+// ScenarioSpec bundles the machine geometry with every simulator profile
+// (noise, frequency, memory, runtime costs) into one named, serializable
+// value with a canonical fingerprint, so the same campaign can sweep the
+// protocol across an open-ended catalog of machines — built-in presets,
+// or user-authored scenario files (see registry.hpp).
+//
+// The fingerprint is a SpecKey over every physical field in a fixed order;
+// it feeds the campaign result cache so cells simulated under one scenario
+// can never be served to another (two scenarios that differ in any knob
+// hash apart, even if they share a display name).
+
+#include <cstddef>
+#include <string>
+
+#include "core/spec_hash.hpp"
+#include "sim/simulator.hpp"
+#include "topo/topology.hpp"
+
+namespace omv::scenario {
+
+/// Machine geometry as data — the arguments of topo::Machine::uniform.
+/// Keeping the symmetric-builder parameters (rather than a materialized
+/// thread list) makes the spec serializable and fingerprintable in a few
+/// numbers; asymmetric machines are out of scope for the catalog.
+struct MachineSpec {
+  std::string label = "machine";  ///< topo::Machine name.
+  std::size_t sockets = 1;
+  std::size_t numa_per_socket = 1;
+  std::size_t cores_per_numa = 4;
+  std::size_t smt = 1;
+  double base_ghz = 2.0;
+  double max_ghz = 3.0;
+
+  /// Materializes the geometry. Throws std::invalid_argument on zero-sized
+  /// dimensions or an invalid frequency range (Machine's own validation).
+  [[nodiscard]] topo::Machine build() const;
+
+  [[nodiscard]] std::size_t n_cores() const noexcept {
+    return sockets * numa_per_socket * cores_per_numa;
+  }
+  [[nodiscard]] std::size_t n_threads() const noexcept {
+    return n_cores() * smt;
+  }
+};
+
+/// One named platform scenario: geometry + the full simulator calibration.
+struct ScenarioSpec {
+  std::string name;         ///< catalog key, e.g. "dardel".
+  std::string display;      ///< harness-output name, e.g. "Dardel".
+  std::string description;  ///< one line for --scenarios listings.
+  MachineSpec machine;
+  sim::SimConfig sim;  ///< noise + freq + mem + costs bundle.
+  /// Frequency profile of an *active-DVFS session* on this platform — the
+  /// paper's Figs. 6/7 were measured during Vera sessions with far more
+  /// dip pressure than its baseline profile. Harnesses that reproduce
+  /// those figures swap sim.freq for this.
+  sim::FreqConfig freq_session;
+
+  /// Canonical fingerprint key over every physical field (name, display,
+  /// geometry, and all model parameters) in a fixed order.
+  [[nodiscard]] SpecKey key() const;
+
+  /// key().hex(): 16 lowercase hex digits naming this scenario's physics.
+  [[nodiscard]] std::string fingerprint() const { return key().hex(); }
+
+  /// Serializes to the scenario-file format (parse_text round-trips it to
+  /// an identical fingerprint). Doubles are shortest-round-trip.
+  [[nodiscard]] std::string to_text() const;
+
+  /// One-line geometry summary, e.g.
+  /// "2 sockets x 4 NUMA x 16 cores x SMT-2, 2.25-3.4 GHz".
+  [[nodiscard]] std::string geometry_summary() const;
+};
+
+/// Parses the scenario-file format:
+///
+///   # comment
+///   name = my-box            (required unless inherited via base)
+///   display = MyBox          (defaults to name)
+///   base = dardel            (optional: start from a catalog preset)
+///   machine.sockets = 1
+///   noise.daemon_rate = 200
+///   freq_session.episode_rate = 0.5
+///   ...
+///
+/// Unknown keys, malformed numbers and duplicate assignments throw
+/// std::runtime_error naming `origin` and the line. `base` must appear
+/// before any overridden field.
+[[nodiscard]] ScenarioSpec parse_text(const std::string& text,
+                                      const std::string& origin);
+
+}  // namespace omv::scenario

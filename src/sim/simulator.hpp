@@ -22,6 +22,12 @@
 namespace omv::sim {
 
 /// Full simulator configuration.
+///
+/// The per-platform factory bundles below are the paper platforms'
+/// calibration source of truth; the scenario layer (src/scenario) wraps
+/// them as the catalog presets "dardel"/"vera" and serializes every field
+/// for user-authored scenarios, so new platforms are data, not new
+/// factories.
 struct SimConfig {
   NoiseConfig noise;
   FreqConfig freq;

@@ -40,11 +40,13 @@ class Machine {
 
   /// Dardel node: 2x AMD EPYC Zen2 64-core, SMT-2, quad-NUMA per socket
   /// (8 domains of 16 cores), base 2.25 GHz, boost 3.4 GHz. 128 cores,
-  /// 256 HW threads.
+  /// 256 HW threads. Thin wrapper over uniform(); the scenario catalog's
+  /// "dardel" preset is pinned bit-identical (tests/test_scenario.cpp).
   static Machine dardel();
 
   /// Vera node: 2x Intel Xeon Gold 6130 16-core, no SMT, one NUMA domain per
   /// socket, base 2.1 GHz, boost 3.7 GHz. 32 cores / 32 HW threads.
+  /// Thin wrapper over uniform(); mirrored by the catalog's "vera" preset.
   static Machine vera();
 
   /// Detects the current host from /sys/devices/system/cpu (Linux). Returns

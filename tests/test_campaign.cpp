@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -14,6 +15,7 @@
 
 #include "cli/options.hpp"
 #include "cli/registry.hpp"
+#include "scenario/registry.hpp"
 
 namespace omv::cli {
 namespace {
@@ -28,16 +30,32 @@ std::vector<char*> argv_of(std::vector<std::string>& args) {
 }
 
 TEST(Options, ParsesAllFlags) {
-  std::vector<std::string> args{"prog",   "--list", "--only", "fig*",
-                                "--jobs", "3",      "--out",  "/tmp/x"};
+  std::vector<std::string> args{"prog",   "--list", "--only",     "fig*",
+                                "--jobs", "3",      "--scenario", "vera",
+                                "--out",  "/tmp/x", "--scenarios"};
   auto argv = argv_of(args);
   const auto o = parse_options(static_cast<int>(argv.size()), argv.data());
   EXPECT_TRUE(o.list);
+  EXPECT_TRUE(o.list_scenarios);
   ASSERT_EQ(o.only.size(), 1u);
   EXPECT_EQ(o.only[0], "fig*");
   EXPECT_EQ(o.jobs, 3u);
+  EXPECT_EQ(o.scenario, "vera");
   EXPECT_EQ(o.out_dir, "/tmp/x");
   EXPECT_TRUE(o.errors.empty());
+}
+
+TEST(Options, ScenarioEqualsFormAndEnvFallback) {
+  std::vector<std::string> args{"prog", "--scenario=epyc-like"};
+  auto argv = argv_of(args);
+  const auto o = parse_options(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(o.scenario, "epyc-like");
+  EXPECT_EQ(effective_scenario(o.scenario), "epyc-like");
+  ::setenv("OMNIVAR_SCENARIO", "noisy-cloud", 1);
+  EXPECT_EQ(effective_scenario(""), "noisy-cloud");
+  EXPECT_EQ(effective_scenario("vera"), "vera");  // CLI wins
+  ::unsetenv("OMNIVAR_SCENARIO");
+  EXPECT_EQ(effective_scenario(""), "");
 }
 
 TEST(Options, EqualsFormAndRepeatedOnly) {
@@ -347,8 +365,10 @@ TEST_F(CampaignCacheTest, ArtifactJsonIsDeterministicAndComplete) {
   const auto a2 = ctx2.artifact_json("desc");
   EXPECT_EQ(a1, a2);  // byte-stable across cached re-runs
 
-  EXPECT_NE(a1.find("\"schema\": \"omnivar-artifact-v1\""),
+  EXPECT_NE(a1.find("\"schema\": \"omnivar-artifact-v2\""),
             std::string::npos);
+  EXPECT_NE(a1.find("\"scenario\": null"), std::string::npos);
+  EXPECT_NE(a1.find("\"platforms\""), std::string::npos);
   EXPECT_NE(a1.find("\"harness\": \"testh\""), std::string::npos);
   EXPECT_NE(a1.find("\"spec_hash\""), std::string::npos);
   EXPECT_NE(a1.find("\"x_name\": \"threads\""), std::string::npos);
@@ -356,6 +376,80 @@ TEST_F(CampaignCacheTest, ArtifactJsonIsDeterministicAndComplete) {
   EXPECT_NE(a1.find("\"shape holds\""), std::string::npos);
   EXPECT_NE(a1.find("\"speed\""), std::string::npos);
   EXPECT_TRUE(ctx2.all_ok());
+}
+
+TEST_F(CampaignCacheTest, PreStampCacheKeyIsRejected) {
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  SpecKey key;
+  key.add("bench", "fake");
+  RunContext ctx1("testh", 1, dir_);
+  (void)ctx1.protocol("cell", small_spec(), key, compute);
+  ASSERT_EQ(computes, 1);
+
+  // The committed .key opens with the cache schema stamp.
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir_ + "/cache")) {
+    if (e.path().extension() == ".key") {
+      std::ifstream f(e.path());
+      std::string first;
+      std::getline(f, first);
+      EXPECT_EQ(first, std::string(kCacheKeySchema));
+    }
+  }
+
+  // Rewrite the .key as an old-generation entry: the bare canonical key
+  // without the stamp (what pre-stamp caches stored). The hit must be
+  // rejected and the cell recomputed.
+  SpecKey full = key;
+  full.add("harness", "testh");
+  full.add("label", "cell");
+  full.add_spec(small_spec());
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir_ + "/cache")) {
+    if (e.path().extension() == ".key") {
+      std::ofstream f(e.path(), std::ios::binary);
+      f << full.canonical();
+    }
+  }
+  RunContext ctx2("testh", 1, dir_);
+  (void)ctx2.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(ctx2.cache_hits(), 0u);
+
+  // A wrong-generation stamp is equally rejected.
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir_ + "/cache")) {
+    if (e.path().extension() == ".key") {
+      std::ofstream f(e.path(), std::ios::binary);
+      f << "omnivar-cache-v1\n" << full.canonical();
+    }
+  }
+  RunContext ctx3("testh", 1, dir_);
+  (void)ctx3.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 3);
+}
+
+TEST_F(CampaignCacheTest, ScenarioRidesOnContextAndArtifact) {
+  const auto scn = scenario::ScenarioRegistry::instance().get("epyc-like");
+  RunContext ctx("testh", 1, "", scn);
+  ASSERT_NE(ctx.scenario(), nullptr);
+  EXPECT_EQ(ctx.scenario()->name, "epyc-like");
+  ctx.note_platform("EpycLike", scn.fingerprint());
+  ctx.note_platform("EpycLike", scn.fingerprint());  // deduplicated
+  const auto a = ctx.artifact_json("desc");
+  EXPECT_NE(a.find("\"name\": \"epyc-like\""), std::string::npos);
+  EXPECT_NE(a.find("\"fingerprint\": \"" + scn.fingerprint() + "\""),
+            std::string::npos);
+  EXPECT_NE(a.find("\"cores_per_numa\": 12"), std::string::npos);
+  // The platform appears exactly once.
+  const auto first = a.find("\"name\": \"EpycLike\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(a.find("\"name\": \"EpycLike\"", first + 1),
+            std::string::npos);
 }
 
 TEST_F(CampaignCacheTest, VerdictTracksFailures) {

@@ -1,0 +1,243 @@
+// Scenario layer tests: catalog lookup, the differential pin of the
+// dardel/vera presets against the legacy factory bundles, serialization /
+// file-load fingerprint round-trips, and the parser's error paths.
+
+#include "scenario/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+#include "topo/topology.hpp"
+
+namespace omv::scenario {
+namespace {
+
+// ---------------------------------------------------------------- catalog
+
+TEST(ScenarioRegistry, CatalogHoldsPaperPlatformsAndNewPresets) {
+  const auto& reg = ScenarioRegistry::instance();
+  ASSERT_GE(reg.all().size(), 6u);
+  for (const char* name : {"dardel", "vera", "epyc-like", "noisy-cloud",
+                           "quiet-hpc", "dvfs-dippy"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  // Name-sorted listing.
+  for (std::size_t i = 1; i < reg.all().size(); ++i) {
+    EXPECT_LT(reg.all()[i - 1].name, reg.all()[i].name);
+  }
+  // Fingerprints are pairwise distinct (a shared fingerprint would let
+  // the campaign cache serve one scenario's cells to another).
+  for (const auto& a : reg.all()) {
+    for (const auto& b : reg.all()) {
+      if (&a != &b) EXPECT_NE(a.fingerprint(), b.fingerprint());
+    }
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsWithCatalog) {
+  const auto& reg = ScenarioRegistry::instance();
+  EXPECT_EQ(reg.find("hal9000"), nullptr);
+  try {
+    (void)reg.get("hal9000");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("dardel"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("vera"), std::string::npos);
+  }
+}
+
+TEST(ScenarioResolve, NameResolvesPathLoadsOtherThrows) {
+  EXPECT_EQ(resolve("vera").name, "vera");
+  EXPECT_THROW((void)resolve("not-a-scenario"), std::runtime_error);
+  // Looks like a path (contains '/' or '.') but does not exist.
+  EXPECT_THROW((void)resolve("/nonexistent/path.scenario"),
+               std::runtime_error);
+}
+
+// ----------------------------------------------- differential factory pin
+
+void expect_machine_equal(const topo::Machine& a, const topo::Machine& b) {
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.base_ghz(), b.base_ghz());
+  EXPECT_EQ(a.max_ghz(), b.max_ghz());
+  ASSERT_EQ(a.n_threads(), b.n_threads());
+  EXPECT_EQ(a.n_cores(), b.n_cores());
+  EXPECT_EQ(a.n_numa(), b.n_numa());
+  EXPECT_EQ(a.n_sockets(), b.n_sockets());
+  for (std::size_t h = 0; h < a.n_threads(); ++h) {
+    EXPECT_EQ(a.thread(h).core, b.thread(h).core) << h;
+    EXPECT_EQ(a.thread(h).numa, b.thread(h).numa) << h;
+    EXPECT_EQ(a.thread(h).socket, b.thread(h).socket) << h;
+    EXPECT_EQ(a.thread(h).smt_index, b.thread(h).smt_index) << h;
+  }
+}
+
+TEST(ScenarioDifferential, DardelPresetIsBitIdenticalToLegacyFactories) {
+  const auto& s = ScenarioRegistry::instance().get("dardel");
+  EXPECT_EQ(s.display, "Dardel");
+  expect_machine_equal(s.machine.build(), topo::Machine::dardel());
+  // Substituting the legacy bundle must not move the fingerprint: the
+  // fingerprint covers every model parameter bit-exactly (shortest
+  // round-trip doubles), so equality here pins every field of every
+  // config struct at once.
+  ScenarioSpec probe = s;
+  probe.sim = sim::SimConfig::dardel();
+  probe.freq_session = sim::FreqConfig::dardel();
+  EXPECT_EQ(probe.fingerprint(), s.fingerprint());
+}
+
+TEST(ScenarioDifferential, VeraPresetIsBitIdenticalToLegacyFactories) {
+  const auto& s = ScenarioRegistry::instance().get("vera");
+  EXPECT_EQ(s.display, "Vera");
+  expect_machine_equal(s.machine.build(), topo::Machine::vera());
+  ScenarioSpec probe = s;
+  probe.sim = sim::SimConfig::vera();
+  probe.freq_session = sim::FreqConfig::vera_dippy();
+  EXPECT_EQ(probe.fingerprint(), s.fingerprint());
+}
+
+TEST(ScenarioDifferential, FingerprintMovesWithAnyKnob) {
+  const auto& base = ScenarioRegistry::instance().get("vera");
+  {
+    ScenarioSpec s = base;
+    s.sim.noise.daemon_rate += 1.0;
+    EXPECT_NE(s.fingerprint(), base.fingerprint());
+  }
+  {
+    ScenarioSpec s = base;
+    s.machine.cores_per_numa += 1;
+    EXPECT_NE(s.fingerprint(), base.fingerprint());
+  }
+  {
+    ScenarioSpec s = base;
+    s.freq_session.episode_rate *= 2.0;
+    EXPECT_NE(s.fingerprint(), base.fingerprint());
+  }
+  {
+    ScenarioSpec s = base;
+    s.name = "vera2";
+    EXPECT_NE(s.fingerprint(), base.fingerprint());
+  }
+}
+
+// ------------------------------------------------------------ round-trips
+
+TEST(ScenarioText, SerializeParseRoundTripsEveryPreset) {
+  for (const auto& s : ScenarioRegistry::instance().all()) {
+    const ScenarioSpec back = parse_text(s.to_text(), "roundtrip");
+    EXPECT_EQ(back.name, s.name);
+    EXPECT_EQ(back.display, s.display);
+    EXPECT_EQ(back.fingerprint(), s.fingerprint()) << s.name;
+  }
+}
+
+TEST(ScenarioText, FileLoadIsFingerprintStable) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "omnivar_scenario_test";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "box.scenario").string();
+  ScenarioSpec s = ScenarioRegistry::instance().get("noisy-cloud");
+  s.name = "my-box";
+  s.display = "MyBox";
+  s.sim.noise.daemon_rate = 123.456;
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << s.to_text();
+  }
+  const ScenarioSpec a = load_file(path);
+  const ScenarioSpec b = load_file(path);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), s.fingerprint());
+  EXPECT_EQ(a.sim.noise.daemon_rate, 123.456);  // bit-exact double
+  EXPECT_EQ(resolve(path).fingerprint(), s.fingerprint());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScenarioText, BaseInheritanceOverridesSelectedFields) {
+  const ScenarioSpec s = parse_text(
+      "name = dippy-dardel\n"
+      "base = dardel\n"
+      "freq.episode_rate = 0.5\n",
+      "test");
+  const auto& dardel = ScenarioRegistry::instance().get("dardel");
+  EXPECT_EQ(s.name, "dippy-dardel");
+  EXPECT_EQ(s.display, "dippy-dardel");  // fresh name => fresh display
+  EXPECT_EQ(s.machine.sockets, dardel.machine.sockets);
+  EXPECT_EQ(s.sim.noise.daemon_rate, dardel.sim.noise.daemon_rate);
+  EXPECT_EQ(s.sim.freq.episode_rate, 0.5);
+  EXPECT_NE(s.fingerprint(), dardel.fingerprint());
+}
+
+TEST(ScenarioText, CommentsBlanksAndCrlfTolerated) {
+  const ScenarioSpec s = parse_text(
+      "# a comment\r\n"
+      "\n"
+      "name = tiny\r\n"
+      "  machine.sockets = 1 \n"
+      "machine.cores_per_numa = 2\n",
+      "test");
+  EXPECT_EQ(s.name, "tiny");
+  EXPECT_EQ(s.display, "tiny");  // defaults to name
+  EXPECT_EQ(s.machine.label, "tiny");
+  EXPECT_EQ(s.machine.sockets, 1u);
+  EXPECT_EQ(s.machine.cores_per_numa, 2u);
+}
+
+// ------------------------------------------------------------ error paths
+
+TEST(ScenarioText, ParserRejectsMalformedInput) {
+  // Unknown key.
+  EXPECT_THROW((void)parse_text("name = x\nnoise.bogus = 1\n", "t"),
+               std::runtime_error);
+  // Malformed numeric values.
+  EXPECT_THROW((void)parse_text("name = x\nnoise.daemon_rate = fast\n", "t"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_text("name = x\nmachine.smt = -1\n", "t"),
+               std::runtime_error);
+  // Missing '='.
+  EXPECT_THROW((void)parse_text("name = x\njust words\n", "t"),
+               std::runtime_error);
+  // Duplicate assignment.
+  EXPECT_THROW(
+      (void)parse_text("name = x\nmem.domain_gbps = 1\nmem.domain_gbps = 2\n",
+                       "t"),
+      std::runtime_error);
+  // Missing name.
+  EXPECT_THROW((void)parse_text("machine.sockets = 1\n", "t"),
+               std::runtime_error);
+  // Unknown base preset.
+  EXPECT_THROW((void)parse_text("name = x\nbase = nope\n", "t"),
+               std::runtime_error);
+  // base after an overridden field.
+  EXPECT_THROW(
+      (void)parse_text("name = x\nmachine.smt = 2\nbase = dardel\n", "t"),
+      std::runtime_error);
+  // Geometry errors surface at parse time.
+  EXPECT_THROW((void)parse_text("name = x\nmachine.sockets = 0\n", "t"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_text("name = x\nmachine.base_ghz = 4\n", "t"),
+               std::runtime_error);  // max (3.0 default) < base
+}
+
+TEST(ScenarioText, ErrorsNameOriginAndLine) {
+  try {
+    (void)parse_text("name = x\n\nnoise.bogus = 1\n", "conf/box.scn");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("conf/box.scn:3"), std::string::npos) << what;
+    EXPECT_NE(what.find("noise.bogus"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioText, MissingFileThrows) {
+  EXPECT_THROW((void)load_file("/nonexistent/omnivar.scenario"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace omv::scenario
