@@ -24,23 +24,38 @@ using namespace omv;
 
 namespace {
 
-// ST: first siblings of `n` cores. MT: both siblings of n/2 cores (the
-// second siblings' OS ids start at n_cores under the Linux numbering the
-// machines use — 128 on Dardel).
-ompsim::TeamConfig st_team(std::size_t n) {
+// Teams are laid out over the *SMT-eligible* core pool (cores with >= 2
+// HW threads) — the whole machine on the paper platforms, the P-cluster
+// on a big.LITTLE part. ST: first siblings of the first `n` eligible
+// cores. MT: both siblings of the first n/2. On symmetric machines the
+// compressed places specs reproduce the historical strings ("{0}:n:1" /
+// "{0}:k:1,{128}:k:1" on Dardel — second siblings start at n_cores under
+// its Linux numbering) byte for byte.
+ompsim::TeamConfig st_team(const topo::Machine& m,
+                           const std::vector<std::size_t>& eligible,
+                           std::size_t n) {
   ompsim::TeamConfig cfg;
   cfg.n_threads = n;
-  cfg.places_spec = "{0}:" + std::to_string(n) + ":1";
+  const std::vector<std::size_t> cores(eligible.begin(),
+                                       eligible.begin() +
+                                           static_cast<std::ptrdiff_t>(n));
+  cfg.places_spec = harness::places_for_ids(harness::sibling_ids(m, cores, 0));
   cfg.bind = topo::ProcBind::close;
   return cfg;
 }
 
-ompsim::TeamConfig mt_team(const topo::Machine& m, std::size_t n) {
+ompsim::TeamConfig mt_team(const topo::Machine& m,
+                           const std::vector<std::size_t>& eligible,
+                           std::size_t n) {
   ompsim::TeamConfig cfg;
   cfg.n_threads = n;
-  cfg.places_spec = "{0}:" + std::to_string(n / 2) + ":1,{" +
-                    std::to_string(m.n_cores()) + "}:" +
-                    std::to_string(n / 2) + ":1";
+  const std::vector<std::size_t> cores(
+      eligible.begin(),
+      eligible.begin() + static_cast<std::ptrdiff_t>(n / 2));
+  std::vector<std::size_t> ids = harness::sibling_ids(m, cores, 0);
+  const std::vector<std::size_t> second = harness::sibling_ids(m, cores, 1);
+  ids.insert(ids.end(), second.begin(), second.end());
+  cfg.places_spec = harness::places_for_ids(ids);
   cfg.bind = topo::ProcBind::close;
   return cfg;
 }
@@ -53,27 +68,32 @@ int run_fig5(cli::RunContext& ctx) {
       "BabelStream does not benefit from SMT");
 
   const auto p = harness::primary(ctx);
-  if (p.machine.smt_per_core() < 2) {
+  if (p.machine.max_smt_per_core() < 2) {
     // The ST/MT contrast needs hyperthreads; a no-SMT scenario has no MT
-    // configuration to measure.
+    // configuration to measure. (Per-core query: the retired floor-average
+    // smt_per_core() reported "no SMT" for any machine whose SMT cores
+    // were outnumbered by non-SMT ones.)
     std::printf("scenario '%s' has no SMT (1 HW thread per core); the "
                 "ST-vs-MT contrast does not apply.\n",
                 p.name.c_str());
     return 0;
   }
   sim::Simulator s(p.machine, p.config);
-  // Stage sizes derived from the machine (Dardel: 128 / 32 / 8).
-  const std::size_t t_full = 2 * (p.machine.n_cores() / 2);
-  if (t_full < 4 || p.machine.n_cores() < 2) {
+  // Stage sizes derived from the SMT-eligible core pool (every core on
+  // the paper platforms — Dardel: 128 / 32 / 8 — only the SMT-capable
+  // cluster on mixed-SMT machines).
+  const auto eligible = p.machine.cores_with_smt(2);
+  const std::size_t n_elig = eligible.size();
+  const std::size_t t_full = 2 * (n_elig / 2);
+  if (t_full < 4 || n_elig < 2) {
     std::printf("scenario '%s' is too small for the ST/MT split (%zu "
-                "physical cores); the contrast does not apply.\n",
-                p.name.c_str(), p.machine.n_cores());
+                "SMT-capable cores); the contrast does not apply.\n",
+                p.name.c_str(), n_elig);
     return 0;
   }
-  const std::size_t t_sync = std::min(
-      2 * std::max<std::size_t>(2, p.machine.n_cores() / 8), t_full);
-  const std::size_t t_small =
-      2 * std::max<std::size_t>(1, p.machine.n_cores() / 32);
+  const std::size_t t_sync =
+      std::min(2 * std::max<std::size_t>(2, n_elig / 8), t_full);
+  const std::size_t t_small = 2 * std::max<std::size_t>(1, n_elig / 32);
   const std::string fsn = std::to_string(t_full);
   const std::string syn = std::to_string(t_sync);
   const std::string smn = std::to_string(t_small);
@@ -110,10 +130,10 @@ int run_fig5(cli::RunContext& ctx) {
   // (a)/(d) schedbench, 128 threads.
   {
     const auto ms = sched_cell(("sched" + fsn + "/st").c_str(),
-                               st_team(t_full),
+                               st_team(p.machine, eligible, t_full),
                                harness::paper_spec(6001, 10, 20));
     const auto mm = sched_cell(("sched" + fsn + "/mt").c_str(),
-                               mt_team(p.machine, t_full),
+                               mt_team(p.machine, eligible, t_full),
                                harness::paper_spec(6002, 10, 20));
     report::Table t({"config", "grand mean (us)", "pooled CV",
                      "worst run CV"});
@@ -156,8 +176,8 @@ int run_fig5(cli::RunContext& ctx) {
             [&] { return sb.run_protocol(c, spec, ctx.jobs()); });
       };
       const auto ms =
-          run_sync("st", st_team(t_sync), harness::paper_spec(6003));
-      const auto mm = run_sync("mt", mt_team(p.machine, t_sync),
+          run_sync("st", st_team(p.machine, eligible, t_sync), harness::paper_spec(6003));
+      const auto mm = run_sync("mt", mt_team(p.machine, eligible, t_sync),
                                harness::paper_spec(6004));
       const auto cv_stats_s = stats::summarize(ms.run_cvs());
       const auto cv_stats_m = stats::summarize(mm.run_cvs());
@@ -183,10 +203,10 @@ int run_fig5(cli::RunContext& ctx) {
 
   // (c)/(f) BabelStream, 128 threads and the small-scale comparison.
   {
-    const auto ms = stream_cell("stream" + fsn + "/st", st_team(t_full),
+    const auto ms = stream_cell("stream" + fsn + "/st", st_team(p.machine, eligible, t_full),
                                 harness::paper_spec(6005, 10, 50));
     const auto mm =
-        stream_cell("stream" + fsn + "/mt", mt_team(p.machine, t_full),
+        stream_cell("stream" + fsn + "/mt", mt_team(p.machine, eligible, t_full),
                     harness::paper_spec(6006, 10, 50));
     std::printf(
         "(c)/(f) BabelStream triad %s threads: ST %.3f ms (CV %.4f) vs "
@@ -198,10 +218,10 @@ int run_fig5(cli::RunContext& ctx) {
     ctx.verdict(mm.grand_mean() >= ms.grand_mean() * 0.95,
                 "BabelStream does not benefit from using SMT");
 
-    const auto ms8 = stream_cell("stream" + smn + "/st", st_team(t_small),
+    const auto ms8 = stream_cell("stream" + smn + "/st", st_team(p.machine, eligible, t_small),
                                  harness::paper_spec(6007, 10, 50));
     const auto mm8 =
-        stream_cell("stream" + smn + "/mt", mt_team(p.machine, t_small),
+        stream_cell("stream" + smn + "/mt", mt_team(p.machine, eligible, t_small),
                     harness::paper_spec(6008, 10, 50));
     std::printf("BabelStream triad %s threads: ST %.3f ms vs MT %.3f ms\n",
                 smn.c_str(), ms8.grand_mean(), mm8.grand_mean());

@@ -42,7 +42,8 @@ PanelResult run_panel(cli::RunContext& ctx, const harness::Platform& p,
 }
 
 void report_panel(cli::RunContext& ctx, const std::string& slug,
-                  const char* label, const PanelResult& r, double fmax) {
+                  const char* label, const PanelResult& r,
+                  const std::vector<double>& fmax) {
   std::printf("%s\n", label);
   report::Table t({"run #", "mean (us)", "min (us)", "max (us)", "cv"});
   for (std::size_t i = 0; i < r.matrix.runs(); ++i) {
@@ -82,7 +83,7 @@ int run_fig6(cli::RunContext& ctx) {
     return 0;
   }
   sim::Simulator s(p.machine, p.config);
-  const double fmax = p.machine.max_ghz();
+  const std::vector<double> fmax = harness::core_fmax(p.machine);
 
   const auto one_numa =
       run_panel(ctx, p, "one_numa", s, geo.one_places, geo.threads, 7001);

@@ -52,7 +52,7 @@ int run_fig7(cli::RunContext& ctx) {
     return 0;
   }
   sim::Simulator s(p.machine, p.config);
-  const double fmax = p.machine.max_ghz();
+  const std::vector<double> fmax = harness::core_fmax(p.machine);
 
   const auto one =
       run_panel(ctx, p, "one_numa", s, geo.one_places, geo.threads, 8001);

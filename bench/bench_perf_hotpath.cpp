@@ -90,6 +90,12 @@ struct Windows {
     }
   }
 
+  /// Latest window end — the stream must be materialized past it before
+  /// the reference queries run (they throw on under-materialized reads).
+  [[nodiscard]] double max_end() const {
+    return *std::max_element(t1.begin(), t1.end());
+  }
+
   std::size_t step() {
     next = (next + 1) % t0.size();
     return next;
@@ -154,11 +160,14 @@ int run_perf_hotpath(cli::RunContext& ctx) {
     ncfg.kworker_rate_per_cpu = d.kworker_rate;
     sim::NoiseModel noise(machine, ncfg);
     noise.begin_run(42, machine.primary_threads());
-    noise.materialize_to(horizon);
+    Windows nw(horizon, machine.n_threads(), 7);
+    // Freeze the stream past every query window (the short quick-mode
+    // horizon used to leave the last windows past the materialized edge,
+    // which the reference queries silently tolerated — no longer).
+    noise.materialize_to(std::max(horizon, nw.max_end()));
     std::size_t n_events = 0;
     for (const auto& v : noise.events()) n_events += v.size();
 
-    Windows nw(horizon, machine.n_threads(), 7);
     const double noise_opt = median_ns(
         [&] {
           const std::size_t k = nw.step();
@@ -180,13 +189,13 @@ int run_perf_hotpath(cli::RunContext& ctx) {
     fcfg.episode_mean = d.episode_mean;
     sim::FreqModel freq(machine, fcfg);
     freq.begin_run(42);
-    freq.materialize_to(horizon);
+    Windows fw(horizon, machine.n_cores(), 11);
+    freq.materialize_to(std::max(horizon, fw.max_end()));
     std::size_t n_eps = 0;
     for (std::size_t dom = 0; dom < machine.n_numa(); ++dom) {
       n_eps += freq.episodes(dom).size();
     }
 
-    Windows fw(horizon, machine.n_cores(), 11);
     const double mf_opt = median_ns(
         [&] {
           const std::size_t k = fw.step();

@@ -53,17 +53,42 @@ inline FreqPanelGeometry freq_panel_geometry(const Platform& p) {
                "frequency-variation contrast does not apply.";
     return g;
   }
-  const std::size_t cpn = cores_per_numa(p.machine);
-  const std::size_t per = std::min(cpn, p.machine.n_cores() / 2);
+  // Panels are sized from the two domains actually used, not a global
+  // cores/numa average: on lopsided machines domain 1 may hold far fewer
+  // cores than domain 0, and the split panel must fit inside it.
+  const auto d0 = p.machine.cores_in_numa(0);
+  const auto d1 = p.machine.cores_in_numa(1);
+  const std::size_t per = std::min(d0.size(), p.machine.n_cores() / 2);
   // Both panels must run the SAME team size or the CV contrast would
   // partly measure team size, not placement — so round down to an even
-  // count that splits cleanly across the two domains.
-  const std::size_t half = std::max<std::size_t>(1, per / 2);
+  // count that splits cleanly across the two domains AND fits entirely
+  // inside domain 0 for the one-domain panel.
+  const std::size_t half = std::min(
+      {std::max<std::size_t>(1, per / 2), d1.size(), d0.size() / 2});
+  if (half == 0) {
+    g.reason = "scenario '" + p.name +
+               "' is too small for the one-vs-two NUMA contrast (domains 0/1"
+               " hold " +
+               std::to_string(d0.size()) + "/" + std::to_string(d1.size()) +
+               " cores); the placement contrast does not apply.";
+    return g;
+  }
   g.applicable = true;
   g.threads = 2 * half;
-  g.one_places = "{0}:" + std::to_string(g.threads) + ":1";
-  g.two_places = "{0}:" + std::to_string(half) + ":1,{" +
-                 std::to_string(cpn) + "}:" + std::to_string(half) + ":1";
+  // Primary-sibling places over the concrete core pools; on symmetric
+  // machines the range compression reproduces the historical "{0}:16:1" /
+  // "{0}:8:1,{16}:8:1" strings byte for byte.
+  const std::vector<std::size_t> one_cores(
+      d0.begin(), d0.begin() + static_cast<std::ptrdiff_t>(g.threads));
+  std::vector<std::size_t> split_ids = sibling_ids(
+      p.machine,
+      {d0.begin(), d0.begin() + static_cast<std::ptrdiff_t>(half)}, 0);
+  const std::vector<std::size_t> second_ids = sibling_ids(
+      p.machine,
+      {d1.begin(), d1.begin() + static_cast<std::ptrdiff_t>(half)}, 0);
+  split_ids.insert(split_ids.end(), second_ids.begin(), second_ids.end());
+  g.one_places = places_for_ids(sibling_ids(p.machine, one_cores, 0));
+  g.two_places = places_for_ids(split_ids);
   return g;
 }
 

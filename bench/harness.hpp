@@ -223,14 +223,54 @@ inline std::size_t spare2_team(const topo::Machine& m) {
   return m.n_threads() > 2 ? m.n_threads() - 2 : m.n_threads();
 }
 
-/// Physical cores in NUMA domain 0 (uniform machines: n_cores / n_numa);
-/// sizes the frequency figures' one-domain-vs-two-domains panels.
-inline std::size_t cores_per_numa(const topo::Machine& m) {
-  std::set<std::size_t> cores;
-  for (const auto& t : m.threads()) {
-    if (t.numa == 0) cores.insert(t.core);
+/// OMP_PLACES spec of single-HW-thread places over explicit os ids, in
+/// order. Consecutive runs compress to the "{start}:count:1" range form,
+/// so on conventionally numbered (symmetric) machines this reproduces the
+/// historical hand-written strings byte for byte.
+inline std::string places_for_ids(const std::vector<std::size_t>& ids) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < ids.size()) {
+    std::size_t j = i + 1;
+    while (j < ids.size() && ids[j] == ids[j - 1] + 1) ++j;
+    if (!out.empty()) out += ',';
+    out += '{' + std::to_string(ids[i]) + "}:" + std::to_string(j - i) +
+           ":1";
+    i = j;
   }
-  return cores.size();
+  return out;
+}
+
+/// Per-core boost clock table — feeds FreqTrace's per-core dip
+/// thresholds, so an E-core cruising at its own fmax never counts as a
+/// frequency dip against the P-cores' higher clock. On homogeneous
+/// machines every entry equals max_ghz() and the statistics are
+/// bit-identical to the historical machine-wide threshold.
+inline std::vector<double> core_fmax(const topo::Machine& m) {
+  std::vector<double> f(m.n_cores());
+  for (std::size_t c = 0; c < m.n_cores(); ++c) f[c] = m.core_max_ghz(c);
+  return f;
+}
+
+/// os ids of the smt_index==`sibling` HW thread of each listed core, in
+/// core order (cores lacking that sibling are skipped). sibling=0 gives
+/// the ST pool of the cores, sibling=1 the MT companions.
+inline std::vector<std::size_t> sibling_ids(
+    const topo::Machine& m, const std::vector<std::size_t>& cores,
+    std::size_t sibling) {
+  std::vector<std::size_t> by_core(m.n_cores(),
+                                   static_cast<std::size_t>(-1));
+  for (const auto& t : m.threads()) {
+    if (t.smt_index == sibling) by_core[t.core] = t.os_id;
+  }
+  std::vector<std::size_t> out;
+  out.reserve(cores.size());
+  for (std::size_t c : cores) {
+    if (by_core[c] != static_cast<std::size_t>(-1)) {
+      out.push_back(by_core[c]);
+    }
+  }
+  return out;
 }
 
 /// Standard pinned team config (OMP_PLACES=threads, OMP_PROC_BIND=close).

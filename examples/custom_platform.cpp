@@ -58,7 +58,7 @@ int main() {
               spec.fingerprint().c_str(), spec.geometry_summary().c_str());
   std::printf("Custom platform: %zu cores, %zu NUMA domains, SMT-%zu\n\n",
               s.machine().n_cores(), s.machine().n_numa(),
-              s.machine().smt_per_core());
+              s.machine().max_smt_per_core());
 
   report::Series series("threads",
                         {"close_us", "close_cv", "spread_us", "spread_cv"});

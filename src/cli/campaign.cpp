@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -58,6 +59,13 @@ RunContext::RunContext(std::string harness, std::size_t jobs,
   }
 }
 
+std::string_view engine_version() {
+  if (const char* v = std::getenv("OMNIVAR_ENGINE_VERSION"); v && *v != '\0') {
+    return v;
+  }
+  return kEngineVersion;
+}
+
 void RunContext::note_platform(const std::string& name,
                                const std::string& fingerprint) {
   for (const auto& [n, f] : platforms_) {
@@ -71,6 +79,9 @@ RunMatrix RunContext::protocol(const std::string& label,
                                const std::function<RunMatrix()>& compute,
                                const ExtraSave& save_extra,
                                const ExtraLoad& load_extra) {
+  // Every cell key absorbs the engine generation: a cache dir written by
+  // another simulator generation hashes apart wholesale.
+  config.add("engine", engine_version());
   config.add("harness", harness_);
   config.add("label", label);
   config.add_spec(spec);
@@ -192,12 +203,35 @@ std::string RunContext::artifact_json(const std::string& description) const {
     w.key("geometry").value(scenario_->geometry_summary());
     w.key("machine").begin_object();
     w.key("label").value(scenario_->machine.label);
-    w.key("sockets").value(scenario_->machine.sockets);
-    w.key("numa_per_socket").value(scenario_->machine.numa_per_socket);
-    w.key("cores_per_numa").value(scenario_->machine.cores_per_numa);
-    w.key("smt").value(scenario_->machine.smt);
-    w.key("base_ghz").value(scenario_->machine.base_ghz);
-    w.key("max_ghz").value(scenario_->machine.max_ghz);
+    if (scenario_->machine.asymmetric()) {
+      // v2 node-group geometry: the uniform fields are meaningless here;
+      // the groups block is the machine definition.
+      w.key("groups").begin_array();
+      for (const auto& g : scenario_->machine.groups) {
+        w.begin_object();
+        w.key("name").value(g.name);
+        if (g.socket_pinned()) {
+          w.key("socket").value(g.socket);
+        } else {
+          w.key("sockets").value(g.sockets);
+        }
+        w.key("numa").value(g.numa);
+        w.key("cores").value(g.cores);
+        w.key("smt").value(g.smt);
+        w.key("base_ghz").value(g.base_ghz);
+        w.key("max_ghz").value(g.max_ghz);
+        w.key("work_rate").value(g.work_rate);
+        w.end_object();
+      }
+      w.end_array();
+    } else {
+      w.key("sockets").value(scenario_->machine.sockets);
+      w.key("numa_per_socket").value(scenario_->machine.numa_per_socket);
+      w.key("cores_per_numa").value(scenario_->machine.cores_per_numa);
+      w.key("smt").value(scenario_->machine.smt);
+      w.key("base_ghz").value(scenario_->machine.base_ghz);
+      w.key("max_ghz").value(scenario_->machine.max_ghz);
+    }
     w.end_object();
     w.end_object();
   } else {

@@ -58,6 +58,19 @@ namespace omv::cli {
 /// are ignored and recomputed.
 inline constexpr std::string_view kCacheKeySchema = "omnivar-cache-v2";
 
+/// Simulator-engine generation, absorbed into every cell's SpecKey (and
+/// therefore its hash): bump it whenever a model/code change alters what
+/// any cached RunMatrix would contain, and every pre-bump cache dir
+/// degrades to a recompute instead of serving stale cells. This closes
+/// the remaining PR 2 hazard — the platform axis was versioned by the
+/// scenario fingerprint, the simulator code itself was not.
+inline constexpr std::string_view kEngineVersion = "omnivar-engine-v5";
+
+/// Effective engine version: OMNIVAR_ENGINE_VERSION when set (a test hook
+/// so cache-invalidation behaviour is testable without rebuilding), else
+/// kEngineVersion.
+[[nodiscard]] std::string_view engine_version();
+
 /// Provenance of one cached protocol cell.
 struct CellRecord {
   std::string label;

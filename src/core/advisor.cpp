@@ -81,7 +81,7 @@ Advice advise(const topo::Machine& machine, const Characterization& ch,
   }
 
   // 2. SMT: leave the second hardware context to the OS.
-  if (observed.used_smt_siblings && machine.smt_per_core() > 1) {
+  if (observed.used_smt_siblings && machine.max_smt_per_core() > 1) {
     add(a, "leave SMT siblings to the OS",
         "with both hardware threads of a core running application threads, "
         "OS activity must preempt an application thread and SMT contention "

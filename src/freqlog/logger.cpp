@@ -24,6 +24,19 @@ double FreqTrace::fraction_below(double fmax_ghz,
   return static_cast<double>(below) / static_cast<double>(samples_.size());
 }
 
+double FreqTrace::fraction_below(const std::vector<double>& fmax_per_core,
+                                 double threshold_fraction) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t below = 0;
+  for (const auto& s : samples_) {
+    if (s.core < fmax_per_core.size() &&
+        s.ghz < fmax_per_core[s.core] * threshold_fraction) {
+      ++below;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(samples_.size());
+}
+
 FreqTrace::Extremes FreqTrace::extremes() const {
   Extremes e;
   if (samples_.empty()) return e;
@@ -48,6 +61,27 @@ std::size_t FreqTrace::episode_count(double fmax_ghz,
   for (const auto& s : samples_) {
     bool& active = in_episode[s.core];
     if (s.ghz < thr) {
+      if (!active) {
+        active = true;
+        ++episodes;
+      }
+    } else {
+      active = false;
+    }
+  }
+  return episodes;
+}
+
+std::size_t FreqTrace::episode_count(
+    const std::vector<double>& fmax_per_core,
+    double threshold_fraction) const {
+  std::map<std::size_t, bool> in_episode;
+  std::size_t episodes = 0;
+  for (const auto& s : samples_) {
+    bool& active = in_episode[s.core];
+    const bool dip = s.core < fmax_per_core.size() &&
+                     s.ghz < fmax_per_core[s.core] * threshold_fraction;
+    if (dip) {
       if (!active) {
         active = true;
         ++episodes;

@@ -40,6 +40,15 @@ class FreqTrace {
   [[nodiscard]] double fraction_below(double fmax_ghz,
                                       double threshold_fraction) const;
 
+  /// Per-core-fmax variant for heterogeneous machines: a sample of core c
+  /// is "below" when ghz < threshold_fraction * fmax_per_core[c] (cores
+  /// beyond the vector are never below). On uniform machines this is
+  /// bit-identical to the scalar overload — an E-core cruising at its own
+  /// fmax must not count as a dip just because P-cores clock higher.
+  [[nodiscard]] double fraction_below(
+      const std::vector<double>& fmax_per_core,
+      double threshold_fraction) const;
+
   /// Minimum / mean / maximum sampled frequency (GHz); zeros when empty.
   struct Extremes {
     double min = 0.0;
@@ -52,6 +61,11 @@ class FreqTrace {
   /// ghz < threshold_fraction * fmax.
   [[nodiscard]] std::size_t episode_count(double fmax_ghz,
                                           double threshold_fraction) const;
+
+  /// Per-core-fmax variant (see fraction_below).
+  [[nodiscard]] std::size_t episode_count(
+      const std::vector<double>& fmax_per_core,
+      double threshold_fraction) const;
 
  private:
   std::vector<FreqSample> samples_;

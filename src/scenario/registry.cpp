@@ -129,6 +129,98 @@ ScenarioSpec quiet_hpc_preset() {
   return s;
 }
 
+/// A big.LITTLE-style client part: four SMT-2 P-cores and four SMT-1
+/// E-cores on one socket, each cluster its own NUMA-modelled L3 domain,
+/// with per-class frequency ranges and E-cores at ~0.55x compute rate.
+/// The catalog's first asymmetric (node-group) preset: exercises mixed-SMT
+/// placement, per-class calibration and heterogeneous daemon absorption.
+ScenarioSpec biglittle_preset() {
+  ScenarioSpec s;
+  s.name = "biglittle";
+  s.display = "BigLittle";
+  s.description =
+      "1-socket 4P(SMT-2)+4E(SMT-1) hybrid client part: mixed SMT, "
+      "per-class clocks and compute rates, clusters as separate domains";
+  s.machine.label = "biglittle";
+  {
+    NodeGroupSpec p;
+    p.name = "P";
+    p.sockets = 1;
+    p.numa = 1;
+    p.cores = 4;
+    p.smt = 2;
+    p.base_ghz = 2.5;
+    p.max_ghz = 3.8;
+    p.work_rate = 1.0;
+    NodeGroupSpec e;
+    e.name = "E";
+    e.socket = 0;  // same die as the P cluster
+    e.numa = 1;
+    e.cores = 4;
+    e.smt = 1;
+    e.base_ghz = 1.8;
+    e.max_ghz = 2.6;
+    e.work_rate = 0.55;
+    s.machine.groups = {p, e};
+  }
+  s.sim = sim::SimConfig::vera();
+  s.sim.class_work_rate = s.machine.class_work_rates();
+  // Client noise profile: few CPUs, visible background services.
+  s.sim.noise.daemon_rate = 40.0;
+  s.sim.noise.kworker_rate_per_cpu = 0.15;
+  s.sim.noise.irq_cpus = 2;
+  s.sim.mem.domain_gbps = 30.0;
+  // Hybrid parts shuffle power budget between clusters constantly.
+  s.sim.freq.episode_rate = 0.08;
+  s.sim.freq.depth_lo = 0.75;
+  s.sim.freq.depth_hi = 0.92;
+  s.sim.freq.cross_numa_rate_mult = 4.0;
+  s.freq_session = s.sim.freq;
+  s.freq_session.episode_rate = 0.30;
+  return s;
+}
+
+/// Uneven NUMA domains: one 12-core domain plus one 4-core domain on the
+/// same socket (a cut-down / partially-disabled part). Same core class
+/// everywhere — the asymmetry is purely the domain geometry, so every
+/// "cores per NUMA" average assumption is off by 50% in one direction.
+ScenarioSpec lopsided_numa_preset() {
+  ScenarioSpec s;
+  s.name = "lopsided-numa";
+  s.display = "LopsidedNuma";
+  s.description =
+      "1-socket 12c+4c uneven NUMA domains (SMT-2, one core class): "
+      "breaks every uniform cores-per-domain assumption";
+  s.machine.label = "lopsided-numa";
+  {
+    NodeGroupSpec wide;
+    wide.name = "wide";
+    wide.sockets = 1;
+    wide.numa = 1;
+    wide.cores = 12;
+    wide.smt = 2;
+    wide.base_ghz = 2.25;
+    wide.max_ghz = 3.4;
+    wide.work_rate = 1.0;
+    NodeGroupSpec narrow = wide;
+    narrow.name = "narrow";
+    narrow.socket = 0;  // second, smaller domain on the same socket
+    narrow.cores = 4;
+    s.machine.groups = {wide, narrow};
+  }
+  s.sim = sim::SimConfig::dardel();
+  s.sim.class_work_rate = s.machine.class_work_rates();
+  s.sim.mem.domain_gbps = 35.0;
+  // Cross-domain traffic on the shared uncore dips harder than Dardel's.
+  s.sim.freq.episode_rate = 0.03;
+  s.sim.freq.depth_lo = 0.85;
+  s.sim.freq.depth_hi = 0.95;
+  s.sim.freq.cross_numa_rate_mult = 5.0;
+  s.freq_session = s.sim.freq;
+  s.freq_session.episode_rate = 0.12;
+  return s;
+}
+
 /// A DVFS-unstable machine: Vera's geometry with an order of magnitude
 /// more dip pressure and deep dips — the high-dip regime the paper's
 /// Figs. 6/7 sessions only brushed.
@@ -164,6 +256,8 @@ ScenarioRegistry::ScenarioRegistry() {
   scenarios_.push_back(noisy_cloud_preset());
   scenarios_.push_back(quiet_hpc_preset());
   scenarios_.push_back(dvfs_dippy_preset());
+  scenarios_.push_back(biglittle_preset());
+  scenarios_.push_back(lopsided_numa_preset());
   std::sort(scenarios_.begin(), scenarios_.end(),
             [](const ScenarioSpec& a, const ScenarioSpec& b) {
               return a.name < b.name;

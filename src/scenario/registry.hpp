@@ -6,7 +6,9 @@
 // (tests/test_scenario.cpp pins the equivalence field by field) — and add
 // presets that exercise regimes the paper never measured: a single-socket
 // EPYC-like quad-NUMA SMT-2 box, a preemption-heavy cloud node, a quiet
-// tuned HPC node, and a DVFS-unstable machine with deep frequency dips.
+// tuned HPC node, a DVFS-unstable machine with deep frequency dips, and
+// two *asymmetric* node-group machines ("biglittle" 4P+4E mixed-SMT,
+// "lopsided-numa" 12c+4c uneven domains).
 //
 // Selection is threaded through the campaign driver as
 // `--scenario NAME-OR-FILE` / OMNIVAR_SCENARIO: a catalog name resolves

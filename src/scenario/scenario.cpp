@@ -105,6 +105,43 @@ void for_each_field(SpecT& s, F&& f) {
   f(std::string("costs.smt_sync_jitter"), s.sim.costs.smt_sync_jitter);
 }
 
+/// The per-group fields of the v2 [group <name>] stanza, minus the two
+/// special cases (`socket` pins are optional and mutually exclusive with
+/// `sockets`; the name lives in the stanza header). Shared by the
+/// fingerprint, the serializer and the parser like for_each_field.
+template <typename GroupT, typename F>
+void group_fields(const std::string& prefix, GroupT& g, F&& f) {
+  f(prefix + "sockets", g.sockets);
+  f(prefix + "numa", g.numa);
+  f(prefix + "cores", g.cores);
+  f(prefix + "smt", g.smt);
+  f(prefix + "base_ghz", g.base_ghz);
+  f(prefix + "max_ghz", g.max_ghz);
+  f(prefix + "work_rate", g.work_rate);
+}
+
+/// True for the uniform machine geometry keys that cannot be mixed with
+/// [group ...] stanzas (machine.label is identity, not geometry).
+bool is_uniform_geometry_key(const std::string& key) {
+  return key.rfind("machine.", 0) == 0 && key != "machine.label";
+}
+
+/// True when `key` is a known top-level scenario key (identity keys or a
+/// for_each_field name) — distinguishes "misplaced global key inside a
+/// stanza" from "no such key at all" in parser diagnostics.
+bool is_global_key(const std::string& key) {
+  if (key == "base" || key == "name" || key == "display" ||
+      key == "description" || key == "machine.label") {
+    return true;
+  }
+  bool found = false;
+  ScenarioSpec probe;
+  for_each_field(probe, [&](const std::string& n, auto&) {
+    if (n == key) found = true;
+  });
+  return found;
+}
+
 /// Functor overload set for the field visitor (lambdas can't overload).
 template <typename UintF, typename DoubleF>
 struct FieldVisitor {
@@ -167,11 +204,106 @@ bool parse_size_strict(std::string_view text, std::size_t& out) {
   return true;
 }
 
+[[noreturn]] void spec_fail(const std::string& what) {
+  throw std::invalid_argument("MachineSpec: " + what);
+}
+
 }  // namespace
 
 topo::Machine MachineSpec::build() const {
-  return topo::Machine::uniform(label, sockets, numa_per_socket,
-                                cores_per_numa, smt, base_ghz, max_ghz);
+  if (groups.empty()) {
+    return topo::Machine::uniform(label, sockets, numa_per_socket,
+                                  cores_per_numa, smt, base_ghz, max_ghz);
+  }
+
+  std::vector<topo::CoreClass> classes;
+  classes.reserve(groups.size());
+  struct CoreRec {
+    std::size_t numa;
+    std::size_t socket;
+    std::size_t cls;
+    std::size_t smt;
+  };
+  std::vector<CoreRec> core_recs;
+  std::size_t next_socket = 0;
+  std::size_t next_numa = 0;
+  std::size_t max_smt = 0;
+  std::set<std::string> names;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const NodeGroupSpec& g = groups[gi];
+    if (g.name.empty()) spec_fail("group name must not be empty");
+    if (!names.insert(g.name).second) {
+      spec_fail("duplicate group name '" + g.name + "'");
+    }
+    if (g.numa == 0 || g.cores == 0 || g.smt == 0 ||
+        (!g.socket_pinned() && g.sockets == 0)) {
+      spec_fail("zero-sized dimension in group '" + g.name + "'");
+    }
+    if (!(g.work_rate > 0.0)) {
+      spec_fail("work_rate of group '" + g.name + "' must be positive");
+    }
+    classes.push_back({g.name, g.base_ghz, g.max_ghz});
+    std::size_t first_socket = 0;
+    std::size_t socket_count = 1;
+    if (g.socket_pinned()) {
+      if (g.sockets != 1) {
+        spec_fail("group '" + g.name +
+                  "' pins an existing socket and cannot also span " +
+                  std::to_string(g.sockets) + " fresh sockets");
+      }
+      if (g.socket >= next_socket) {
+        spec_fail("group '" + g.name + "' pins socket " +
+                  std::to_string(g.socket) + " but only " +
+                  std::to_string(next_socket) +
+                  " socket(s) exist before it (pins must reference an "
+                  "earlier group's socket)");
+      }
+      first_socket = g.socket;
+    } else {
+      first_socket = next_socket;
+      socket_count = g.sockets;
+      next_socket += g.sockets;
+    }
+    max_smt = std::max(max_smt, g.smt);
+    for (std::size_t s = 0; s < socket_count; ++s) {
+      for (std::size_t d = 0; d < g.numa; ++d) {
+        const std::size_t numa_id = next_numa++;
+        for (std::size_t c = 0; c < g.cores; ++c) {
+          core_recs.push_back({numa_id, first_socket + s, gi, g.smt});
+        }
+      }
+    }
+  }
+
+  // Linux-convention numbering generalized to mixed SMT: os ids walk all
+  // first siblings in core order, then the second siblings of every core
+  // that has one, and so on — on symmetric machines this is exactly the
+  // uniform() numbering.
+  std::vector<topo::HwThread> threads;
+  threads.reserve(core_recs.size() * max_smt);
+  std::size_t os_id = 0;
+  for (std::size_t s = 0; s < max_smt; ++s) {
+    for (std::size_t core = 0; core < core_recs.size(); ++core) {
+      const CoreRec& rec = core_recs[core];
+      if (s >= rec.smt) continue;
+      topo::HwThread t;
+      t.os_id = os_id++;
+      t.core = core;
+      t.numa = rec.numa;
+      t.socket = rec.socket;
+      t.smt_index = s;
+      t.cls = rec.cls;
+      threads.push_back(t);
+    }
+  }
+  return topo::Machine(label, std::move(threads), std::move(classes));
+}
+
+std::vector<double> MachineSpec::class_work_rates() const {
+  std::vector<double> rates;
+  rates.reserve(groups.size());
+  for (const auto& g : groups) rates.push_back(g.work_rate);
+  return rates;
 }
 
 SpecKey ScenarioSpec::key() const {
@@ -183,11 +315,37 @@ SpecKey ScenarioSpec::key() const {
       *this, field_visitor(
                  [&k](const std::string& n, std::size_t& v) { k.add(n, v); },
                  [&k](const std::string& n, double& v) { k.add(n, v); }));
+  // v2 node groups (absent on symmetric scenarios, whose fingerprints must
+  // not move just because the group axis exists).
+  if (!machine.groups.empty()) {
+    k.add("machine.n_groups", machine.groups.size());
+    for (std::size_t i = 0; i < machine.groups.size(); ++i) {
+      const NodeGroupSpec& g = machine.groups[i];
+      const std::string prefix = "group." + std::to_string(i) + ".";
+      k.add(prefix + "name", g.name);
+      if (g.socket_pinned()) k.add(prefix + "socket", g.socket);
+      group_fields(
+          prefix, g,
+          field_visitor(
+              [&k](const std::string& n, std::size_t& v) { k.add(n, v); },
+              [&k](const std::string& n, double& v) { k.add(n, v); }));
+    }
+  }
+  // Derived per-class calibration (populated from group work_rate keys;
+  // folded in separately so a spec mutated in code cannot keep a stale
+  // fingerprint).
+  if (!sim.class_work_rate.empty()) {
+    for (std::size_t i = 0; i < sim.class_work_rate.size(); ++i) {
+      k.add("sim.class_work_rate." + std::to_string(i),
+            sim.class_work_rate[i]);
+    }
+  }
   return k;
 }
 
 std::string ScenarioSpec::to_text() const {
   std::ostringstream os;
+  const bool v2 = !machine.groups.empty();
   os << "# omnivar scenario: " << name << "\n";
   os << "name = " << name << "\n";
   os << "display = " << display << "\n";
@@ -196,21 +354,55 @@ std::string ScenarioSpec::to_text() const {
   for_each_field(
       *this,
       field_visitor(
-          [&os](const std::string& n, std::size_t& v) {
+          [&os, v2](const std::string& n, std::size_t& v) {
+            if (v2 && is_uniform_geometry_key(n)) return;
             os << n << " = " << v << "\n";
           },
-          [&os](const std::string& n, double& v) {
+          [&os, v2](const std::string& n, double& v) {
+            if (v2 && is_uniform_geometry_key(n)) return;
             os << n << " = " << json::number(v) << "\n";
           }));
+  // Group stanzas last: every global key must precede them (the parser
+  // enforces this, so serialize-then-parse is always well-formed).
+  for (const auto& g : machine.groups) {
+    os << "[group " << g.name << "]\n";
+    if (g.socket_pinned()) os << "socket = " << g.socket << "\n";
+    group_fields(
+        "", const_cast<NodeGroupSpec&>(g),
+        field_visitor(
+            [&os, &g](const std::string& n, std::size_t& v) {
+              if (n == "sockets" && g.socket_pinned()) return;
+              os << n << " = " << v << "\n";
+            },
+            [&os](const std::string& n, double& v) {
+              os << n << " = " << json::number(v) << "\n";
+            }));
+  }
   return os.str();
 }
 
 std::string ScenarioSpec::geometry_summary() const {
   std::ostringstream os;
-  os << machine.sockets << (machine.sockets == 1 ? " socket" : " sockets")
-     << " x " << machine.numa_per_socket << " NUMA x "
-     << machine.cores_per_numa << " cores x SMT-" << machine.smt << ", "
-     << machine.base_ghz << "-" << machine.max_ghz << " GHz";
+  if (machine.groups.empty()) {
+    os << machine.sockets << (machine.sockets == 1 ? " socket" : " sockets")
+       << " x " << machine.numa_per_socket << " NUMA x "
+       << machine.cores_per_numa << " cores x SMT-" << machine.smt << ", "
+       << machine.base_ghz << "-" << machine.max_ghz << " GHz";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < machine.groups.size(); ++i) {
+    const NodeGroupSpec& g = machine.groups[i];
+    if (i != 0) os << " + ";
+    os << "[" << g.name << "] ";
+    if (g.socket_pinned()) {
+      os << "socket " << g.socket;
+    } else {
+      os << g.sockets << (g.sockets == 1 ? " socket" : " sockets");
+    }
+    os << " x " << g.numa << " NUMA x " << g.cores << " cores x SMT-"
+       << g.smt << ", " << g.base_ghz << "-" << g.max_ghz << " GHz";
+    if (g.work_rate != 1.0) os << " @" << g.work_rate << "x";
+  }
   return os.str();
 }
 
@@ -219,14 +411,79 @@ ScenarioSpec parse_text(const std::string& text, const std::string& origin) {
   bool any_field = false;
   bool name_set = false;
   bool display_set = false;
+  bool uniform_geom_in_file = false;
+  bool groups_in_file = false;
+  std::string base_name;
   std::set<std::string> seen;
   std::istringstream is(text);
   std::string raw;
   std::size_t line_no = 0;
+  // Index of the [group ...] stanza currently open; npos outside stanzas.
+  constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+  std::size_t cur_group = kNoGroup;
+  // Which of the mutually exclusive sockets/socket keys each group used.
+  std::vector<bool> group_set_sockets;
+  std::vector<bool> group_set_socket;
+
   while (std::getline(is, raw)) {
     ++line_no;
     const std::string_view line = trim(raw);
     if (line.empty() || line.front() == '#') continue;
+
+    if (line.front() == '[') {
+      // v2 stanza header: [group <name>].
+      if (line.back() != ']') {
+        parse_fail(origin, line_no,
+                   "malformed stanza '" + std::string(line) +
+                       "' (expected '[group <name>]')");
+      }
+      const std::string_view inner = trim(line.substr(1, line.size() - 2));
+      constexpr std::string_view kGroup = "group";
+      if (inner.substr(0, kGroup.size()) != kGroup ||
+          (inner.size() > kGroup.size() && inner[kGroup.size()] != ' ' &&
+           inner[kGroup.size()] != '\t')) {
+        parse_fail(origin, line_no,
+                   "unknown stanza '" + std::string(line) +
+                       "' (only '[group <name>]' is supported)");
+      }
+      const std::string gname{trim(inner.substr(kGroup.size()))};
+      if (gname.empty()) {
+        parse_fail(origin, line_no, "empty group name in '[group ...]'");
+      }
+      if (uniform_geom_in_file) {
+        parse_fail(origin, line_no,
+                   "cannot mix machine.* geometry keys with [group ...] "
+                   "stanzas in one file");
+      }
+      if (!groups_in_file) {
+        // The first stanza starts a fresh geometry definition: uniform
+        // fields return to their struct defaults (the residual values are
+        // still fingerprinted, so this reset must match MachineSpec{}
+        // exactly — hence the default-constructed assignment, not
+        // re-stated literals) and any groups inherited via `base` are
+        // discarded (the calibration bundle is kept).
+        groups_in_file = true;
+        const std::string keep_label = spec.machine.label;
+        spec.machine = MachineSpec{};
+        spec.machine.label = keep_label;
+        spec.sim.class_work_rate.clear();
+      }
+      for (const auto& g : spec.machine.groups) {
+        if (g.name == gname) {
+          parse_fail(origin, line_no,
+                     "duplicate group name '" + gname + "'");
+        }
+      }
+      NodeGroupSpec g;
+      g.name = gname;
+      spec.machine.groups.push_back(std::move(g));
+      group_set_sockets.push_back(false);
+      group_set_socket.push_back(false);
+      cur_group = spec.machine.groups.size() - 1;
+      any_field = true;
+      continue;
+    }
+
     const std::size_t eq = line.find('=');
     if (eq == std::string_view::npos) {
       parse_fail(origin, line_no,
@@ -235,6 +492,71 @@ ScenarioSpec parse_text(const std::string& text, const std::string& origin) {
     const std::string key{trim(line.substr(0, eq))};
     const std::string_view value = trim(line.substr(eq + 1));
     if (key.empty()) parse_fail(origin, line_no, "empty key");
+
+    if (cur_group != kNoGroup) {
+      // Inside a [group ...] stanza: only the per-group keys are valid.
+      NodeGroupSpec& g = spec.machine.groups[cur_group];
+      if (!seen.insert("group:" + g.name + ":" + key).second) {
+        parse_fail(origin, line_no,
+                   "duplicate assignment of '" + key + "' in group '" +
+                       g.name + "'");
+      }
+      bool matched = false;
+      bool ok = true;
+      if (key == "socket") {
+        matched = true;
+        group_set_socket[cur_group] = true;
+        if (group_set_sockets[cur_group]) {
+          parse_fail(origin, line_no,
+                     "group '" + g.name +
+                         "' cannot set both 'sockets' and 'socket'");
+        }
+        ok = parse_size_strict(value, g.socket);
+      } else {
+        group_fields(
+            "", g,
+            field_visitor(
+                [&](const std::string& n, std::size_t& v) {
+                  if (n != key) return;
+                  matched = true;
+                  ok = parse_size_strict(value, v);
+                },
+                [&](const std::string& n, double& v) {
+                  if (n != key) return;
+                  matched = true;
+                  ok = parse_double_strict(value, v);
+                }));
+        if (matched && key == "sockets") {
+          group_set_sockets[cur_group] = true;
+          if (group_set_socket[cur_group]) {
+            parse_fail(origin, line_no,
+                       "group '" + g.name +
+                           "' cannot set both 'sockets' and 'socket'");
+          }
+        }
+      }
+      if (!matched) {
+        if (is_global_key(key)) {
+          parse_fail(origin, line_no,
+                     "global key '" + key +
+                         "' must precede every [group ...] stanza");
+        }
+        parse_fail(origin, line_no,
+                   "unknown key '" + key + "' in group '" + g.name +
+                       "' (valid: sockets, socket, numa, cores, smt, "
+                       "base_ghz, max_ghz, work_rate)");
+      }
+      if (!ok) {
+        parse_fail(origin, line_no,
+                   "malformed value '" + std::string(value) + "' for '" +
+                       key + "'");
+      }
+      continue;
+    }
+
+    // NOTE: once a stanza has opened, cur_group stays set for the rest of
+    // the file, so every later key=value line is handled above — global
+    // keys after a stanza get the "must precede" diagnostic there.
     if (!seen.insert(key).second) {
       parse_fail(origin, line_no, "duplicate assignment of '" + key + "'");
     }
@@ -254,6 +576,7 @@ ScenarioSpec parse_text(const std::string& text, const std::string& origin) {
       const std::string keep_display = spec.display;
       const std::string keep_desc = spec.description;
       spec = *preset;
+      base_name = std::string(value);
       if (!keep_name.empty()) spec.name = keep_name;
       if (!keep_display.empty()) spec.display = keep_display;
       if (!keep_desc.empty()) spec.description = keep_desc;
@@ -279,6 +602,14 @@ ScenarioSpec parse_text(const std::string& text, const std::string& origin) {
       continue;
     }
 
+    if (is_uniform_geometry_key(key) && spec.machine.asymmetric()) {
+      // groups_in_file is false here, so the groups came from `base`.
+      parse_fail(origin, line_no,
+                 "base preset '" + base_name +
+                     "' defines node groups; its geometry is overridden "
+                     "with [group ...] stanzas, not machine.* keys");
+    }
+
     bool matched = false;
     bool ok = true;
     for_each_field(
@@ -300,6 +631,7 @@ ScenarioSpec parse_text(const std::string& text, const std::string& origin) {
                  "malformed value '" + std::string(value) + "' for '" + key +
                      "'");
     }
+    if (is_uniform_geometry_key(key)) uniform_geom_in_file = true;
     any_field = true;
   }
 
@@ -313,9 +645,15 @@ ScenarioSpec parse_text(const std::string& text, const std::string& origin) {
     spec.display = spec.name;
   }
   if (spec.machine.label == "machine") spec.machine.label = spec.name;
-  // Surface geometry errors (zero dimensions, max_ghz < base_ghz) at load
-  // time, not deep inside the first harness that builds the machine.
-  // Machine's own validation throws std::invalid_argument; rewrap so every
+  // The per-class calibration is derived state: re-derive it whenever this
+  // file defined (or inherited) groups so it can never drift from them.
+  if (spec.machine.asymmetric()) {
+    spec.sim.class_work_rate = spec.machine.class_work_rates();
+  }
+  // Surface geometry errors (zero dimensions, max_ghz < base_ghz, bad
+  // socket pins, inconsistent groups) at load time, not deep inside the
+  // first harness that builds the machine. Machine's and MachineSpec's
+  // validation throws std::invalid_argument; rewrap so every
   // scenario-load failure is one exception type naming the origin.
   try {
     (void)spec.machine.build();

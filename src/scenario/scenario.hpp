@@ -9,6 +9,17 @@
 // protocol across an open-ended catalog of machines — built-in presets,
 // or user-authored scenario files (see registry.hpp).
 //
+// Geometry comes in two flavors:
+//   * v1 (symmetric): the uniform-builder parameters — sockets x NUMA x
+//     cores x SMT with one frequency range;
+//   * v2 (asymmetric): a list of *node groups* ([group <name>] stanzas in
+//     the file format), each contributing its own sockets/NUMA domains/
+//     cores with per-group SMT width, frequency range and relative
+//     compute speed (work_rate). Groups compose into one heterogeneous
+//     topo::Machine via the explicit-thread-table constructor: big.LITTLE
+//     splits, partially SMT-disabled nodes and lopsided NUMA domains are
+//     all expressible as data.
+//
 // The fingerprint is a SpecKey over every physical field in a fixed order;
 // it feeds the campaign result cache so cells simulated under one scenario
 // can never be served to another (two scenarios that differ in any knob
@@ -16,6 +27,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/spec_hash.hpp"
 #include "sim/simulator.hpp"
@@ -23,10 +35,46 @@
 
 namespace omv::scenario {
 
-/// Machine geometry as data — the arguments of topo::Machine::uniform.
-/// Keeping the symmetric-builder parameters (rather than a materialized
-/// thread list) makes the spec serializable and fingerprintable in a few
-/// numbers; asymmetric machines are out of scope for the catalog.
+/// One node group of an asymmetric machine: `sockets` fresh sockets (or a
+/// pin onto an existing socket), each holding `numa` fresh NUMA domains of
+/// `cores` cores with `smt` HW threads per core. The group is a topo core
+/// class: its name, frequency range and relative compute speed ride on
+/// every core it contributes.
+struct NodeGroupSpec {
+  /// Marks `socket` as "allocate fresh sockets" (the default).
+  static constexpr std::size_t kFreshSocket = static_cast<std::size_t>(-1);
+
+  std::string name;           ///< class name, e.g. "P" / "E".
+  std::size_t sockets = 1;    ///< fresh sockets this group spans.
+  std::size_t numa = 1;       ///< NUMA domains per socket.
+  std::size_t cores = 1;      ///< cores per NUMA domain.
+  std::size_t smt = 1;        ///< HW threads per core.
+  double base_ghz = 2.0;
+  double max_ghz = 3.0;
+  /// Relative compute speed (1.0 = nominal; an E-core at 0.6 takes 1/0.6
+  /// the time for the same work). Feeds sim::SimConfig::class_work_rate.
+  double work_rate = 1.0;
+  /// When != kFreshSocket: place the group's NUMA domains on this existing
+  /// socket id (earlier groups must have created it; `sockets` must stay
+  /// 1). This is how a big.LITTLE machine keeps both clusters on one die.
+  std::size_t socket = kFreshSocket;
+
+  [[nodiscard]] bool socket_pinned() const noexcept {
+    return socket != kFreshSocket;
+  }
+  [[nodiscard]] std::size_t n_cores() const noexcept {
+    return (socket_pinned() ? 1 : sockets) * numa * cores;
+  }
+  [[nodiscard]] std::size_t n_threads() const noexcept {
+    return n_cores() * smt;
+  }
+};
+
+/// Machine geometry as data. With `groups` empty this is exactly the
+/// arguments of topo::Machine::uniform (the v1 symmetric format, and the
+/// only shape the catalog's original presets use); with `groups` set the
+/// uniform fields are ignored and the groups compose into one asymmetric
+/// machine (the v2 format).
 struct MachineSpec {
   std::string label = "machine";  ///< topo::Machine name.
   std::size_t sockets = 1;
@@ -35,16 +83,33 @@ struct MachineSpec {
   std::size_t smt = 1;
   double base_ghz = 2.0;
   double max_ghz = 3.0;
+  /// v2 node groups; empty = symmetric uniform machine.
+  std::vector<NodeGroupSpec> groups;
 
   /// Materializes the geometry. Throws std::invalid_argument on zero-sized
-  /// dimensions or an invalid frequency range (Machine's own validation).
+  /// dimensions, an invalid frequency range, a non-positive work_rate, a
+  /// duplicate/empty group name, or a socket pin that does not reference a
+  /// socket created by an earlier group.
   [[nodiscard]] topo::Machine build() const;
 
+  /// Per-class relative compute speeds (one entry per group, in group
+  /// order; empty for symmetric machines) — the sim::SimConfig::
+  /// class_work_rate value matching build()'s class table.
+  [[nodiscard]] std::vector<double> class_work_rates() const;
+
+  [[nodiscard]] bool asymmetric() const noexcept { return !groups.empty(); }
+
   [[nodiscard]] std::size_t n_cores() const noexcept {
-    return sockets * numa_per_socket * cores_per_numa;
+    if (groups.empty()) return sockets * numa_per_socket * cores_per_numa;
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.n_cores();
+    return n;
   }
   [[nodiscard]] std::size_t n_threads() const noexcept {
-    return n_cores() * smt;
+    if (groups.empty()) return n_cores() * smt;
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.n_threads();
+    return n;
   }
 };
 
@@ -62,18 +127,24 @@ struct ScenarioSpec {
   sim::FreqConfig freq_session;
 
   /// Canonical fingerprint key over every physical field (name, display,
-  /// geometry, and all model parameters) in a fixed order.
+  /// geometry — including every node group — and all model parameters) in
+  /// a fixed order. Symmetric scenarios hash exactly as they did before
+  /// node groups existed.
   [[nodiscard]] SpecKey key() const;
 
   /// key().hex(): 16 lowercase hex digits naming this scenario's physics.
   [[nodiscard]] std::string fingerprint() const { return key().hex(); }
 
   /// Serializes to the scenario-file format (parse_text round-trips it to
-  /// an identical fingerprint). Doubles are shortest-round-trip.
+  /// an identical fingerprint). Doubles are shortest-round-trip. Node
+  /// groups serialize as trailing [group <name>] stanzas; the uniform
+  /// machine.* geometry keys are omitted when groups are present (the two
+  /// cannot be mixed in one file).
   [[nodiscard]] std::string to_text() const;
 
   /// One-line geometry summary, e.g.
-  /// "2 sockets x 4 NUMA x 16 cores x SMT-2, 2.25-3.4 GHz".
+  /// "2 sockets x 4 NUMA x 16 cores x SMT-2, 2.25-3.4 GHz" or, for v2,
+  /// "[P] 1 socket x 1 NUMA x 4 cores x SMT-2, 2.5-3.8 GHz + [E] ...".
   [[nodiscard]] std::string geometry_summary() const;
 };
 
@@ -87,10 +158,24 @@ struct ScenarioSpec {
 ///   noise.daemon_rate = 200
 ///   freq_session.episode_rate = 0.5
 ///   ...
+///   [group P]                (v2: asymmetric machines; stanzas last)
+///   numa = 1
+///   cores = 4
+///   smt = 2
+///   base_ghz = 2.5
+///   max_ghz = 3.8
+///   work_rate = 1
+///   [group E]
+///   socket = 0               (pin onto socket 0 — same die as P)
+///   cores = 4
+///   ...
 ///
 /// Unknown keys, malformed numbers and duplicate assignments throw
 /// std::runtime_error naming `origin` and the line. `base` must appear
-/// before any overridden field.
+/// before any overridden field. Group stanzas must follow every global
+/// key; the first stanza replaces any machine geometry inherited via
+/// `base`, and mixing explicit machine.* geometry keys with stanzas in
+/// one file is an error.
 [[nodiscard]] ScenarioSpec parse_text(const std::string& text,
                                       const std::string& origin);
 

@@ -184,7 +184,12 @@ double FreqModel::sample_ghz(std::size_t core, double t) {
   if (cfg_.jitter > 0.0) {
     f *= 1.0 + jitter_rng_.normal(0.0, cfg_.jitter);
   }
-  return std::max(0.1, f) * machine_.max_ghz();
+  // Per-class boost clock: on heterogeneous machines an E-core dips from
+  // its own fmax, not the P-cores'. Ghost cores (>= n_cores) fall back to
+  // the machine-wide max, mirroring the core_numa() guard above.
+  const double fmax = core < machine_.n_cores() ? machine_.core_max_ghz(core)
+                                                : machine_.max_ghz();
+  return std::max(0.1, f) * fmax;
 }
 
 double FreqModel::window_reduction(std::size_t numa, double t0, double t1,

@@ -111,6 +111,13 @@ class FreqModel {
   /// the episode history before pure-query timing).
   void materialize_to(double t) { ensure_horizon(t); }
 
+  /// Time up to which episodes have been materialized this run. The pure
+  /// reference:: queries refuse to read past it (a query there would
+  /// silently see an episode-free future).
+  [[nodiscard]] double materialized_horizon() const noexcept {
+    return horizon_;
+  }
+
   /// NUMA domain hosting `core` (0 for cores with no HW threads — the
   /// guard FreqModel::factor always had and mean_factor historically
   /// lacked).

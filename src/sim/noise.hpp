@@ -112,6 +112,13 @@ class NoiseModel {
   /// perf_hotpath bench can pin the event history before pure-query timing).
   void materialize_to(double t) { ensure_horizon(t); }
 
+  /// Time up to which events have been materialized this run. The pure
+  /// reference:: queries refuse to read past it (a query there would
+  /// silently see an event-free future).
+  [[nodiscard]] double materialized_horizon() const noexcept {
+    return horizon_;
+  }
+
   /// Per-HW-thread timer-tick phase offset in [0, tick_period) — part of
   /// the analytic tick term (exposed for the brute-force reference query).
   [[nodiscard]] double tick_phase(std::size_t h) const {

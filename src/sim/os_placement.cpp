@@ -66,10 +66,13 @@ void PlacementModel::recompute_derived() {
   state_.share.assign(n, 1);
   state_.smt_coscheduled.assign(n, false);
   for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t core = machine_->thread(state_.hw[i]).core;
     state_.share[i] = std::max<std::size_t>(1, per_hw[state_.hw[i]]);
+    // Per-core SMT width, not the machine average: on a mixed-SMT machine
+    // the historical smt_per_core() floor average reported 1 and this flag
+    // never fired, even for threads genuinely co-scheduled on an SMT core.
     state_.smt_coscheduled[i] =
-        per_core[machine_->thread(state_.hw[i]).core] > 1 &&
-        machine_->smt_per_core() > 1;
+        per_core[core] > 1 && machine_->smt_of_core(core) > 1;
   }
 }
 

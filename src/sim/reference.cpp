@@ -2,13 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace omv::sim::reference {
+
+namespace {
+
+/// The reference queries are pure: they never extend the model horizon, so
+/// a window past it would silently read an event-free future and return a
+/// plausible-but-wrong answer (the PR 3 footgun). Misuse now fails loudly.
+void require_materialized(const char* what, double t, double horizon) {
+  if (t > horizon) {
+    throw std::logic_error(
+        std::string("sim::reference::") + what + ": query time " +
+        std::to_string(t) + " is beyond the materialized horizon " +
+        std::to_string(horizon) + "; call materialize_to() first");
+  }
+}
+
+}  // namespace
 
 double preemption_delay(const NoiseModel& m, const topo::Machine& machine,
                         std::size_t h, double t0, double t1) {
   const NoiseConfig& cfg = m.config();
   if (t1 <= t0 || h >= m.events().size()) return 0.0;
+  require_materialized("preemption_delay", t1, m.materialized_horizon());
 
   double delay = 0.0;
   if (cfg.tick_duration > 0.0 && cfg.tick_period > 0.0) {
@@ -38,6 +57,7 @@ double preemption_delay(const NoiseModel& m, const topo::Machine& machine,
 
 double mean_factor(FreqModel& m, std::size_t core, double t0, double t1) {
   if (t1 <= t0) return factor(m, core, t0);
+  require_materialized("mean_factor", t1, m.materialized_horizon());
   const double base = m.run_capped() ? m.config().run_cap_depth : 1.0;
   double integral = base * (t1 - t0);
   for (const auto& ep : m.episodes(m.core_numa(core))) {
@@ -52,6 +72,7 @@ double mean_factor(FreqModel& m, std::size_t core, double t0, double t1) {
 }
 
 double factor(FreqModel& m, std::size_t core, double t) {
+  require_materialized("factor", t, m.materialized_horizon());
   double f = m.run_capped() ? m.config().run_cap_depth : 1.0;
   for (const auto& ep : m.episodes(m.core_numa(core))) {
     if (t >= ep.start && t < ep.end) f = std::min(f, ep.depth);

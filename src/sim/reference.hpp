@@ -15,7 +15,9 @@
 // materialized state (events()/episodes()) and never extend the horizon.
 // Callers must materialize_to() past every queried time first — the
 // generation side is shared with the indexed implementation and is not
-// under test here.
+// under test here. Misuse fails loudly: querying past the model's
+// materialized_horizon() throws std::logic_error instead of silently
+// reading an event-free future (the documented PR 3 footgun, retired).
 
 #include <cstddef>
 

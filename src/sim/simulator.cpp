@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 namespace omv::sim {
 
@@ -33,7 +35,22 @@ SimConfig SimConfig::ideal() {
 }
 
 Simulator::Simulator(topo::Machine machine, SimConfig cfg)
-    : machine_(std::move(machine)), cfg_(cfg) {
+    : machine_(std::move(machine)), cfg_(std::move(cfg)) {
+  if (!cfg_.class_work_rate.empty()) {
+    for (const double r : cfg_.class_work_rate) {
+      if (!(r > 0.0)) {
+        throw std::invalid_argument(
+            "Simulator: class_work_rate entries must be positive");
+      }
+    }
+    core_rate_.resize(machine_.n_cores(), 1.0);
+    for (std::size_t core = 0; core < machine_.n_cores(); ++core) {
+      const std::size_t cls = machine_.core_class(core);
+      if (cls < cfg_.class_work_rate.size()) {
+        core_rate_[core] = cfg_.class_work_rate[cls];
+      }
+    }
+  }
   noise_ = std::make_unique<NoiseModel>(machine_, cfg_.noise);
   freq_ = std::make_unique<FreqModel>(machine_, cfg_.freq);
   mem_ = std::make_unique<MemoryModel>(machine_, cfg_.mem);
@@ -55,8 +72,12 @@ double Simulator::exec_scaled(std::size_t h, double t0, double work,
                               double rate_factor) {
   if (work <= 0.0) return t0;
   rate_factor = std::max(rate_factor, 1e-6);
-  const double eff_work = work * cfg_.costs.work_scale / rate_factor;
   const std::size_t core = machine_.thread(h).core;
+  double eff_work = work * cfg_.costs.work_scale / rate_factor;
+  // Per-class calibration: slower classes (E-cores) stretch the nominal
+  // work. The empty-vector fast path leaves the homogeneous arithmetic
+  // bit-identical to the historical expression.
+  if (!core_rate_.empty()) eff_work /= core_rate_[core];
 
   double d = freq_->elapsed_for_work(core, t0, eff_work);
   // Preemptions extend the window; a longer window may catch more

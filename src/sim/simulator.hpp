@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "sim/cost_model.hpp"
@@ -33,6 +34,13 @@ struct SimConfig {
   FreqConfig freq;
   MemConfig mem;
   CostModel costs;
+  /// Relative compute speed of each topo core class (indexed by
+  /// topo::Machine::core_class): 1.0 = nominal, 0.6 = an E-core finishing
+  /// the same work in 1/0.6 the time. Empty (the default, and the only
+  /// sensible value for homogeneous machines) means every class runs at
+  /// nominal speed; classes beyond the vector's size default to 1.0.
+  /// Populated by the scenario layer from per-group `work_rate` keys.
+  std::vector<double> class_work_rate;
 
   /// Dardel-calibrated bundle (pair with topo::Machine::dardel()).
   static SimConfig dardel();
@@ -83,6 +91,9 @@ class Simulator {
  private:
   topo::Machine machine_;
   SimConfig cfg_;
+  /// Per-core compute rate resolved from cfg_.class_work_rate (empty when
+  /// every class runs at nominal speed — the homogeneous fast path).
+  std::vector<double> core_rate_;
   std::unique_ptr<NoiseModel> noise_;
   std::unique_ptr<FreqModel> freq_;
   std::unique_ptr<MemoryModel> mem_;

@@ -1,7 +1,10 @@
 #pragma once
 // Hardware topology model: sockets > NUMA domains > physical cores > hardware
-// threads (logical CPUs). Includes presets for the paper's two platforms and
-// best-effort native detection from Linux sysfs.
+// threads (logical CPUs). Supports heterogeneous machines: cores belong to a
+// *core class* (e.g. big.LITTLE P/E clusters) with a per-class frequency
+// range, and SMT width may differ per core (partially SMT-disabled nodes).
+// Includes presets for the paper's two platforms and best-effort native
+// detection from Linux sysfs.
 
 #include <cstddef>
 #include <optional>
@@ -12,6 +15,17 @@
 
 namespace omv::topo {
 
+/// One class of physical cores (homogeneous machines have exactly one).
+/// The class carries everything that differs between e.g. P-cores and
+/// E-cores at the topology level: a display name and the frequency range.
+/// (Per-class *compute-rate* calibration is simulator state, not topology —
+/// see sim::SimConfig::class_work_rate.)
+struct CoreClass {
+  std::string name = "core";
+  double base_ghz = 2.0;
+  double max_ghz = 3.0;
+};
+
 /// One hardware thread (logical CPU as the OS numbers them).
 struct HwThread {
   std::size_t os_id = 0;      ///< logical CPU id.
@@ -19,15 +33,31 @@ struct HwThread {
   std::size_t numa = 0;       ///< NUMA domain id (global).
   std::size_t socket = 0;     ///< socket id.
   std::size_t smt_index = 0;  ///< 0 = first hyperthread of the core, 1 = second...
+  std::size_t cls = 0;        ///< core-class index (0 on homogeneous machines).
 };
 
 /// Immutable machine description.
 class Machine {
  public:
-  /// Builds a machine from explicit hardware threads (validated: dense os_ids
-  /// starting at 0). Throws std::invalid_argument on inconsistency.
+  /// Builds a homogeneous machine from explicit hardware threads (all
+  /// `cls` fields must be 0; one implicit class named "core" spans the
+  /// frequency range). Throws std::invalid_argument on inconsistency —
+  /// see the class-list constructor for the full validation contract.
   explicit Machine(std::string name, std::vector<HwThread> threads,
                    double base_ghz = 2.0, double max_ghz = 3.0);
+
+  /// Builds a (possibly heterogeneous) machine from explicit hardware
+  /// threads and the core-class table the threads' `cls` fields index.
+  /// Validated exhaustively; throws std::invalid_argument naming the
+  /// offending entity when
+  ///   * os_ids are not dense from 0,
+  ///   * a core's threads disagree on NUMA domain, socket, or class,
+  ///   * a NUMA domain spans more than one socket,
+  ///   * core / NUMA / socket / class ids are not dense from 0,
+  ///   * smt_index values within a core are duplicated or gapped,
+  ///   * a class frequency range is empty or non-positive.
+  Machine(std::string name, std::vector<HwThread> threads,
+          std::vector<CoreClass> classes);
 
   /// Generic symmetric builder: `sockets` sockets x `numa_per_socket` domains
   /// x `cores_per_numa` cores x `smt` hardware threads per core.
@@ -60,11 +90,44 @@ class Machine {
   [[nodiscard]] std::size_t n_cores() const noexcept { return n_cores_; }
   [[nodiscard]] std::size_t n_numa() const noexcept { return n_numa_; }
   [[nodiscard]] std::size_t n_sockets() const noexcept { return n_sockets_; }
-  [[nodiscard]] std::size_t smt_per_core() const noexcept {
-    return n_cores_ ? threads_.size() / n_cores_ : 0;
+
+  /// Widest SMT of any core. The historical `smt_per_core()` returned the
+  /// floor average n_threads/n_cores, which under-reports SMT on mixed
+  /// machines (4 SMT-2 + 4 SMT-1 cores averaged to "1"); callers that
+  /// gated SMT-aware behaviour on it silently treated such machines as
+  /// SMT-free. Use smt_of_core() for per-core decisions.
+  [[nodiscard]] std::size_t max_smt_per_core() const noexcept {
+    return max_smt_;
   }
+  /// Number of HW threads of physical core `core`. Throws std::out_of_range
+  /// for ids >= n_cores().
+  [[nodiscard]] std::size_t smt_of_core(std::size_t core) const {
+    return smt_of_core_.at(core);
+  }
+
+  /// Lowest class base frequency (homogeneous machines: the base clock).
   [[nodiscard]] double base_ghz() const noexcept { return base_ghz_; }
+  /// Highest class boost frequency (homogeneous machines: the max clock).
   [[nodiscard]] double max_ghz() const noexcept { return max_ghz_; }
+
+  /// Core classes (size 1 on homogeneous machines).
+  [[nodiscard]] const std::vector<CoreClass>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] std::size_t n_classes() const noexcept {
+    return classes_.size();
+  }
+  /// Class index of physical core `core`. Throws std::out_of_range for ids
+  /// >= n_cores().
+  [[nodiscard]] std::size_t core_class(std::size_t core) const {
+    return core_class_.at(core);
+  }
+  [[nodiscard]] double core_base_ghz(std::size_t core) const {
+    return classes_[core_class(core)].base_ghz;
+  }
+  [[nodiscard]] double core_max_ghz(std::size_t core) const {
+    return classes_[core_class(core)].max_ghz;
+  }
 
   /// Hardware thread by OS id.
   [[nodiscard]] const HwThread& thread(std::size_t os_id) const {
@@ -85,7 +148,16 @@ class Machine {
   /// First-sibling HW threads only (one per physical core) — the ST pool.
   [[nodiscard]] CpuSet primary_threads() const;
 
-  /// The SMT sibling of `os_id` on the same core (nullopt if SMT=1).
+  /// Physical core ids with at least `min_smt` HW threads, ascending —
+  /// the eligible pool for SMT contrasts on mixed machines.
+  [[nodiscard]] std::vector<std::size_t> cores_with_smt(
+      std::size_t min_smt) const;
+  /// Physical core ids of NUMA domain `numa`, ascending.
+  [[nodiscard]] std::vector<std::size_t> cores_in_numa(
+      std::size_t numa) const;
+
+  /// The SMT sibling of `os_id` on the same core (nullopt if the core has
+  /// a single HW thread).
   [[nodiscard]] std::optional<std::size_t> sibling(std::size_t os_id) const;
 
   /// True when two HW threads live in the same NUMA domain.
@@ -94,11 +166,17 @@ class Machine {
   [[nodiscard]] bool same_socket(std::size_t a, std::size_t b) const;
 
  private:
+  void validate_and_index();
+
   std::string name_;
   std::vector<HwThread> threads_;
+  std::vector<CoreClass> classes_;
   std::size_t n_cores_ = 0;
   std::size_t n_numa_ = 0;
   std::size_t n_sockets_ = 0;
+  std::size_t max_smt_ = 0;
+  std::vector<std::size_t> smt_of_core_;  ///< per-core HW-thread count.
+  std::vector<std::size_t> core_class_;   ///< per-core class index.
   double base_ghz_;
   double max_ghz_;
 };

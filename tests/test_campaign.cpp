@@ -433,6 +433,63 @@ TEST_F(CampaignCacheTest, PreStampCacheKeyIsRejected) {
   EXPECT_EQ(computes, 3);
 }
 
+TEST_F(CampaignCacheTest, EngineVersionStampInvalidatesPreBumpCaches) {
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  SpecKey key;
+  key.add("bench", "fake");
+  ::unsetenv("OMNIVAR_ENGINE_VERSION");
+  EXPECT_EQ(engine_version(), kEngineVersion);
+
+  RunContext ctx1("testh", 1, dir_);
+  (void)ctx1.protocol("cell", small_spec(), key, compute);
+  ASSERT_EQ(computes, 1);
+
+  // Same engine generation: served from cache.
+  RunContext ctx2("testh", 1, dir_);
+  (void)ctx2.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(ctx2.cache_hits(), 1u);
+
+  // A different engine generation (the OMNIVAR_ENGINE_VERSION hook stands
+  // in for a rebuilt binary with a bumped kEngineVersion): every cell key
+  // hashes apart, so the pre-bump dir degrades to a recompute wholesale.
+  ::setenv("OMNIVAR_ENGINE_VERSION", "test-engine-next", 1);
+  EXPECT_EQ(engine_version(), "test-engine-next");
+  RunContext ctx3("testh", 1, dir_);
+  (void)ctx3.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(ctx3.cache_hits(), 0u);
+
+  // Each generation's entries stay valid under that generation.
+  RunContext ctx4("testh", 1, dir_);
+  (void)ctx4.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(ctx4.cache_hits(), 1u);
+  ::unsetenv("OMNIVAR_ENGINE_VERSION");
+  RunContext ctx5("testh", 1, dir_);
+  (void)ctx5.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(ctx5.cache_hits(), 1u);
+}
+
+TEST_F(CampaignCacheTest, AsymmetricScenarioArtifactCarriesGroupBlock) {
+  const auto scn = scenario::ScenarioRegistry::instance().get("biglittle");
+  RunContext ctx("testh", 1, "", scn);
+  const auto a = ctx.artifact_json("desc");
+  EXPECT_NE(a.find("\"name\": \"biglittle\""), std::string::npos);
+  EXPECT_NE(a.find("\"groups\""), std::string::npos);
+  EXPECT_NE(a.find("\"name\": \"P\""), std::string::npos);
+  EXPECT_NE(a.find("\"name\": \"E\""), std::string::npos);
+  EXPECT_NE(a.find("\"work_rate\": 0.55"), std::string::npos);
+  EXPECT_NE(a.find("\"socket\": 0"), std::string::npos);
+  // The uniform geometry keys are absent on group machines.
+  EXPECT_EQ(a.find("\"cores_per_numa\""), std::string::npos);
+}
+
 TEST_F(CampaignCacheTest, ScenarioRidesOnContextAndArtifact) {
   const auto scn = scenario::ScenarioRegistry::instance().get("epyc-like");
   RunContext ctx("testh", 1, "", scn);

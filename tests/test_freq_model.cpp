@@ -162,6 +162,23 @@ TEST(FreqModel, SampleGhzWithinPhysicalRange) {
   }
 }
 
+TEST(FreqModel, SampleGhzUsesPerClassBoostClock) {
+  // 1 P-core + 1 E-core with different boost clocks: a flat profile must
+  // sample each core at its own class fmax, not a machine-wide one.
+  std::vector<topo::CoreClass> classes{{"P", 2.5, 3.8}, {"E", 1.8, 2.6}};
+  std::vector<topo::HwThread> t(3);
+  t[0] = {0, 0, 0, 0, 0, 0};
+  t[1] = {1, 1, 1, 0, 0, 1};
+  t[2] = {2, 0, 0, 0, 1, 0};
+  topo::Machine m("hybrid", std::move(t), std::move(classes));
+  FreqModel f(m, FreqConfig::flat());
+  f.begin_run(1);
+  EXPECT_DOUBLE_EQ(f.sample_ghz(0, 1.0), 3.8);
+  EXPECT_DOUBLE_EQ(f.sample_ghz(1, 1.0), 2.6);
+  // Ghost cores keep the historical machine-wide fallback.
+  EXPECT_DOUBLE_EQ(f.sample_ghz(99, 1.0), 3.8);
+}
+
 TEST(FreqModel, DardelFlatterThanVeraDippy) {
   topo::Machine md = topo::Machine::dardel();
   topo::Machine mv = topo::Machine::vera();

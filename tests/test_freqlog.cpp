@@ -27,6 +27,31 @@ TEST(FreqTrace, FractionBelow) {
   EXPECT_DOUBLE_EQ(FreqTrace{}.fraction_below(3.7, 0.95), 0.0);
 }
 
+TEST(FreqTrace, PerCoreFmaxThresholds) {
+  // Core 0 is a 3.7 GHz P-core, core 1 a 2.6 GHz E-core. The E-core
+  // cruising at its own fmax must not count as a dip; a genuine E-core
+  // dip must.
+  FreqTrace t;
+  t.add({0.0, 0, 3.7});
+  t.add({0.0, 1, 2.6});
+  t.add({0.1, 0, 3.0});   // P dip
+  t.add({0.1, 1, 2.0});   // E dip
+  const std::vector<double> fmax{3.7, 2.6};
+  EXPECT_DOUBLE_EQ(t.fraction_below(fmax, 0.95), 0.5);
+  EXPECT_EQ(t.episode_count(fmax, 0.95), 2u);
+  // The machine-wide threshold would miscount the healthy E sample.
+  EXPECT_DOUBLE_EQ(t.fraction_below(3.7, 0.95), 0.75);
+  // Uniform table == scalar overload, bit for bit.
+  const auto u = make_trace({3.7, 3.7, 3.0, 2.9});
+  EXPECT_DOUBLE_EQ(u.fraction_below(std::vector<double>{3.7}, 0.95),
+                   u.fraction_below(3.7, 0.95));
+  // Cores beyond the table are never below.
+  FreqTrace beyond;
+  beyond.add({0.0, 5, 0.5});
+  EXPECT_DOUBLE_EQ(beyond.fraction_below(fmax, 0.95), 0.0);
+  EXPECT_EQ(beyond.episode_count(fmax, 0.95), 0u);
+}
+
 TEST(FreqTrace, Extremes) {
   const auto t = make_trace({3.0, 3.5, 2.5});
   const auto e = t.extremes();

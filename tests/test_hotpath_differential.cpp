@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "core/prefix_index.hpp"
 #include "core/rng.hpp"
@@ -195,6 +196,38 @@ TEST(HotpathDifferential, MeanFactorGuardsEmptyCoreThreads) {
   ASSERT_EQ(model.core_numa(domain0_core), 0u);
   EXPECT_EQ(mean, model.mean_factor(domain0_core, 0.25, 0.75));
   EXPECT_EQ(model.factor(ghost_core, 0.5), model.factor(domain0_core, 0.5));
+}
+
+TEST(HotpathDifferential, ReferenceQueriesThrowPastMaterializedHorizon) {
+  // The reference queries are pure: reading past the materialized horizon
+  // used to silently return a plausible answer over an event-free future
+  // (the documented PR 3 footgun). Misuse now throws std::logic_error.
+  const topo::Machine machine = topo::Machine::vera();
+  NoiseModel noise(machine, NoiseConfig::vera());
+  noise.begin_run(7, machine.primary_threads());
+  noise.materialize_to(1.0);
+  const double edge = noise.materialized_horizon();
+  EXPECT_GE(edge, 1.0);
+  EXPECT_NO_THROW(
+      (void)reference::preemption_delay(noise, machine, 0, 0.1, edge));
+  EXPECT_THROW((void)reference::preemption_delay(noise, machine, 0, 0.1,
+                                                 edge + 0.5),
+               std::logic_error);
+
+  FreqModel freq(machine, FreqConfig::vera_dippy());
+  freq.begin_run(7);
+  freq.materialize_to(1.0);
+  const double fedge = freq.materialized_horizon();
+  EXPECT_NO_THROW((void)reference::mean_factor(freq, 0, 0.1, fedge));
+  EXPECT_THROW((void)reference::mean_factor(freq, 0, 0.1, fedge + 0.5),
+               std::logic_error);
+  EXPECT_THROW((void)reference::factor(freq, 0, fedge + 0.5),
+               std::logic_error);
+  // The degenerate-window early path still answers (it reads t0 only).
+  EXPECT_NO_THROW((void)reference::mean_factor(freq, 0, 0.5, 0.5));
+  // The indexed production queries self-materialize and stay unaffected.
+  EXPECT_NO_THROW((void)noise.preemption_delay(0, 0.1, edge + 2.0));
+  EXPECT_NO_THROW((void)freq.mean_factor(0, 0.1, fedge + 2.0));
 }
 
 TEST(HotpathDifferential, NoiseEventsStaySortedAcrossExtensions) {

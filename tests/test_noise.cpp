@@ -132,6 +132,64 @@ TEST(NoiseModel, SmtSiblingAbsorbsOnDardel) {
   EXPECT_GT(mt_total, st_total * 2.0);
 }
 
+/// 2 P-cores (SMT-2) + 2 E-cores (SMT-1), one socket, one domain per
+/// cluster: primaries 0..3 (P0 P1 E2 E3), P second siblings 4..5.
+topo::Machine mixed_machine() {
+  std::vector<topo::CoreClass> classes{{"P", 2.5, 3.8}, {"E", 1.8, 2.6}};
+  std::vector<topo::HwThread> t(6);
+  t[0] = {0, 0, 0, 0, 0, 0};
+  t[1] = {1, 1, 0, 0, 0, 0};
+  t[2] = {2, 2, 1, 0, 0, 1};
+  t[3] = {3, 3, 1, 0, 0, 1};
+  t[4] = {4, 0, 0, 0, 1, 0};
+  t[5] = {5, 1, 0, 0, 1, 0};
+  return topo::Machine("mixed", std::move(t), std::move(classes));
+}
+
+TEST(NoiseModel, MixedMachineDaemonsAbsorbedByIdleEfficiencyCores) {
+  // Both P cores fully busy, E cores idle: every daemon lands on an idle
+  // E core with zero impact (the idle-core scan is per-core, so the
+  // single-thread E cores count as fully idle cores).
+  NoiseConfig c = NoiseConfig::quiet();
+  c.daemon_rate = 200.0;
+  c.daemon_mean = 1e-3;
+  c.daemon_miss_factor = 0.0;
+  topo::Machine m = mixed_machine();
+  NoiseModel nm(m, c);
+  topo::CpuSet busy;
+  for (std::size_t h : {0u, 1u, 4u, 5u}) busy.add(h);
+  nm.begin_run(3, busy);
+  double total = 0.0;
+  for (std::size_t h = 0; h < m.n_threads(); ++h) {
+    total += nm.preemption_delay(h, 0.0, 5.0);
+  }
+  EXPECT_EQ(total, 0.0);
+}
+
+TEST(NoiseModel, MixedMachineSmtAbsorptionTargetsTheIdleSiblingsCore) {
+  // Everything busy except P-core-0's second sibling (os 4): no fully
+  // idle core exists, so every daemon is absorbed through the one idle
+  // SMT context and charges only core 0's busy primary at the absorb
+  // fraction. E cores have no sibling to absorb through.
+  NoiseConfig c = NoiseConfig::quiet();
+  c.daemon_rate = 200.0;
+  c.daemon_mean = 1e-3;
+  c.daemon_miss_factor = 0.0;
+  topo::Machine m = mixed_machine();
+  NoiseModel nm(m, c);
+  topo::CpuSet busy = m.all_threads();
+  busy.remove(4);
+  nm.begin_run(3, busy);
+  nm.materialize_to(5.0);
+  for (std::size_t h = 0; h < m.n_threads(); ++h) {
+    if (h == 0) {
+      EXPECT_FALSE(nm.events()[h].empty());
+    } else {
+      EXPECT_TRUE(nm.events()[h].empty()) << h;
+    }
+  }
+}
+
 TEST(NoiseModel, KworkerPinnedToCpu) {
   NoiseConfig c = NoiseConfig::quiet();
   c.kworker_rate_per_cpu = 50.0;

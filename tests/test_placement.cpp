@@ -65,6 +65,43 @@ TEST(Placement, SharedPlaceDistributesWithin) {
   EXPECT_TRUE(pl.smt_coscheduled[1]);
 }
 
+TEST(Placement, MixedSmtCoScheduleIsPerCore) {
+  // 2 P-cores (SMT-2) + 4 E-cores (SMT-1): 8 HW threads over 6 cores, so
+  // the retired floor-average smt_per_core() was 8/6 = 1 and the old
+  // co-schedule flag could never fire on this machine. The per-core query
+  // must flag both siblings of P-core 0 as co-scheduled.
+  std::vector<topo::CoreClass> classes{{"P", 2.5, 3.8}, {"E", 1.8, 2.6}};
+  std::vector<topo::HwThread> t(8);
+  t[0] = {0, 0, 0, 0, 0, 0};
+  t[1] = {1, 1, 0, 0, 0, 0};
+  t[2] = {2, 2, 1, 0, 0, 1};
+  t[3] = {3, 3, 1, 0, 0, 1};
+  t[4] = {4, 4, 1, 0, 0, 1};
+  t[5] = {5, 5, 1, 0, 0, 1};
+  t[6] = {6, 0, 0, 0, 1, 0};
+  t[7] = {7, 1, 0, 0, 1, 0};
+  topo::Machine m("mixed", std::move(t), std::move(classes));
+
+  {
+    // Both siblings of P-core 0 host team threads: SMT co-scheduled.
+    std::vector<topo::CpuSet> aff{topo::CpuSet::single(0),
+                                  topo::CpuSet::single(6)};
+    PlacementModel pm(m, std::move(aff), true, {}, 1);
+    EXPECT_TRUE(pm.current().smt_coscheduled[0]);
+    EXPECT_TRUE(pm.current().smt_coscheduled[1]);
+    EXPECT_EQ(pm.current().share[0], 1u);
+  }
+  {
+    // Two threads stacked on one single-context E-core HW thread: that is
+    // oversubscription (share 2), not SMT co-scheduling.
+    std::vector<topo::CpuSet> aff(2, topo::CpuSet::single(2));
+    PlacementModel pm(m, std::move(aff), true, {}, 1);
+    EXPECT_FALSE(pm.current().smt_coscheduled[0]);
+    EXPECT_FALSE(pm.current().smt_coscheduled[1]);
+    EXPECT_EQ(pm.current().share[0], 2u);
+  }
+}
+
 TEST(Placement, FirstTouchDataDomainRecorded) {
   topo::Machine m = topo::Machine::dardel();
   PlacementModel pm(m, singleton_affinities(64), true, {}, 1);

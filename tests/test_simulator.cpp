@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 namespace omv::sim {
 namespace {
 
@@ -35,6 +38,42 @@ TEST(Simulator, WorkScaleApplied) {
   Simulator s(topo::Machine::vera(), cfg);
   s.begin_run(1, topo::CpuSet::range(0, 4));
   EXPECT_NEAR(s.exec(0, 0.0, 1.0), 1.07, 1e-12);
+}
+
+/// 1 P-core (SMT-2) + 1 E-core (SMT-1): os 0 = P primary, os 1 = E,
+/// os 2 = P second sibling.
+topo::Machine tiny_hybrid() {
+  std::vector<topo::CoreClass> classes{{"P", 2.5, 3.8}, {"E", 1.8, 2.6}};
+  std::vector<topo::HwThread> t(3);
+  t[0] = {0, 0, 0, 0, 0, 0};
+  t[1] = {1, 1, 1, 0, 0, 1};
+  t[2] = {2, 0, 0, 0, 1, 0};
+  return topo::Machine("hybrid", std::move(t), std::move(classes));
+}
+
+TEST(Simulator, ClassWorkRateStretchesEfficiencyCores) {
+  auto cfg = SimConfig::ideal();
+  cfg.class_work_rate = {1.0, 0.5};  // E cores at half speed
+  Simulator s(tiny_hybrid(), cfg);
+  s.begin_run(1, topo::CpuSet::range(0, 2));
+  const double on_p = s.exec(0, 0.0, 1.0);
+  const double on_e = s.exec(1, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(on_p, 1.0);
+  EXPECT_DOUBLE_EQ(on_e, 2.0);
+  // The P sibling shares core 0's class rate.
+  EXPECT_DOUBLE_EQ(s.exec(2, 0.0, 1.0), 1.0);
+}
+
+TEST(Simulator, EmptyClassWorkRateIsNominalEverywhere) {
+  Simulator s(tiny_hybrid(), SimConfig::ideal());
+  s.begin_run(1, topo::CpuSet::range(0, 2));
+  EXPECT_DOUBLE_EQ(s.exec(1, 0.0, 1.0), 1.0);
+}
+
+TEST(Simulator, RejectsNonPositiveClassWorkRate) {
+  auto cfg = SimConfig::ideal();
+  cfg.class_work_rate = {1.0, 0.0};
+  EXPECT_THROW(Simulator(tiny_hybrid(), cfg), std::invalid_argument);
 }
 
 TEST(Simulator, OversubscriptionShareScalesTime) {

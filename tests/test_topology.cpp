@@ -16,7 +16,7 @@ TEST(Machine, DardelGeometry) {
   EXPECT_EQ(m.n_cores(), 128u);
   EXPECT_EQ(m.n_numa(), 8u);
   EXPECT_EQ(m.n_sockets(), 2u);
-  EXPECT_EQ(m.smt_per_core(), 2u);
+  EXPECT_EQ(m.max_smt_per_core(), 2u);
   EXPECT_DOUBLE_EQ(m.base_ghz(), 2.25);
   EXPECT_DOUBLE_EQ(m.max_ghz(), 3.4);
 }
@@ -27,7 +27,7 @@ TEST(Machine, VeraGeometry) {
   EXPECT_EQ(m.n_cores(), 32u);
   EXPECT_EQ(m.n_numa(), 2u);
   EXPECT_EQ(m.n_sockets(), 2u);
-  EXPECT_EQ(m.smt_per_core(), 1u);
+  EXPECT_EQ(m.max_smt_per_core(), 1u);
   EXPECT_DOUBLE_EQ(m.max_ghz(), 3.7);
 }
 
@@ -97,6 +97,206 @@ TEST(Machine, ConstructorValidatesDenseIds) {
   threads[0].os_id = 0;
   threads[1].os_id = 5;  // gap
   EXPECT_THROW(Machine("bad", std::move(threads)), std::invalid_argument);
+}
+
+// ------------------------------------------------- asymmetric machines
+
+/// 2 P-cores (SMT-2) + 2 E-cores (SMT-1), one socket, one NUMA domain per
+/// cluster. os ids follow the Linux convention: primaries 0..3, then the
+/// P-cores' second siblings 4..5.
+Machine mixed_machine() {
+  std::vector<CoreClass> classes{{"P", 2.5, 3.8}, {"E", 1.8, 2.6}};
+  std::vector<HwThread> t(6);
+  for (std::size_t i = 0; i < 6; ++i) t[i].os_id = i;
+  t[0] = {0, 0, 0, 0, 0, 0};
+  t[1] = {1, 1, 0, 0, 0, 0};
+  t[2] = {2, 2, 1, 0, 0, 1};
+  t[3] = {3, 3, 1, 0, 0, 1};
+  t[4] = {4, 0, 0, 0, 1, 0};
+  t[5] = {5, 1, 0, 0, 1, 0};
+  return Machine("mixed", std::move(t), std::move(classes));
+}
+
+TEST(Machine, MixedSmtPerCoreQueries) {
+  const Machine m = mixed_machine();
+  EXPECT_EQ(m.n_cores(), 4u);
+  EXPECT_EQ(m.n_threads(), 6u);
+  EXPECT_EQ(m.n_numa(), 2u);
+  EXPECT_EQ(m.n_sockets(), 1u);
+  // The retired smt_per_core() floor average would have said 6/4 = 1 here
+  // — "no SMT" on a machine with two SMT-2 cores.
+  EXPECT_EQ(m.max_smt_per_core(), 2u);
+  EXPECT_EQ(m.smt_of_core(0), 2u);
+  EXPECT_EQ(m.smt_of_core(1), 2u);
+  EXPECT_EQ(m.smt_of_core(2), 1u);
+  EXPECT_EQ(m.smt_of_core(3), 1u);
+  EXPECT_THROW((void)m.smt_of_core(4), std::out_of_range);
+  EXPECT_EQ(m.cores_with_smt(2), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(m.cores_with_smt(1), (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(m.cores_in_numa(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(m.cores_in_numa(1), (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(m.sibling(0), 4u);
+  EXPECT_FALSE(m.sibling(2).has_value());
+}
+
+TEST(Machine, MixedCoreClassQueries) {
+  const Machine m = mixed_machine();
+  ASSERT_EQ(m.n_classes(), 2u);
+  EXPECT_EQ(m.classes()[0].name, "P");
+  EXPECT_EQ(m.classes()[1].name, "E");
+  EXPECT_EQ(m.core_class(0), 0u);
+  EXPECT_EQ(m.core_class(3), 1u);
+  EXPECT_DOUBLE_EQ(m.core_max_ghz(0), 3.8);
+  EXPECT_DOUBLE_EQ(m.core_max_ghz(2), 2.6);
+  EXPECT_DOUBLE_EQ(m.core_base_ghz(2), 1.8);
+  // Machine-wide range spans the classes: lowest base, highest boost.
+  EXPECT_DOUBLE_EQ(m.base_ghz(), 1.8);
+  EXPECT_DOUBLE_EQ(m.max_ghz(), 3.8);
+  // Homogeneous machines have exactly one implicit class.
+  EXPECT_EQ(Machine::vera().n_classes(), 1u);
+  EXPECT_EQ(Machine::vera().core_class(5), 0u);
+}
+
+TEST(Machine, RejectsCoreSpanningNumaDomains) {
+  std::vector<HwThread> t(2);
+  t[0] = {0, 0, 0, 0, 0, 0};
+  t[1] = {1, 0, 1, 0, 1, 0};  // same core, different NUMA domain
+  try {
+    Machine("bad", std::move(t));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("core 0 spans NUMA domains 0 and 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Machine, RejectsNumaDomainSpanningSockets) {
+  std::vector<HwThread> t(2);
+  t[0] = {0, 0, 0, 0, 0, 0};
+  t[1] = {1, 1, 0, 1, 0, 0};  // same NUMA domain, different socket
+  try {
+    Machine("bad", std::move(t));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("NUMA domain 0 spans sockets 0 and 1"),
+        std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Machine, RejectsDuplicateAndGappedSmtIndex) {
+  {
+    std::vector<HwThread> t(2);
+    t[0] = {0, 0, 0, 0, 0, 0};
+    t[1] = {1, 0, 0, 0, 0, 0};  // duplicate smt_index 0 on core 0
+    try {
+      Machine("bad", std::move(t));
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate smt_index 0 on core 0"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::vector<HwThread> t(3);
+    t[0] = {0, 0, 0, 0, 0, 0};
+    t[1] = {1, 0, 0, 0, 2, 0};  // smt_index jumps 0 -> 2 (1 missing)
+    t[2] = {2, 1, 0, 0, 0, 0};
+    try {
+      Machine("bad", std::move(t));
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(
+                    "smt_index values on core 0 are not dense"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Machine, RejectsGappedCoreNumaSocketAndClassIds) {
+  {
+    std::vector<HwThread> t(2);
+    t[0] = {0, 0, 0, 0, 0, 0};
+    t[1] = {1, 2, 0, 0, 0, 0};  // core 1 missing
+    EXPECT_THROW(Machine("bad", std::move(t)), std::invalid_argument);
+  }
+  {
+    std::vector<HwThread> t(2);
+    t[0] = {0, 0, 0, 0, 0, 0};
+    t[1] = {1, 1, 2, 0, 0, 0};  // NUMA domain 1 missing
+    EXPECT_THROW(Machine("bad", std::move(t)), std::invalid_argument);
+  }
+  {
+    std::vector<HwThread> t(2);
+    t[0] = {0, 0, 0, 0, 0, 0};
+    t[1] = {1, 1, 1, 2, 0, 0};  // socket 1 missing (and numa 1 in socket 2)
+    EXPECT_THROW(Machine("bad", std::move(t)), std::invalid_argument);
+  }
+  {
+    std::vector<HwThread> t(1);
+    t[0] = {0, 0, 0, 0, 0, 3};  // class 3 of 1 defined
+    EXPECT_THROW(Machine("bad", std::move(t)), std::invalid_argument);
+  }
+}
+
+TEST(Machine, RejectsWildIdsWithoutAllocatingForThem) {
+  // Ids far outside the dense range must produce the validation error,
+  // not a SIZE_MAX-wrapped resize (UB) or an O(max_id) table allocation.
+  {
+    std::vector<HwThread> t(2);
+    t[1] = {1, 0, 0, 0, static_cast<std::size_t>(-1), 0};  // smt_index MAX
+    EXPECT_THROW(Machine("bad", std::move(t)), std::invalid_argument);
+  }
+  {
+    std::vector<HwThread> t(2);
+    t[1] = {1, std::size_t{1} << 40, 0, 0, 1, 0};  // ~2^40 core id
+    EXPECT_THROW(Machine("bad", std::move(t)), std::invalid_argument);
+  }
+}
+
+TEST(Machine, RejectsCoreMixingClassesAndBadClassFrequencies) {
+  {
+    std::vector<CoreClass> classes{{"P", 2.0, 3.0}, {"E", 1.5, 2.0}};
+    std::vector<HwThread> t(2);
+    t[0] = {0, 0, 0, 0, 0, 0};
+    t[1] = {1, 0, 0, 0, 1, 1};  // core 0 thread in class 1
+    try {
+      Machine("bad", std::move(t), std::move(classes));
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("core 0 mixes core classes"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::vector<CoreClass> classes{{"P", 3.0, 2.0}};  // max < base
+    std::vector<HwThread> t(1);
+    EXPECT_THROW(Machine("bad", std::move(t), std::move(classes)),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<HwThread> t(1);
+    EXPECT_THROW(Machine("bad", std::move(t), std::vector<CoreClass>{}),
+                 std::invalid_argument);
+  }
+  {
+    // Every defined class must own at least one core.
+    std::vector<CoreClass> classes{{"P", 2.0, 3.0}, {"E", 1.5, 2.5}};
+    std::vector<HwThread> t(1);  // one thread, cls 0 — class 1 unused
+    try {
+      Machine("bad", std::move(t), std::move(classes));
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("class 1 ('E') has no cores"),
+                std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 TEST(Machine, ConstructorValidatesFrequencies) {
