@@ -14,6 +14,7 @@
 #include "core/json_writer.hpp"
 #include "core/trace_io.hpp"
 #include "scenario/registry.hpp"
+#include "sim/isa.hpp"
 
 namespace omv::cli {
 
@@ -324,10 +325,11 @@ namespace {
 
 void print_usage(const char* argv0, bool campaign) {
   std::fprintf(stderr,
-               "usage: %s [--list] [--scenarios] [--jobs N] "
+               "usage: %s [--list] [--scenarios] [--isa-report] [--jobs N] "
                "[--scenario S] [--out DIR]%s\n"
                "  --list       list registered harnesses\n"
                "  --scenarios  list the scenario catalog\n"
+               "  --isa-report list dispatchable batched-kernel ISA levels\n"
                "%s"
                "  --jobs N     shard each protocol's runs over N workers\n"
                "               (0 = one per hardware thread; default: "
@@ -346,6 +348,23 @@ void print_usage(const char* argv0, bool campaign) {
                    ? "  --only GLOB  run only harnesses matching the glob "
                      "(repeatable)\n"
                    : "");
+}
+
+/// Lists the batched-kernel ISA levels this host+build can dispatch to,
+/// one per line in ascending order (best last) — the contract CI's
+/// dispatch-matrix lane iterates over.
+void print_isa_report() {
+  for (const sim::Isa isa : sim::available_isas()) {
+    std::printf("%s\n", sim::isa_name(isa));
+  }
+}
+
+/// One-line stderr note of the resolved batched-kernel dispatch, so every
+/// campaign log records which ISA produced its numbers.
+void report_isa() {
+  std::fprintf(stderr, "[omnivar] isa: %s%s\n",
+               sim::isa_name(sim::active_isa()),
+               sim::isa_overridden() ? " (OMNIVAR_ISA override)" : "");
 }
 
 void print_scenarios() {
@@ -485,6 +504,10 @@ int run_standalone(int argc, char** argv) {
     print_scenarios();
     return 0;
   }
+  if (o.isa_report) {
+    print_isa_report();
+    return 0;
+  }
   std::optional<scenario::ScenarioSpec> scn;
   if (!resolve_scenario(effective_scenario(o.scenario), scn)) return 2;
   const auto& all = Registry::instance().all();
@@ -540,6 +563,10 @@ int run_campaign(int argc, char** argv) {
     print_scenarios();
     return 0;
   }
+  if (o.isa_report) {
+    print_isa_report();
+    return 0;
+  }
   std::optional<scenario::ScenarioSpec> scn;
   if (!resolve_scenario(effective_scenario(o.scenario), scn)) return 2;
   const auto selected = reg.match(o.only);
@@ -553,6 +580,7 @@ int run_campaign(int argc, char** argv) {
   const std::size_t jobs = effective_jobs(o.jobs);
   std::vector<HarnessOutcome> outcomes;
   int rc = 0;
+  report_isa();
   if (scn) {
     std::fprintf(stderr, "[omnivar] scenario %s (%s, %s)\n",
                  scn->name.c_str(), scn->display.c_str(),

@@ -61,6 +61,10 @@ Options parse_options(int argc, char** argv) {
       o.list_scenarios = true;
       continue;
     }
+    if (std::strcmp(arg, "--isa-report") == 0) {
+      o.isa_report = true;
+      continue;
+    }
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       o.help = true;
       continue;

@@ -5,6 +5,8 @@
 // Every binary accepts the same flags:
 //   --list            list registered harnesses and exit
 //   --scenarios       list the scenario catalog and exit
+//   --isa-report      list the batched-kernel ISA levels this host can
+//                     dispatch to (one per line, best last) and exit
 //   --only <glob>     select harnesses by name glob (repeatable; omnivar)
 //   --jobs[=]N        shard each protocol's runs over N workers (0 = one
 //                     per hardware thread); falls back to OMNIVAR_JOBS
@@ -35,6 +37,7 @@ namespace omv::cli {
 struct Options {
   bool list = false;
   bool list_scenarios = false;  ///< --scenarios catalog listing.
+  bool isa_report = false;      ///< --isa-report dispatchable-ISA listing.
   bool help = false;
   std::vector<std::string> only;  ///< --only name globs (empty = all).
   std::size_t jobs = 0;           ///< resolved worker count; 0 = unset.

@@ -1,0 +1,83 @@
+#pragma once
+// Per-ISA batched interval-query primitives.
+//
+// Each primitive exists in up to three builds (scalar / AVX2 / AVX-512),
+// selected at runtime through a function-pointer table. The scalar build
+// reproduces the historical per-call accumulation order bit for bit and is
+// the oracle every wider build is tested against. The wide builds fall into
+// two accuracy classes, and callers must respect the split:
+//
+//   * per-lane-exact: scale_work applies an identical mul/div operation
+//     tree to every lane (no fma, no reassociation), so its results are
+//     bit-identical across all ISAs. Safe on harness-visible paths.
+//   * reassociating: scan_events / scan_episodes / tick_terms regroup
+//     within-window sums in vector lanes; drift vs scalar is bounded by the
+//     differential rig's 1e-12 relative tolerance. Only reachable through
+//     the explicit *_batch query APIs, never from harness stdout paths.
+
+#include <cmath>
+#include <cstddef>
+
+#include "sim/isa.hpp"
+
+namespace omv::sim::batch {
+
+/// Minimum element count before a wide kernel amortizes its indirect-call
+/// and setup cost (one AVX-512 vector). Below this the fused scalar scan
+/// beats any vector build, so dispatch sites fall back to their inline
+/// loops — measured by perf_hotpath's *_batch rows at low density, which
+/// regressed to 0.6–0.8x when tiny scans went through the table.
+inline constexpr std::size_t kVecMin = 8;
+
+/// Function table for one ISA level.
+struct Kernels {
+  /// Returns acc + sum_{k in [i,j)} durs[k]*factor. The scalar build
+  /// accumulates strictly left to right with acc as the seed (acc enters as
+  /// the analytic timer-tick term), matching the historical event scan.
+  double (*scan_events)(double acc, const double* durs, std::size_t i,
+                        std::size_t j, double factor);
+
+  /// Historical episode integration: returns acc after subtracting
+  /// (base - min(base, depths[k])) * |[t0,t1) ∩ [starts[k],ends[k])| for
+  /// each of the n episodes, in order. *overlapped is set to true when any
+  /// episode intersects the window (left untouched otherwise).
+  double (*scan_episodes)(double acc, const double* starts,
+                          const double* ends, const double* depths,
+                          std::size_t n, double t0, double t1, double base,
+                          bool* overlapped);
+
+  /// Analytic timer-tick delay for n windows:
+  ///   first = ceil((t0-phase)/period)*period + phase
+  ///   out   = first < t1 ? (floor((t1-first)/period)+1) * duration : 0
+  void (*tick_terms)(const double* t0, const double* t1, const double* phase,
+                     double period, double duration, double* out,
+                     std::size_t n);
+
+  /// out[k] = work[k] * scale / rate[k], then / core_rate[k] when core_rate
+  /// is non-null. Identical per-lane operation trees on every ISA (mul/div
+  /// only), so results are bit-identical across paths.
+  void (*scale_work)(const double* work, double scale, const double* rate,
+                     const double* core_rate, double* out, std::size_t n);
+};
+
+/// Shared scalar helper for the analytic timer-tick term — used by the
+/// production per-call path (NoiseModel::preemption_delay) and the scalar
+/// tick_terms kernel so both compile the identical expression.
+inline double tick_delay_one(double t0, double t1, double phase,
+                             double period, double duration) {
+  const double first = std::ceil((t0 - phase) / period) * period + phase;
+  if (first < t1) {
+    const double n = std::floor((t1 - first) / period) + 1.0;
+    return n * duration;
+  }
+  return 0.0;
+}
+
+[[nodiscard]] const Kernels& kernels_scalar() noexcept;
+[[nodiscard]] const Kernels& kernels_avx2() noexcept;    // scalar fallback
+[[nodiscard]] const Kernels& kernels_avx512() noexcept;  // when not built
+[[nodiscard]] const Kernels& kernels_for(Isa isa) noexcept;
+/// Table for active_isa().
+[[nodiscard]] const Kernels& kernels();
+
+}  // namespace omv::sim::batch

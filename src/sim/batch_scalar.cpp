@@ -1,0 +1,78 @@
+#include <algorithm>
+#include <cstddef>
+
+#include "sim/batch_kernels.hpp"
+
+// Scalar build of the batched kernels — the bit-identity oracle. Every loop
+// here reproduces the historical per-call accumulation order exactly; the
+// differential rig pins the wider builds against these.
+
+namespace omv::sim::batch {
+namespace {
+
+double scan_events_scalar(double acc, const double* durs, std::size_t i,
+                          std::size_t j, double factor) {
+  for (std::size_t k = i; k < j; ++k) acc += durs[k] * factor;
+  return acc;
+}
+
+double scan_episodes_scalar(double acc, const double* starts,
+                            const double* ends, const double* depths,
+                            std::size_t n, double t0, double t1, double base,
+                            bool* overlapped) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lo = std::max(t0, starts[k]);
+    const double hi = std::min(t1, ends[k]);
+    if (hi > lo) {
+      *overlapped = true;
+      const double depth = std::min(base, depths[k]);
+      acc -= (base - depth) * (hi - lo);
+    }
+  }
+  return acc;
+}
+
+void tick_terms_scalar(const double* t0, const double* t1, const double* phase,
+                       double period, double duration, double* out,
+                       std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = tick_delay_one(t0[k], t1[k], phase[k], period, duration);
+  }
+}
+
+void scale_work_scalar(const double* work, double scale, const double* rate,
+                       const double* core_rate, double* out, std::size_t n) {
+  if (core_rate != nullptr) {
+    for (std::size_t k = 0; k < n; ++k) {
+      out[k] = work[k] * scale / rate[k] / core_rate[k];
+    }
+  } else {
+    for (std::size_t k = 0; k < n; ++k) {
+      out[k] = work[k] * scale / rate[k];
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels& kernels_scalar() noexcept {
+  static const Kernels k{scan_events_scalar, scan_episodes_scalar,
+                         tick_terms_scalar, scale_work_scalar};
+  return k;
+}
+
+const Kernels& kernels_for(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::avx2:
+      return kernels_avx2();
+    case Isa::avx512:
+      return kernels_avx512();
+    case Isa::scalar:
+      break;
+  }
+  return kernels_scalar();
+}
+
+const Kernels& kernels() { return kernels_for(active_isa()); }
+
+}  // namespace omv::sim::batch

@@ -3,16 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+
+#include "sim/batch_kernels.hpp"
 
 namespace omv::sim {
-namespace {
-
-/// Domains holding at most this many episodes are integrated by the
-/// historical full scan, which reproduces the pre-index floating-point
-/// accumulation bit for bit; larger domains use the prefix-sum index.
-constexpr std::size_t kScanEpisodes = 48;
-
-}  // namespace
 
 FreqConfig FreqConfig::vera() {
   FreqConfig c;
@@ -123,6 +118,9 @@ void FreqModel::index_new_episodes() {
     }
     for (std::size_t k = idx.red_uncapped.size(); k < eps.size(); ++k) {
       const FreqEpisode& ep = eps[k];
+      idx.starts.push_back(ep.start);
+      idx.ends.push_back(ep.end);
+      idx.depths.push_back(ep.depth);
       idx.max_end.push_back(std::max(idx.max_end.back(), ep.end));
       const double len = ep.end - ep.start;
       idx.red_uncapped.append((1.0 - std::min(1.0, ep.depth)) * len);
@@ -157,24 +155,20 @@ void FreqModel::ensure_horizon(double t) {
 }
 
 double FreqModel::factor(std::size_t core, double t) {
-  ensure_horizon(t);
+  if (t > horizon_) ensure_horizon(t);
   double f = run_capped() ? cfg_.run_cap_depth : 1.0;
   const std::size_t numa = core_numa(core);
-  const auto& eps = episodes_[numa];
   const auto& idx = index_[numa];
   // Episodes active at t have start <= t (a start-sorted prefix) and
   // end > t; walk the prefix backwards, stopping once the running max end
   // proves no earlier episode can still be active. min() is exact, so this
   // matches the historical full scan bit for bit.
   const std::size_t j = static_cast<std::size_t>(
-      std::upper_bound(eps.begin(), eps.end(), t,
-                       [](double tv, const FreqEpisode& e) {
-                         return tv < e.start;
-                       }) -
-      eps.begin());
+      std::upper_bound(idx.starts.begin(), idx.starts.end(), t) -
+      idx.starts.begin());
   for (std::size_t k = j; k-- > 0;) {
     if (idx.max_end[k + 1] <= t) break;
-    if (t < eps[k].end) f = std::min(f, eps[k].depth);
+    if (t < idx.ends[k]) f = std::min(f, idx.depths[k]);
   }
   return f;
 }
@@ -194,20 +188,18 @@ double FreqModel::sample_ghz(std::size_t core, double t) {
 
 double FreqModel::window_reduction(std::size_t numa, double t0, double t1,
                                    double base) const {
-  const auto& eps = episodes_[numa];
   const auto& idx = index_[numa];
-  const auto by_start = [](const FreqEpisode& e, double t) {
-    return e.start < t;
-  };
   const auto j0 = static_cast<std::size_t>(
-      std::lower_bound(eps.begin(), eps.end(), t0, by_start) - eps.begin());
+      std::lower_bound(idx.starts.begin(), idx.starts.end(), t0) -
+      idx.starts.begin());
   const auto j1 = static_cast<std::size_t>(
-      std::lower_bound(eps.begin(), eps.end(), t1, by_start) - eps.begin());
+      std::lower_bound(idx.starts.begin(), idx.starts.end(), t1) -
+      idx.starts.begin());
   // base is either 1.0 or run_cap_depth — pick the matching weight index.
   const stats::PrefixSum& red =
       base == 1.0 ? idx.red_uncapped : idx.red_capped;
-  const auto weight = [&](const FreqEpisode& ep) {
-    return base - std::min(base, ep.depth);
+  const auto weight = [&](std::size_t k) {
+    return base - std::min(base, idx.depths[k]);
   };
 
   // Episodes starting inside [t0, t1), credited at full length by the
@@ -220,12 +212,11 @@ double FreqModel::window_reduction(std::size_t numa, double t0, double t1,
   // as soon as the running max end proves no earlier episode reaches t1.
   for (std::size_t k = j1; k-- > 0;) {
     if (idx.max_end[k + 1] <= t1) break;
-    const FreqEpisode& ep = eps[k];
-    if (ep.end <= t1) continue;
-    if (ep.start >= t0) {
-      r -= weight(ep) * (ep.end - t1);
+    if (idx.ends[k] <= t1) continue;
+    if (idx.starts[k] >= t0) {
+      r -= weight(k) * (idx.ends[k] - t1);
     } else {
-      r += weight(ep) * (t1 - t0);
+      r += weight(k) * (t1 - t0);
     }
   }
 
@@ -233,37 +224,56 @@ double FreqModel::window_reduction(std::size_t numa, double t0, double t1,
   // window-covering case (end > t1) was already handled above.
   for (std::size_t k = j0; k-- > 0;) {
     if (idx.max_end[k + 1] <= t0) break;
-    const FreqEpisode& ep = eps[k];
-    if (ep.end > t0 && ep.end <= t1) {
-      r += weight(ep) * (ep.end - t0);
+    if (idx.ends[k] > t0 && idx.ends[k] <= t1) {
+      r += weight(k) * (idx.ends[k] - t0);
     }
   }
   return r;
 }
 
 double FreqModel::mean_factor_impl(std::size_t core, double t0, double t1,
-                                   bool* flat_out) {
+                                   bool* flat_out,
+                                   const batch::Kernels* kern) {
   if (flat_out != nullptr) *flat_out = false;
   if (t1 <= t0) return factor(core, t0);
-  ensure_horizon(t1);
+  if (t1 > horizon_) ensure_horizon(t1);
   const double base = run_capped() ? cfg_.run_cap_depth : 1.0;
   const std::size_t numa = core_numa(core);
-  const auto& eps = episodes_[numa];
+  const auto& idx = index_[numa];
+  const std::size_t n_eps = idx.starts.size();
   // Integrate: base everywhere, lowered inside episodes. Episodes may
   // overlap; accumulate reduction per episode and clamp (episodes rarely
   // overlap at the configured rates) — the historical semantics, now
   // answered by the index for large domains.
   double integral = base * (t1 - t0);
+  // O(1) no-overlap fast path: the window sits entirely outside every
+  // episode (empty domain, window before the first start, or past the
+  // global max end). Exact — the scans below would find nothing, and the
+  // division is kept so the returned value is bit-identical to theirs.
+  if (n_eps == 0 || t1 <= idx.starts.front() || idx.max_end.back() <= t0) {
+    if (flat_out != nullptr) *flat_out = true;
+    return std::max(0.1, integral / (t1 - t0));
+  }
   bool overlapped = false;
-  if (eps.size() <= kScanEpisodes) {
-    // Historical accumulation order — bit-identical to the pre-index scan.
-    for (const auto& ep : eps) {
-      const double lo = std::max(t0, ep.start);
-      const double hi = std::min(t1, ep.end);
-      if (hi > lo) {
-        overlapped = true;
-        const double depth = std::min(base, ep.depth);
-        integral -= (base - depth) * (hi - lo);
+  if (n_eps <= kScanCutover) {
+    // Domains holding fewer episodes than one vector (batch::kVecMin) stay
+    // on the inline scan — the wide kernels' call/setup overhead beats
+    // their lane parallelism there (perf_hotpath, low density).
+    if (kern != nullptr && n_eps >= batch::kVecMin) {
+      integral = kern->scan_episodes(integral, idx.starts.data(),
+                                     idx.ends.data(), idx.depths.data(),
+                                     n_eps, t0, t1, base, &overlapped);
+    } else {
+      // Historical accumulation order — bit-identical to the pre-index
+      // scan.
+      for (std::size_t k = 0; k < n_eps; ++k) {
+        const double lo = std::max(t0, idx.starts[k]);
+        const double hi = std::min(t1, idx.ends[k]);
+        if (hi > lo) {
+          overlapped = true;
+          const double depth = std::min(base, idx.depths[k]);
+          integral -= (base - depth) * (hi - lo);
+        }
       }
     }
   } else {
@@ -276,10 +286,26 @@ double FreqModel::mean_factor_impl(std::size_t core, double t0, double t1,
 }
 
 double FreqModel::mean_factor(std::size_t core, double t0, double t1) {
-  return mean_factor_impl(core, t0, t1, nullptr);
+  return mean_factor_impl(core, t0, t1, nullptr, nullptr);
 }
 
-double FreqModel::elapsed_for_work(std::size_t core, double t0, double work) {
+void FreqModel::mean_factor_batch(std::span<const std::size_t> core,
+                                  std::span<const double> t0,
+                                  std::span<const double> t1,
+                                  std::span<double> out) {
+  const std::size_t n = out.size();
+  if (core.size() != n || t0.size() != n || t1.size() != n) {
+    throw std::invalid_argument(
+        "FreqModel::mean_factor_batch: span sizes differ");
+  }
+  const batch::Kernels& kern = batch::kernels();
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = mean_factor_impl(core[k], t0[k], t1[k], nullptr, &kern);
+  }
+}
+
+double FreqModel::elapsed_impl(std::size_t core, double t0, double work,
+                               const batch::Kernels* kern) {
   if (work <= 0.0) return 0.0;
   double d = work;  // initial guess: full speed
   // Episode-boundary-aware early exit: once a window is verified
@@ -296,7 +322,7 @@ double FreqModel::elapsed_for_work(std::size_t core, double t0, double work) {
       m = std::max(0.1, integral / (t1 - t0));
     } else {
       bool flat = false;
-      m = mean_factor_impl(core, t0, t1, &flat);
+      m = mean_factor_impl(core, t0, t1, &flat, kern);
       if (flat && t1 > flat_hi) flat_hi = t1;
     }
     const double nd = work / m;
@@ -304,6 +330,25 @@ double FreqModel::elapsed_for_work(std::size_t core, double t0, double work) {
     d = nd;
   }
   return d;
+}
+
+double FreqModel::elapsed_for_work(std::size_t core, double t0, double work) {
+  return elapsed_impl(core, t0, work, nullptr);
+}
+
+void FreqModel::elapsed_for_work_batch(std::span<const std::size_t> core,
+                                       std::span<const double> t0,
+                                       std::span<const double> work,
+                                       std::span<double> out) {
+  const std::size_t n = out.size();
+  if (core.size() != n || t0.size() != n || work.size() != n) {
+    throw std::invalid_argument(
+        "FreqModel::elapsed_for_work_batch: span sizes differ");
+  }
+  const batch::Kernels& kern = batch::kernels();
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = elapsed_impl(core[k], t0[k], work[k], &kern);
+  }
 }
 
 }  // namespace omv::sim

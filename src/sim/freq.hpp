@@ -13,6 +13,7 @@
 // and the compute rate of a thread scales as f / fmax.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/prefix_index.hpp"
@@ -20,6 +21,10 @@
 #include "topo/topology.hpp"
 
 namespace omv::sim {
+
+namespace batch {
+struct Kernels;
+}  // namespace batch
 
 /// Frequency model knobs. Depth is the fraction of fmax during a dip.
 struct FreqConfig {
@@ -65,6 +70,15 @@ struct FreqEpisode {
 /// Deterministic per-run frequency model, queryable at any time.
 class FreqModel {
  public:
+  /// Density-adaptive scan/index cutover (episodes per domain): domains
+  /// holding at most this many episodes are integrated by the historical
+  /// full scan (bit-identical to the pre-index accumulation and faster at
+  /// low densities, where the two binary searches plus boundary back-scans
+  /// of the prefix path used to regress); larger domains use the prefix
+  /// index. Sits at the measured crossover of BENCH_hotpath.json's density
+  /// sweep; may only ever be raised (see NoiseModel::kScanCutover).
+  static constexpr std::size_t kScanCutover = 48;
+
   FreqModel(const topo::Machine& machine, FreqConfig cfg);
 
   /// Starts a new run: clears episodes, reseeds, samples the run-cap state.
@@ -98,6 +112,16 @@ class FreqModel {
   /// pre-index floating-point accumulation bit for bit.
   double mean_factor(std::size_t core, double t0, double t1);
 
+  /// Batched mean_factor: answers one window per span element, in call
+  /// order (lazy horizon growth ordered exactly as a per-call loop), with
+  /// the episode scans dispatched through the active ISA's kernel table.
+  /// Scalar ISA is bit-identical to per-call mean_factor; wider ISAs
+  /// reassociate within-window sums (< 1e-12 relative, pinned by the
+  /// differential rig). All spans must share one length.
+  void mean_factor_batch(std::span<const std::size_t> core,
+                         std::span<const double> t0,
+                         std::span<const double> t1, std::span<double> out);
+
   /// Elapsed wall time to complete `work` seconds of fmax-rate compute
   /// starting at `t0` on `core` (inverts the factor integral; fixed-point
   /// iteration, converges in a few steps because factors are in [0.5, 1]).
@@ -105,6 +129,13 @@ class FreqModel {
   /// lookup per fixed-point step: a verified-flat span is carried between
   /// steps so shrinking windows skip the episode search entirely.
   double elapsed_for_work(std::size_t core, double t0, double work);
+
+  /// Batched elapsed_for_work: same contract as mean_factor_batch (per-call
+  /// bit-identity on the scalar ISA, call-order lazy materialization).
+  void elapsed_for_work_batch(std::span<const std::size_t> core,
+                              std::span<const double> t0,
+                              std::span<const double> work,
+                              std::span<double> out);
 
   /// Materializes episode arrivals up to time `t` (normally done lazily;
   /// exposed so the differential oracle and the perf_hotpath bench can pin
@@ -143,6 +174,13 @@ class FreqModel {
   /// Episodes arrive in start order, so all arrays are append-only and
   /// extended incrementally per horizon extension.
   struct DomainIndex {
+    /// SoA mirrors of the domain's start-sorted episode vector — the
+    /// query-side layout: binary searches and integration scans stream one
+    /// contiguous double array each instead of striding through episode
+    /// records (and they are what the ISA kernels consume).
+    std::vector<double> starts;
+    std::vector<double> ends;
+    std::vector<double> depths;
     /// max episode end over episodes_[d][0..k) — prunes the back-scan that
     /// enumerates episodes straddling a window boundary.
     std::vector<double> max_end;
@@ -154,6 +192,9 @@ class FreqModel {
     stats::PrefixSum red_capped;
 
     void clear() {
+      starts.clear();
+      ends.clear();
+      depths.clear();
       max_end.clear();
       red_uncapped.clear();
       red_capped.clear();
@@ -167,9 +208,15 @@ class FreqModel {
   double window_reduction(std::size_t numa, double t0, double t1,
                           double base) const;
   /// mean_factor plus a flatness report (`flat_out` true when no episode
-  /// overlapped the window) feeding elapsed_for_work's early exit.
+  /// overlapped the window) feeding elapsed_for_work's early exit. `kern`,
+  /// when non-null, answers the narrow episode scan through the ISA kernel
+  /// table instead of the inlined scalar loop.
   double mean_factor_impl(std::size_t core, double t0, double t1,
-                          bool* flat_out);
+                          bool* flat_out, const batch::Kernels* kern);
+  /// elapsed_for_work with the kernel table threaded through to the
+  /// per-step mean-factor queries.
+  double elapsed_impl(std::size_t core, double t0, double work,
+                      const batch::Kernels* kern);
 
   const topo::Machine& machine_;
   FreqConfig cfg_;

@@ -1,0 +1,134 @@
+#include "sim/isa.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace omv::sim {
+
+namespace {
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) && defined(OMV_BUILD_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512() {
+#if defined(__x86_64__) && defined(OMV_BUILD_AVX512)
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
+#else
+  return false;
+#endif
+}
+
+// Forced level, one past the Isa range meaning "not forced".
+constexpr int kNotForced = -1;
+std::atomic<int> g_forced{kNotForced};
+std::atomic<bool> g_env_override{false};
+
+Isa resolve_from_env() {
+  const char* env = std::getenv("OMNIVAR_ISA");
+  if (env != nullptr && *env != '\0') {
+    Isa parsed;
+    if (!parse_isa(env, parsed)) {
+      std::fprintf(stderr,
+                   "[omnivar] warning: OMNIVAR_ISA=%s not recognized "
+                   "(expected scalar|avx2|avx512); using auto-dispatch\n",
+                   env);
+    } else if (!isa_supported(parsed)) {
+      std::fprintf(stderr,
+                   "[omnivar] warning: OMNIVAR_ISA=%s not supported on this "
+                   "host/build; using auto-dispatch\n",
+                   env);
+    } else {
+      g_env_override.store(true, std::memory_order_relaxed);
+      return parsed;
+    }
+  }
+  return best_isa();
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::scalar:
+      return "scalar";
+    case Isa::avx2:
+      return "avx2";
+    case Isa::avx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool isa_supported(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::scalar:
+      return true;
+    case Isa::avx2:
+      return cpu_supports_avx2();
+    case Isa::avx512:
+      return cpu_supports_avx512();
+  }
+  return false;
+}
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out{Isa::scalar};
+  if (isa_supported(Isa::avx2)) out.push_back(Isa::avx2);
+  if (isa_supported(Isa::avx512)) out.push_back(Isa::avx512);
+  return out;
+}
+
+Isa best_isa() noexcept {
+  if (isa_supported(Isa::avx512)) return Isa::avx512;
+  if (isa_supported(Isa::avx2)) return Isa::avx2;
+  return Isa::scalar;
+}
+
+Isa active_isa() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced != kNotForced) return static_cast<Isa>(forced);
+  static const Isa resolved = resolve_from_env();
+  return resolved;
+}
+
+bool isa_overridden() {
+  if (g_forced.load(std::memory_order_relaxed) != kNotForced) return true;
+  (void)active_isa();  // make sure the env has been consulted
+  return g_env_override.load(std::memory_order_relaxed);
+}
+
+void force_isa(Isa isa) {
+  if (!isa_supported(isa)) {
+    throw std::invalid_argument(std::string("force_isa: ") + isa_name(isa) +
+                                " is not supported on this host/build");
+  }
+  g_forced.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void reset_isa() { g_forced.store(kNotForced, std::memory_order_relaxed); }
+
+bool parse_isa(const std::string& name, Isa& out) {
+  if (name == "scalar") {
+    out = Isa::scalar;
+    return true;
+  }
+  if (name == "avx2") {
+    out = Isa::avx2;
+    return true;
+  }
+  if (name == "avx512" || name == "avx512f") {
+    out = Isa::avx512;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace omv::sim

@@ -1,0 +1,53 @@
+#pragma once
+// Runtime ISA selection for the batched simulator kernels.
+//
+// The batched interval-query kernels (sim/batch_kernels.hpp) ship in up to
+// three builds — scalar, AVX2 and AVX-512 — compiled into separate
+// translation units with the matching target flags. At startup the best
+// level the host CPU supports is selected; the OMNIVAR_ISA environment
+// variable ("scalar" / "avx2" / "avx512") clamps the choice for testing
+// (requesting a level the host or build cannot run falls back to the best
+// available one, with a stderr warning). The scalar level is always
+// available and is the bit-identity oracle: every wider level is pinned
+// against it by the differential rig (tests/test_hotpath_differential.cpp).
+
+#include <string>
+#include <vector>
+
+namespace omv::sim {
+
+/// Instruction-set level of the batched kernels, in ascending width.
+enum class Isa { scalar = 0, avx2 = 1, avx512 = 2 };
+
+/// Lowercase name used by OMNIVAR_ISA, --isa-report and the bench JSON.
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// True when `isa` was compiled in AND the host CPU can execute it.
+[[nodiscard]] bool isa_supported(Isa isa) noexcept;
+
+/// All supported levels, ascending; always contains at least scalar.
+[[nodiscard]] std::vector<Isa> available_isas();
+
+/// Widest supported level (what auto-dispatch selects).
+[[nodiscard]] Isa best_isa() noexcept;
+
+/// The active dispatch level: resolved once from OMNIVAR_ISA (falling back
+/// to best_isa()), unless force_isa() overrode it.
+[[nodiscard]] Isa active_isa();
+
+/// True when the active level came from an OMNIVAR_ISA override rather
+/// than auto-detection (reported by the campaign driver and bench JSON).
+[[nodiscard]] bool isa_overridden();
+
+/// Test hook: pins the active level. Throws std::invalid_argument when the
+/// level is not supported on this host/build.
+void force_isa(Isa isa);
+
+/// Test hook: drops any force_isa() pin and re-resolves from the
+/// environment on the next active_isa() call.
+void reset_isa();
+
+/// Parses an OMNIVAR_ISA-style name. Returns false on unknown input.
+[[nodiscard]] bool parse_isa(const std::string& name, Isa& out);
+
+}  // namespace omv::sim

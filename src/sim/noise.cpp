@@ -3,16 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "sim/batch_kernels.hpp"
 
 namespace omv::sim {
-namespace {
-
-/// Windows holding at most this many events are summed by the historical
-/// sequential scan, which reproduces the pre-index floating-point
-/// accumulation bit for bit; wider windows use the O(1) prefix-sum range.
-constexpr std::size_t kScanWindow = 48;
-
-}  // namespace
 
 NoiseConfig NoiseConfig::dardel() {
   NoiseConfig c;
@@ -51,8 +46,11 @@ NoiseConfig NoiseConfig::quiet() {
 NoiseModel::NoiseModel(const topo::Machine& machine, NoiseConfig cfg)
     : machine_(machine), cfg_(cfg) {
   per_cpu_events_.resize(machine.n_threads());
+  times_.resize(machine.n_threads());
+  durs_.resize(machine.n_threads());
   cum_.resize(machine.n_threads());
   indexed_len_.resize(machine.n_threads(), 0);
+  absorb_factor_.resize(machine.n_threads(), 1.0);
   core_threads_.resize(machine.n_cores());
   for (std::size_t core = 0; core < machine.n_cores(); ++core) {
     for (std::size_t h : machine.core_threads(core)) {
@@ -75,6 +73,8 @@ void NoiseModel::begin_run(std::uint64_t run_seed, const topo::CpuSet& busy) {
   Rng degrade_rng = base.fork(6);
 
   for (auto& v : per_cpu_events_) v.clear();
+  for (auto& v : times_) v.clear();
+  for (auto& v : durs_) v.clear();
   for (auto& c : cum_) c.clear();
   std::fill(indexed_len_.begin(), indexed_len_.end(), 0);
   degraded_ = degrade_rng.bernoulli(cfg_.degrade_prob);
@@ -99,6 +99,18 @@ void NoiseModel::set_busy(const topo::CpuSet& busy) {
   std::fill(busy_.begin(), busy_.end(), false);
   for (std::size_t h : busy) {
     if (h < busy_.size()) busy_[h] = true;
+  }
+  refresh_absorb_factors();
+}
+
+void NoiseModel::refresh_absorb_factors() {
+  for (std::size_t h = 0; h < absorb_factor_.size(); ++h) {
+    double factor = 1.0;
+    if (const auto sib = machine_.sibling(h);
+        sib && *sib < busy_.size() && !busy_[*sib]) {
+      factor = cfg_.smt_absorb_factor;
+    }
+    absorb_factor_[h] = factor;
   }
 }
 
@@ -169,9 +181,15 @@ void NoiseModel::index_new_events() {
                 return a.time < b.time;
               });
     assert(sorted == 0 || v[sorted].time >= v[sorted - 1].time);
+    auto& tv = times_[h];
+    auto& dv = durs_[h];
     auto& cum = cum_[h];
+    tv.reserve(v.size());
+    dv.reserve(v.size());
     cum.reserve(v.size());
     for (std::size_t k = sorted; k < v.size(); ++k) {
+      tv.push_back(v[k].time);
+      dv.push_back(v[k].duration);
       cum.append(v[k].duration);
     }
     indexed_len_[h] = v.size();
@@ -221,58 +239,111 @@ void NoiseModel::ensure_horizon(double t) {
   horizon_ = target;
 }
 
-double NoiseModel::preemption_delay(std::size_t h, double t0, double t1) {
-  if (t1 <= t0 || h >= per_cpu_events_.size()) return 0.0;
-  ensure_horizon(t1);
-
-  double delay = 0.0;
-  // Analytic timer ticks.
-  if (cfg_.tick_duration > 0.0 && cfg_.tick_period > 0.0) {
-    const double phase = tick_phase_[h];
-    const double first =
-        std::ceil((t0 - phase) / cfg_.tick_period) * cfg_.tick_period + phase;
-    if (first < t1) {
-      const double n = std::floor((t1 - first) / cfg_.tick_period) + 1.0;
-      delay += n * cfg_.tick_duration;
-    }
-  }
-
+double NoiseModel::event_delay(std::size_t h, double t0, double t1,
+                               double acc, const batch::Kernels* kern) {
   // ST absorption: with an idle SMT sibling, the kernel runs interrupting
   // work on the sibling HW thread and the benchmark thread only loses a
-  // share of core resources instead of being fully preempted.
-  double factor = 1.0;
-  if (const auto sib = machine_.sibling(h);
-      sib && *sib < busy_.size() && !busy_[*sib]) {
-    factor = cfg_.smt_absorb_factor;
-  }
-
-  const auto& v = per_cpu_events_[h];
-  const auto by_time = [](const NoiseEvent& e, double t) {
-    return e.time < t;
-  };
-  const auto lo = std::lower_bound(v.begin(), v.end(), t0, by_time);
-  // Peek ahead: narrow windows (the common case) are summed by the
-  // historical sequential scan, which reproduces the pre-index
-  // floating-point accumulation bit for bit and needs no second binary
-  // search. Only once the walk exceeds kScanWindow events is the window
-  // end located by binary search and the prefix-sum range used.
-  auto probe = lo;
-  std::size_t in_window = 0;
-  while (probe != v.end() && probe->time < t1 && in_window <= kScanWindow) {
-    ++probe;
-    ++in_window;
-  }
-  if (in_window <= kScanWindow) {
-    for (auto it = lo; it != probe; ++it) {
-      delay += it->duration * factor;
+  // share of core resources instead of being fully preempted. The factor
+  // is cached per busy-set change (refresh_absorb_factors), not looked up
+  // per query.
+  const double factor = absorb_factor_[h];
+  const auto& tv = times_[h];
+  const double* times = tv.data();
+  const std::size_t n = tv.size();
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(tv.begin(), tv.end(), t0) - tv.begin());
+  // Density-adaptive dispatch, fused: narrow windows (the common case at
+  // the densities the harnesses run) are summed by the historical
+  // sequential scan — accumulating while counting, in the pre-index
+  // floating-point order, with no second binary search. Only once the walk
+  // proves the window holds more than kScanCutover events is the window
+  // end located by binary search and the O(1) prefix-sum range used.
+  const std::size_t cap = std::min(n, i + kScanCutover);
+  if (kern != nullptr) {
+    std::size_t k = i;
+    while (k < cap && times[k] < t1) ++k;
+    if (k < n && k == i + kScanCutover && times[k] < t1) {
+      const std::size_t j = static_cast<std::size_t>(
+          std::lower_bound(tv.begin() + static_cast<std::ptrdiff_t>(k),
+                           tv.end(), t1) -
+          tv.begin());
+      return acc + cum_[h].range(i, j) * factor;
     }
-  } else {
-    const auto hi = std::lower_bound(probe, v.end(), t1, by_time);
-    const auto i = static_cast<std::size_t>(lo - v.begin());
-    const auto j = static_cast<std::size_t>(hi - v.begin());
-    delay += cum_[h].range(i, j) * factor;
+    // Windows too narrow to fill a vector fall through to the fused
+    // scalar scan below (batch::kVecMin); the scalar table entry computes
+    // the identical left-to-right sum, so this is a pure perf gate.
+    if (k - i >= batch::kVecMin) {
+      return kern->scan_events(acc, durs_[h].data(), i, k, factor);
+    }
+  }
+  const double* durs = durs_[h].data();
+  double delay = acc;
+  std::size_t k = i;
+  while (k < cap && times[k] < t1) {
+    delay += durs[k] * factor;
+    ++k;
+  }
+  if (k < n && k == i + kScanCutover && times[k] < t1) {
+    const std::size_t j = static_cast<std::size_t>(
+        std::lower_bound(tv.begin() + static_cast<std::ptrdiff_t>(k),
+                         tv.end(), t1) -
+        tv.begin());
+    return acc + cum_[h].range(i, j) * factor;
   }
   return delay;
+}
+
+double NoiseModel::preemption_delay(std::size_t h, double t0, double t1) {
+  if (t1 <= t0 || h >= times_.size()) return 0.0;
+  if (t1 > horizon_) ensure_horizon(t1);
+
+  // Analytic timer ticks.
+  double delay = 0.0;
+  if (cfg_.tick_duration > 0.0 && cfg_.tick_period > 0.0) {
+    delay = batch::tick_delay_one(t0, t1, tick_phase_[h], cfg_.tick_period,
+                                  cfg_.tick_duration);
+  }
+  return event_delay(h, t0, t1, delay, nullptr);
+}
+
+void NoiseModel::preemption_delay_batch(std::span<const std::size_t> h,
+                                        std::span<const double> t0,
+                                        std::span<const double> t1,
+                                        std::span<double> out) {
+  const std::size_t n = out.size();
+  if (h.size() != n || t0.size() != n || t1.size() != n) {
+    throw std::invalid_argument(
+        "NoiseModel::preemption_delay_batch: span sizes differ");
+  }
+  if (n == 0) return;
+  const batch::Kernels& kern = batch::kernels();
+
+  // Pass 1: analytic tick terms for every window in one ISA-dispatched
+  // kernel call (pure arithmetic — no materialization, no per-window
+  // state).
+  if (cfg_.tick_duration > 0.0 && cfg_.tick_period > 0.0) {
+    batch_phase_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      batch_phase_[k] = h[k] < tick_phase_.size() ? tick_phase_[h[k]] : 0.0;
+    }
+    kern.tick_terms(t0.data(), t1.data(), batch_phase_.data(),
+                    cfg_.tick_period, cfg_.tick_duration, out.data(), n);
+  } else {
+    std::fill(out.begin(), out.end(), 0.0);
+  }
+
+  // Pass 2: event sums, window by window in call order — horizon growth
+  // stays lazy and ordered exactly as a per-call loop would leave it, so
+  // the scalar ISA reproduces per-call preemption_delay results (and event
+  // content) bit for bit.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (t1[k] <= t0[k] || h[k] >= times_.size()) {
+      out[k] = 0.0;
+      continue;
+    }
+    if (t1[k] > horizon_) ensure_horizon(t1[k]);
+    out[k] = event_delay(h[k], t0[k], t1[k], out[k], &kern);
+  }
 }
 
 }  // namespace omv::sim

@@ -23,6 +23,7 @@
 // multiplied, reproducing the occasional whole-run outlier of Table 2.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/prefix_index.hpp"
@@ -30,6 +31,10 @@
 #include "topo/topology.hpp"
 
 namespace omv::sim {
+
+namespace batch {
+struct Kernels;
+}  // namespace batch
 
 /// Tuning knobs for all noise sources. Time unit: seconds.
 struct NoiseConfig {
@@ -87,6 +92,17 @@ struct NoiseEvent {
 /// up to a growing horizon, so queries are order-independent.
 class NoiseModel {
  public:
+  /// Density-adaptive scan/index cutover (events per window): windows
+  /// holding at most this many events are summed by the historical
+  /// sequential scan (bit-identical to the pre-index accumulation and
+  /// faster at the low densities where the prefix index used to regress);
+  /// wider windows use the O(1) compensated prefix-sum range. The value
+  /// sits at the measured crossover of BENCH_hotpath.json's density sweep
+  /// and may only ever be raised: harness regimes are sparser than the
+  /// cutover, so raising preserves stdout byte-identity while lowering
+  /// would not.
+  static constexpr std::size_t kScanCutover = 48;
+
   NoiseModel(const topo::Machine& machine, NoiseConfig cfg);
 
   /// Starts a new run: clears all events, reseeds, samples the run-scoped
@@ -106,6 +122,19 @@ class NoiseModel {
   /// scan (bit-identical to the historical implementation), wide windows by
   /// the compensated duration prefix sums in O(1).
   double preemption_delay(std::size_t h, double t0, double t1);
+
+  /// Answers a whole batch of preemption windows in one call: the analytic
+  /// tick terms are computed for all windows by one ISA-dispatched kernel
+  /// pass, then the event sums are answered window by window in call order
+  /// (horizon growth stays lazy and ordered exactly as a per-call loop, so
+  /// the scalar ISA reproduces `for (k) out[k] = preemption_delay(...)`
+  /// bit for bit, materialization included). Wider ISAs reassociate
+  /// within-window sums — drift is bounded by the differential rig's 1e-12
+  /// relative tolerance. All spans must share one length.
+  void preemption_delay_batch(std::span<const std::size_t> h,
+                              std::span<const double> t0,
+                              std::span<const double> t1,
+                              std::span<double> out);
 
   /// Materializes all noise sources up to time `t` (normally done lazily by
   /// preemption_delay; exposed so the differential oracle and the
@@ -144,9 +173,19 @@ class NoiseModel {
  private:
   void ensure_horizon(double t);
   void place_daemon(double t, double dur);
-  /// Sorts freshly appended per-CPU tails and extends the duration prefix
-  /// sums. Only CPUs whose vectors grew since the last call are touched.
+  /// Sorts freshly appended per-CPU tails and extends the SoA time/duration
+  /// mirrors and the duration prefix sums. Only CPUs whose vectors grew
+  /// since the last call are touched.
   void index_new_events();
+  /// Event-sum part of a preemption window: `acc` enters holding the
+  /// analytic tick term. Fused narrow scan (accumulates while counting, in
+  /// the historical order) with a bail-out to the prefix range past
+  /// kScanCutover events; `kern`, when non-null, answers the narrow sum via
+  /// the ISA kernel table instead of the inlined scalar loop.
+  double event_delay(std::size_t h, double t0, double t1, double acc,
+                     const batch::Kernels* kern);
+  /// Recomputes the cached SMT-absorb factors from the busy set.
+  void refresh_absorb_factors();
 
   const topo::Machine& machine_;
   NoiseConfig cfg_;
@@ -155,9 +194,21 @@ class NoiseModel {
   Rng irq_rng_;
   Rng placement_rng_;
   std::vector<std::vector<NoiseEvent>> per_cpu_events_;  ///< sorted by time.
+  /// SoA mirrors of per_cpu_events_ (times_[h][k] == per_cpu_events_[h][k]
+  /// .time, same for durations) — the query-side layout: binary searches
+  /// and scans touch one contiguous double stream instead of striding
+  /// through 24-byte event records. Kept in lockstep by index_new_events().
+  std::vector<std::vector<double>> times_;
+  std::vector<std::vector<double>> durs_;
   /// cum_[h] holds compensated prefix sums of per_cpu_events_[h] durations
   /// (size == events + 1); kept in lockstep by index_new_events().
   std::vector<stats::PrefixSum> cum_;
+  /// Per-HW-thread SMT-absorb factor (smt_absorb_factor when the sibling is
+  /// idle, else 1.0), cached from the busy set so the per-query sibling
+  /// lookup disappears from the hot path.
+  std::vector<double> absorb_factor_;
+  /// Scratch for preemption_delay_batch's tick pass (gathered phases).
+  std::vector<double> batch_phase_;
   /// Number of leading events of per_cpu_events_[h] already sorted+indexed.
   std::vector<std::size_t> indexed_len_;
   /// Per-core HW-thread lists, cached from the (immutable) machine so the

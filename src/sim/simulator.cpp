@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/batch_kernels.hpp"
+
 namespace omv::sim {
 
 SimConfig SimConfig::dardel() {
@@ -68,6 +70,28 @@ double Simulator::sample_smt_throughput() {
   return std::clamp(v, 0.35, 0.95);
 }
 
+double Simulator::advance(std::size_t h, std::size_t core, double t0,
+                          double eff_work) {
+  const double base_d = freq_->elapsed_for_work(core, t0, eff_work);
+  double d = base_d;
+  // Preemptions extend the window; a longer window may catch more
+  // preemptions. Iterate to a fixed point (converges fast: noise density is
+  // far below 1). The frequency term is constant across iterations (same
+  // arguments, and the first call materialized every episode its window
+  // reads), so base_d replaces the historical per-iteration recomputation
+  // bit-identically.
+  for (int iter = 0; iter < 6; ++iter) {
+    const double delay = noise_->preemption_delay(h, t0, t0 + d);
+    const double nd = base_d + delay;
+    if (nd <= d + 1e-12) {
+      d = nd;
+      break;
+    }
+    d = nd;
+  }
+  return t0 + d;
+}
+
 double Simulator::exec_scaled(std::size_t h, double t0, double work,
                               double rate_factor) {
   if (work <= 0.0) return t0;
@@ -78,21 +102,7 @@ double Simulator::exec_scaled(std::size_t h, double t0, double work,
   // work. The empty-vector fast path leaves the homogeneous arithmetic
   // bit-identical to the historical expression.
   if (!core_rate_.empty()) eff_work /= core_rate_[core];
-
-  double d = freq_->elapsed_for_work(core, t0, eff_work);
-  // Preemptions extend the window; a longer window may catch more
-  // preemptions. Iterate to a fixed point (converges fast: noise density is
-  // far below 1).
-  for (int iter = 0; iter < 6; ++iter) {
-    const double delay = noise_->preemption_delay(h, t0, t0 + d);
-    const double nd = freq_->elapsed_for_work(core, t0, eff_work) + delay;
-    if (nd <= d + 1e-12) {
-      d = nd;
-      break;
-    }
-    d = nd;
-  }
-  return t0 + d;
+  return advance(h, core, t0, eff_work);
 }
 
 double Simulator::exec(std::size_t h, double t0, double work,
@@ -101,6 +111,74 @@ double Simulator::exec(std::size_t h, double t0, double work,
   if (share > 1) rate /= static_cast<double>(share);
   if (smt_busy) rate *= sample_smt_throughput();
   return exec_scaled(h, t0, work, rate);
+}
+
+void Simulator::exec_batch_impl(const Placement& pl, const double* work,
+                                std::span<double> clocks) {
+  const std::size_t n = clocks.size();
+  if (pl.hw.size() != n || pl.share.size() != n ||
+      pl.smt_coscheduled.size() != n) {
+    throw std::invalid_argument(
+        "Simulator::exec_batch: placement/clock sizes differ");
+  }
+  if (n == 0) return;
+
+  // RNG pass in thread order: the misc-RNG draw sequence must match the
+  // per-thread loop exactly, including threads whose work is <= 0 (exec
+  // samples the SMT throughput before the zero-work early-out).
+  batch_rate_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double rate = 1.0;
+    if (pl.share[i] > 1) rate /= static_cast<double>(pl.share[i]);
+    if (pl.smt_coscheduled[i]) rate *= sample_smt_throughput();
+    batch_rate_[i] = std::max(rate, 1e-6);
+  }
+
+  // Per-thread core ids, plus gathered per-thread core rates on
+  // heterogeneous machines.
+  batch_core_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_core_[i] = machine_.thread(pl.hw[i]).core;
+  }
+  const double* core_rate = nullptr;
+  if (!core_rate_.empty()) {
+    batch_core_rate_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch_core_rate_[i] = core_rate_[batch_core_[i]];
+    }
+    core_rate = batch_core_rate_.data();
+  }
+
+  // Effective work for the whole team in one ISA-dispatched kernel call
+  // (per-lane mul/div — bit-identical to the scalar expression on every
+  // ISA).
+  batch_eff_.resize(n);
+  batch::kernels().scale_work(work, cfg_.costs.work_scale,
+                              batch_rate_.data(), core_rate,
+                              batch_eff_.data(), n);
+
+  // Clock advances in thread order: lazy noise/frequency materialization
+  // happens in the same sequence as the per-thread loop, which is what
+  // keeps the batched phase bit-identical to it.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (work[i] <= 0.0) continue;
+    clocks[i] = advance(pl.hw[i], batch_core_[i], clocks[i], batch_eff_[i]);
+  }
+}
+
+void Simulator::exec_batch(const Placement& pl, double work,
+                           std::span<double> clocks) {
+  batch_work_.assign(clocks.size(), work);
+  exec_batch_impl(pl, batch_work_.data(), clocks);
+}
+
+void Simulator::exec_batch(const Placement& pl, std::span<const double> work,
+                           std::span<double> clocks) {
+  if (work.size() != clocks.size()) {
+    throw std::invalid_argument(
+        "Simulator::exec_batch: work/clock sizes differ");
+  }
+  exec_batch_impl(pl, work.data(), clocks);
 }
 
 }  // namespace omv::sim

@@ -15,6 +15,10 @@ HotpathReport sample_report() {
   HotpathReport r;
   r.quick = true;
   r.sim_machine = "vera";
+  r.isa = "avx2";
+  r.isa_overridden = true;
+  r.noise_scan_cutover = 48;
+  r.freq_scan_cutover = 48;
   r.kernels.push_back({"preemption_delay", "high", 120000, 70.0, 1400.0});
   r.kernels.push_back({"team_barrier_phase", "vera16", 0, 800.0, 0.0});
   return r;
@@ -22,7 +26,7 @@ HotpathReport sample_report() {
 
 TEST(HotpathReport, RendersSchemaAndKernels) {
   const std::string json = hotpath_report_json(sample_report());
-  EXPECT_NE(json.find("\"schema\": \"omnivar-bench-hotpath-v1\""),
+  EXPECT_NE(json.find("\"schema\": \"omnivar-bench-hotpath-v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"quick\": true"), std::string::npos);
   EXPECT_NE(json.find("\"sim_machine\": \"vera\""), std::string::npos);
@@ -33,6 +37,30 @@ TEST(HotpathReport, RendersSchemaAndKernels) {
   EXPECT_NE(json.find("\"stream_events\": 120000"), std::string::npos);
   EXPECT_NE(json.find("\"baseline_ns_per_op\": 1400"), std::string::npos);
   EXPECT_NE(json.find("\"speedup\": 20"), std::string::npos);
+}
+
+TEST(HotpathReport, RendersDispatchMetadataAndRegressionFlags) {
+  const std::string json = hotpath_report_json(sample_report());
+  EXPECT_NE(json.find("\"isa\": \"avx2\""), std::string::npos);
+  EXPECT_NE(json.find("\"isa_override\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"noise_scan_window\": 48"), std::string::npos);
+  EXPECT_NE(json.find("\"freq_scan_episodes\": 48"), std::string::npos);
+  EXPECT_NE(json.find("\"baseline_kind\": \"reference_scan\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"regression\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"any_regression\": false"), std::string::npos);
+}
+
+TEST(HotpathReport, FlagsRegressionWhenBaselineBeatsOptimized) {
+  HotpathReport r = sample_report();
+  r.kernels.push_back(
+      {"mean_factor_batch", "low", 10, 200.0, 100.0, "indexed_per_call"});
+  EXPECT_TRUE(r.kernels.back().regression());
+  const std::string json = hotpath_report_json(r);
+  EXPECT_NE(json.find("\"baseline_kind\": \"indexed_per_call\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"regression\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"any_regression\": true"), std::string::npos);
 }
 
 TEST(HotpathReport, BaselineFreeKernelOmitsSpeedup) {

@@ -1,0 +1,200 @@
+// Batched-vs-loop differential tests for SimTeam's compute phase.
+//
+// SimTeam::compute now routes every lockstep compute segment through one
+// Simulator::exec_batch call. These tests pin the contract that rewrite
+// rests on: the batched phase is bit-identical to the retained per-thread
+// loop (SimTeam::compute_loop) — same clocks, same RNG draw order, same
+// lazy noise/frequency materialization — on every catalog preset, on the
+// committed degenerate asymmetric scenario file, on unpinned teams, and
+// under every ISA the host can dispatch the batched kernels to.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "omp_model/team.hpp"
+#include "scenario/registry.hpp"
+#include "sim/isa.hpp"
+#include "sim/simulator.hpp"
+#include "topo/proc_bind.hpp"
+
+namespace omv::ompsim {
+namespace {
+
+/// RAII pin of the batched-kernel dispatch for one test scope.
+class IsaGuard {
+ public:
+  explicit IsaGuard(sim::Isa isa) { sim::force_isa(isa); }
+  ~IsaGuard() { sim::reset_isa(); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+};
+
+/// The bench harness's "full but not oversaturated" team size, restated
+/// here so the test exercises the same span perf_hotpath times.
+std::size_t full_team(const topo::Machine& m) {
+  return std::min(m.n_cores(),
+                  m.n_threads() > 2 ? m.n_threads() - 2 : m.n_threads());
+}
+
+TeamConfig pinned(std::size_t threads) {
+  TeamConfig cfg;
+  cfg.n_threads = threads;
+  cfg.places_spec = "threads";
+  cfg.bind = topo::ProcBind::close;
+  return cfg;
+}
+
+/// Drives one team through a representative phase mix (uniform work,
+/// heterogeneous spans with zero-work holes, barriers, a fork/join pair,
+/// several repetitions) and records every thread clock after each compute.
+/// `batched` selects compute() (the production batched phase) or
+/// compute_loop() (the per-thread reference).
+std::vector<double> drive(SimTeam& team, bool batched) {
+  const auto step_uniform = [&](double work) {
+    if (batched) {
+      team.compute(work);
+    } else {
+      team.compute_loop(work);
+    }
+  };
+  const auto step_span = [&](std::span<const double> work) {
+    if (batched) {
+      team.compute(work);
+    } else {
+      team.compute_loop(work);
+    }
+  };
+
+  std::vector<double> trace;
+  const auto snap = [&] {
+    for (const double c : team.clocks()) trace.push_back(c);
+  };
+
+  team.begin_run(3);
+  std::vector<double> hetero(team.size());
+  for (std::size_t i = 0; i < hetero.size(); ++i) {
+    // Zero-work holes every third thread: exec still draws the SMT
+    // throughput sample before its early-out, so the RNG sequence (and
+    // with it every later clock) is sensitive to getting these right.
+    hetero[i] = (i % 3 == 2) ? 0.0 : 1e-5 * static_cast<double>(i + 1);
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    team.begin_rep();
+    team.fork();
+    step_uniform(1e-4);
+    snap();
+    team.barrier();
+    step_span(hetero);
+    snap();
+    team.barrier();
+    step_uniform(2e-3);
+    snap();
+    team.join();
+    snap();
+  }
+  return trace;
+}
+
+/// Runs the drive sequence twice on identically seeded simulators — once
+/// batched, once per-thread — and demands bit-identical clock traces.
+void expect_batched_matches_loop(const scenario::ScenarioSpec& spec,
+                                 const TeamConfig& cfg) {
+  const topo::Machine machine = spec.machine.build();
+  sim::Simulator sim_batched(machine, spec.sim);
+  SimTeam team_batched(sim_batched, cfg, 1);
+  sim::Simulator sim_loop(machine, spec.sim);
+  SimTeam team_loop(sim_loop, cfg, 1);
+
+  const std::vector<double> got = drive(team_batched, /*batched=*/true);
+  const std::vector<double> want = drive(team_loop, /*batched=*/false);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    ASSERT_EQ(got[k], want[k])
+        << spec.name << ": clock trace diverged at sample " << k << " of "
+        << got.size();
+  }
+}
+
+TEST(TeamBatch, BatchedComputeMatchesLoopOnEveryPreset) {
+  for (const auto& spec : scenario::ScenarioRegistry::instance().all()) {
+    expect_batched_matches_loop(
+        spec, pinned(full_team(spec.machine.build())));
+  }
+}
+
+TEST(TeamBatch, BatchedComputeMatchesLoopOnDegenerateScenarioFile) {
+  const auto path = std::filesystem::path(__FILE__).parent_path()
+                        .parent_path() /
+                    "scenarios" / "degenerate-pe.scenario";
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << "committed scenario file missing: " << path;
+  const scenario::ScenarioSpec spec = scenario::load_file(path.string());
+  const topo::Machine machine = spec.machine.build();
+  // 3 HW threads, 2 cores: run the team at every legal size.
+  for (std::size_t t = 1; t <= machine.n_threads(); ++t) {
+    expect_batched_matches_loop(spec, pinned(t));
+  }
+}
+
+TEST(TeamBatch, BatchedComputeMatchesLoopUnpinned) {
+  // Unpinned teams re-place threads between repetitions (shares and SMT
+  // co-scheduling change under the batch), drawing from a placement RNG
+  // that must stay in step across the two implementations.
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::instance().get("noisy-cloud");
+  TeamConfig cfg;
+  cfg.n_threads = full_team(spec.machine.build());
+  cfg.bind = topo::ProcBind::none;
+  expect_batched_matches_loop(spec, cfg);
+}
+
+TEST(TeamBatch, TeamClocksInvariantAcrossIsas) {
+  // The only ISA-dispatched kernel on the team path is scale_work, which
+  // is per-lane exact (mul/div, no reassociation) — so team clocks must be
+  // bit-identical under every dispatch level, not merely close.
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::instance().get("vera");
+  const topo::Machine machine = spec.machine.build();
+  const TeamConfig cfg = pinned(full_team(machine));
+
+  std::vector<double> scalar_trace;
+  for (const sim::Isa isa : sim::available_isas()) {
+    IsaGuard guard(isa);
+    sim::Simulator simulator(machine, spec.sim);
+    SimTeam team(simulator, cfg, 1);
+    std::vector<double> trace = drive(team, /*batched=*/true);
+    if (isa == sim::Isa::scalar) {
+      scalar_trace = std::move(trace);
+      continue;
+    }
+    ASSERT_EQ(trace.size(), scalar_trace.size());
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+      ASSERT_EQ(trace[k], scalar_trace[k])
+          << sim::isa_name(isa) << " diverged from scalar at sample " << k;
+    }
+  }
+}
+
+TEST(TeamBatch, ExecBatchValidatesSpans) {
+  const topo::Machine machine = topo::Machine::vera();
+  sim::Simulator simulator(machine, sim::SimConfig::vera());
+  simulator.begin_run(1, machine.primary_threads());
+  sim::Placement pl;
+  pl.hw = {0, 1};
+  pl.share = {1, 1};
+  pl.smt_coscheduled = {false, false};
+  std::vector<double> clocks(3, 0.0);
+  EXPECT_THROW(simulator.exec_batch(pl, 1e-3, clocks),
+               std::invalid_argument);
+  clocks.resize(2);
+  const std::vector<double> work{1e-3, 1e-3, 1e-3};
+  EXPECT_THROW(simulator.exec_batch(pl, work, clocks),
+               std::invalid_argument);
+  EXPECT_NO_THROW(simulator.exec_batch(pl, 1e-3, clocks));
+  EXPECT_GT(clocks[0], 0.0);
+}
+
+}  // namespace
+}  // namespace omv::ompsim
