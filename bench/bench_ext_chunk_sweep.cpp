@@ -44,7 +44,10 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
           harness::cell_key("schedbench", p, team)
               .add("schedule", ompsim::schedule_name(kind))
               .add("chunk", chunk),
-          [&] { return sb.run_protocol(kind, chunk, spec, ctx.jobs()); });
+          [&] {
+            return sb.run_protocol(kind, chunk, spec, ctx.jobs(),
+                                   ctx.checkpoint());
+          });
       const double mean = m.grand_mean();
       t.add_row({ompsim::schedule_name(kind), std::to_string(chunk),
                  report::fmt_fixed(mean, 1),

@@ -39,7 +39,9 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
           spec,
           harness::cell_key("babelstream", p, team)
               .add("kernel", bench::stream_kernel_name(k)),
-          [&] { return st.run_protocol(k, spec, ctx.jobs()); });
+          [&] {
+            return st.run_protocol(k, spec, ctx.jobs(), ctx.checkpoint());
+          });
       row.push_back(m.grand_mean());
       if (k == bench::StreamKernel::triad) {
         if (t == counts.front()) first_triad = m.grand_mean();

@@ -200,7 +200,9 @@ int run_perf_hotpath(cli::RunContext& ctx) {
     // which the reference queries silently tolerated — no longer).
     noise.materialize_to(std::max(horizon, nw.max_end()));
     std::size_t n_events = 0;
-    for (const auto& v : noise.events()) n_events += v.size();
+    for (std::size_t h = 0; h < noise.n_event_streams(); ++h) {
+      n_events += noise.event_times(h).size();
+    }
 
     const auto [noise_opt, noise_base] = best_pair_ns(
         [&] {
@@ -250,7 +252,7 @@ int run_perf_hotpath(cli::RunContext& ctx) {
     freq.materialize_to(std::max(horizon, fw.max_end()));
     std::size_t n_eps = 0;
     for (std::size_t dom = 0; dom < machine.n_numa(); ++dom) {
-      n_eps += freq.episodes(dom).size();
+      n_eps += freq.episode_starts(dom).size();
     }
 
     const auto [mf_opt, mf_base] = best_pair_ns(

@@ -99,12 +99,11 @@ inline FreqPanelGeometry freq_panel_geometry(const Platform& p) {
 /// `make_bench(sim, team_cfg)` builds the per-run benchmark object;
 /// `rep(bench, team)` executes one repetition and returns microseconds.
 template <typename MakeBench, typename Rep>
-[[nodiscard]] FreqPanelResult run_freq_panel(const sim::Simulator& base,
-                                             const std::string& places,
-                                             std::size_t n_threads,
-                                             const ExperimentSpec& spec,
-                                             std::size_t n_jobs,
-                                             MakeBench make_bench, Rep rep) {
+[[nodiscard]] FreqPanelResult run_freq_panel(
+    const sim::Simulator& base, const std::string& places,
+    std::size_t n_threads, const ExperimentSpec& spec, std::size_t n_jobs,
+    MakeBench make_bench, Rep rep,
+    const snap::CheckpointPolicy* ckpt = nullptr) {
   ompsim::TeamConfig cfg;
   cfg.n_threads = n_threads;
   cfg.places_spec = places;
@@ -126,7 +125,8 @@ template <typename MakeBench, typename Rep>
         freqlog::SimFreqReader reader(sim.freq(), sim.machine().n_cores());
         trace_slots[slot.run].append(
             freqlog::sample_sim(reader, 0.0, team.now(), 0.01));
-      });
+      },
+      ckpt);
   for (const auto& tr : traces) out.trace.append(tr);
   return out;
 }
@@ -148,7 +148,8 @@ template <typename MakeBench, typename Rep>
       label, spec, std::move(key),
       [&] {
         auto panel = run_freq_panel(base, places, n_threads, spec,
-                                    ctx.jobs(), make_bench, rep);
+                                    ctx.jobs(), make_bench, rep,
+                                    ctx.checkpoint());
         out.trace = std::move(panel.trace);
         return std::move(panel.matrix);
       },

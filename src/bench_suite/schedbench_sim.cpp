@@ -46,7 +46,8 @@ RunMatrix SimSchedBench::run_protocol(ompsim::Schedule kind, std::size_t chunk,
 
 RunMatrix SimSchedBench::run_protocol(ompsim::Schedule kind, std::size_t chunk,
                                       const ExperimentSpec& spec,
-                                      std::size_t jobs) {
+                                      std::size_t jobs,
+                                      const snap::CheckpointPolicy* ckpt) {
   return run_protocol_sharded(
       *sim_, team_cfg_, spec, jobs,
       [team_cfg = team_cfg_, params = params_,
@@ -55,7 +56,8 @@ RunMatrix SimSchedBench::run_protocol(ompsim::Schedule kind, std::size_t chunk,
       },
       [kind, chunk](SimSchedBench& bench, ompsim::SimTeam& team) {
         return bench.rep_time_us(team, kind, chunk);
-      });
+      },
+      NoRunEndHook{}, ckpt);
 }
 
 }  // namespace omv::bench

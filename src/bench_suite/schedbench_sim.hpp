@@ -15,6 +15,10 @@
 #include "omp_model/worksharing.hpp"
 #include "sim/simulator.hpp"
 
+namespace omv::snap {
+struct CheckpointPolicy;
+}  // namespace omv::snap
+
 namespace omv::bench {
 
 /// schedbench, simulator backend.
@@ -36,11 +40,11 @@ class SimSchedBench {
 
   /// As run_protocol, but shards the spec's runs across `jobs` worker
   /// threads (0 = hardware concurrency; 1 = inline); bit-identical to the
-  /// serial overload.
-  [[nodiscard]] RunMatrix run_protocol(ompsim::Schedule kind,
-                                       std::size_t chunk,
-                                       const ExperimentSpec& spec,
-                                       std::size_t jobs);
+  /// serial overload. `ckpt` optionally routes the cell through the
+  /// checkpointed (serial, snapshot-writing) protocol loop.
+  [[nodiscard]] RunMatrix run_protocol(
+      ompsim::Schedule kind, std::size_t chunk, const ExperimentSpec& spec,
+      std::size_t jobs, const snap::CheckpointPolicy* ckpt = nullptr);
 
   /// The coarsening factor used for a given chunk size (1 = exact).
   [[nodiscard]] std::size_t coarsen_for(std::size_t chunk) const;

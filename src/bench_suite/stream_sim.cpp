@@ -135,7 +135,8 @@ RunMatrix SimStream::run_protocol(StreamKernel k, const ExperimentSpec& spec) {
 }
 
 RunMatrix SimStream::run_protocol(StreamKernel k, const ExperimentSpec& spec,
-                                  std::size_t jobs) {
+                                  std::size_t jobs,
+                                  const snap::CheckpointPolicy* ckpt) {
   return run_protocol_sharded(
       *sim_, team_cfg_, spec, jobs,
       [team_cfg = team_cfg_, elems = array_elems_,
@@ -144,7 +145,8 @@ RunMatrix SimStream::run_protocol(StreamKernel k, const ExperimentSpec& spec,
       },
       [k](SimStream& bench, ompsim::SimTeam& team) {
         return bench.kernel_time_s(team, k) * 1e3;
-      });
+      },
+      NoRunEndHook{}, ckpt);
 }
 
 }  // namespace omv::bench

@@ -16,6 +16,10 @@
 #include "omp_model/team.hpp"
 #include "sim/simulator.hpp"
 
+namespace omv::snap {
+struct CheckpointPolicy;
+}  // namespace omv::snap
+
 namespace omv::bench {
 
 /// The five BabelStream kernels.
@@ -65,10 +69,11 @@ class SimStream {
 
   /// As run_protocol, but shards the spec's runs across `jobs` worker
   /// threads (0 = hardware concurrency; 1 = inline); bit-identical to the
-  /// serial overload.
-  [[nodiscard]] RunMatrix run_protocol(StreamKernel k,
-                                       const ExperimentSpec& spec,
-                                       std::size_t jobs);
+  /// serial overload. `ckpt` optionally routes the cell through the
+  /// checkpointed (serial, snapshot-writing) protocol loop.
+  [[nodiscard]] RunMatrix run_protocol(
+      StreamKernel k, const ExperimentSpec& spec, std::size_t jobs,
+      const snap::CheckpointPolicy* ckpt = nullptr);
 
   [[nodiscard]] std::size_t array_elems() const noexcept {
     return array_elems_;

@@ -144,7 +144,8 @@ RunMatrix SimSyncBench::run_protocol(SyncConstruct c,
 
 RunMatrix SimSyncBench::run_protocol(SyncConstruct c,
                                      const ExperimentSpec& spec,
-                                     std::size_t jobs) {
+                                     std::size_t jobs,
+                                     const snap::CheckpointPolicy* ckpt) {
   return run_protocol_sharded(
       *sim_, team_cfg_, spec, jobs,
       [team_cfg = team_cfg_, params = params_,
@@ -153,7 +154,8 @@ RunMatrix SimSyncBench::run_protocol(SyncConstruct c,
       },
       [c](SimSyncBench& bench, ompsim::SimTeam& team) {
         return bench.rep_time_us(team, c);
-      });
+      },
+      NoRunEndHook{}, ckpt);
 }
 
 }  // namespace omv::bench

@@ -14,6 +14,10 @@
 #include "omp_model/team.hpp"
 #include "sim/simulator.hpp"
 
+namespace omv::snap {
+struct CheckpointPolicy;
+}  // namespace omv::snap
+
 namespace omv::bench {
 
 /// syncbench, simulator backend.
@@ -49,10 +53,11 @@ class SimSyncBench {
   /// threads (0 = hardware concurrency; 1 = inline). Each run executes on
   /// a private Simulator + team whose state begin_run re-derives entirely
   /// from the run seed, so the RunMatrix is bit-identical to the serial
-  /// overload.
-  [[nodiscard]] RunMatrix run_protocol(SyncConstruct c,
-                                       const ExperimentSpec& spec,
-                                       std::size_t jobs);
+  /// overload. When `ckpt` names an engaged checkpoint policy, the cell
+  /// executes serially with snapshot checkpoints (still bit-identical).
+  [[nodiscard]] RunMatrix run_protocol(
+      SyncConstruct c, const ExperimentSpec& spec, std::size_t jobs,
+      const snap::CheckpointPolicy* ckpt = nullptr);
 
   [[nodiscard]] const EpccParams& params() const noexcept { return params_; }
   [[nodiscard]] const ompsim::TeamConfig& team_config() const noexcept {

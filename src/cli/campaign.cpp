@@ -67,6 +67,26 @@ std::string_view engine_version() {
   return kEngineVersion;
 }
 
+namespace {
+
+/// OMNIVAR_CHECKPOINT_STOP_AFTER: test/CI kill switch — abort the process
+/// (exit code 3) after N checkpoint writes so a resume can be exercised in
+/// a fresh process. 0 / unset / malformed = off.
+std::size_t checkpoint_stop_after_env() {
+  if (const char* e = std::getenv("OMNIVAR_CHECKPOINT_STOP_AFTER")) {
+    std::size_t n = 0;
+    if (parse_uint(e, n)) return n;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void RunContext::configure_checkpoints(std::size_t every, std::string resume) {
+  ckpt_every_ = every;
+  resume_sel_ = std::move(resume);
+}
+
 void RunContext::note_platform(const std::string& name,
                                const std::string& fingerprint) {
   for (const auto& [n, f] : platforms_) {
@@ -137,6 +157,39 @@ RunMatrix RunContext::protocol(const std::string& label,
       }
     }
   }
+
+  // Arm this cell's checkpoint policy for the compute call. The snapshot
+  // rides the cache entry's stem (".snap" sidecar) and is stamped with the
+  // engine + scenario + cell identity, so a resume can never cross cells.
+  if (caching() && (ckpt_every_ > 0 || !resume_sel_.empty())) {
+    ckpt_policy_ = snap::CheckpointPolicy{};
+    ckpt_policy_.path = stem + ".snap";
+    ckpt_policy_.every_reps = ckpt_every_;
+    ckpt_policy_.stop_after = checkpoint_stop_after_env();
+    ckpt_policy_.stamp.engine = std::string(engine_version());
+    ckpt_policy_.stamp.scenario = scenario_ ? scenario_->fingerprint() : "";
+    ckpt_policy_.stamp.cell = hash;
+    if (resume_sel_ == "auto") {
+      // Each cell resumes from its own sidecar when one survived a prior
+      // interrupted invocation; cells without one start fresh.
+      if (std::filesystem::exists(ckpt_policy_.path)) {
+        ckpt_policy_.resume_from = ckpt_policy_.path;
+      }
+    } else if (!resume_sel_.empty()) {
+      // An explicit snapshot belongs to exactly one cell: its stamp names
+      // the cell hash. Other cells run fresh.
+      if (auto st = snap::try_peek_stamp(resume_sel_);
+          st && st->cell == hash) {
+        ckpt_policy_.resume_from = resume_sel_;
+      }
+    }
+    ckpt_active_ = ckpt_policy_.engaged();
+  }
+  // Disarm even when compute throws (CheckpointStop unwinds through here).
+  struct Disarm {
+    bool* flag;
+    ~Disarm() { *flag = false; }
+  } disarm{&ckpt_active_};
 
   RunMatrix m = compute();
   // Normalize to the cell label: the compute path labels matrices with
@@ -325,11 +378,14 @@ namespace {
 
 void print_usage(const char* argv0, bool campaign) {
   std::fprintf(stderr,
-               "usage: %s [--list] [--scenarios] [--isa-report] [--jobs N] "
-               "[--scenario S] [--out DIR]%s\n"
+               "usage: %s [--list] [--scenarios] [--isa-report] [--version] "
+               "[--jobs N] [--scenario S] [--out DIR] "
+               "[--checkpoint-every N] [--resume SRC]%s\n"
                "  --list       list registered harnesses\n"
                "  --scenarios  list the scenario catalog\n"
                "  --isa-report list dispatchable batched-kernel ISA levels\n"
+               "  --version    print engine version, snapshot format and "
+               "dispatched ISA\n"
                "%s"
                "  --jobs N     shard each protocol's runs over N workers\n"
                "               (0 = one per hardware thread; default: "
@@ -342,12 +398,30 @@ void print_usage(const char* argv0, bool campaign) {
                "  --out DIR    campaign directory: per-harness JSON "
                "artifacts,\n"
                "               campaign.json, and the spec-hash result "
-               "cache\n",
+               "cache\n"
+               "  --checkpoint-every N\n"
+               "               checkpoint each protocol cell every N timed "
+               "reps to a\n"
+               "               .snap cache sidecar (requires --out; default: "
+               "\n"
+               "               OMNIVAR_CHECKPOINT_EVERY, else off)\n"
+               "  --resume SRC resume interrupted cells: 'auto' scans each "
+               "cell's\n"
+               "               sidecar, a path names one snapshot (requires "
+               "--out)\n",
                argv0, campaign ? " [--only GLOB]..." : "",
                campaign
                    ? "  --only GLOB  run only harnesses matching the glob "
                      "(repeatable)\n"
                    : "");
+}
+
+/// --version: the identity triple a snapshot stamp is checked against plus
+/// the batched-kernel dispatch, one "key: value" per line on stdout.
+void print_version() {
+  std::printf("engine: %s\n", std::string(kEngineVersion).c_str());
+  std::printf("snapshot-format: %s\n", snap::kSnapshotFormat);
+  std::printf("isa: %s\n", sim::isa_name(sim::active_isa()));
 }
 
 /// Lists the batched-kernel ISA levels this host+build can dispatch to,
@@ -389,6 +463,22 @@ bool resolve_scenario(const std::string& selection,
   }
 }
 
+/// Resolves the checkpoint flags; reports and drops them when no --out dir
+/// is configured (checkpoint snapshots ride the result cache).
+void resolve_checkpoints(const Options& o, std::size_t& every,
+                         std::string& resume) {
+  every = effective_checkpoint_every(o.checkpoint_every);
+  resume = o.resume;
+  if ((every > 0 || !resume.empty()) && o.out_dir.empty()) {
+    std::fprintf(stderr,
+                 "[omnivar] ignoring --checkpoint-every/--resume: "
+                 "checkpoint snapshots ride the result cache, which "
+                 "requires --out\n");
+    every = 0;
+    resume.clear();
+  }
+}
+
 void report_option_errors(const Options& o) {
   for (const auto& e : o.errors) {
     std::fprintf(stderr, "[omnivar] ignoring %s\n", e.c_str());
@@ -410,7 +500,9 @@ struct HarnessOutcome {
 /// out dir is configured.
 HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
                        const std::string& out_dir,
-                       const std::optional<scenario::ScenarioSpec>& scn) {
+                       const std::optional<scenario::ScenarioSpec>& scn,
+                       std::size_t ckpt_every = 0,
+                       const std::string& resume = {}) {
   HarnessOutcome out;
   out.name = h.name;
   const auto t0 = std::chrono::steady_clock::now();
@@ -419,6 +511,7 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
   // error must mark this harness FAILED, not std::terminate the campaign.
   try {
     RunContext ctx(h.name, jobs, out_dir, scn);
+    ctx.configure_checkpoints(ckpt_every, resume);
     out.exit_code = h.run(ctx);
     out.verdicts_total = ctx.verdicts().size();
     for (const auto& v : ctx.verdicts()) {
@@ -431,6 +524,13 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
                  ctx.artifact_json(h.description));
       out.artifact_written = true;
     }
+  } catch (const snap::CheckpointStop& e) {
+    // The configured stop-after limit tripped right after a checkpoint
+    // landed: a deliberate mid-protocol exit, distinguishable from failure
+    // so the CI round-trip lane can assert on it before resuming.
+    std::fprintf(stderr, "[omnivar] %s stopped: %s\n", h.name.c_str(),
+                 e.what());
+    out.exit_code = 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[omnivar] %s failed: %s\n", h.name.c_str(),
                  e.what());
@@ -508,8 +608,15 @@ int run_standalone(int argc, char** argv) {
     print_isa_report();
     return 0;
   }
+  if (o.version) {
+    print_version();
+    return 0;
+  }
   std::optional<scenario::ScenarioSpec> scn;
   if (!resolve_scenario(effective_scenario(o.scenario), scn)) return 2;
+  std::size_t ckpt_every = 0;
+  std::string resume;
+  resolve_checkpoints(o, ckpt_every, resume);
   const auto& all = Registry::instance().all();
   if (all.size() != 1) {
     std::fprintf(stderr,
@@ -531,7 +638,7 @@ int run_standalone(int argc, char** argv) {
                  h.name.c_str());
   }
   const HarnessOutcome out =
-      run_one(h, effective_jobs(o.jobs), o.out_dir, scn);
+      run_one(h, effective_jobs(o.jobs), o.out_dir, scn, ckpt_every, resume);
   if (!o.out_dir.empty()) {
     report_outcome(out);
     try {
@@ -567,8 +674,15 @@ int run_campaign(int argc, char** argv) {
     print_isa_report();
     return 0;
   }
+  if (o.version) {
+    print_version();
+    return 0;
+  }
   std::optional<scenario::ScenarioSpec> scn;
   if (!resolve_scenario(effective_scenario(o.scenario), scn)) return 2;
+  std::size_t ckpt_every = 0;
+  std::string resume;
+  resolve_checkpoints(o, ckpt_every, resume);
   const auto selected = reg.match(o.only);
   if (selected.empty()) {
     std::fprintf(stderr, "[omnivar] no harness matches");
@@ -589,9 +703,15 @@ int run_campaign(int argc, char** argv) {
   for (const HarnessInfo* h : selected) {
     std::fprintf(stderr, "[omnivar] running %s (%zu of %zu)\n",
                  h->name.c_str(), outcomes.size() + 1, selected.size());
-    outcomes.push_back(run_one(*h, jobs, o.out_dir, scn));
+    outcomes.push_back(
+        run_one(*h, jobs, o.out_dir, scn, ckpt_every, resume));
     report_outcome(outcomes.back());
-    if (outcomes.back().exit_code != 0) rc = 1;
+    if (outcomes.back().exit_code != 0) {
+      rc = outcomes.back().exit_code == 3 && rc == 0 ? 3 : 1;
+      // A deliberate checkpoint stop ends the campaign immediately: later
+      // harnesses would burn the budget the stop was meant to save.
+      if (outcomes.back().exit_code == 3) break;
+    }
   }
   if (!o.out_dir.empty()) {
     try {

@@ -48,6 +48,7 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/run_matrix.hpp"
+#include "core/snapshot.hpp"
 #include "core/spec_hash.hpp"
 #include "scenario/scenario.hpp"
 
@@ -120,6 +121,21 @@ class RunContext {
     return scenario_ ? &*scenario_ : nullptr;
   }
 
+  /// Arms per-cell checkpointing: every protocol cell computed by this
+  /// context writes a snapshot sidecar ("<cache stem>.snap") every `every`
+  /// timed repetitions, and `resume` selects a resume source — "auto"
+  /// resumes each cell from its own sidecar when one exists, an explicit
+  /// path resumes exactly the cell whose stamp the snapshot carries.
+  /// Requires caching (an --out dir); ignored otherwise.
+  void configure_checkpoints(std::size_t every, std::string resume);
+
+  /// The checkpoint policy of the cell currently computing, for forwarding
+  /// into run_protocol(...); nullptr when checkpointing is not armed (the
+  /// common case) or no cell is computing.
+  [[nodiscard]] const snap::CheckpointPolicy* checkpoint() const noexcept {
+    return ckpt_active_ ? &ckpt_policy_ : nullptr;
+  }
+
   /// Records a platform this harness ran on (display name + scenario
   /// fingerprint; deduplicated) for the artifact's provenance block.
   void note_platform(const std::string& name,
@@ -187,6 +203,10 @@ class RunContext {
   std::size_t jobs_ = 1;
   std::string out_dir_;
   std::optional<scenario::ScenarioSpec> scenario_;
+  std::size_t ckpt_every_ = 0;   ///< configure_checkpoints cadence.
+  std::string resume_sel_;       ///< "auto", a snapshot path, or "".
+  snap::CheckpointPolicy ckpt_policy_;  ///< policy of the computing cell.
+  bool ckpt_active_ = false;
   std::vector<std::pair<std::string, std::string>> platforms_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

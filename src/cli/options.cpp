@@ -65,6 +65,10 @@ Options parse_options(int argc, char** argv) {
       o.isa_report = true;
       continue;
     }
+    if (std::strcmp(arg, "--version") == 0) {
+      o.version = true;
+      continue;
+    }
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       o.help = true;
       continue;
@@ -91,11 +95,29 @@ Options parse_options(int argc, char** argv) {
       o.out_dir = v;
       continue;
     }
+    if (const char* v =
+            flag_value("--checkpoint-every", argc, argv, i, o.errors)) {
+      std::size_t n = 0;
+      if (parse_uint(v, n)) {
+        o.checkpoint_every = n;
+      } else {
+        o.errors.push_back("malformed --checkpoint-every value '" +
+                           std::string(v) +
+                           "' (expected a non-negative integer)");
+      }
+      continue;
+    }
+    if (const char* v = flag_value("--resume", argc, argv, i, o.errors)) {
+      o.resume = v;
+      continue;
+    }
     // flag_value may already have recorded a missing-value error for this
     // argument; only flag it as unknown when it did not consume it.
     if (std::strcmp(arg, "--only") != 0 && std::strcmp(arg, "--jobs") != 0 &&
         std::strcmp(arg, "--scenario") != 0 &&
-        std::strcmp(arg, "--out") != 0) {
+        std::strcmp(arg, "--out") != 0 &&
+        std::strcmp(arg, "--checkpoint-every") != 0 &&
+        std::strcmp(arg, "--resume") != 0) {
       o.errors.push_back("unknown argument '" + std::string(arg) + "'");
     }
   }
@@ -123,6 +145,23 @@ std::string effective_scenario(const std::string& cli_scenario) {
   if (!cli_scenario.empty()) return cli_scenario;
   if (const char* s = std::getenv("OMNIVAR_SCENARIO")) return s;
   return {};
+}
+
+std::size_t effective_checkpoint_every(std::size_t cli_every) {
+  if (cli_every != 0) return cli_every;
+  if (const char* e = std::getenv("OMNIVAR_CHECKPOINT_EVERY")) {
+    std::size_t n = 0;
+    if (parse_uint(e, n)) return n;
+    static bool warned = [&] {
+      std::fprintf(stderr,
+                   "omnivar: ignoring malformed OMNIVAR_CHECKPOINT_EVERY="
+                   "'%s' (expected a non-negative integer)\n",
+                   e);
+      return true;
+    }();
+    (void)warned;
+  }
+  return 0;
 }
 
 }  // namespace omv::cli

@@ -14,6 +14,15 @@
 //                     path; falls back to OMNIVAR_SCENARIO, else the
 //                     paper's Dardel+Vera default
 //   --out[=]DIR       campaign directory: JSON artifacts + result cache
+//   --checkpoint-every[=]N
+//                     checkpoint each protocol cell every N timed reps to
+//                     a .snap sidecar of its cache entry (requires --out);
+//                     falls back to OMNIVAR_CHECKPOINT_EVERY
+//   --resume[=]SRC    resume interrupted cells: "auto" scans each cell's
+//                     .snap sidecar, an explicit path names one snapshot
+//                     (requires --out)
+//   --version         print engine version, snapshot format and dispatched
+//                     ISA on stdout and exit
 //   --help            usage
 // Parsing is strict: a typo'd jobs value must not silently become
 // "saturate every core" on a measurement harness, so malformed values are
@@ -38,11 +47,14 @@ struct Options {
   bool list = false;
   bool list_scenarios = false;  ///< --scenarios catalog listing.
   bool isa_report = false;      ///< --isa-report dispatchable-ISA listing.
+  bool version = false;         ///< --version identity report.
   bool help = false;
   std::vector<std::string> only;  ///< --only name globs (empty = all).
   std::size_t jobs = 0;           ///< resolved worker count; 0 = unset.
   std::string scenario;           ///< --scenario name/path; empty = unset.
   std::string out_dir;            ///< --out campaign dir; empty = none.
+  std::size_t checkpoint_every = 0;  ///< --checkpoint-every; 0 = off.
+  std::string resume;  ///< --resume "auto" or snapshot path; empty = off.
   std::vector<std::string> errors;  ///< malformed/unknown arguments.
 };
 
@@ -60,5 +72,10 @@ struct Options {
 /// OMNIVAR_SCENARIO environment variable, else "" — the paper's default
 /// Dardel+Vera contrast mode.
 [[nodiscard]] std::string effective_scenario(const std::string& cli_scenario);
+
+/// Effective checkpoint cadence: `cli_every` when set (non-zero), else the
+/// OMNIVAR_CHECKPOINT_EVERY environment variable (malformed values are
+/// reported once to stderr and ignored), else 0 — checkpointing off.
+[[nodiscard]] std::size_t effective_checkpoint_every(std::size_t cli_every);
 
 }  // namespace omv::cli

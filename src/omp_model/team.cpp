@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/snapshot.hpp"
+
 namespace omv::ompsim {
 namespace {
 
@@ -210,6 +212,34 @@ void SimTeam::compute_loop(std::span<const double> work) {
         "SimTeam::compute_loop: work span size mismatch");
   }
   for (std::size_t i = 0; i < clocks_.size(); ++i) compute_one(i, work[i]);
+}
+
+void SimTeam::capture(snap::SnapshotWriter& w) {
+  sim_.capture(w);
+  w.field_u64("team.n_threads", clocks_.size());
+  snap::Capture v(w);
+  v.object("team", *this);
+}
+
+void SimTeam::restore(snap::SnapshotReader& r) {
+  sim_.restore(r);
+  r.expect_u64("team.n_threads", clocks_.size(), "team size");
+  snap::Restore v(r);
+  v.object("team", *this);
+  // The placement vectors are restored verbatim; their lengths must match
+  // the team the snapshot was taken from.
+  const auto& pl = placement_model_.current();
+  if (pl.hw.size() != clocks_.size() || pl.share.size() != clocks_.size() ||
+      pl.smt_coscheduled.size() != clocks_.size() ||
+      pl.migrated.size() != clocks_.size() ||
+      pl.data_domain.size() != clocks_.size()) {
+    r.fail_here(r.offset(), "restored placement does not match team size");
+  }
+}
+
+void SimTeam::fork_streams(std::uint64_t salt) {
+  sim_.fork_streams(salt);
+  placement_model_.fork_streams(salt);
 }
 
 }  // namespace omv::ompsim

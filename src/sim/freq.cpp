@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/snapshot.hpp"
 #include "sim/batch_kernels.hpp"
 
 namespace omv::sim {
@@ -61,7 +62,6 @@ FreqConfig FreqConfig::flat() {
 
 FreqModel::FreqModel(const topo::Machine& machine, FreqConfig cfg)
     : machine_(machine), cfg_(cfg) {
-  episodes_.resize(machine.n_numa());
   index_.resize(machine.n_numa());
   next_arrival_.resize(machine.n_numa(), 0.0);
   core_numa_.resize(machine.n_cores(), 0);
@@ -88,7 +88,6 @@ void FreqModel::begin_run(std::uint64_t run_seed) {
   activity_mult_ = 1.0;
   load_fraction_ = 1.0;
   rate_ = cfg_.episode_rate * activity_mult_;
-  for (auto& v : episodes_) v.clear();
   for (auto& idx : index_) idx.clear();
   for (auto& t : next_arrival_) {
     t = rate_ > 0.0 ? episode_rng_.exponential(rate_) : 1e300;
@@ -110,23 +109,18 @@ void FreqModel::set_activity_domains(std::size_t n_domains) {
 }
 
 void FreqModel::index_new_episodes() {
-  for (std::size_t d = 0; d < episodes_.size(); ++d) {
-    const auto& eps = episodes_[d];
-    auto& idx = index_[d];
+  for (auto& idx : index_) {
     if (idx.max_end.empty()) {
       idx.max_end.push_back(-std::numeric_limits<double>::infinity());
     }
-    for (std::size_t k = idx.red_uncapped.size(); k < eps.size(); ++k) {
-      const FreqEpisode& ep = eps[k];
-      idx.starts.push_back(ep.start);
-      idx.ends.push_back(ep.end);
-      idx.depths.push_back(ep.depth);
-      idx.max_end.push_back(std::max(idx.max_end.back(), ep.end));
-      const double len = ep.end - ep.start;
-      idx.red_uncapped.append((1.0 - std::min(1.0, ep.depth)) * len);
+    for (std::size_t k = idx.red_uncapped.size(); k < idx.starts.size(); ++k) {
+      const double end = idx.ends[k];
+      const double depth = idx.depths[k];
+      idx.max_end.push_back(std::max(idx.max_end.back(), end));
+      const double len = end - idx.starts[k];
+      idx.red_uncapped.append((1.0 - std::min(1.0, depth)) * len);
       idx.red_capped.append(
-          (cfg_.run_cap_depth - std::min(cfg_.run_cap_depth, ep.depth)) *
-          len);
+          (cfg_.run_cap_depth - std::min(cfg_.run_cap_depth, depth)) * len);
     }
   }
 }
@@ -139,14 +133,16 @@ void FreqModel::ensure_horizon(double t) {
   const double target = std::max(t * 1.25, horizon_ + 1.0);
   const double mu_log = std::log(cfg_.episode_mean) -
                         0.5 * cfg_.episode_sigma_log * cfg_.episode_sigma_log;
-  for (std::size_t d = 0; d < episodes_.size(); ++d) {
+  for (std::size_t d = 0; d < index_.size(); ++d) {
+    auto& idx = index_[d];
     while (next_arrival_[d] < target) {
-      FreqEpisode ep;
-      ep.start = next_arrival_[d];
-      ep.end = ep.start +
-               episode_rng_.lognormal(mu_log, cfg_.episode_sigma_log);
-      ep.depth = episode_rng_.uniform(cfg_.depth_lo, cfg_.depth_hi);
-      episodes_[d].push_back(ep);
+      const double start = next_arrival_[d];
+      const double end =
+          start + episode_rng_.lognormal(mu_log, cfg_.episode_sigma_log);
+      const double depth = episode_rng_.uniform(cfg_.depth_lo, cfg_.depth_hi);
+      idx.starts.push_back(start);
+      idx.ends.push_back(end);
+      idx.depths.push_back(depth);
       next_arrival_[d] += episode_rng_.exponential(rate_);
     }
   }
@@ -349,6 +345,33 @@ void FreqModel::elapsed_for_work_batch(std::span<const std::size_t> core,
   for (std::size_t k = 0; k < n; ++k) {
     out[k] = elapsed_impl(core[k], t0[k], work[k], &kern);
   }
+}
+
+void FreqModel::fork_streams(std::uint64_t salt) {
+  episode_rng_ = episode_rng_.fork(salt);
+  jitter_rng_ = jitter_rng_.fork(salt);
+}
+
+void FreqModel::after_restore(snap::Restore& v) {
+  auto& r = v.reader();
+  if (index_.size() != machine_.n_numa() ||
+      next_arrival_.size() != machine_.n_numa()) {
+    r.fail_here(r.offset(),
+                "freq episode domains do not match machine geometry");
+  }
+  for (auto& idx : index_) {
+    if (idx.starts.size() != idx.ends.size() ||
+        idx.starts.size() != idx.depths.size()) {
+      r.fail_here(r.offset(), "freq episode columns differ in length");
+    }
+    // Rebuild the derived index: replaying the append loop over the full
+    // columns reproduces max_end and both compensated reduction sums bit
+    // for bit.
+    idx.max_end.clear();
+    idx.red_uncapped.clear();
+    idx.red_capped.clear();
+  }
+  index_new_episodes();
 }
 
 }  // namespace omv::sim

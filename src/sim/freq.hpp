@@ -14,11 +14,17 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/prefix_index.hpp"
 #include "core/rng.hpp"
 #include "topo/topology.hpp"
+
+namespace omv::snap {
+class Capture;
+class Restore;
+}  // namespace omv::snap
 
 namespace omv::sim {
 
@@ -60,14 +66,10 @@ struct FreqConfig {
   static FreqConfig flat();
 };
 
-/// One frequency-dip episode on a NUMA domain.
-struct FreqEpisode {
-  double start = 0.0;
-  double end = 0.0;
-  double depth = 1.0;  ///< multiplier vs fmax while active.
-};
-
-/// Deterministic per-run frequency model, queryable at any time.
+/// Deterministic per-run frequency model, queryable at any time. Episodes
+/// are stored columnar (SoA) per NUMA domain — start/end/depth columns plus
+/// derived search and reduction indices — the canonical representation that
+/// both the query kernels and snapshots consume directly.
 class FreqModel {
  public:
   /// Density-adaptive scan/index cutover (episodes per domain): domains
@@ -164,24 +166,43 @@ class FreqModel {
 
   [[nodiscard]] const FreqConfig& config() const noexcept { return cfg_; }
 
-  /// Episodes of a NUMA domain generated so far (diagnostics).
-  [[nodiscard]] const std::vector<FreqEpisode>& episodes(std::size_t numa) {
-    return episodes_.at(numa);
+  /// Start times of the episodes materialized so far on a NUMA domain,
+  /// sorted ascending (arrival order). Valid until the next materialization.
+  [[nodiscard]] std::span<const double> episode_starts(std::size_t numa) const {
+    return index_.at(numa).starts;
   }
 
+  /// End times matching `episode_starts(numa)` element for element.
+  [[nodiscard]] std::span<const double> episode_ends(std::size_t numa) const {
+    return index_.at(numa).ends;
+  }
+
+  /// Dip depths matching `episode_starts(numa)` element for element.
+  [[nodiscard]] std::span<const double> episode_depths(std::size_t numa) const {
+    return index_.at(numa).depths;
+  }
+
+  /// Re-derives the RNG sub-streams keyed by `salt` without touching the
+  /// materialized episode history — the fork half of snapshot fork
+  /// semantics.
+  void fork_streams(std::uint64_t salt);
+
  private:
-  /// Query-side index over one domain's start-sorted episode vector.
-  /// Episodes arrive in start order, so all arrays are append-only and
-  /// extended incrementally per horizon extension.
+  friend class snap::Capture;
+  friend class snap::Restore;
+
+  /// Canonical columnar storage plus query index for one domain's
+  /// start-sorted episodes. Episodes arrive in start order, so all arrays
+  /// are append-only and extended incrementally per horizon extension.
   struct DomainIndex {
-    /// SoA mirrors of the domain's start-sorted episode vector — the
-    /// query-side layout: binary searches and integration scans stream one
-    /// contiguous double array each instead of striding through episode
-    /// records (and they are what the ISA kernels consume).
+    /// The domain's episode columns — binary searches and integration scans
+    /// stream one contiguous double array each instead of striding through
+    /// episode records (and they are what the ISA kernels consume, and what
+    /// snapshots serialize directly).
     std::vector<double> starts;
     std::vector<double> ends;
     std::vector<double> depths;
-    /// max episode end over episodes_[d][0..k) — prunes the back-scan that
+    /// max episode end over episodes [0, k) — prunes the back-scan that
     /// enumerates episodes straddling a window boundary.
     std::vector<double> max_end;
     /// Σ (1 - depth)·(end - start): full-episode reduction under the
@@ -202,7 +223,32 @@ class FreqModel {
   };
 
   void ensure_horizon(double t);
+  /// Extends the derived search/reduction indices (max_end, reduction
+  /// prefix sums) over episode columns appended since the last call.
   void index_new_episodes();
+  /// Rebuilds derived state after a snapshot restore repopulated the
+  /// serialized episode columns.
+  void after_restore(snap::Restore& v);
+
+  /// Single field enumeration driving both snapshot directions.
+  template <typename V>
+  void snapshot_fields(V& v) {
+    v.object("episode_rng", episode_rng_);
+    v.object("jitter_rng", jitter_rng_);
+    for (std::size_t d = 0; d < index_.size(); ++d) {
+      const std::string p = "dom" + std::to_string(d);
+      v.field(p + ".starts", index_[d].starts);
+      v.field(p + ".ends", index_[d].ends);
+      v.field(p + ".depths", index_[d].depths);
+    }
+    v.field("next_arrival", next_arrival_);
+    v.field("horizon", horizon_);
+    v.field("rate", rate_);
+    v.field("activity_mult", activity_mult_);
+    v.field("load_fraction", load_fraction_);
+    v.field("run_capped", run_capped_);
+    if constexpr (V::is_restore) after_restore(v);
+  }
   /// Reduction Σ w·|[t0,t1) ∩ episode| over domain `numa` under `base`,
   /// where w = base - min(base, depth). Indexed query (see mean_factor).
   double window_reduction(std::size_t numa, double t0, double t1,
@@ -222,8 +268,7 @@ class FreqModel {
   FreqConfig cfg_;
   Rng episode_rng_;
   Rng jitter_rng_;
-  std::vector<std::vector<FreqEpisode>> episodes_;  ///< per NUMA domain.
-  std::vector<DomainIndex> index_;
+  std::vector<DomainIndex> index_;  ///< per NUMA domain.
   std::vector<std::size_t> core_numa_;  ///< core → NUMA domain (guarded).
   std::vector<double> next_arrival_;
   double horizon_ = 0.0;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/snapshot.hpp"
 #include "sim/batch_kernels.hpp"
 
 namespace omv::sim {
@@ -45,7 +46,6 @@ NoiseConfig NoiseConfig::quiet() {
 
 NoiseModel::NoiseModel(const topo::Machine& machine, NoiseConfig cfg)
     : machine_(machine), cfg_(cfg) {
-  per_cpu_events_.resize(machine.n_threads());
   times_.resize(machine.n_threads());
   durs_.resize(machine.n_threads());
   cum_.resize(machine.n_threads());
@@ -72,7 +72,6 @@ void NoiseModel::begin_run(std::uint64_t run_seed, const topo::CpuSet& busy) {
   Rng tick_rng = base.fork(5);
   Rng degrade_rng = base.fork(6);
 
-  for (auto& v : per_cpu_events_) v.clear();
   for (auto& v : times_) v.clear();
   for (auto& v : durs_) v.clear();
   for (auto& c : cum_) c.clear();
@@ -130,7 +129,7 @@ void NoiseModel::place_daemon(double t, double dur) {
   if (placement_rng_.bernoulli(cfg_.daemon_miss_factor * busy_fraction)) {
     const std::size_t victim =
         scratch_busy_[placement_rng_.next_below(scratch_busy_.size())];
-    per_cpu_events_[victim].push_back({t, dur, victim});
+    append_event(victim, t, dur);
     return;
   }
 
@@ -156,43 +155,47 @@ void NoiseModel::place_daemon(double t, double dur) {
   if (!scratch_siblings_.empty()) {
     const std::size_t victim = scratch_siblings_[placement_rng_.next_below(
         scratch_siblings_.size())];
-    per_cpu_events_[victim].push_back(
-        {t, dur * cfg_.smt_absorb_factor, victim});
+    append_event(victim, t, dur * cfg_.smt_absorb_factor);
     return;
   }
 
   // Full preemption of a random busy thread.
   const std::size_t victim =
       scratch_busy_[placement_rng_.next_below(scratch_busy_.size())];
-  per_cpu_events_[victim].push_back({t, dur, victim});
+  append_event(victim, t, dur);
 }
 
 void NoiseModel::index_new_events() {
-  for (std::size_t h = 0; h < per_cpu_events_.size(); ++h) {
-    auto& v = per_cpu_events_[h];
+  for (std::size_t h = 0; h < times_.size(); ++h) {
+    auto& tv = times_[h];
+    auto& dv = durs_[h];
     const std::size_t sorted = indexed_len_[h];
-    if (v.size() == sorted) continue;
+    if (tv.size() == sorted) continue;
     // Every event of this extension carries a time >= the previous horizon
     // (each source's next-arrival clock had crossed it), so sorting the
     // fresh tail alone restores global order — untouched CPUs and the
-    // already-sorted head are never re-sorted.
-    std::sort(v.begin() + static_cast<std::ptrdiff_t>(sorted), v.end(),
-              [](const NoiseEvent& a, const NoiseEvent& b) {
-                return a.time < b.time;
-              });
-    assert(sorted == 0 || v[sorted].time >= v[sorted - 1].time);
-    auto& tv = times_[h];
-    auto& dv = durs_[h];
-    auto& cum = cum_[h];
-    tv.reserve(v.size());
-    dv.reserve(v.size());
-    cum.reserve(v.size());
-    for (std::size_t k = sorted; k < v.size(); ++k) {
-      tv.push_back(v[k].time);
-      dv.push_back(v[k].duration);
-      cum.append(v[k].duration);
+    // already-sorted head are never re-sorted. The joint (time, duration)
+    // sort applies the exact permutation the retired AoS event sort did:
+    // same comparator outcomes, same algorithm, same element order.
+    sort_scratch_.clear();
+    sort_scratch_.reserve(tv.size() - sorted);
+    for (std::size_t k = sorted; k < tv.size(); ++k) {
+      sort_scratch_.emplace_back(tv[k], dv[k]);
     }
-    indexed_len_[h] = v.size();
+    std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+              [](const std::pair<double, double>& a,
+                 const std::pair<double, double>& b) {
+                return a.first < b.first;
+              });
+    assert(sorted == 0 || sort_scratch_.front().first >= tv[sorted - 1]);
+    auto& cum = cum_[h];
+    cum.reserve(tv.size());
+    for (std::size_t k = 0; k < sort_scratch_.size(); ++k) {
+      tv[sorted + k] = sort_scratch_[k].first;
+      dv[sorted + k] = sort_scratch_[k].second;
+      cum.append(sort_scratch_[k].second);
+    }
+    indexed_len_[h] = tv.size();
   }
 }
 
@@ -216,7 +219,7 @@ void NoiseModel::ensure_horizon(double t) {
     const double dur = irq_rng_.pareto(cfg_.irq_xm, cfg_.irq_alpha);
     const std::size_t cpu = irq_rng_.next_below(
         std::min<std::size_t>(cfg_.irq_cpus, machine_.n_threads()));
-    per_cpu_events_[cpu].push_back({irq_next_, dur, cpu});
+    append_event(cpu, irq_next_, dur);
     irq_next_ += irq_rng_.exponential(cfg_.irq_rate);
   }
 
@@ -229,7 +232,7 @@ void NoiseModel::ensure_horizon(double t) {
       while (kworker_next_[h] < target) {
         const double dur =
             kworker_rng_.lognormal(mu_log, cfg_.kworker_sigma_log);
-        per_cpu_events_[h].push_back({kworker_next_[h], dur, h});
+        append_event(h, kworker_next_[h], dur);
         kworker_next_[h] += kworker_rng_.exponential(cfg_.kworker_rate_per_cpu);
       }
     }
@@ -344,6 +347,42 @@ void NoiseModel::preemption_delay_batch(std::span<const std::size_t> h,
     if (t1[k] > horizon_) ensure_horizon(t1[k]);
     out[k] = event_delay(h[k], t0[k], t1[k], out[k], &kern);
   }
+}
+
+void NoiseModel::fork_streams(std::uint64_t salt) {
+  daemon_rng_ = daemon_rng_.fork(salt);
+  kworker_rng_ = kworker_rng_.fork(salt);
+  irq_rng_ = irq_rng_.fork(salt);
+  placement_rng_ = placement_rng_.fork(salt);
+}
+
+void NoiseModel::after_restore(snap::Restore& v) {
+  auto& r = v.reader();
+  if (times_.size() != machine_.n_threads() ||
+      durs_.size() != machine_.n_threads()) {
+    r.fail_here(r.offset(),
+                "noise event streams do not match machine geometry");
+  }
+  for (std::size_t h = 0; h < times_.size(); ++h) {
+    if (times_[h].size() != durs_[h].size()) {
+      r.fail_here(r.offset(), "noise time/duration columns differ in length");
+    }
+  }
+  if (kworker_next_.size() != machine_.n_threads() ||
+      busy_.size() != machine_.n_threads() ||
+      tick_phase_.size() != machine_.n_threads()) {
+    r.fail_here(r.offset(),
+                "noise per-thread state does not match machine geometry");
+  }
+  // Rebuild the derived index: replaying the prefix-sum appends in column
+  // order reproduces the compensated accumulator state bit for bit.
+  for (std::size_t h = 0; h < times_.size(); ++h) {
+    cum_[h].clear();
+    cum_[h].reserve(durs_[h].size());
+    for (double d : durs_[h]) cum_[h].append(d);
+    indexed_len_[h] = times_[h].size();
+  }
+  refresh_absorb_factors();
 }
 
 }  // namespace omv::sim

@@ -24,11 +24,17 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/prefix_index.hpp"
 #include "core/rng.hpp"
 #include "topo/topology.hpp"
+
+namespace omv::snap {
+class Capture;
+class Restore;
+}  // namespace omv::snap
 
 namespace omv::sim {
 
@@ -81,15 +87,11 @@ struct NoiseConfig {
   static NoiseConfig quiet();
 };
 
-/// One materialized noise event targeted at a specific HW thread.
-struct NoiseEvent {
-  double time = 0.0;
-  double duration = 0.0;  ///< preemption seconds charged to the target.
-  std::size_t target = 0;
-};
-
 /// Deterministic per-run noise generator; all events are materialized lazily
-/// up to a growing horizon, so queries are order-independent.
+/// up to a growing horizon, so queries are order-independent. Event streams
+/// are stored columnar (SoA): per-CPU time and duration columns plus
+/// compensated duration prefix sums — the canonical representation that both
+/// the query kernels and snapshots consume directly.
 class NoiseModel {
  public:
   /// Density-adaptive scan/index cutover (events per window): windows
@@ -162,21 +164,66 @@ class NoiseModel {
   /// True when the current run is in the degraded state.
   [[nodiscard]] bool degraded() const noexcept { return degraded_; }
 
-  /// All materialized (non-tick) events so far, for diagnostics.
-  [[nodiscard]] const std::vector<std::vector<NoiseEvent>>& events()
-      const noexcept {
-    return per_cpu_events_;
+  /// Materialized (non-tick) event arrival times on HW thread `h`, sorted
+  /// ascending. Valid until the next materialization.
+  [[nodiscard]] std::span<const double> event_times(std::size_t h) const {
+    return times_.at(h);
+  }
+
+  /// Durations matching `event_times(h)` element for element.
+  [[nodiscard]] std::span<const double> event_durations(std::size_t h) const {
+    return durs_.at(h);
+  }
+
+  /// Number of per-CPU event streams (== machine HW threads).
+  [[nodiscard]] std::size_t n_event_streams() const noexcept {
+    return times_.size();
   }
 
   [[nodiscard]] const NoiseConfig& config() const noexcept { return cfg_; }
 
+  /// Re-derives all RNG sub-streams keyed by `salt` without touching the
+  /// materialized event history — the fork half of snapshot fork semantics.
+  void fork_streams(std::uint64_t salt);
+
  private:
+  friend class snap::Capture;
+  friend class snap::Restore;
+
   void ensure_horizon(double t);
   void place_daemon(double t, double dur);
-  /// Sorts freshly appended per-CPU tails and extends the SoA time/duration
-  /// mirrors and the duration prefix sums. Only CPUs whose vectors grew
-  /// since the last call are touched.
+  /// Appends one raw (not yet indexed) event to the SoA columns of `h`.
+  void append_event(std::size_t h, double t, double dur) {
+    times_[h].push_back(t);
+    durs_[h].push_back(dur);
+  }
+  /// Sorts freshly appended per-CPU column tails by time and extends the
+  /// duration prefix sums. Only CPUs whose columns grew since the last call
+  /// are touched. Outside ensure_horizon the columns are always fully
+  /// indexed (`indexed_len_[h] == times_[h].size()`).
   void index_new_events();
+  /// Rebuilds derived state (prefix sums, indexed lengths, absorb factors)
+  /// after a snapshot restore repopulated the serialized fields.
+  void after_restore(snap::Restore& v);
+
+  /// Single field enumeration driving both snapshot directions.
+  template <typename V>
+  void snapshot_fields(V& v) {
+    v.object("daemon_rng", daemon_rng_);
+    v.object("kworker_rng", kworker_rng_);
+    v.object("irq_rng", irq_rng_);
+    v.object("placement_rng", placement_rng_);
+    v.field("times", times_);
+    v.field("durs", durs_);
+    v.field("kworker_next", kworker_next_);
+    v.field("daemon_next", daemon_next_);
+    v.field("irq_next", irq_next_);
+    v.field("horizon", horizon_);
+    v.field("degraded", degraded_);
+    v.field("busy", busy_);
+    v.field("tick_phase", tick_phase_);
+    if constexpr (V::is_restore) after_restore(v);
+  }
   /// Event-sum part of a preemption window: `acc` enters holding the
   /// analytic tick term. Fused narrow scan (accumulates while counting, in
   /// the historical order) with a bail-out to the prefix range past
@@ -193,15 +240,15 @@ class NoiseModel {
   Rng kworker_rng_;
   Rng irq_rng_;
   Rng placement_rng_;
-  std::vector<std::vector<NoiseEvent>> per_cpu_events_;  ///< sorted by time.
-  /// SoA mirrors of per_cpu_events_ (times_[h][k] == per_cpu_events_[h][k]
-  /// .time, same for durations) — the query-side layout: binary searches
-  /// and scans touch one contiguous double stream instead of striding
-  /// through 24-byte event records. Kept in lockstep by index_new_events().
+  /// Canonical columnar event storage: per-CPU arrival times and durations.
+  /// The leading indexed_len_[h] entries are sorted by time; sources append
+  /// raw tails which index_new_events() sorts in. Binary searches and scans
+  /// touch one contiguous double stream instead of striding through
+  /// 24-byte event records, and snapshots write these columns directly.
   std::vector<std::vector<double>> times_;
   std::vector<std::vector<double>> durs_;
-  /// cum_[h] holds compensated prefix sums of per_cpu_events_[h] durations
-  /// (size == events + 1); kept in lockstep by index_new_events().
+  /// cum_[h] holds compensated prefix sums of durs_[h] (size == events + 1);
+  /// kept in lockstep by index_new_events().
   std::vector<stats::PrefixSum> cum_;
   /// Per-HW-thread SMT-absorb factor (smt_absorb_factor when the sibling is
   /// idle, else 1.0), cached from the busy set so the per-query sibling
@@ -209,8 +256,10 @@ class NoiseModel {
   std::vector<double> absorb_factor_;
   /// Scratch for preemption_delay_batch's tick pass (gathered phases).
   std::vector<double> batch_phase_;
-  /// Number of leading events of per_cpu_events_[h] already sorted+indexed.
+  /// Number of leading events of times_[h]/durs_[h] already sorted+indexed.
   std::vector<std::size_t> indexed_len_;
+  /// Scratch for index_new_events' joint (time, duration) tail sort.
+  std::vector<std::pair<double, double>> sort_scratch_;
   /// Per-core HW-thread lists, cached from the (immutable) machine so the
   /// daemon-placement scan does not rebuild CpuSets per event.
   std::vector<std::vector<std::size_t>> core_threads_;

@@ -26,7 +26,7 @@ void require_materialized(const char* what, double t, double horizon) {
 double preemption_delay(const NoiseModel& m, const topo::Machine& machine,
                         std::size_t h, double t0, double t1) {
   const NoiseConfig& cfg = m.config();
-  if (t1 <= t0 || h >= m.events().size()) return 0.0;
+  if (t1 <= t0 || h >= m.n_event_streams()) return 0.0;
   require_materialized("preemption_delay", t1, m.materialized_horizon());
 
   double delay = 0.0;
@@ -45,12 +45,12 @@ double preemption_delay(const NoiseModel& m, const topo::Machine& machine,
     factor = cfg.smt_absorb_factor;
   }
 
-  const auto& v = m.events()[h];
-  auto it = std::lower_bound(
-      v.begin(), v.end(), t0,
-      [](const NoiseEvent& e, double t) { return e.time < t; });
-  for (; it != v.end() && it->time < t1; ++it) {
-    delay += it->duration * factor;
+  const auto times = m.event_times(h);
+  const auto durs = m.event_durations(h);
+  const std::size_t begin = static_cast<std::size_t>(
+      std::lower_bound(times.begin(), times.end(), t0) - times.begin());
+  for (std::size_t k = begin; k < times.size() && times[k] < t1; ++k) {
+    delay += durs[k] * factor;
   }
   return delay;
 }
@@ -60,11 +60,15 @@ double mean_factor(FreqModel& m, std::size_t core, double t0, double t1) {
   require_materialized("mean_factor", t1, m.materialized_horizon());
   const double base = m.run_capped() ? m.config().run_cap_depth : 1.0;
   double integral = base * (t1 - t0);
-  for (const auto& ep : m.episodes(m.core_numa(core))) {
-    const double lo = std::max(t0, ep.start);
-    const double hi = std::min(t1, ep.end);
+  const std::size_t numa = m.core_numa(core);
+  const auto starts = m.episode_starts(numa);
+  const auto ends = m.episode_ends(numa);
+  const auto depths = m.episode_depths(numa);
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    const double lo = std::max(t0, starts[k]);
+    const double hi = std::min(t1, ends[k]);
     if (hi > lo) {
-      const double depth = std::min(base, ep.depth);
+      const double depth = std::min(base, depths[k]);
       integral -= (base - depth) * (hi - lo);
     }
   }
@@ -74,8 +78,12 @@ double mean_factor(FreqModel& m, std::size_t core, double t0, double t1) {
 double factor(FreqModel& m, std::size_t core, double t) {
   require_materialized("factor", t, m.materialized_horizon());
   double f = m.run_capped() ? m.config().run_cap_depth : 1.0;
-  for (const auto& ep : m.episodes(m.core_numa(core))) {
-    if (t >= ep.start && t < ep.end) f = std::min(f, ep.depth);
+  const std::size_t numa = m.core_numa(core);
+  const auto starts = m.episode_starts(numa);
+  const auto ends = m.episode_ends(numa);
+  const auto depths = m.episode_depths(numa);
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    if (t >= starts[k] && t < ends[k]) f = std::min(f, depths[k]);
   }
   return f;
 }

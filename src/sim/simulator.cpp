@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/snapshot.hpp"
 #include "sim/batch_kernels.hpp"
 
 namespace omv::sim {
@@ -179,6 +180,32 @@ void Simulator::exec_batch(const Placement& pl, std::span<const double> work,
         "Simulator::exec_batch: work/clock sizes differ");
   }
   exec_batch_impl(pl, work.data(), clocks);
+}
+
+void Simulator::capture(snap::SnapshotWriter& w) {
+  // Geometry guards lead the record so a cross-machine restore fails before
+  // any model field is decoded.
+  w.field_u64("sim.n_threads", machine_.n_threads());
+  w.field_u64("sim.n_cores", machine_.n_cores());
+  w.field_u64("sim.n_numa", machine_.n_numa());
+  snap::Capture v(w);
+  v.object("sim", *this);
+}
+
+void Simulator::restore(snap::SnapshotReader& r) {
+  r.expect_u64("sim.n_threads", machine_.n_threads(),
+               "machine geometry (hardware threads)");
+  r.expect_u64("sim.n_cores", machine_.n_cores(), "machine geometry (cores)");
+  r.expect_u64("sim.n_numa", machine_.n_numa(),
+               "machine geometry (NUMA domains)");
+  snap::Restore v(r);
+  v.object("sim", *this);
+}
+
+void Simulator::fork_streams(std::uint64_t salt) {
+  misc_rng_ = misc_rng_.fork(salt);
+  noise_->fork_streams(salt);
+  freq_->fork_streams(salt);
 }
 
 }  // namespace omv::sim

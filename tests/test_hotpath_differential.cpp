@@ -325,9 +325,10 @@ TEST(HotpathDifferential, BatchedPreemptionDelayMatchesPerCallPerIsa) {
       }
       // The batch's lazy extensions must leave the same stream content as
       // the per-call sequence (shared-RNG interleave order).
-      ASSERT_EQ(batched.events().size(), per_call.events().size());
-      for (std::size_t h = 0; h < per_call.events().size(); ++h) {
-        ASSERT_EQ(batched.events()[h].size(), per_call.events()[h].size())
+      ASSERT_EQ(batched.n_event_streams(), per_call.n_event_streams());
+      for (std::size_t h = 0; h < per_call.n_event_streams(); ++h) {
+        ASSERT_EQ(batched.event_times(h).size(),
+                  per_call.event_times(h).size())
             << "stream content diverged on thread " << h;
       }
     }
@@ -462,9 +463,10 @@ TEST(HotpathDifferential, NoiseEventsStaySortedAcrossExtensions) {
   model.begin_run(17, machine.primary_threads());
   // Force many incremental horizon extensions.
   for (double t = 0.05; t < 3.0; t += 0.05) model.materialize_to(t);
-  for (const auto& v : model.events()) {
-    for (std::size_t k = 1; k < v.size(); ++k) {
-      ASSERT_LE(v[k - 1].time, v[k].time);
+  for (std::size_t h = 0; h < model.n_event_streams(); ++h) {
+    const auto times = model.event_times(h);
+    for (std::size_t k = 1; k < times.size(); ++k) {
+      ASSERT_LE(times[k - 1], times[k]);
     }
   }
 }

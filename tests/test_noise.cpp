@@ -183,9 +183,9 @@ TEST(NoiseModel, MixedMachineSmtAbsorptionTargetsTheIdleSiblingsCore) {
   nm.materialize_to(5.0);
   for (std::size_t h = 0; h < m.n_threads(); ++h) {
     if (h == 0) {
-      EXPECT_FALSE(nm.events()[h].empty());
+      EXPECT_FALSE(nm.event_times(h).empty());
     } else {
-      EXPECT_TRUE(nm.events()[h].empty()) << h;
+      EXPECT_TRUE(nm.event_times(h).empty()) << h;
     }
   }
 }
