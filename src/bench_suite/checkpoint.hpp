@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "core/experiment.hpp"
 #include "core/parallel_runner.hpp"
 #include "core/snapshot.hpp"
@@ -159,11 +160,19 @@ template <typename MakeBench, typename Rep, typename OnRunEnd = NoRunEndHook>
       start_rep = resume_rep;
     } else {
       team.begin_run(run_seed);
-      for (std::size_t w = 0; w < spec.warmup; ++w) (void)rep(bench, team);
+      for (std::size_t w = 0; w < spec.warmup; ++w) {
+        core::check_cell_deadline();
+        (void)rep(bench, team);
+      }
     }
 
     times.reserve(spec.reps);
     for (std::size_t k = start_rep; k < spec.reps; ++k) {
+      // Deadline poll before each timed rep: a checkpointed cell that blows
+      // its --cell-timeout unwinds here with CellTimeout; the last
+      // checkpoint (if any) survives for --resume after the quarantine is
+      // investigated.
+      core::check_cell_deadline();
       times.push_back(rep(bench, team));
       const bool final_rep = r + 1 == spec.runs && k + 1 == spec.reps;
       if (pol.every_reps > 0 && !pol.path.empty() && !final_rep &&

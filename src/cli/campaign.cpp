@@ -5,39 +5,19 @@
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "cli/options.hpp"
 #include "cli/registry.hpp"
+#include "core/atomic_file.hpp"
+#include "core/faultinject.hpp"
 #include "core/json_writer.hpp"
+#include "core/lockfile.hpp"
 #include "core/trace_io.hpp"
 #include "scenario/registry.hpp"
 #include "sim/isa.hpp"
 
 namespace omv::cli {
-
-namespace {
-
-void write_file(const std::string& path, const std::string& content) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
-  f.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!f) throw std::runtime_error("write failed for '" + path + "'");
-}
-
-/// Reads a whole file; empty optional-style: returns false when absent.
-bool read_file(const std::string& path, std::string& out) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return false;
-  std::ostringstream os;
-  os << f.rdbuf();
-  out = os.str();
-  return f.good() || f.eof();
-}
-
-}  // namespace
 
 void ensure_dir(const std::string& dir) {
   std::error_code ec;
@@ -87,6 +67,12 @@ void RunContext::configure_checkpoints(std::size_t every, std::string resume) {
   resume_sel_ = std::move(resume);
 }
 
+void RunContext::configure_supervision(std::size_t retries,
+                                       std::chrono::milliseconds timeout) {
+  supervision_.retries = retries;
+  supervision_.timeout = timeout;
+}
+
 void RunContext::note_platform(const std::string& name,
                                const std::string& fingerprint) {
   for (const auto& [n, f] : platforms_) {
@@ -126,34 +112,73 @@ RunMatrix RunContext::protocol(const std::string& label,
   const std::string expected_key =
       std::string(kCacheKeySchema) + "\n" + config.canonical();
 
-  if (caching()) {
+  // Attempts a validated cache load. Returns nullopt on a miss OR a
+  // degraded entry (torn/truncated/corrupt data behind a valid .key):
+  // the cache can never make a campaign wrong, only faster. Invoked twice
+  // on the concurrent path — once up front, once after waiting out another
+  // campaign's lease (which usually committed exactly this entry).
+  const auto load_cached = [&]() -> std::optional<RunMatrix> {
     std::string stored_key;
-    if (read_file(stem + ".key", stored_key) && stored_key == expected_key) {
-      try {
-        RunMatrix m = io::load_run_matrix(stem + ".csv", label);
-        // Shape must match the spec exactly: protocol cells are full
-        // spec.runs x spec.reps rectangles, so a parseable-but-truncated
-        // file (interrupted copy of a campaign dir) must degrade to a
-        // recompute, never be served as valid data.
-        bool shape_ok = m.runs() == spec.runs;
-        for (std::size_t r = 0; shape_ok && r < m.runs(); ++r) {
-          shape_ok = m.run(r).size() == spec.reps;
-        }
-        if (shape_ok && (!load_extra || load_extra(stem))) {
-          ++hits_;
-          rec.cached = true;
-          cells_.push_back(std::move(rec));
-          return m;
-        }
-        std::fprintf(stderr,
-                     "[omnivar] cache entry %s for '%s' is inconsistent; "
-                     "recomputing\n",
-                     hash.c_str(), label.c_str());
-      } catch (const std::exception& e) {
-        std::fprintf(stderr,
-                     "[omnivar] cache entry %s for '%s' unreadable (%s); "
-                     "recomputing\n",
-                     hash.c_str(), label.c_str(), e.what());
+    if (!core::read_file(stem + ".key", stored_key) ||
+        stored_key != expected_key) {
+      return std::nullopt;
+    }
+    try {
+      RunMatrix m = io::load_run_matrix(stem + ".csv", label);
+      // Shape must match the spec exactly: protocol cells are full
+      // spec.runs x spec.reps rectangles, so a parseable-but-truncated
+      // file (interrupted copy of a campaign dir) must degrade to a
+      // recompute, never be served as valid data.
+      bool shape_ok = m.runs() == spec.runs;
+      for (std::size_t r = 0; shape_ok && r < m.runs(); ++r) {
+        shape_ok = m.run(r).size() == spec.reps;
+      }
+      if (shape_ok && (!load_extra || load_extra(stem))) return m;
+      std::fprintf(stderr,
+                   "[omnivar] cache entry %s for '%s' is inconsistent; "
+                   "recomputing\n",
+                   hash.c_str(), label.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[omnivar] cache entry %s for '%s' unreadable (%s); "
+                   "recomputing\n",
+                   hash.c_str(), label.c_str(), e.what());
+    }
+    // The entry is invalidated: its checkpoint sidecar (if one survived)
+    // describes repetitions of data we are about to discard — drop it so
+    // --resume auto cannot resurrect a dead cell's progress.
+    core::remove_file_if_exists(stem + ".snap");
+    return std::nullopt;
+  };
+
+  if (caching()) {
+    if (auto m = load_cached()) {
+      ++hits_;
+      rec.cached = true;
+      cells_.push_back(std::move(rec));
+      return *m;
+    }
+  }
+
+  // Cold cell. Take the per-cell advisory lease so a concurrent campaign
+  // sharing this --out computes each cell once, not twice. If we had to
+  // wait for another holder, it very likely committed this entry — re-check
+  // before computing. A nullopt lease (wait expired on a live-but-stuck
+  // holder) is NOT an error: commits are atomic and deterministic, so an
+  // un-leased duplicate compute produces identical bytes and the last
+  // rename wins.
+  std::optional<core::FileLease> lease;
+  if (caching()) {
+    bool waited = false;
+    lease = core::FileLease::acquire(stem + ".lock",
+                                     std::chrono::milliseconds(60000),
+                                     &waited);
+    if (waited) {
+      if (auto m = load_cached()) {
+        ++hits_;
+        rec.cached = true;
+        cells_.push_back(std::move(rec));
+        return *m;
       }
     }
   }
@@ -191,17 +216,41 @@ RunMatrix RunContext::protocol(const std::string& label,
     ~Disarm() { *flag = false; }
   } disarm{&ckpt_active_};
 
-  RunMatrix m = compute();
-  // Normalize to the cell label: the compute path labels matrices with
-  // spec.name while a cache load uses `label` — a cold/warm run must
-  // return indistinguishable objects.
-  m.set_label(label);
+  // Compute-and-commit runs supervised: injected faults, the cooperative
+  // cell timeout, and commit-path I/O errors are all retried (fresh
+  // attempt = fresh compute = identical data) and, once the retry budget
+  // is spent, quarantined. Commit order matters — data first, sidecars
+  // next, the .key commit marker LAST — so a crash or injected fault at
+  // any point leaves either no marker (a plain miss) or a fully committed
+  // entry; never a marker over torn data.
+  RunMatrix m = [&] {
+    try {
+      return supervise_cell(supervision_, label, hash, [&] {
+        RunMatrix computed = compute();
+        // Normalize to the cell label: the compute path labels matrices
+        // with spec.name while a cache load uses `label` — a cold/warm run
+        // must return indistinguishable objects.
+        computed.set_label(label);
+        if (caching()) {
+          core::atomic_write_file(stem + ".csv",
+                                  io::run_matrix_to_csv(computed), "cache");
+          if (save_extra) save_extra(stem);
+          core::atomic_write_file(stem + ".key", expected_key, "key");
+        }
+        return computed;
+      });
+    } catch (const CellQuarantined& q) {
+      // Record + announce here (stdout: the failure is part of the
+      // harness's science report), then let the unwind continue to the
+      // campaign driver.
+      failures_.push_back(q.failure);
+      std::printf("[omnivar] FAILED cell '%s' (%s after %zu attempt(s)): %s\n",
+                  q.failure.label.c_str(), q.failure.taxonomy.c_str(),
+                  q.failure.attempts, q.failure.error.c_str());
+      throw;
+    }
+  }();
   ++misses_;
-  if (caching()) {
-    io::save_run_matrix(stem + ".csv", m);
-    if (save_extra) save_extra(stem);
-    write_file(stem + ".key", expected_key);
-  }
   cells_.push_back(std::move(rec));
   return m;
 }
@@ -380,7 +429,8 @@ void print_usage(const char* argv0, bool campaign) {
   std::fprintf(stderr,
                "usage: %s [--list] [--scenarios] [--isa-report] [--version] "
                "[--jobs N] [--scenario S] [--out DIR] "
-               "[--checkpoint-every N] [--resume SRC]%s\n"
+               "[--checkpoint-every N] [--resume SRC] [--retry-cells N] "
+               "[--cell-timeout MS] [--fault-spec SPEC]%s\n"
                "  --list       list registered harnesses\n"
                "  --scenarios  list the scenario catalog\n"
                "  --isa-report list dispatchable batched-kernel ISA levels\n"
@@ -408,7 +458,24 @@ void print_usage(const char* argv0, bool campaign) {
                "  --resume SRC resume interrupted cells: 'auto' scans each "
                "cell's\n"
                "               sidecar, a path names one snapshot (requires "
-               "--out)\n",
+               "--out)\n"
+               "  --retry-cells N\n"
+               "               retry a failing protocol cell N times (seeded\n"
+               "               exponential backoff) before quarantining it\n"
+               "               (default: OMNIVAR_RETRY_CELLS, else 0)\n"
+               "  --cell-timeout MS\n"
+               "               per-cell wall-clock budget, enforced "
+               "cooperatively at\n"
+               "               repetition boundaries (default: "
+               "OMNIVAR_CELL_TIMEOUT_MS,\n"
+               "               else unlimited)\n"
+               "  --fault-spec SPEC\n"
+               "               arm deterministic fault injection, e.g.\n"
+               "               'cell_throw@3,torn_write:cache@2' (default:\n"
+               "               OMNIVAR_FAULT_SPEC, else off)\n"
+               "exit codes: 0 ok, 2 usage, 3 checkpoint stop, 4 cell(s) "
+               "quarantined,\n"
+               "            1 other failure\n",
                argv0, campaign ? " [--only GLOB]..." : "",
                campaign
                    ? "  --only GLOB  run only harnesses matching the glob "
@@ -494,6 +561,13 @@ struct HarnessOutcome {
   std::size_t computed = 0;
   double seconds = 0.0;
   bool artifact_written = false;
+  std::vector<CellFailure> failures;  ///< quarantined cells.
+};
+
+/// Per-harness supervision policy resolved from the CLI/environment.
+struct Supervision {
+  std::size_t retries = 0;
+  std::chrono::milliseconds timeout{0};
 };
 
 /// Runs one harness under a fresh context; writes its artifact when an
@@ -502,7 +576,8 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
                        const std::string& out_dir,
                        const std::optional<scenario::ScenarioSpec>& scn,
                        std::size_t ckpt_every = 0,
-                       const std::string& resume = {}) {
+                       const std::string& resume = {},
+                       const Supervision& sup = {}) {
   HarnessOutcome out;
   out.name = h.name;
   const auto t0 = std::chrono::steady_clock::now();
@@ -512,16 +587,25 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
   try {
     RunContext ctx(h.name, jobs, out_dir, scn);
     ctx.configure_checkpoints(ckpt_every, resume);
-    out.exit_code = h.run(ctx);
+    ctx.configure_supervision(sup.retries, sup.timeout);
+    try {
+      out.exit_code = h.run(ctx);
+    } catch (const CellQuarantined&) {
+      // The cell's failure record and stdout announcement already landed
+      // (RunContext::protocol); here we only translate the unwind into the
+      // quarantine exit code — the campaign keeps running.
+      out.exit_code = kExitQuarantined;
+    }
     out.verdicts_total = ctx.verdicts().size();
     for (const auto& v : ctx.verdicts()) {
       if (v.ok) ++out.verdicts_ok;
     }
     out.cached = ctx.cache_hits();
     out.computed = ctx.cache_misses();
-    if (!out_dir.empty() && out.exit_code == 0) {
-      write_file(out_dir + "/" + h.name + ".json",
-                 ctx.artifact_json(h.description));
+    out.failures = ctx.failures();
+    if (!out_dir.empty() && out.exit_code == kExitOk) {
+      core::atomic_write_file(out_dir + "/" + h.name + ".json",
+                              ctx.artifact_json(h.description), "artifact");
       out.artifact_written = true;
     }
   } catch (const snap::CheckpointStop& e) {
@@ -530,11 +614,11 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
     // so the CI round-trip lane can assert on it before resuming.
     std::fprintf(stderr, "[omnivar] %s stopped: %s\n", h.name.c_str(),
                  e.what());
-    out.exit_code = 3;
+    out.exit_code = kExitCheckpointStop;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[omnivar] %s failed: %s\n", h.name.c_str(),
                  e.what());
-    out.exit_code = 1;
+    out.exit_code = kExitHarnessFailed;
   }
   const auto t1 = std::chrono::steady_clock::now();
   out.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -546,7 +630,7 @@ void write_campaign_json(const std::string& out_dir, std::size_t jobs,
                          const std::vector<HarnessOutcome>& outcomes) {
   json::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("omnivar-campaign-v1");
+  w.key("schema").value("omnivar-campaign-v2");
   w.key("jobs").value(jobs);
   w.key("scenario");
   if (scn) {
@@ -574,21 +658,71 @@ void write_campaign_json(const std::string& out_dir, std::size_t jobs,
     } else {
       w.key("artifact").null();
     }
+    w.key("failures").begin_array();
+    for (const auto& f : o.failures) {
+      w.begin_object();
+      w.key("label").value(f.label);
+      w.key("spec_hash").value(f.hash);
+      w.key("taxonomy").value(f.taxonomy);
+      w.key("error").value(f.error);
+      w.key("attempts").value(f.attempts);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_array();
   w.key("ok").value(ok);
   w.end_object();
-  write_file(out_dir + "/campaign.json", w.str());
+  core::atomic_write_file(out_dir + "/campaign.json", w.str(), "campaign");
 }
 
 void report_outcome(const HarnessOutcome& o) {
+  const char* status = o.exit_code == kExitOk ? "done"
+                       : o.exit_code == kExitQuarantined ? "QUARANTINED"
+                                                         : "FAILED";
   std::fprintf(stderr,
                "[omnivar] %s: %s — %zu/%zu shape checks ok, cells: %zu "
                "cached + %zu computed (%.1fs)\n",
-               o.name.c_str(), o.exit_code == 0 ? "done" : "FAILED",
-               o.verdicts_ok, o.verdicts_total, o.cached, o.computed,
-               o.seconds);
+               o.name.c_str(), status, o.verdicts_ok, o.verdicts_total,
+               o.cached, o.computed, o.seconds);
+}
+
+/// Resolves and arms the fault-injection plan (--fault-spec /
+/// OMNIVAR_FAULT_SPEC). Returns false on a malformed spec — a usage error:
+/// a typo'd plan must never silently run a healthy campaign that CI then
+/// treats as a fault-survival proof.
+bool resolve_fault_spec(const Options& o) {
+  const std::string spec = effective_fault_spec(o.fault_spec);
+  try {
+    fault::set_active_spec(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[omnivar] %s\n", e.what());
+    return false;
+  }
+  if (!spec.empty()) {
+    std::fprintf(stderr, "[omnivar] fault injection armed: %s\n",
+                 spec.c_str());
+  }
+  return true;
+}
+
+/// Aggregates per-harness exit codes into the driver's exit code:
+/// a checkpoint stop wins (the campaign stopped deliberately), else
+/// quarantine beats generic failure, else any failure is 1.
+int aggregate_rc(const std::vector<HarnessOutcome>& outcomes) {
+  bool any_failed = false;
+  bool any_quarantined = false;
+  for (const auto& o : outcomes) {
+    if (o.exit_code == kExitCheckpointStop) return kExitCheckpointStop;
+    if (o.exit_code == kExitQuarantined) {
+      any_quarantined = true;
+    } else if (o.exit_code != kExitOk) {
+      any_failed = true;
+    }
+  }
+  if (any_quarantined) return kExitQuarantined;
+  return any_failed ? kExitHarnessFailed : kExitOk;
 }
 
 }  // namespace
@@ -613,17 +747,23 @@ int run_standalone(int argc, char** argv) {
     return 0;
   }
   std::optional<scenario::ScenarioSpec> scn;
-  if (!resolve_scenario(effective_scenario(o.scenario), scn)) return 2;
+  if (!resolve_scenario(effective_scenario(o.scenario), scn)) {
+    return kExitUsage;
+  }
+  if (!resolve_fault_spec(o)) return kExitUsage;
   std::size_t ckpt_every = 0;
   std::string resume;
   resolve_checkpoints(o, ckpt_every, resume);
+  const Supervision sup{
+      effective_retry_cells(o.retry_cells),
+      std::chrono::milliseconds(effective_cell_timeout_ms(o.cell_timeout_ms))};
   const auto& all = Registry::instance().all();
   if (all.size() != 1) {
     std::fprintf(stderr,
                  "[omnivar] standalone binary expects exactly one "
                  "registered harness, found %zu\n",
                  all.size());
-    return 2;
+    return kExitUsage;
   }
   const HarnessInfo& h = all.front();
   if (o.list) {
@@ -637,8 +777,8 @@ int run_standalone(int argc, char** argv) {
                  "harnesses\n",
                  h.name.c_str());
   }
-  const HarnessOutcome out =
-      run_one(h, effective_jobs(o.jobs), o.out_dir, scn, ckpt_every, resume);
+  const HarnessOutcome out = run_one(h, effective_jobs(o.jobs), o.out_dir,
+                                     scn, ckpt_every, resume, sup);
   if (!o.out_dir.empty()) {
     report_outcome(out);
     try {
@@ -646,7 +786,7 @@ int run_standalone(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[omnivar] cannot write campaign.json: %s\n",
                    e.what());
-      return out.exit_code != 0 ? out.exit_code : 1;
+      return out.exit_code != kExitOk ? out.exit_code : kExitHarnessFailed;
     }
   }
   return out.exit_code;
@@ -679,21 +819,26 @@ int run_campaign(int argc, char** argv) {
     return 0;
   }
   std::optional<scenario::ScenarioSpec> scn;
-  if (!resolve_scenario(effective_scenario(o.scenario), scn)) return 2;
+  if (!resolve_scenario(effective_scenario(o.scenario), scn)) {
+    return kExitUsage;
+  }
+  if (!resolve_fault_spec(o)) return kExitUsage;
   std::size_t ckpt_every = 0;
   std::string resume;
   resolve_checkpoints(o, ckpt_every, resume);
+  const Supervision sup{
+      effective_retry_cells(o.retry_cells),
+      std::chrono::milliseconds(effective_cell_timeout_ms(o.cell_timeout_ms))};
   const auto selected = reg.match(o.only);
   if (selected.empty()) {
     std::fprintf(stderr, "[omnivar] no harness matches");
     for (const auto& g : o.only) std::fprintf(stderr, " '%s'", g.c_str());
     std::fprintf(stderr, "; try --list\n");
-    return 2;
+    return kExitUsage;
   }
 
   const std::size_t jobs = effective_jobs(o.jobs);
   std::vector<HarnessOutcome> outcomes;
-  int rc = 0;
   report_isa();
   if (scn) {
     std::fprintf(stderr, "[omnivar] scenario %s (%s, %s)\n",
@@ -704,15 +849,15 @@ int run_campaign(int argc, char** argv) {
     std::fprintf(stderr, "[omnivar] running %s (%zu of %zu)\n",
                  h->name.c_str(), outcomes.size() + 1, selected.size());
     outcomes.push_back(
-        run_one(*h, jobs, o.out_dir, scn, ckpt_every, resume));
+        run_one(*h, jobs, o.out_dir, scn, ckpt_every, resume, sup));
     report_outcome(outcomes.back());
-    if (outcomes.back().exit_code != 0) {
-      rc = outcomes.back().exit_code == 3 && rc == 0 ? 3 : 1;
-      // A deliberate checkpoint stop ends the campaign immediately: later
-      // harnesses would burn the budget the stop was meant to save.
-      if (outcomes.back().exit_code == 3) break;
-    }
+    // A deliberate checkpoint stop ends the campaign immediately: later
+    // harnesses would burn the budget the stop was meant to save. A
+    // quarantined harness does NOT stop the campaign — that is the whole
+    // point of quarantine.
+    if (outcomes.back().exit_code == kExitCheckpointStop) break;
   }
+  int rc = aggregate_rc(outcomes);
   if (!o.out_dir.empty()) {
     try {
       write_campaign_json(o.out_dir, jobs, scn, outcomes);
@@ -721,7 +866,7 @@ int run_campaign(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[omnivar] cannot write campaign.json: %s\n",
                    e.what());
-      rc = rc != 0 ? rc : 1;
+      rc = rc != kExitOk ? rc : kExitHarnessFailed;
     }
   }
   return rc;

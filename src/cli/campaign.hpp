@@ -37,6 +37,7 @@
 // folded into every cell key (via harness::cell_key), so cached cells can
 // never be served across platforms.
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -45,6 +46,8 @@
 #include <utility>
 #include <vector>
 
+#include "cli/exit_codes.hpp"
+#include "cli/supervisor.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/run_matrix.hpp"
@@ -136,6 +139,20 @@ class RunContext {
     return ckpt_active_ ? &ckpt_policy_ : nullptr;
   }
 
+  /// Arms cell supervision: every cold cell computed by this context may
+  /// retry `retries` times with seeded exponential backoff and is bounded
+  /// by the cooperative wall-clock `timeout` (0 = none). A cell that
+  /// exhausts its retries is quarantined: the failure is recorded (see
+  /// failures()), a "[omnivar] FAILED cell ..." line goes to stdout, and
+  /// CellQuarantined unwinds the harness while the campaign continues.
+  void configure_supervision(std::size_t retries,
+                             std::chrono::milliseconds timeout);
+
+  /// Cells quarantined under this context (recorded before the unwind).
+  [[nodiscard]] const std::vector<CellFailure>& failures() const noexcept {
+    return failures_;
+  }
+
   /// Records a platform this harness ran on (display name + scenario
   /// fingerprint; deduplicated) for the artifact's provenance block.
   void note_platform(const std::string& name,
@@ -207,6 +224,8 @@ class RunContext {
   std::string resume_sel_;       ///< "auto", a snapshot path, or "".
   snap::CheckpointPolicy ckpt_policy_;  ///< policy of the computing cell.
   bool ckpt_active_ = false;
+  SupervisorConfig supervision_;  ///< retry/timeout policy for cold cells.
+  std::vector<CellFailure> failures_;
   std::vector<std::pair<std::string, std::string>> platforms_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

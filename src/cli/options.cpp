@@ -111,13 +111,44 @@ Options parse_options(int argc, char** argv) {
       o.resume = v;
       continue;
     }
+    if (const char* v = flag_value("--retry-cells", argc, argv, i, o.errors)) {
+      std::size_t n = 0;
+      if (parse_uint(v, n)) {
+        o.retry_cells = n;
+      } else {
+        o.errors.push_back("malformed --retry-cells value '" +
+                           std::string(v) +
+                           "' (expected a non-negative integer)");
+      }
+      continue;
+    }
+    if (const char* v =
+            flag_value("--cell-timeout", argc, argv, i, o.errors)) {
+      std::size_t n = 0;
+      if (parse_uint(v, n)) {
+        o.cell_timeout_ms = n;
+      } else {
+        o.errors.push_back("malformed --cell-timeout value '" +
+                           std::string(v) +
+                           "' (expected milliseconds as a non-negative "
+                           "integer)");
+      }
+      continue;
+    }
+    if (const char* v = flag_value("--fault-spec", argc, argv, i, o.errors)) {
+      o.fault_spec = v;
+      continue;
+    }
     // flag_value may already have recorded a missing-value error for this
     // argument; only flag it as unknown when it did not consume it.
     if (std::strcmp(arg, "--only") != 0 && std::strcmp(arg, "--jobs") != 0 &&
         std::strcmp(arg, "--scenario") != 0 &&
         std::strcmp(arg, "--out") != 0 &&
         std::strcmp(arg, "--checkpoint-every") != 0 &&
-        std::strcmp(arg, "--resume") != 0) {
+        std::strcmp(arg, "--resume") != 0 &&
+        std::strcmp(arg, "--retry-cells") != 0 &&
+        std::strcmp(arg, "--cell-timeout") != 0 &&
+        std::strcmp(arg, "--fault-spec") != 0) {
       o.errors.push_back("unknown argument '" + std::string(arg) + "'");
     }
   }
@@ -162,6 +193,47 @@ std::size_t effective_checkpoint_every(std::size_t cli_every) {
     (void)warned;
   }
   return 0;
+}
+
+std::size_t effective_retry_cells(std::size_t cli_retries) {
+  if (cli_retries != 0) return cli_retries;
+  if (const char* e = std::getenv("OMNIVAR_RETRY_CELLS")) {
+    std::size_t n = 0;
+    if (parse_uint(e, n)) return n;
+    static bool warned = [&] {
+      std::fprintf(stderr,
+                   "omnivar: ignoring malformed OMNIVAR_RETRY_CELLS='%s' "
+                   "(expected a non-negative integer)\n",
+                   e);
+      return true;
+    }();
+    (void)warned;
+  }
+  return 0;
+}
+
+std::size_t effective_cell_timeout_ms(std::size_t cli_ms) {
+  if (cli_ms != 0) return cli_ms;
+  if (const char* e = std::getenv("OMNIVAR_CELL_TIMEOUT_MS")) {
+    std::size_t n = 0;
+    if (parse_uint(e, n)) return n;
+    static bool warned = [&] {
+      std::fprintf(stderr,
+                   "omnivar: ignoring malformed OMNIVAR_CELL_TIMEOUT_MS="
+                   "'%s' (expected milliseconds as a non-negative "
+                   "integer)\n",
+                   e);
+      return true;
+    }();
+    (void)warned;
+  }
+  return 0;
+}
+
+std::string effective_fault_spec(const std::string& cli_spec) {
+  if (!cli_spec.empty()) return cli_spec;
+  if (const char* s = std::getenv("OMNIVAR_FAULT_SPEC")) return s;
+  return {};
 }
 
 }  // namespace omv::cli

@@ -21,6 +21,18 @@
 //   --resume[=]SRC    resume interrupted cells: "auto" scans each cell's
 //                     .snap sidecar, an explicit path names one snapshot
 //                     (requires --out)
+//   --retry-cells[=]N retry a failing protocol cell N times (seeded
+//                     exponential backoff) before quarantining it; falls
+//                     back to OMNIVAR_RETRY_CELLS, else 0
+//   --cell-timeout[=]MS
+//                     per-cell wall-clock budget in milliseconds, enforced
+//                     cooperatively at repetition boundaries; falls back
+//                     to OMNIVAR_CELL_TIMEOUT_MS, else unlimited
+//   --fault-spec[=]SPEC
+//                     arm the deterministic fault-injection plan (see
+//                     core/faultinject.hpp for the grammar); falls back to
+//                     OMNIVAR_FAULT_SPEC; a malformed spec is a usage
+//                     error (exit 2), never silently ignored
 //   --version         print engine version, snapshot format and dispatched
 //                     ISA on stdout and exit
 //   --help            usage
@@ -55,6 +67,9 @@ struct Options {
   std::string out_dir;            ///< --out campaign dir; empty = none.
   std::size_t checkpoint_every = 0;  ///< --checkpoint-every; 0 = off.
   std::string resume;  ///< --resume "auto" or snapshot path; empty = off.
+  std::size_t retry_cells = 0;     ///< --retry-cells; 0 = no retries.
+  std::size_t cell_timeout_ms = 0;  ///< --cell-timeout; 0 = unlimited.
+  std::string fault_spec;  ///< --fault-spec; empty = unset.
   std::vector<std::string> errors;  ///< malformed/unknown arguments.
 };
 
@@ -77,5 +92,19 @@ struct Options {
 /// OMNIVAR_CHECKPOINT_EVERY environment variable (malformed values are
 /// reported once to stderr and ignored), else 0 — checkpointing off.
 [[nodiscard]] std::size_t effective_checkpoint_every(std::size_t cli_every);
+
+/// Effective cell retry budget: `cli_retries` when set (non-zero), else
+/// OMNIVAR_RETRY_CELLS (malformed values reported once and ignored),
+/// else 0 — quarantine on the first failure.
+[[nodiscard]] std::size_t effective_retry_cells(std::size_t cli_retries);
+
+/// Effective per-cell wall-clock budget in ms: `cli_ms` when set
+/// (non-zero), else OMNIVAR_CELL_TIMEOUT_MS (malformed values reported
+/// once and ignored), else 0 — unlimited.
+[[nodiscard]] std::size_t effective_cell_timeout_ms(std::size_t cli_ms);
+
+/// Effective fault spec: `cli_spec` when non-empty, else
+/// OMNIVAR_FAULT_SPEC, else "" — no faults armed.
+[[nodiscard]] std::string effective_fault_spec(const std::string& cli_spec);
 
 }  // namespace omv::cli

@@ -1,0 +1,63 @@
+#include "core/deadline.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace omv::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Deadline as nanoseconds since the steady epoch; 0 = disarmed. A single
+// atomic keeps the per-repetition check wait-free for worker threads.
+std::atomic<std::int64_t> g_deadline_ns{0};
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void arm_cell_deadline(std::chrono::milliseconds budget) noexcept {
+  if (budget.count() <= 0) {
+    g_deadline_ns.store(0, std::memory_order_relaxed);
+    return;
+  }
+  const std::int64_t ns =
+      now_ns() +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(budget).count();
+  g_deadline_ns.store(ns, std::memory_order_relaxed);
+}
+
+void clear_cell_deadline() noexcept {
+  g_deadline_ns.store(0, std::memory_order_relaxed);
+}
+
+bool cell_deadline_exceeded() noexcept {
+  const std::int64_t d = g_deadline_ns.load(std::memory_order_relaxed);
+  return d != 0 && now_ns() > d;
+}
+
+void check_cell_deadline() {
+  if (cell_deadline_exceeded()) {
+    throw CellTimeout(
+        "cell wall-clock budget exceeded (--cell-timeout); aborted at a "
+        "repetition boundary");
+  }
+}
+
+void interruptible_stall(std::chrono::milliseconds stall) {
+  const auto end = Clock::now() + stall;
+  while (Clock::now() < end) {
+    check_cell_deadline();
+    const auto remaining = end - Clock::now();
+    const auto slice = std::chrono::milliseconds(5);
+    std::this_thread::sleep_for(remaining < slice ? remaining : slice);
+  }
+  check_cell_deadline();
+}
+
+}  // namespace omv::core

@@ -1,0 +1,47 @@
+#pragma once
+// Cooperative wall-clock deadline for the currently supervised campaign
+// cell.
+//
+// The cell supervisor arms a process-wide deadline before invoking a
+// cell's compute function; every repetition loop (serial, sharded, and
+// checkpointed) calls check_cell_deadline() between repetitions, so a cell
+// that overruns its budget raises CellTimeout at the next repetition
+// boundary on whichever worker thread notices first — worker-pool-based
+// cancellation with no in-process signals. Granularity is therefore one
+// repetition: a single wedged repetition cannot be interrupted (documented
+// in README "Failure handling").
+//
+// A process-wide slot is correct because cells execute one at a time per
+// process (runs within a cell shard across workers; cells never overlap).
+
+#include <chrono>
+#include <stdexcept>
+
+namespace omv::core {
+
+/// Raised by check_cell_deadline() once the armed deadline has passed.
+class CellTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Arms the deadline `budget` from now; a zero budget disarms.
+void arm_cell_deadline(std::chrono::milliseconds budget) noexcept;
+
+/// Disarms the deadline (always call when the supervised region ends —
+/// leaking an expired deadline would poison the next cell).
+void clear_cell_deadline() noexcept;
+
+/// True when a deadline is armed and has passed. Cheap: one relaxed
+/// atomic load, plus a clock read only while armed.
+[[nodiscard]] bool cell_deadline_exceeded() noexcept;
+
+/// Throws CellTimeout when the armed deadline has passed; no-op otherwise.
+void check_cell_deadline();
+
+/// Sleeps up to `stall`, waking early (and throwing CellTimeout) when the
+/// armed deadline passes mid-sleep. Used by injected slow_cell stalls so a
+/// stall longer than the cell budget trips the timeout deterministically.
+void interruptible_stall(std::chrono::milliseconds stall);
+
+}  // namespace omv::core

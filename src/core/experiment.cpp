@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include "core/deadline.hpp"
 #include "core/rng.hpp"
 
 namespace omv {
@@ -15,7 +16,12 @@ std::vector<double> execute_run(const ExperimentSpec& spec,
   ctx.run = run;
   ctx.run_seed = run_seed;
 
+  // Cooperative cell-timeout poll at repetition granularity: whichever
+  // worker thread runs this repetition observes the process-wide deadline
+  // and throws CellTimeout — cancellation without signals, at the cost of
+  // one repetition of latency.
   for (std::size_t w = 0; w < spec.warmup; ++w) {
+    core::check_cell_deadline();
     ctx.rep = w;
     ctx.warmup = true;
     (void)kernel(ctx);
@@ -25,6 +31,7 @@ std::vector<double> execute_run(const ExperimentSpec& spec,
   times.reserve(spec.reps);
   ctx.warmup = false;
   for (std::size_t k = 0; k < spec.reps; ++k) {
+    core::check_cell_deadline();
     ctx.rep = k;
     times.push_back(kernel(ctx));
   }

@@ -7,6 +7,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/atomic_file.hpp"
+#include "core/faultinject.hpp"
+
 namespace omv::snap {
 
 void fail(const std::string& origin, std::size_t offset,
@@ -331,16 +334,16 @@ std::optional<SnapshotStamp> try_peek_stamp(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 void save_snapshot_file(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) fail(path, 0, "cannot open temp file for writing");
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) fail(path, 0, "short write to temp file");
+  // The shared atomic commit (tmp + rename) with the "snapshot" fault
+  // site. Injected faults keep their taxonomy; plain I/O failures keep
+  // this module's SnapshotError contract.
+  try {
+    core::atomic_write_file(path, bytes, "snapshot");
+  } catch (const fault::InjectedFault&) {
+    throw;
+  } catch (const std::exception& e) {
+    fail(path, 0, e.what());
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) fail(path, 0, "rename failed: " + ec.message());
 }
 
 std::string load_snapshot_file(const std::string& path) {

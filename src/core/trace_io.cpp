@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/atomic_file.hpp"
+
 namespace omv::io {
 
 namespace {
@@ -159,10 +161,10 @@ RunMatrix run_matrix_from_csv(const std::string& csv, std::string label) {
 }
 
 void save_run_matrix(const std::string& path, const RunMatrix& m) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
-  write_run_matrix_csv(f, m);
-  if (!f) throw std::runtime_error("write failed for '" + path + "'");
+  // Atomic commit: a crash mid-save must leave the previous file (or no
+  // file), never a torn CSV. Site "cache" — in a campaign these files are
+  // the cache entries the fault plan targets.
+  core::atomic_write_file(path, run_matrix_to_csv(m), "cache");
 }
 
 RunMatrix load_run_matrix(const std::string& path, std::string label) {

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/atomic_file.hpp"
+
 namespace omv::freqlog {
 
 namespace {
@@ -79,10 +81,9 @@ FreqTrace freq_trace_from_csv(const std::string& csv) {
 }
 
 void save_freq_trace(const std::string& path, const FreqTrace& trace) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
-  write_freq_trace_csv(f, trace);
-  if (!f) throw std::runtime_error("write failed for '" + path + "'");
+  // Atomic commit (site "sidecar"): in a campaign these ride the cache as
+  // <hash>.trace.csv sidecars, committed before the .key marker.
+  core::atomic_write_file(path, freq_trace_to_csv(trace), "sidecar");
 }
 
 FreqTrace load_freq_trace(const std::string& path) {

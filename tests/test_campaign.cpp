@@ -15,6 +15,7 @@
 
 #include "cli/options.hpp"
 #include "cli/registry.hpp"
+#include "core/faultinject.hpp"
 #include "scenario/registry.hpp"
 
 namespace omv::cli {
@@ -76,6 +77,44 @@ TEST(Options, MalformedAndUnknownArgumentsAreCollected) {
   const auto o = parse_options(static_cast<int>(argv.size()), argv.data());
   EXPECT_EQ(o.jobs, 0u);  // -4 rejected, not wrapped
   EXPECT_EQ(o.errors.size(), 3u);  // bad jobs, unknown, missing value
+}
+
+TEST(Options, ParsesSupervisionFlags) {
+  std::vector<std::string> args{"prog",           "--retry-cells", "2",
+                                "--cell-timeout", "1500",
+                                "--fault-spec",   "cell_throw@3"};
+  auto argv = argv_of(args);
+  const auto o = parse_options(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(o.errors.empty());
+  EXPECT_EQ(o.retry_cells, 2u);
+  EXPECT_EQ(o.cell_timeout_ms, 1500u);
+  EXPECT_EQ(o.fault_spec, "cell_throw@3");
+
+  std::vector<std::string> bad{"prog", "--retry-cells=x",
+                               "--cell-timeout=-5"};
+  auto bargv = argv_of(bad);
+  const auto b = parse_options(static_cast<int>(bargv.size()), bargv.data());
+  EXPECT_EQ(b.errors.size(), 2u);
+  EXPECT_EQ(b.retry_cells, 0u);
+  EXPECT_EQ(b.cell_timeout_ms, 0u);
+}
+
+TEST(Options, SupervisionEnvFallbacks) {
+  ::setenv("OMNIVAR_RETRY_CELLS", "4", 1);
+  ::setenv("OMNIVAR_CELL_TIMEOUT_MS", "2500", 1);
+  ::setenv("OMNIVAR_FAULT_SPEC", "enospc@1", 1);
+  EXPECT_EQ(effective_retry_cells(0), 4u);
+  EXPECT_EQ(effective_retry_cells(9), 9u);  // CLI wins
+  EXPECT_EQ(effective_cell_timeout_ms(0), 2500u);
+  EXPECT_EQ(effective_cell_timeout_ms(100), 100u);
+  EXPECT_EQ(effective_fault_spec(""), "enospc@1");
+  EXPECT_EQ(effective_fault_spec("cell_throw@1"), "cell_throw@1");
+  ::unsetenv("OMNIVAR_RETRY_CELLS");
+  ::unsetenv("OMNIVAR_CELL_TIMEOUT_MS");
+  ::unsetenv("OMNIVAR_FAULT_SPEC");
+  EXPECT_EQ(effective_retry_cells(0), 0u);
+  EXPECT_EQ(effective_cell_timeout_ms(0), 0u);
+  EXPECT_EQ(effective_fault_spec(""), "");
 }
 
 // --------------------------------------------------------------- registry
@@ -516,6 +555,188 @@ TEST_F(CampaignCacheTest, VerdictTracksFailures) {
   ctx.verdict(false, "bad");
   EXPECT_FALSE(ctx.all_ok());
   ASSERT_EQ(ctx.verdicts().size(), 2u);
+}
+
+// ------------------------------------------------- supervision/quarantine
+
+class CampaignFaultTest : public CampaignCacheTest {
+ protected:
+  void SetUp() override {
+    CampaignCacheTest::SetUp();
+    fault::clear_active_plan();
+  }
+  void TearDown() override {
+    fault::clear_active_plan();
+    CampaignCacheTest::TearDown();
+  }
+};
+
+TEST_F(CampaignFaultTest, ThrowingCellIsQuarantinedWithFailureRecord) {
+  SpecKey key;
+  key.add("bench", "fake");
+  RunContext ctx("testh", 1, dir_);
+  ctx.configure_supervision(0, std::chrono::milliseconds(0));
+  try {
+    (void)ctx.protocol("cell", small_spec(), key, []() -> RunMatrix {
+      throw std::runtime_error("model blew up");
+    });
+    FAIL() << "expected CellQuarantined";
+  } catch (const CellQuarantined&) {
+  }
+  ASSERT_EQ(ctx.failures().size(), 1u);
+  const auto& f = ctx.failures()[0];
+  EXPECT_EQ(f.label, "cell");
+  EXPECT_EQ(f.hash.size(), 16u);  // the cell's spec hash
+  EXPECT_EQ(f.taxonomy, "exception");
+  EXPECT_EQ(f.error, "model blew up");
+  EXPECT_EQ(f.attempts, 1u);
+  // The failed cell committed nothing: no .key marker exists.
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir_ + "/cache")) {
+    EXPECT_NE(e.path().extension(), ".key");
+  }
+}
+
+TEST_F(CampaignFaultTest, TornCacheWriteIsRetriedToACleanCommit) {
+  // First commit attempt tears the cache CSV mid-write; the retry
+  // recomputes and commits cleanly — and the entry then serves hits.
+  fault::set_active_spec("torn_write:cache@1");
+  SpecKey key;
+  key.add("bench", "fake");
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  RunContext ctx("testh", 1, dir_);
+  ctx.configure_supervision(1, std::chrono::milliseconds(0));
+  const auto m = ctx.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);  // attempt 1 tore, attempt 2 committed
+  EXPECT_EQ(m.runs(), 2u);
+  EXPECT_TRUE(ctx.failures().empty());
+
+  RunContext ctx2("testh", 1, dir_);
+  (void)ctx2.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(ctx2.cache_hits(), 1u);
+}
+
+TEST_F(CampaignFaultTest, TornKeyWriteDegradesToAPlainMissNextRun) {
+  // The .key commit marker is written LAST: tearing it leaves valid data
+  // behind a torn marker, which the next invocation treats as a miss —
+  // never as a hit over unvalidated bytes.
+  fault::set_active_spec("torn_write:key@1");
+  SpecKey key;
+  key.add("bench", "fake");
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  {
+    RunContext ctx("testh", 1, dir_);
+    ctx.configure_supervision(0, std::chrono::milliseconds(0));
+    EXPECT_THROW((void)ctx.protocol("cell", small_spec(), key, compute),
+                 CellQuarantined);
+    ASSERT_EQ(ctx.failures().size(), 1u);
+    EXPECT_EQ(ctx.failures()[0].taxonomy, "io");
+  }
+  fault::clear_active_plan();
+  RunContext ctx2("testh", 1, dir_);
+  (void)ctx2.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);  // torn marker = miss, recomputed
+  EXPECT_EQ(ctx2.cache_hits(), 0u);
+}
+
+TEST_F(CampaignFaultTest, InvalidatedEntryDropsItsSnapSidecar) {
+  SpecKey key;
+  key.add("bench", "fake");
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_matrix();
+  };
+  {
+    RunContext ctx("testh", 1, dir_);
+    (void)ctx.protocol("cell", small_spec(), key, compute);
+  }
+  // Corrupt the committed CSV and plant a .snap sidecar next to it (a
+  // checkpoint of the now-dead entry).
+  std::string snap_path;
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir_ + "/cache")) {
+    if (e.path().extension() == ".csv") {
+      snap_path = e.path().string();
+      snap_path.replace(snap_path.size() - 4, 4, ".snap");
+      std::ofstream c(e.path(), std::ios::binary);
+      c << "run,rep,time\ngarbage";
+    }
+  }
+  ASSERT_FALSE(snap_path.empty());
+  {
+    std::ofstream s(snap_path, std::ios::binary);
+    s << "stale checkpoint bytes";
+  }
+  RunContext ctx2("testh", 1, dir_);
+  (void)ctx2.protocol("cell", small_spec(), key, compute);
+  EXPECT_EQ(computes, 2);  // degraded to recompute
+  // The orphaned sidecar went with the invalidated entry: --resume auto
+  // cannot resurrect a dead cell's progress.
+  EXPECT_FALSE(std::filesystem::exists(snap_path));
+}
+
+TEST_F(CampaignFaultTest, SurvivingCellsAreByteIdenticalAfterAFaultRun) {
+  // The differential-proof core: a campaign where one cell faults leaves
+  // every other cell's cache entry byte-identical to a healthy campaign's.
+  SpecKey key_a;
+  key_a.add("bench", "a");
+  SpecKey key_b;
+  key_b.add("bench", "b");
+  const auto compute = [] { return make_matrix(); };
+
+  // Healthy campaign into dir A.
+  const std::string dir_healthy = dir_ + "_healthy";
+  std::filesystem::remove_all(dir_healthy);
+  {
+    RunContext ctx("testh", 1, dir_healthy);
+    (void)ctx.protocol("cell_a", small_spec(), key_a, compute);
+    (void)ctx.protocol("cell_b", small_spec(), key_b, compute);
+  }
+
+  // Faulted campaign into dir B: cell_a quarantines, cell_b survives.
+  fault::set_active_spec("cell_throw:cell_a");
+  {
+    RunContext ctx("testh", 1, dir_);
+    ctx.configure_supervision(0, std::chrono::milliseconds(0));
+    EXPECT_THROW((void)ctx.protocol("cell_a", small_spec(), key_a, compute),
+                 CellQuarantined);
+  }
+  fault::clear_active_plan();
+  {
+    // The harness re-runs (the campaign driver reruns it or a dependent
+    // cell-only harness runs next); cell_b computes cleanly.
+    RunContext ctx("testh", 1, dir_);
+    (void)ctx.protocol("cell_b", small_spec(), key_b, compute);
+  }
+
+  // Every cache artifact present in the faulted dir matches the healthy
+  // dir byte-for-byte.
+  std::size_t compared = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir_ + "/cache")) {
+    if (e.path().extension() == ".lock") continue;
+    const auto healthy =
+        std::filesystem::path(dir_healthy) / "cache" / e.path().filename();
+    ASSERT_TRUE(std::filesystem::exists(healthy)) << e.path();
+    std::ifstream f1(e.path(), std::ios::binary);
+    std::ifstream f2(healthy, std::ios::binary);
+    std::string b1((std::istreambuf_iterator<char>(f1)), {});
+    std::string b2((std::istreambuf_iterator<char>(f2)), {});
+    EXPECT_EQ(b1, b2) << e.path();
+    ++compared;
+  }
+  EXPECT_EQ(compared, 2u);  // cell_b's .csv + .key; cell_a left nothing
+  std::filesystem::remove_all(dir_healthy);
 }
 
 }  // namespace
