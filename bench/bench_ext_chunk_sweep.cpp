@@ -24,7 +24,7 @@ namespace {
 void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   std::size_t threads, std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
-  std::printf("-- %s, %zu threads --\n", p.name.c_str(), threads);
+  ctx.print("-- %s, %zu threads --\n", p.name.c_str(), threads);
   report::Table t({"schedule", "chunk", "mean rep (us)", "pooled CV"});
   double static_1 = 0.0;
   double dynamic_1 = 0.0;

@@ -107,9 +107,9 @@ int run_taskbench(cli::RunContext& ctx) {
   const auto unpin =
       run_tasking(ctx, p, "parallel/t" + tb + "/unpinned", s,
                   harness::unpinned_team(t_big), false, 9502);
-  std::printf("tasking, %s threads: pinned CV %.5f vs unpinned CV %.5f\n",
-              tb.c_str(), pin.pooled_summary().cv,
-              unpin.pooled_summary().cv);
+  ctx.print("tasking, %s threads: pinned CV %.5f vs unpinned CV %.5f\n",
+            tb.c_str(), pin.pooled_summary().cv,
+            unpin.pooled_summary().cv);
   ctx.metric("pinned_cv", pin.pooled_summary().cv);
   ctx.metric("unpinned_cv", unpin.pooled_summary().cv);
   ctx.verdict(unpin.pooled_summary().cv > pin.pooled_summary().cv,

@@ -20,7 +20,7 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   const std::vector<std::size_t>& counts,
                   std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
-  std::printf("-- %s --\n", p.name.c_str());
+  ctx.print("-- %s --\n", p.name.c_str());
   report::Series series("threads", {"reduction_us", "barrier_us"});
   double first = 0.0;
   double last = 0.0;

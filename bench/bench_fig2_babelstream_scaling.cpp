@@ -18,7 +18,7 @@ void run_platform(cli::RunContext& ctx, const harness::Platform& p,
                   const std::vector<std::size_t>& counts,
                   std::uint64_t seed) {
   sim::Simulator s(p.machine, p.config);
-  std::printf("-- %s (array 2^25 doubles) --\n", p.name.c_str());
+  ctx.print("-- %s (array 2^25 doubles) --\n", p.name.c_str());
   std::vector<std::string> names;
   for (auto k : bench::all_stream_kernels()) {
     names.push_back(std::string(bench::stream_kernel_name(k)) + "_ms");

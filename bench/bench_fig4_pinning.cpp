@@ -23,7 +23,7 @@ namespace {
 
 void per_run_table(cli::RunContext& ctx, const std::string& slug,
                    const char* title, const RunMatrix& m, int digits = 1) {
-  std::printf("%s\n", title);
+  ctx.print("%s\n", title);
   report::Table t({"run #", "mean", "min", "max", "cv"});
   for (std::size_t r = 0; r < m.runs(); ++r) {
     const auto s = m.run_summary(r);
@@ -123,10 +123,10 @@ int run_fig4(cli::RunContext& ctx) {
                   ma);
     const auto sb = mb.pooled_summary();
     const auto sa = ma.pooled_summary();
-    std::printf("unpinned rep-time range: %.1f .. %.1f us (%.0fx)\n",
-                sb.min, sb.max, sb.max / sb.min);
-    std::printf("pinned rep-time range:   %.1f .. %.1f us (%.1fx)\n\n",
-                sa.min, sa.max, sa.max / sa.min);
+    ctx.print("unpinned rep-time range: %.1f .. %.1f us (%.0fx)\n",
+              sb.min, sb.max, sb.max / sb.min);
+    ctx.print("pinned rep-time range:   %.1f .. %.1f us (%.1fx)\n\n",
+              sa.min, sa.max, sa.max / sa.min);
     ctx.metric("sync" + fs + "_unpinned_max_over_min", sb.max / sb.min);
     ctx.metric("sync" + fs + "_pinned_max_over_min", sa.max / sa.min);
     ctx.verdict(sb.max / sb.min > 100.0,
@@ -138,8 +138,8 @@ int run_fig4(cli::RunContext& ctx) {
                 "variance reduction statistically significant "
                 "(Brown-Forsythe p=" +
                     report::fmt(bf.p_value, 4) + ")");
-    std::printf("unpinned signature: %s\n\n",
-                characterize(mb).to_string().c_str());
+    ctx.print("unpinned signature: %s\n\n",
+              characterize(mb).to_string().c_str());
   }
 
   // (c)/(f) BabelStream, 128 threads: normalized min/max per kernel.
@@ -189,10 +189,10 @@ int run_fig4(cli::RunContext& ctx) {
                  report::fmt_fixed(ub_max, 3), report::fmt_fixed(pb_min, 3),
                  report::fmt_fixed(pb_max, 3)});
     }
-    std::printf("(c)/(f) BabelStream %s thr, normalized min/max:\n%s\n",
-                fs.c_str(), t.render().c_str());
+    ctx.print("(c)/(f) BabelStream %s thr, normalized min/max:\n%s\n",
+              fs.c_str(), t.render().c_str());
     ctx.record_table("stream" + fs + "_norm_minmax", t);
-    std::printf("worst unpinned max/min ratio: %.1fx\n", worst_unpinned_ratio);
+    ctx.print("worst unpinned max/min ratio: %.1fx\n", worst_unpinned_ratio);
     ctx.metric("stream" + fs + "_worst_unpinned_ratio", worst_unpinned_ratio);
     ctx.verdict(all_tighter,
                 "BabelStream: pinned min/max spread tighter for every "

@@ -73,9 +73,9 @@ int run_fig5(cli::RunContext& ctx) {
     // configuration to measure. (Per-core query: the retired floor-average
     // smt_per_core() reported "no SMT" for any machine whose SMT cores
     // were outnumbered by non-SMT ones.)
-    std::printf("scenario '%s' has no SMT (1 HW thread per core); the "
-                "ST-vs-MT contrast does not apply.\n",
-                p.name.c_str());
+    ctx.print("scenario '%s' has no SMT (1 HW thread per core); the "
+              "ST-vs-MT contrast does not apply.\n",
+              p.name.c_str());
     return 0;
   }
   sim::Simulator s(p.machine, p.config);
@@ -86,9 +86,9 @@ int run_fig5(cli::RunContext& ctx) {
   const std::size_t n_elig = eligible.size();
   const std::size_t t_full = 2 * (n_elig / 2);
   if (t_full < 4 || n_elig < 2) {
-    std::printf("scenario '%s' is too small for the ST/MT split (%zu "
-                "SMT-capable cores); the contrast does not apply.\n",
-                p.name.c_str(), n_elig);
+    ctx.print("scenario '%s' is too small for the ST/MT split (%zu "
+              "SMT-capable cores); the contrast does not apply.\n",
+              p.name.c_str(), n_elig);
     return 0;
   }
   const std::size_t t_sync =
@@ -150,8 +150,8 @@ int run_fig5(cli::RunContext& ctx) {
     t.add_row({"MT " + fsn + "thr", report::fmt_fixed(mm.grand_mean(), 1),
                report::fmt_fixed(mm.pooled_summary().cv, 5),
                report::fmt_fixed(worst_cv(mm), 5)});
-    std::printf("(a)/(d) schedbench %s threads:\n%s\n", fsn.c_str(),
-                t.render().c_str());
+    ctx.print("(a)/(d) schedbench %s threads:\n%s\n", fsn.c_str(),
+              t.render().c_str());
     ctx.record_table("sched" + fsn + "_st_vs_mt", t);
     ctx.verdict(mm.pooled_summary().cv > ms.pooled_summary().cv,
                 "schedbench: MT repetitions far more variable than ST");
@@ -196,8 +196,8 @@ int run_fig5(cli::RunContext& ctx) {
         mt_noisier_everywhere &= cv_stats_m.mean > cv_stats_s.mean;
       }
     }
-    std::printf("(b)/(e) syncbench %s threads, per-run CV:\n%s\n",
-                syn.c_str(), t.render().c_str());
+    ctx.print("(b)/(e) syncbench %s threads, per-run CV:\n%s\n",
+              syn.c_str(), t.render().c_str());
     ctx.record_table("sync" + syn + "_cv_per_construct", t);
     ctx.verdict(mt_noisier_everywhere,
                 "syncbench: MT CV higher for for/single/ordered/"
@@ -211,7 +211,7 @@ int run_fig5(cli::RunContext& ctx) {
     const auto mm =
         stream_cell("stream" + fsn + "/mt", mt_team(p.machine, eligible, t_full),
                     harness::paper_spec(6006, 10, 50));
-    std::printf(
+    ctx.print(
         "(c)/(f) BabelStream triad %s threads: ST %.3f ms (CV %.4f) vs "
         "MT %.3f ms (CV %.4f)\n",
         fsn.c_str(), ms.grand_mean(), ms.pooled_summary().cv,
@@ -226,8 +226,8 @@ int run_fig5(cli::RunContext& ctx) {
     const auto mm8 =
         stream_cell("stream" + smn + "/mt", mt_team(p.machine, eligible, t_small),
                     harness::paper_spec(6008, 10, 50));
-    std::printf("BabelStream triad %s threads: ST %.3f ms vs MT %.3f ms\n",
-                smn.c_str(), ms8.grand_mean(), mm8.grand_mean());
+    ctx.print("BabelStream triad %s threads: ST %.3f ms vs MT %.3f ms\n",
+              smn.c_str(), ms8.grand_mean(), mm8.grand_mean());
     ctx.verdict(mm8.grand_mean() / ms8.grand_mean() < 1.5,
                 "at small scale ST does not outperform MT much");
   }

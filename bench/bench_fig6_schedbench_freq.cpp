@@ -44,7 +44,7 @@ PanelResult run_panel(cli::RunContext& ctx, const harness::Platform& p,
 void report_panel(cli::RunContext& ctx, const std::string& slug,
                   const char* label, const PanelResult& r,
                   const std::vector<double>& fmax) {
-  std::printf("%s\n", label);
+  ctx.print("%s\n", label);
   report::Table t({"run #", "mean (us)", "min (us)", "max (us)", "cv"});
   for (std::size_t i = 0; i < r.matrix.runs(); ++i) {
     const auto s = r.matrix.run_summary(i);
@@ -52,13 +52,13 @@ void report_panel(cli::RunContext& ctx, const std::string& slug,
                report::fmt_fixed(s.min, 1), report::fmt_fixed(s.max, 1),
                report::fmt_fixed(s.cv, 4)});
   }
-  std::printf("%s", t.render().c_str());
+  ctx.print("%s", t.render().c_str());
   ctx.record_table(slug, t);
   const auto e = r.trace.extremes();
   // Both are O(samples) scans over the merged trace — compute once.
   const double below = r.trace.fraction_below(fmax, 0.95);
   const std::size_t episodes = r.trace.episode_count(fmax, 0.95);
-  std::printf(
+  ctx.print(
       "frequency trace: %zu samples, min %.2f / mean %.2f / max %.2f GHz, "
       "%.1f%% below 0.95*fmax, %zu dip episodes\n\n",
       r.trace.size(), e.min, e.mean, e.max, below * 100.0, episodes);
@@ -79,7 +79,7 @@ int run_fig6(cli::RunContext& ctx) {
   const auto p = harness::freq_session_platform(ctx);
   const auto geo = harness::freq_panel_geometry(p);
   if (!geo.applicable) {
-    std::printf("%s\n", geo.reason.c_str());
+    ctx.print("%s\n", geo.reason.c_str());
     return 0;
   }
   sim::Simulator s(p.machine, p.config);

@@ -48,7 +48,7 @@ int run_fig7(cli::RunContext& ctx) {
   const auto p = harness::freq_session_platform(ctx);
   const auto geo = harness::freq_panel_geometry(p);
   if (!geo.applicable) {
-    std::printf("%s\n", geo.reason.c_str());
+    ctx.print("%s\n", geo.reason.c_str());
     return 0;
   }
   sim::Simulator s(p.machine, p.config);

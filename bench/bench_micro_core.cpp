@@ -62,6 +62,9 @@ int run_micro(cli::RunContext& ctx) {
       "Micro — core hot-path timings (ns/op, wall clock)",
       "(not a paper experiment; guards the simulator's performance "
       "envelope — values are machine-dependent)");
+  // Self-timed wall-clock cases, no protocol() cells: nothing to declare
+  // on an enumeration pass, and the timing loops must not burn real time.
+  if (ctx.enumerating()) return 0;
 
   const bool quick = [] {
     const char* q = std::getenv("OMNIVAR_QUICK");

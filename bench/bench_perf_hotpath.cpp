@@ -133,6 +133,9 @@ int run_perf_hotpath(cli::RunContext& ctx) {
       "perf_hotpath — simulator query-kernel timings (ns/op, wall clock)",
       "(not a paper experiment; tracks the hot-path perf trajectory — "
       "indexed queries vs the retained brute-force baseline)");
+  // Self-timed wall-clock kernels, no protocol() cells: nothing to declare
+  // on an enumeration pass, and the timing loops must not burn real time.
+  if (ctx.enumerating()) return 0;
 
   const bool quick = [] {
     const char* q = std::getenv("OMNIVAR_QUICK");
@@ -179,8 +182,8 @@ int run_perf_hotpath(cli::RunContext& ctx) {
                                  : "-"});
     all_measured &= opt_ns > 0.0;
     if (report.kernels.back().regression()) {
-      std::printf("[PERF-REGRESSION] %s/%s speedup=%.3f (vs %s)\n", kernel,
-                  density, base_ns / opt_ns, baseline_kind);
+      ctx.print("[PERF-REGRESSION] %s/%s speedup=%.3f (vs %s)\n", kernel,
+                density, base_ns / opt_ns, baseline_kind);
     }
     const std::string stem =
         std::string("ns_per_op/") + kernel + "/" + density;
@@ -391,8 +394,8 @@ int run_perf_hotpath(cli::RunContext& ctx) {
           : (ctx.caching() ? ctx.out_dir() + "/" + default_name
                            : default_name);
   const bool written = cli::write_hotpath_report(report, out_path);
-  std::printf("\nperf trajectory: %s %s\n", out_path.c_str(),
-              written ? "written" : "WRITE FAILED");
+  ctx.print("\nperf trajectory: %s %s\n", out_path.c_str(),
+            written ? "written" : "WRITE FAILED");
   ctx.verdict(all_measured && written,
               "all hot-path kernels measured; " + out_path + " written");
   return written ? 0 : 1;

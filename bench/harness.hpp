@@ -324,16 +324,18 @@ inline SpecKey cell_key(std::string_view bench_kind, const Platform& p,
 
 /// Prints the standard harness header; in scenario mode a "Scenario:"
 /// line (name, fingerprint, geometry) makes the report self-describing.
-/// The default paper mode prints exactly the historical header.
+/// The default paper mode prints exactly the historical header. Routed
+/// through ctx.print so the campaign cell scheduler can capture and
+/// replay the harness's stdout in order.
 inline void header(cli::RunContext& ctx, const std::string& experiment,
                    const std::string& claim) {
-  std::printf("%s", report::banner(experiment).c_str());
+  ctx.print("%s", report::banner(experiment).c_str());
   if (const auto* s = ctx.scenario()) {
-    std::printf("Scenario: %s [%s %s] %s\n", s->display.c_str(),
-                s->name.c_str(), s->fingerprint().c_str(),
-                s->geometry_summary().c_str());
+    ctx.print("Scenario: %s [%s %s] %s\n", s->display.c_str(),
+              s->name.c_str(), s->fingerprint().c_str(),
+              s->geometry_summary().c_str());
   }
-  std::printf("Paper claim: %s\n\n", claim.c_str());
+  ctx.print("Paper claim: %s\n\n", claim.c_str());
 }
 
 /// Header without scenario context (ad-hoc callers).

@@ -1,18 +1,23 @@
 #include "cli/campaign.hpp"
 
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "cli/campaign_bench.hpp"
 #include "cli/options.hpp"
 #include "cli/registry.hpp"
 #include "core/atomic_file.hpp"
 #include "core/faultinject.hpp"
 #include "core/json_writer.hpp"
 #include "core/lockfile.hpp"
+#include "core/parallel_runner.hpp"
 #include "core/trace_io.hpp"
 #include "scenario/registry.hpp"
 #include "sim/isa.hpp"
@@ -30,14 +35,87 @@ void ensure_dir(const std::string& dir) {
 
 RunContext::RunContext(std::string harness, std::size_t jobs,
                        std::string out_dir,
-                       std::optional<scenario::ScenarioSpec> scenario)
+                       std::optional<scenario::ScenarioSpec> scenario,
+                       ContextMode mode)
     : harness_(std::move(harness)),
       jobs_(jobs == 0 ? 1 : jobs),
       out_dir_(std::move(out_dir)),
-      scenario_(std::move(scenario)) {
-  if (caching()) {
+      scenario_(std::move(scenario)),
+      mode_(mode) {
+  if (caching() && !enumerating()) {
     ensure_dir(out_dir_ + "/cache");
   }
+}
+
+void RunContext::emit(std::string_view text) {
+  if (enumerating()) return;
+  if (capture_ != nullptr) {
+    capture_->append(text);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+void RunContext::print(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string text;
+  if (n > 0) {
+    text.resize(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(text.data(), text.size(), fmt, args2);
+    text.resize(static_cast<std::size_t>(n));
+  }
+  va_end(args2);
+  emit(text);
+}
+
+struct CellScheduler::Impl {
+  Impl(std::size_t cell_jobs, std::vector<double> unit_costs)
+      : pool(cell_jobs), remaining(std::move(unit_costs)) {}
+  CellPool pool;
+  std::mutex mutex;
+  std::vector<double> remaining;  ///< enumerated cost not yet completed.
+};
+
+CellScheduler::CellScheduler(std::size_t cell_jobs,
+                             std::vector<double> unit_costs)
+    : impl_(std::make_shared<Impl>(cell_jobs, std::move(unit_costs))) {}
+
+std::size_t CellScheduler::workers() const noexcept {
+  return impl_->pool.workers();
+}
+
+void CellScheduler::run_cell(std::size_t unit, double cost,
+                             const std::function<void()>& fn) {
+  if (stopping()) {
+    throw snap::CheckpointStop(
+        "campaign checkpoint stop: cell dispatch halted before this cell "
+        "started");
+  }
+  double priority = 0.0;
+  {
+    std::lock_guard lock(impl_->mutex);
+    if (unit < impl_->remaining.size()) priority = impl_->remaining[unit];
+  }
+  // The cell's cost leaves the unit's remaining work whether it succeeds,
+  // quarantines, or stops — priority must keep draining either way.
+  struct Drain {
+    Impl* impl;
+    std::size_t unit;
+    double cost;
+    ~Drain() {
+      std::lock_guard lock(impl->mutex);
+      if (unit < impl->remaining.size()) {
+        impl->remaining[unit] =
+            impl->remaining[unit] > cost ? impl->remaining[unit] - cost : 0.0;
+      }
+    }
+  } drain{impl_.get(), unit, cost};
+  impl_->pool.run(priority, fn);
 }
 
 std::string_view engine_version() {
@@ -93,6 +171,30 @@ RunMatrix RunContext::protocol(const std::string& label,
   config.add("label", label);
   config.add_spec(spec);
   const std::string hash = config.hex();
+
+  if (enumerating()) {
+    // Declare-only pass: record the cell exactly as a serial execution
+    // would key it, and hand back a placeholder matrix of the spec's
+    // shape. Values are small, distinct and non-zero so downstream
+    // statistics (means, CVs, normalizations) stay finite — the harness's
+    // output is discarded anyway.
+    CellPlan plan;
+    plan.label = label;
+    plan.hash = hash;
+    plan.cost = static_cast<double>(spec.runs) *
+                static_cast<double>(spec.warmup + spec.reps);
+    plan_.push_back(std::move(plan));
+    RunMatrix placeholder(label);
+    for (std::size_t r = 0; r < spec.runs; ++r) {
+      std::vector<double> row(spec.reps);
+      for (std::size_t k = 0; k < spec.reps; ++k) {
+        row[k] = 1.0 + 1e-3 * static_cast<double>(r) +
+                 1e-6 * static_cast<double>(k);
+      }
+      placeholder.add_run(std::move(row));
+    }
+    return placeholder;
+  }
 
   CellRecord rec;
   rec.label = label;
@@ -223,30 +325,46 @@ RunMatrix RunContext::protocol(const std::string& label,
   // next, the .key commit marker LAST — so a crash or injected fault at
   // any point leaves either no marker (a plain miss) or a fully committed
   // entry; never a marker over torn data.
+  const auto supervised = [&]() -> RunMatrix {
+    return supervise_cell(supervision_, label, hash, [&] {
+      RunMatrix computed = compute();
+      // Normalize to the cell label: the compute path labels matrices
+      // with spec.name while a cache load uses `label` — a cold/warm run
+      // must return indistinguishable objects.
+      computed.set_label(label);
+      if (caching()) {
+        core::atomic_write_file(stem + ".csv",
+                                io::run_matrix_to_csv(computed), "cache");
+        if (save_extra) save_extra(stem);
+        core::atomic_write_file(stem + ".key", expected_key, "key");
+      }
+      return computed;
+    });
+  };
   RunMatrix m = [&] {
     try {
-      return supervise_cell(supervision_, label, hash, [&] {
-        RunMatrix computed = compute();
-        // Normalize to the cell label: the compute path labels matrices
-        // with spec.name while a cache load uses `label` — a cold/warm run
-        // must return indistinguishable objects.
-        computed.set_label(label);
-        if (caching()) {
-          core::atomic_write_file(stem + ".csv",
-                                  io::run_matrix_to_csv(computed), "cache");
-          if (save_extra) save_extra(stem);
-          core::atomic_write_file(stem + ".key", expected_key, "key");
-        }
-        return computed;
-      });
+      if (sched_ != nullptr) {
+        // Campaign scheduler path: the supervised compute-and-commit runs
+        // on a pool worker (the supervisor arms the worker's own deadline
+        // slot; shard threads it spawns inherit it) while this unit
+        // thread blocks — cells within a unit stay sequential, units
+        // overlap through the shared pool.
+        const double cost = static_cast<double>(spec.runs) *
+                            static_cast<double>(spec.warmup + spec.reps);
+        RunMatrix result;
+        sched_->run_cell(unit_, cost, [&] { result = supervised(); });
+        return result;
+      }
+      return supervised();
     } catch (const CellQuarantined& q) {
       // Record + announce here (stdout: the failure is part of the
       // harness's science report), then let the unwind continue to the
       // campaign driver.
       failures_.push_back(q.failure);
-      std::printf("[omnivar] FAILED cell '%s' (%s after %zu attempt(s)): %s\n",
-                  q.failure.label.c_str(), q.failure.taxonomy.c_str(),
-                  q.failure.attempts, q.failure.error.c_str());
+      this->print(
+          "[omnivar] FAILED cell '%s' (%s after %zu attempt(s)): %s\n",
+          q.failure.label.c_str(), q.failure.taxonomy.c_str(),
+          q.failure.attempts, q.failure.error.c_str());
       throw;
     }
   }();
@@ -257,12 +375,12 @@ RunMatrix RunContext::protocol(const std::string& label,
 
 void RunContext::series(const std::string& name, const report::Series& s,
                         int digits) {
-  std::printf("%s\n", s.render(report::Format::ascii, digits).c_str());
+  emit(s.render(report::Format::ascii, digits) + "\n");
   series_.push_back({name, s.x_name(), s.names(), s.points()});
 }
 
 void RunContext::table(const std::string& name, const report::Table& t) {
-  std::printf("%s\n", t.render().c_str());
+  emit(t.render() + "\n");
   record_table(name, t);
 }
 
@@ -272,7 +390,7 @@ void RunContext::record_table(const std::string& name,
 }
 
 void RunContext::verdict(bool ok, const std::string& text) {
-  std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH", text.c_str());
+  this->print("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH", text.c_str());
   verdicts_.push_back({ok, text});
 }
 
@@ -428,7 +546,8 @@ namespace {
 void print_usage(const char* argv0, bool campaign) {
   std::fprintf(stderr,
                "usage: %s [--list] [--scenarios] [--isa-report] [--version] "
-               "[--jobs N] [--scenario S] [--out DIR] "
+               "[--jobs N] [--cell-jobs N] [--scenario S]... "
+               "[--scenario-set FILE] [--plan] [--out DIR] "
                "[--checkpoint-every N] [--resume SRC] [--retry-cells N] "
                "[--cell-timeout MS] [--fault-spec SPEC]%s\n"
                "  --list       list registered harnesses\n"
@@ -440,11 +559,32 @@ void print_usage(const char* argv0, bool campaign) {
                "  --jobs N     shard each protocol's runs over N workers\n"
                "               (0 = one per hardware thread; default: "
                "OMNIVAR_JOBS, else serial)\n"
+               "  --cell-jobs N\n"
+               "               run up to N protocol cells concurrently "
+               "across all\n"
+               "               selected harnesses and scenarios (0 = one "
+               "per hardware\n"
+               "               thread; default: OMNIVAR_CELL_JOBS, else 1 "
+               "— serial);\n"
+               "               output is replayed in registry x scenario "
+               "order, so\n"
+               "               stdout/artifacts/cache are byte-identical "
+               "at any N\n"
                "  --scenario S run on scenario S: a catalog name or a "
                "scenario-file\n"
-               "               path (default: OMNIVAR_SCENARIO, else the "
-               "paper's\n"
-               "               Dardel+Vera pair)\n"
+               "               path (repeatable: the campaign fans out "
+               "over every\n"
+               "               listed scenario; default: OMNIVAR_SCENARIO, "
+               "else the\n"
+               "               paper's Dardel+Vera pair)\n"
+               "  --scenario-set FILE\n"
+               "               append scenario selectors from FILE (one "
+               "per line,\n"
+               "               '#' comments) to the --scenario list\n"
+               "  --plan       enumerate every protocol cell the selection "
+               "would run\n"
+               "               (harness, scenario, label, spec hash, cost) "
+               "and exit\n"
                "  --out DIR    campaign directory: per-harness JSON "
                "artifacts,\n"
                "               campaign.json, and the spec-hash result "
@@ -554,6 +694,8 @@ void report_option_errors(const Options& o) {
 
 struct HarnessOutcome {
   std::string name;
+  std::string scenario;  ///< scenario name; "" = the paper default.
+  std::string artifact;  ///< artifact file name ("" = none written).
   int exit_code = 0;
   std::size_t verdicts_ok = 0;
   std::size_t verdicts_total = 0;
@@ -570,16 +712,29 @@ struct Supervision {
   std::chrono::milliseconds timeout{0};
 };
 
-/// Runs one harness under a fresh context; writes its artifact when an
-/// out dir is configured.
+/// "name" or "name @ scenario" for stderr chrome.
+std::string unit_display(const HarnessOutcome& o) {
+  return o.scenario.empty() ? o.name : o.name + " @ " + o.scenario;
+}
+
+/// Runs one (harness, scenario) unit under a fresh context; writes its
+/// artifact (as `artifact`) when an out dir is configured. Under the
+/// campaign scheduler (`sched` non-null) the unit's science stdout lands
+/// in `capture` for ordered replay and cold cells are routed through the
+/// shared pool as unit `unit`.
 HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
                        const std::string& out_dir,
                        const std::optional<scenario::ScenarioSpec>& scn,
                        std::size_t ckpt_every = 0,
                        const std::string& resume = {},
-                       const Supervision& sup = {}) {
+                       const Supervision& sup = {},
+                       const std::string& artifact = {},
+                       std::string* capture = nullptr,
+                       CellScheduler* sched = nullptr, std::size_t unit = 0) {
   HarnessOutcome out;
   out.name = h.name;
+  out.scenario = scn ? scn->name : "";
+  out.artifact = artifact.empty() ? h.name + ".json" : artifact;
   const auto t0 = std::chrono::steady_clock::now();
   // Everything that can throw is inside this block — a bad --out path
   // (RunContext's ensure_dir), a failing harness, or an artifact write
@@ -588,6 +743,8 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
     RunContext ctx(h.name, jobs, out_dir, scn);
     ctx.configure_checkpoints(ckpt_every, resume);
     ctx.configure_supervision(sup.retries, sup.timeout);
+    ctx.set_output_capture(capture);
+    if (sched != nullptr) ctx.configure_scheduler(sched, unit);
     try {
       out.exit_code = h.run(ctx);
     } catch (const CellQuarantined&) {
@@ -604,20 +761,23 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
     out.computed = ctx.cache_misses();
     out.failures = ctx.failures();
     if (!out_dir.empty() && out.exit_code == kExitOk) {
-      core::atomic_write_file(out_dir + "/" + h.name + ".json",
+      core::atomic_write_file(out_dir + "/" + out.artifact,
                               ctx.artifact_json(h.description), "artifact");
       out.artifact_written = true;
     }
   } catch (const snap::CheckpointStop& e) {
     // The configured stop-after limit tripped right after a checkpoint
     // landed: a deliberate mid-protocol exit, distinguishable from failure
-    // so the CI round-trip lane can assert on it before resuming.
-    std::fprintf(stderr, "[omnivar] %s stopped: %s\n", h.name.c_str(),
-                 e.what());
+    // so the CI round-trip lane can assert on it before resuming. Under
+    // the scheduler, the stop also halts every other unit's cell dispatch
+    // — in-flight cells drain, queued ones never start.
+    if (sched != nullptr) sched->note_stop();
+    std::fprintf(stderr, "[omnivar] %s stopped: %s\n",
+                 unit_display(out).c_str(), e.what());
     out.exit_code = kExitCheckpointStop;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "[omnivar] %s failed: %s\n", h.name.c_str(),
-                 e.what());
+    std::fprintf(stderr, "[omnivar] %s failed: %s\n",
+                 unit_display(out).c_str(), e.what());
     out.exit_code = kExitHarnessFailed;
   }
   const auto t1 = std::chrono::steady_clock::now();
@@ -625,28 +785,48 @@ HarnessOutcome run_one(const HarnessInfo& h, std::size_t jobs,
   return out;
 }
 
-void write_campaign_json(const std::string& out_dir, std::size_t jobs,
-                         const std::optional<scenario::ScenarioSpec>& scn,
-                         const std::vector<HarnessOutcome>& outcomes) {
+void write_campaign_json(
+    const std::string& out_dir, std::size_t jobs, std::size_t cell_jobs,
+    const std::vector<std::optional<scenario::ScenarioSpec>>& scns,
+    const std::vector<HarnessOutcome>& outcomes) {
   json::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("omnivar-campaign-v2");
+  w.key("schema").value("omnivar-campaign-v3");
   w.key("jobs").value(jobs);
+  w.key("cell_jobs").value(cell_jobs);
+  // v2 compatibility: "scenario" stays the (single) active selection;
+  // multi-scenario campaigns list every selection under "scenarios" and
+  // tag each outcome.
   w.key("scenario");
-  if (scn) {
+  if (scns.size() == 1 && scns.front()) {
     w.begin_object();
-    w.key("name").value(scn->name);
-    w.key("fingerprint").value(scn->fingerprint());
+    w.key("name").value(scns.front()->name);
+    w.key("fingerprint").value(scns.front()->fingerprint());
     w.end_object();
   } else {
     w.null();
   }
+  w.key("scenarios").begin_array();
+  for (const auto& s : scns) {
+    if (!s) continue;  // paper mode carries no scenario entries
+    w.begin_object();
+    w.key("name").value(s->name);
+    w.key("fingerprint").value(s->fingerprint());
+    w.end_object();
+  }
+  w.end_array();
   bool ok = true;
   w.key("harnesses").begin_array();
   for (const auto& o : outcomes) {
     ok &= o.exit_code == 0;
     w.begin_object();
     w.key("name").value(o.name);
+    w.key("scenario");
+    if (o.scenario.empty()) {
+      w.null();
+    } else {
+      w.value(o.scenario);
+    }
     w.key("exit_code").value(static_cast<std::int64_t>(o.exit_code));
     w.key("verdicts_ok").value(o.verdicts_ok);
     w.key("verdicts_total").value(o.verdicts_total);
@@ -654,7 +834,7 @@ void write_campaign_json(const std::string& out_dir, std::size_t jobs,
     w.key("cells_computed").value(o.computed);
     w.key("seconds").value(o.seconds);
     if (o.artifact_written) {
-      w.key("artifact").value(o.name + ".json");
+      w.key("artifact").value(o.artifact);
     } else {
       w.key("artifact").null();
     }
@@ -684,8 +864,8 @@ void report_outcome(const HarnessOutcome& o) {
   std::fprintf(stderr,
                "[omnivar] %s: %s — %zu/%zu shape checks ok, cells: %zu "
                "cached + %zu computed (%.1fs)\n",
-               o.name.c_str(), status, o.verdicts_ok, o.verdicts_total,
-               o.cached, o.computed, o.seconds);
+               unit_display(o).c_str(), status, o.verdicts_ok,
+               o.verdicts_total, o.cached, o.computed, o.seconds);
 }
 
 /// Resolves and arms the fault-injection plan (--fault-spec /
@@ -705,6 +885,126 @@ bool resolve_fault_spec(const Options& o) {
                  spec.c_str());
   }
   return true;
+}
+
+/// Resolves every effective scenario selector. Paper mode (no selection)
+/// yields one disengaged entry so the unit fan-out always has at least one
+/// scenario axis. Duplicate selections are a usage error: two units would
+/// race to compute identical cell hashes for identical artifacts.
+bool resolve_scenario_list(
+    const Options& o,
+    std::vector<std::optional<scenario::ScenarioSpec>>& out) {
+  std::vector<std::string> sels;
+  try {
+    sels = effective_scenarios(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[omnivar] %s\n", e.what());
+    return false;
+  }
+  if (sels.empty()) {
+    out.emplace_back(std::nullopt);
+    return true;
+  }
+  for (const auto& sel : sels) {
+    std::optional<scenario::ScenarioSpec> s;
+    if (!resolve_scenario(sel, s)) return false;
+    for (const auto& prev : out) {
+      if (prev && prev->name == s->name &&
+          prev->fingerprint() == s->fingerprint()) {
+        std::fprintf(stderr,
+                     "[omnivar] duplicate scenario '%s' in the --scenario "
+                     "list\n",
+                     s->name.c_str());
+        return false;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return true;
+}
+
+/// One (harness, scenario) execution unit of the campaign fan-out, in
+/// registry x scenario order.
+struct Unit {
+  const HarnessInfo* h = nullptr;
+  const std::optional<scenario::ScenarioSpec>* scn = nullptr;
+  std::string artifact;  ///< per-unit artifact file name.
+};
+
+/// Artifact file names stay "<harness>.json" for single-scenario runs
+/// (byte-compatible with every prior release); a multi-scenario fan-out
+/// suffixes the scenario name ("<harness>.<scenario>.json"), sanitized for
+/// file-based scenario selectors whose names may carry path characters.
+std::string artifact_name(const HarnessInfo& h,
+                          const std::optional<scenario::ScenarioSpec>& scn,
+                          bool multi) {
+  if (!multi || !scn) return h.name + ".json";
+  std::string tag = scn->name;
+  for (char& c : tag) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) c = '_';
+  }
+  return h.name + "." + tag + ".json";
+}
+
+std::vector<Unit> build_units(
+    const std::vector<const HarnessInfo*>& selected,
+    const std::vector<std::optional<scenario::ScenarioSpec>>& scns) {
+  const bool multi = scns.size() > 1;
+  std::vector<Unit> units;
+  units.reserve(selected.size() * scns.size());
+  for (const HarnessInfo* h : selected) {
+    for (const auto& s : scns) {
+      units.push_back({h, &s, artifact_name(*h, s, multi)});
+    }
+  }
+  return units;
+}
+
+/// Runs one unit's harness in enumeration mode; returns its cell plan
+/// (empty — and unprioritized — when the harness cannot enumerate).
+std::vector<CellPlan> enumerate_unit(const Unit& unit) {
+  RunContext ctx(unit.h->name, 1, "", *unit.scn, ContextMode::kEnumerate);
+  try {
+    (void)unit.h->run(ctx);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "[omnivar] cell enumeration of %s failed (%s); its cells "
+                 "run unprioritized\n",
+                 unit.h->name.c_str(), e.what());
+  }
+  return ctx.plan();
+}
+
+/// --plan: print every enumerated cell as
+/// "harness<TAB>scenario<TAB>label<TAB>hash<TAB>cost" in execution order
+/// ("-" = the paper's default scenario pair).
+int print_plan(const std::vector<Unit>& units) {
+  for (const Unit& unit : units) {
+    const std::string scn_name = *unit.scn ? (*unit.scn)->name : "-";
+    for (const CellPlan& c : enumerate_unit(unit)) {
+      std::printf("%s\t%s\t%s\t%s\t%.0f\n", unit.h->name.c_str(),
+                  scn_name.c_str(), c.label.c_str(), c.hash.c_str(), c.cost);
+    }
+  }
+  return kExitOk;
+}
+
+/// Cell parallelism is incompatible with an armed fault plan: occurrence
+/// counters (`@N`) fire in process-wide arrival order, which only replays
+/// deterministically when cells execute one at a time. Forcing the serial
+/// loop keeps every --fault-spec campaign bit-reproducible at any
+/// requested --cell-jobs.
+std::size_t force_serial_when_faults_armed(std::size_t cell_jobs) {
+  if (cell_jobs > 1 && fault::active_plan().armed()) {
+    std::fprintf(stderr,
+                 "[omnivar] fault injection is armed; forcing --cell-jobs 1 "
+                 "so @N occurrence counters replay deterministically\n");
+    return 1;
+  }
+  return cell_jobs;
 }
 
 /// Aggregates per-harness exit codes into the driver's exit code:
@@ -746,10 +1046,8 @@ int run_standalone(int argc, char** argv) {
     print_version();
     return 0;
   }
-  std::optional<scenario::ScenarioSpec> scn;
-  if (!resolve_scenario(effective_scenario(o.scenario), scn)) {
-    return kExitUsage;
-  }
+  std::vector<std::optional<scenario::ScenarioSpec>> scns;
+  if (!resolve_scenario_list(o, scns)) return kExitUsage;
   if (!resolve_fault_spec(o)) return kExitUsage;
   std::size_t ckpt_every = 0;
   std::string resume;
@@ -777,19 +1075,34 @@ int run_standalone(int argc, char** argv) {
                  "harnesses\n",
                  h.name.c_str());
   }
-  const HarnessOutcome out = run_one(h, effective_jobs(o.jobs), o.out_dir,
-                                     scn, ckpt_every, resume, sup);
+  const std::vector<const HarnessInfo*> selected{&h};
+  const std::vector<Unit> units = build_units(selected, scns);
+  if (o.plan) return print_plan(units);
+  if (effective_cell_jobs(o.cell_jobs) > 1) {
+    std::fprintf(stderr,
+                 "[omnivar] --cell-jobs applies to the omnivar campaign "
+                 "driver; a standalone binary runs its cells serially\n");
+  }
+  std::vector<HarnessOutcome> outcomes;
+  for (const Unit& unit : units) {
+    outcomes.push_back(run_one(*unit.h, effective_jobs(o.jobs), o.out_dir,
+                               *unit.scn, ckpt_every, resume, sup,
+                               unit.artifact));
+    if (outcomes.back().exit_code == kExitCheckpointStop) break;
+  }
+  const int rc = aggregate_rc(outcomes);
   if (!o.out_dir.empty()) {
-    report_outcome(out);
+    for (const auto& out : outcomes) report_outcome(out);
     try {
-      write_campaign_json(o.out_dir, effective_jobs(o.jobs), scn, {out});
+      write_campaign_json(o.out_dir, effective_jobs(o.jobs), 1, scns,
+                          outcomes);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[omnivar] cannot write campaign.json: %s\n",
                    e.what());
-      return out.exit_code != kExitOk ? out.exit_code : kExitHarnessFailed;
+      return rc != kExitOk ? rc : kExitHarnessFailed;
     }
   }
-  return out.exit_code;
+  return rc;
 }
 
 int run_campaign(int argc, char** argv) {
@@ -818,10 +1131,9 @@ int run_campaign(int argc, char** argv) {
     print_version();
     return 0;
   }
-  std::optional<scenario::ScenarioSpec> scn;
-  if (!resolve_scenario(effective_scenario(o.scenario), scn)) {
-    return kExitUsage;
-  }
+  if (o.bench_campaign) return run_campaign_bench(o);
+  std::vector<std::optional<scenario::ScenarioSpec>> scns;
+  if (!resolve_scenario_list(o, scns)) return kExitUsage;
   if (!resolve_fault_spec(o)) return kExitUsage;
   std::size_t ckpt_every = 0;
   std::string resume;
@@ -837,30 +1149,82 @@ int run_campaign(int argc, char** argv) {
     return kExitUsage;
   }
 
+  const std::vector<Unit> units = build_units(selected, scns);
+  if (o.plan) return print_plan(units);
+
   const std::size_t jobs = effective_jobs(o.jobs);
+  const std::size_t cell_jobs =
+      force_serial_when_faults_armed(effective_cell_jobs(o.cell_jobs));
   std::vector<HarnessOutcome> outcomes;
   report_isa();
-  if (scn) {
-    std::fprintf(stderr, "[omnivar] scenario %s (%s, %s)\n",
-                 scn->name.c_str(), scn->display.c_str(),
-                 scn->fingerprint().c_str());
+  for (const auto& scn : scns) {
+    if (scn) {
+      std::fprintf(stderr, "[omnivar] scenario %s (%s, %s)\n",
+                   scn->name.c_str(), scn->display.c_str(),
+                   scn->fingerprint().c_str());
+    }
   }
-  for (const HarnessInfo* h : selected) {
-    std::fprintf(stderr, "[omnivar] running %s (%zu of %zu)\n",
-                 h->name.c_str(), outcomes.size() + 1, selected.size());
-    outcomes.push_back(
-        run_one(*h, jobs, o.out_dir, scn, ckpt_every, resume, sup));
-    report_outcome(outcomes.back());
-    // A deliberate checkpoint stop ends the campaign immediately: later
-    // harnesses would burn the budget the stop was meant to save. A
-    // quarantined harness does NOT stop the campaign — that is the whole
-    // point of quarantine.
-    if (outcomes.back().exit_code == kExitCheckpointStop) break;
+
+  if (cell_jobs <= 1 || units.size() <= 1) {
+    // Serial loop: units execute one after another on this thread, stdout
+    // streaming directly — exactly the historical campaign execution.
+    for (const Unit& unit : units) {
+      std::fprintf(stderr, "[omnivar] running %s (%zu of %zu)\n",
+                   (*unit.scn ? unit.h->name + " @ " + (*unit.scn)->name
+                              : unit.h->name)
+                       .c_str(),
+                   outcomes.size() + 1, units.size());
+      outcomes.push_back(run_one(*unit.h, jobs, o.out_dir, *unit.scn,
+                                 ckpt_every, resume, sup, unit.artifact));
+      report_outcome(outcomes.back());
+      // A deliberate checkpoint stop ends the campaign immediately: later
+      // harnesses would burn the budget the stop was meant to save. A
+      // quarantined harness does NOT stop the campaign — that is the whole
+      // point of quarantine.
+      if (outcomes.back().exit_code == kExitCheckpointStop) break;
+    }
+  } else {
+    // Campaign cell scheduler: enumerate every unit's cells (cost hints),
+    // then run each unit on its own thread with its science stdout
+    // captured, cold cells draining through one shared pool longest-
+    // expected-unit-first. Buffers are replayed in unit (registry x
+    // scenario) order as units finish, so stdout is byte-identical to the
+    // serial loop above.
+    std::vector<double> unit_costs(units.size(), 0.0);
+    std::size_t n_cells = 0;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const std::vector<CellPlan> plan = enumerate_unit(units[u]);
+      for (const CellPlan& c : plan) unit_costs[u] += c.cost;
+      n_cells += plan.size();
+    }
+    CellScheduler sched(cell_jobs, std::move(unit_costs));
+    std::fprintf(stderr,
+                 "[omnivar] cell scheduler: %zu cells across %zu units, "
+                 "%zu cell workers\n",
+                 n_cells, units.size(), sched.workers());
+    std::vector<std::string> captures(units.size());
+    std::vector<HarnessOutcome> slots(units.size());
+    std::vector<std::thread> threads;
+    threads.reserve(units.size());
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      threads.emplace_back([&, u] {
+        slots[u] = run_one(*units[u].h, jobs, o.out_dir, *units[u].scn,
+                           ckpt_every, resume, sup, units[u].artifact,
+                           &captures[u], &sched, u);
+      });
+    }
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      threads[u].join();
+      std::fwrite(captures[u].data(), 1, captures[u].size(), stdout);
+      std::fflush(stdout);
+      report_outcome(slots[u]);
+      outcomes.push_back(std::move(slots[u]));
+    }
   }
   int rc = aggregate_rc(outcomes);
   if (!o.out_dir.empty()) {
     try {
-      write_campaign_json(o.out_dir, jobs, scn, outcomes);
+      write_campaign_json(o.out_dir, jobs, cell_jobs, scns, outcomes);
       std::fprintf(stderr, "[omnivar] campaign summary: %s/campaign.json\n",
                    o.out_dir.c_str());
     } catch (const std::exception& e) {

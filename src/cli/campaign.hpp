@@ -36,10 +36,24 @@
 // on it instead of the paper's Dardel+Vera pair, and its fingerprint is
 // folded into every cell key (via harness::cell_key), so cached cells can
 // never be served across platforms.
+//
+// Campaign cell scheduling: at --cell-jobs N > 1 the driver runs every
+// (harness, scenario) unit on its own thread, each unit's science stdout
+// captured into a private buffer (set_output_capture) and replayed in
+// registry x scenario order once the unit finishes — stdout, artifacts and
+// cache contents are byte-identical to the serial loop at any concurrency.
+// Cold cells are routed through one shared CellPool (configure_scheduler):
+// warm cache loads proceed on the unit threads while cold compute drains
+// through the pool, longest-expected-unit first. An enumeration pass
+// (ContextMode::kEnumerate) discovers every cell's spec hash and cost
+// without computing: protocol() records the plan and returns a placeholder
+// matrix, and all output is discarded.
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -109,15 +123,99 @@ struct MetricRecord {
   double value = 0.0;
 };
 
+/// One protocol cell declared during an enumeration pass: the exact spec
+/// hash a serial execution would compute under, plus a cost hint
+/// (runs x (warmup + reps)) driving longest-expected-first dispatch.
+struct CellPlan {
+  std::string label;
+  std::string hash;
+  double cost = 0.0;
+};
+
+/// How a RunContext treats protocol() calls.
+enum class ContextMode {
+  kExecute,    ///< normal: cache lookup / supervised compute.
+  kEnumerate,  ///< declare-only: record CellPlan, return a placeholder.
+};
+
+/// Campaign-wide cell scheduler: one pool of --cell-jobs workers shared by
+/// every (harness, scenario) unit. RunContext routes each cold cell's
+/// supervised compute-and-commit through run_cell(); the submitting unit
+/// thread blocks until its cell finishes (cells within a unit are data-
+/// dependent), so campaign concurrency comes from units overlapping.
+/// Priority is the unit's remaining enumerated work, so the units with the
+/// most compute left dispatch first and the makespan tail shrinks.
+class CellScheduler {
+ public:
+  /// `unit_costs[u]` = total enumerated cost of unit u (0 when the unit's
+  /// enumeration failed — its cells then dispatch at priority 0).
+  CellScheduler(std::size_t cell_jobs, std::vector<double> unit_costs);
+
+  /// Runs `fn` (one cold cell of `unit`, enumerated cost `cost`) on a pool
+  /// worker and blocks until it finishes, rethrowing its exception. After
+  /// note_stop() this throws snap::CheckpointStop instead of dispatching —
+  /// in-flight cells drain, new ones never start.
+  void run_cell(std::size_t unit, double cost,
+                const std::function<void()>& fn);
+
+  /// Halts new cell dispatch (a checkpoint stop tripped in some unit).
+  void note_stop() noexcept { stopping_.store(true); }
+  [[nodiscard]] bool stopping() const noexcept { return stopping_.load(); }
+  [[nodiscard]] std::size_t workers() const noexcept;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+  std::atomic<bool> stopping_{false};
+};
+
 class RunContext {
  public:
   /// `out_dir` empty disables artifacts and caching (standalone default).
   /// `scenario` engaged = run on that platform instead of the paper's
   /// Dardel+Vera default (harnesses read it via scenario()).
   RunContext(std::string harness, std::size_t jobs, std::string out_dir,
-             std::optional<scenario::ScenarioSpec> scenario = std::nullopt);
+             std::optional<scenario::ScenarioSpec> scenario = std::nullopt,
+             ContextMode mode = ContextMode::kExecute);
 
   [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// True on an enumeration pass: protocol() records cells without
+  /// computing and every print is discarded. Harnesses whose cells are
+  /// self-timed wall-clock cases outside protocol() (micro_core,
+  /// perf_hotpath) return early when this is set.
+  [[nodiscard]] bool enumerating() const noexcept {
+    return mode_ == ContextMode::kEnumerate;
+  }
+
+  /// Cells declared by protocol() during an enumeration pass, in call
+  /// order — exactly the cells a serial execution would compute or load.
+  [[nodiscard]] const std::vector<CellPlan>& plan() const noexcept {
+    return plan_;
+  }
+
+  /// Redirects this context's science stdout (series/table/verdict/print
+  /// and the FAILED-cell line) into `buffer` for ordered replay; null
+  /// restores direct stdout. The campaign driver owns the buffer.
+  void set_output_capture(std::string* buffer) noexcept {
+    capture_ = buffer;
+  }
+
+  /// Routes this context's cold cells through the campaign-wide scheduler
+  /// as unit `unit`; null (the default) computes inline on this thread.
+  void configure_scheduler(CellScheduler* sched, std::size_t unit) noexcept {
+    sched_ = sched;
+    unit_ = unit;
+  }
+
+  /// printf into the harness's science stdout stream: direct stdout by
+  /// default, the capture buffer under the campaign scheduler, discarded
+  /// while enumerating. All harness report output must go through the
+  /// context (print/series/table/verdict) so replay keeps byte order.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  void print(const char* fmt, ...);
 
   /// The active scenario selection; nullptr in the default paper mode.
   [[nodiscard]] const scenario::ScenarioSpec* scenario() const noexcept {
@@ -216,10 +314,19 @@ class RunContext {
       const std::string& description) const;
 
  private:
+  /// Appends `text` to the capture buffer, or writes it to stdout when no
+  /// capture is installed; drops it on an enumeration pass.
+  void emit(std::string_view text);
+
   std::string harness_;
   std::size_t jobs_ = 1;
   std::string out_dir_;
   std::optional<scenario::ScenarioSpec> scenario_;
+  ContextMode mode_ = ContextMode::kExecute;
+  std::vector<CellPlan> plan_;      ///< enumeration-pass cell declarations.
+  std::string* capture_ = nullptr;  ///< science-stdout sink; null = stdout.
+  CellScheduler* sched_ = nullptr;  ///< campaign cell pool; null = inline.
+  std::size_t unit_ = 0;            ///< this context's scheduler unit id.
   std::size_t ckpt_every_ = 0;   ///< configure_checkpoints cadence.
   std::string resume_sel_;       ///< "auto", a snapshot path, or "".
   snap::CheckpointPolicy ckpt_policy_;  ///< policy of the computing cell.

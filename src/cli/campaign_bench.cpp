@@ -1,0 +1,269 @@
+#include "cli/campaign_bench.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cli/campaign.hpp"
+#include "cli/exit_codes.hpp"
+#include "cli/options.hpp"
+#include "cli/registry.hpp"
+#include "core/atomic_file.hpp"
+#include "core/json_writer.hpp"
+#include "core/parallel_runner.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/isa.hpp"
+
+namespace omv::cli {
+
+namespace {
+
+/// The benchmark's fixed workload: a protocol-heavy multi-harness subset
+/// (scaling figure, variability figure, scheduler table) fanned out over
+/// two contrasting scenario presets — enough units (6) for the scheduler
+/// to overlap, small enough to finish in CI quick mode.
+const char* const kBenchHarnesses[] = {"fig1", "fig3", "table2"};
+const char* const kBenchScenarios[] = {"vera", "epyc-like"};
+
+const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_flavor() {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+struct BenchUnit {
+  const HarnessInfo* h = nullptr;
+  const scenario::ScenarioSpec* scn = nullptr;
+};
+
+struct CampaignTiming {
+  double seconds = 0.0;
+  std::size_t cells_computed = 0;
+  std::size_t cells_cached = 0;
+  bool ok = true;
+};
+
+/// Executes the benchmark campaign once against `out_dir`. cell_jobs <= 1
+/// runs the serial unit loop; otherwise units run on their own threads
+/// with cold cells draining through one CellScheduler — the same two code
+/// shapes run_campaign dispatches between. Science stdout is captured and
+/// discarded: the benchmark reports timings, not figures.
+CampaignTiming execute_campaign(const std::vector<BenchUnit>& units,
+                                std::size_t cell_jobs,
+                                const std::string& out_dir) {
+  CampaignTiming t;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const auto run_unit = [&](const BenchUnit& unit, CellScheduler* sched,
+                            std::size_t u, std::string* sink,
+                            CampaignTiming& into) {
+    try {
+      RunContext ctx(unit.h->name, 1, out_dir,
+                     std::optional<scenario::ScenarioSpec>(*unit.scn));
+      ctx.set_output_capture(sink);
+      if (sched != nullptr) ctx.configure_scheduler(sched, u);
+      if (unit.h->run(ctx) != kExitOk) into.ok = false;
+      into.cells_computed += ctx.cache_misses();
+      into.cells_cached += ctx.cache_hits();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[omnivar] bench unit %s failed: %s\n",
+                   unit.h->name.c_str(), e.what());
+      into.ok = false;
+    }
+  };
+
+  if (cell_jobs <= 1) {
+    std::string sink;
+    for (const BenchUnit& unit : units) {
+      sink.clear();
+      run_unit(unit, nullptr, 0, &sink, t);
+    }
+  } else {
+    // Enumerate for cost hints, then fan the units out exactly as
+    // run_campaign's scheduler path does.
+    std::vector<double> unit_costs(units.size(), 0.0);
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      RunContext ectx(units[u].h->name, 1, "",
+                      std::optional<scenario::ScenarioSpec>(*units[u].scn),
+                      ContextMode::kEnumerate);
+      try {
+        (void)units[u].h->run(ectx);
+      } catch (const std::exception&) {
+        // Unprioritized is fine for a benchmark unit.
+      }
+      for (const CellPlan& c : ectx.plan()) unit_costs[u] += c.cost;
+    }
+    CellScheduler sched(cell_jobs, std::move(unit_costs));
+    std::vector<std::string> sinks(units.size());
+    std::vector<CampaignTiming> parts(units.size());
+    std::vector<std::thread> threads;
+    threads.reserve(units.size());
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      threads.emplace_back([&, u] {
+        run_unit(units[u], &sched, u, &sinks[u], parts[u]);
+      });
+    }
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      threads[u].join();
+      t.cells_computed += parts[u].cells_computed;
+      t.cells_cached += parts[u].cells_cached;
+      t.ok = t.ok && parts[u].ok;
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  t.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return t;
+}
+
+double cells_per_second(const CampaignTiming& t) {
+  const double cells =
+      static_cast<double>(t.cells_computed + t.cells_cached);
+  return t.seconds > 0.0 ? cells / t.seconds : 0.0;
+}
+
+}  // namespace
+
+int run_campaign_bench(const Options& o) {
+  const bool quick = [] {
+    const char* q = std::getenv("OMNIVAR_QUICK");
+    return q != nullptr && q[0] == '1';
+  }();
+
+  std::vector<BenchUnit> units;
+  std::vector<scenario::ScenarioSpec> scns;
+  scns.reserve(std::size(kBenchScenarios));
+  for (const char* name : kBenchScenarios) {
+    try {
+      scns.push_back(scenario::resolve(name));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[omnivar] --bench-campaign: %s\n", e.what());
+      return kExitUsage;
+    }
+  }
+  for (const char* name : kBenchHarnesses) {
+    const HarnessInfo* h = Registry::instance().find(name);
+    if (h == nullptr) {
+      std::fprintf(stderr,
+                   "[omnivar] --bench-campaign requires harness '%s' "
+                   "(run it from the omnivar driver)\n",
+                   name);
+      return kExitUsage;
+    }
+    for (const auto& s : scns) units.push_back({h, &s});
+  }
+
+  // Contrast serial against the requested concurrency; when --cell-jobs
+  // is unset, one worker per hardware thread (the scheduler's natural
+  // scale — 1 on a single-CPU host, which measures scheduling overhead
+  // parity instead of speedup).
+  std::size_t cell_jobs = effective_cell_jobs(o.cell_jobs);
+  if (cell_jobs <= 1) cell_jobs = resolve_jobs(0);
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("omnivar-bench-campaign-" + std::to_string(::getpid())))
+          .string();
+  const std::string serial_dir = root + "/serial";
+  const std::string parallel_dir = root + "/parallel";
+
+  std::fprintf(stderr,
+               "[omnivar] campaign bench: %zu units, cell-jobs %zu%s\n",
+               units.size(), cell_jobs, quick ? " (quick)" : "");
+  const CampaignTiming serial_cold =
+      execute_campaign(units, 1, serial_dir);
+  const CampaignTiming parallel_cold =
+      execute_campaign(units, cell_jobs, parallel_dir);
+  const CampaignTiming warm = execute_campaign(units, cell_jobs,
+                                               parallel_dir);
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);  // best-effort cleanup
+
+  const double speedup = parallel_cold.seconds > 0.0
+                             ? serial_cold.seconds / parallel_cold.seconds
+                             : 0.0;
+
+  json::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("omnivar-bench-campaign-v1");
+  w.key("quick").value(quick);
+  w.key("host").begin_object();
+  w.key("hardware_concurrency")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.key("compiler").value(compiler_id());
+  w.key("build").value(build_flavor());
+  w.key("isa").value(sim::isa_name(sim::active_isa()));
+  w.end_object();
+  w.key("harnesses").begin_array();
+  for (const char* name : kBenchHarnesses) w.value(name);
+  w.end_array();
+  w.key("scenarios").begin_array();
+  for (const auto& s : scns) w.value(s.name);
+  w.end_array();
+  w.key("units").value(units.size());
+  w.key("cell_jobs").value(cell_jobs);
+  w.key("cells").value(serial_cold.cells_computed + serial_cold.cells_cached);
+  w.key("serial_cold").begin_object();
+  w.key("seconds").value(serial_cold.seconds);
+  w.key("cells_computed").value(serial_cold.cells_computed);
+  w.key("cells_per_second").value(cells_per_second(serial_cold));
+  w.end_object();
+  w.key("parallel_cold").begin_object();
+  w.key("seconds").value(parallel_cold.seconds);
+  w.key("cells_computed").value(parallel_cold.cells_computed);
+  w.key("cells_per_second").value(cells_per_second(parallel_cold));
+  w.end_object();
+  w.key("warm").begin_object();
+  w.key("seconds").value(warm.seconds);
+  w.key("cells_cached").value(warm.cells_cached);
+  w.key("cells_per_second").value(cells_per_second(warm));
+  w.end_object();
+  w.key("speedup").value(speedup);
+  // Fraction of the pool's theoretical capacity the scheduler converted
+  // into makespan reduction: 1.0 = perfect scaling, ~1/N = no scaling
+  // (expected on a single-CPU host, where this documents overhead parity).
+  w.key("scheduler_efficiency")
+      .value(cell_jobs > 0 ? speedup / static_cast<double>(cell_jobs) : 0.0);
+  w.key("ok").value(serial_cold.ok && parallel_cold.ok && warm.ok);
+  w.end_object();
+
+  const std::string out_dir = o.out_dir.empty() ? "." : o.out_dir;
+  if (!o.out_dir.empty()) ensure_dir(out_dir);
+  const std::string path = out_dir + "/BENCH_campaign.json";
+  try {
+    core::atomic_write_file(path, w.str() + "\n", "artifact");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[omnivar] cannot write %s: %s\n", path.c_str(),
+                 e.what());
+    return kExitHarnessFailed;
+  }
+  std::fprintf(stderr,
+               "[omnivar] campaign bench: serial %.2fs, parallel %.2fs, "
+               "warm %.2fs -> %s\n",
+               serial_cold.seconds, parallel_cold.seconds, warm.seconds,
+               path.c_str());
+  return kExitOk;
+}
+
+}  // namespace omv::cli

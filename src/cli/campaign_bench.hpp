@@ -1,0 +1,25 @@
+#pragma once
+// --bench-campaign: the campaign scheduler's tracked perf trajectory.
+//
+// Times one fixed multi-harness, multi-scenario campaign three ways —
+// cold at --cell-jobs 1 (the historical serial loop), cold at --cell-jobs
+// N through the campaign cell scheduler, and warm (cache-hit) through the
+// scheduler — and writes BENCH_campaign.json (schema
+// omnivar-bench-campaign-v1: makespans, cells/sec, scheduler efficiency,
+// host metadata) so successive commits accumulate a comparable scheduling
+// perf curve. Respects OMNIVAR_QUICK for a CI-sized protocol.
+//
+// All three runs execute against private throwaway cache directories, so
+// the benchmark never touches (or is accelerated by) a real campaign's
+// --out cache.
+
+namespace omv::cli {
+
+struct Options;
+
+/// Runs the campaign scheduler benchmark and writes BENCH_campaign.json
+/// into --out (the current directory when --out is absent). Returns a
+/// process exit code.
+[[nodiscard]] int run_campaign_bench(const Options& o);
+
+}  // namespace omv::cli

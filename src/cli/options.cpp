@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 
 #include "core/parallel_runner.hpp"
 
@@ -73,6 +75,14 @@ Options parse_options(int argc, char** argv) {
       o.help = true;
       continue;
     }
+    if (std::strcmp(arg, "--plan") == 0) {
+      o.plan = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--bench-campaign") == 0) {
+      o.bench_campaign = true;
+      continue;
+    }
     if (const char* v = flag_value("--only", argc, argv, i, o.errors)) {
       o.only.emplace_back(v);
       continue;
@@ -87,8 +97,23 @@ Options parse_options(int argc, char** argv) {
       }
       continue;
     }
+    if (const char* v = flag_value("--cell-jobs", argc, argv, i, o.errors)) {
+      std::size_t n = 0;
+      if (parse_job_count(v, n)) {
+        o.cell_jobs = n;
+      } else {
+        o.errors.push_back("malformed --cell-jobs value '" + std::string(v) +
+                           "' (expected a non-negative integer)");
+      }
+      continue;
+    }
+    if (const char* v =
+            flag_value("--scenario-set", argc, argv, i, o.errors)) {
+      o.scenario_set = v;
+      continue;
+    }
     if (const char* v = flag_value("--scenario", argc, argv, i, o.errors)) {
-      o.scenario = v;
+      o.scenarios.emplace_back(v);
       continue;
     }
     if (const char* v = flag_value("--out", argc, argv, i, o.errors)) {
@@ -142,7 +167,9 @@ Options parse_options(int argc, char** argv) {
     // flag_value may already have recorded a missing-value error for this
     // argument; only flag it as unknown when it did not consume it.
     if (std::strcmp(arg, "--only") != 0 && std::strcmp(arg, "--jobs") != 0 &&
+        std::strcmp(arg, "--cell-jobs") != 0 &&
         std::strcmp(arg, "--scenario") != 0 &&
+        std::strcmp(arg, "--scenario-set") != 0 &&
         std::strcmp(arg, "--out") != 0 &&
         std::strcmp(arg, "--checkpoint-every") != 0 &&
         std::strcmp(arg, "--resume") != 0 &&
@@ -176,6 +203,50 @@ std::string effective_scenario(const std::string& cli_scenario) {
   if (!cli_scenario.empty()) return cli_scenario;
   if (const char* s = std::getenv("OMNIVAR_SCENARIO")) return s;
   return {};
+}
+
+std::vector<std::string> effective_scenarios(const Options& o) {
+  std::vector<std::string> out = o.scenarios;
+  if (!o.scenario_set.empty()) {
+    std::ifstream in(o.scenario_set);
+    if (!in) {
+      throw std::runtime_error("cannot read --scenario-set file '" +
+                               o.scenario_set + "'");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t b = line.find_first_not_of(" \t\r");
+      if (b == std::string::npos) continue;
+      const std::size_t e = line.find_last_not_of(" \t\r");
+      line = line.substr(b, e - b + 1);
+      if (line.empty() || line[0] == '#') continue;
+      out.push_back(line);
+    }
+  }
+  if (out.empty()) {
+    if (const char* s = std::getenv("OMNIVAR_SCENARIO"); s && *s != '\0') {
+      out.emplace_back(s);
+    }
+  }
+  return out;
+}
+
+std::size_t effective_cell_jobs(std::size_t cli_cell_jobs) {
+  if (cli_cell_jobs != 0) return cli_cell_jobs;
+  if (const char* j = std::getenv("OMNIVAR_CELL_JOBS")) {
+    std::size_t n = 0;
+    if (parse_job_count(j, n)) return n;
+    static bool warned = [&] {
+      std::fprintf(stderr,
+                   "omnivar: ignoring malformed OMNIVAR_CELL_JOBS='%s' "
+                   "(expected a non-negative integer); running cells "
+                   "serially\n",
+                   j);
+      return true;
+    }();
+    (void)warned;
+  }
+  return 1;
 }
 
 std::size_t effective_checkpoint_every(std::size_t cli_every) {

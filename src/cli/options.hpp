@@ -11,8 +11,25 @@
 //   --jobs[=]N        shard each protocol's runs over N workers (0 = one
 //                     per hardware thread); falls back to OMNIVAR_JOBS
 //   --scenario[=]S    run on scenario S: a catalog name or a scenario-file
-//                     path; falls back to OMNIVAR_SCENARIO, else the
-//                     paper's Dardel+Vera default
+//                     path; repeatable — the omnivar driver fans the
+//                     selected harnesses out over every listed scenario in
+//                     one process (one shared --out cache); falls back to
+//                     OMNIVAR_SCENARIO, else the paper's Dardel+Vera
+//                     default
+//   --scenario-set[=]FILE
+//                     append the scenario selectors listed in FILE (one
+//                     per line; '#' comments and blank lines skipped) to
+//                     the --scenario list
+//   --cell-jobs[=]N   run up to N protocol cells concurrently across all
+//                     selected harnesses and scenarios (0 = one per
+//                     hardware thread); falls back to OMNIVAR_CELL_JOBS,
+//                     else 1 — the serial harness-by-harness loop
+//   --plan            enumerate every protocol cell the selection would
+//                     run (harness, scenario, label, spec hash, cost) and
+//                     exit without computing anything
+//   --bench-campaign  time a fixed multi-harness multi-scenario campaign
+//                     serial vs scheduled vs warm and write
+//                     BENCH_campaign.json (omnivar driver only)
 //   --out[=]DIR       campaign directory: JSON artifacts + result cache
 //   --checkpoint-every[=]N
 //                     checkpoint each protocol cell every N timed reps to
@@ -61,9 +78,13 @@ struct Options {
   bool isa_report = false;      ///< --isa-report dispatchable-ISA listing.
   bool version = false;         ///< --version identity report.
   bool help = false;
+  bool plan = false;              ///< --plan cell enumeration listing.
+  bool bench_campaign = false;    ///< --bench-campaign scheduler benchmark.
   std::vector<std::string> only;  ///< --only name globs (empty = all).
   std::size_t jobs = 0;           ///< resolved worker count; 0 = unset.
-  std::string scenario;           ///< --scenario name/path; empty = unset.
+  std::size_t cell_jobs = 0;      ///< resolved cell concurrency; 0 = unset.
+  std::vector<std::string> scenarios;  ///< --scenario selectors, in order.
+  std::string scenario_set;       ///< --scenario-set file; empty = none.
   std::string out_dir;            ///< --out campaign dir; empty = none.
   std::size_t checkpoint_every = 0;  ///< --checkpoint-every; 0 = off.
   std::string resume;  ///< --resume "auto" or snapshot path; empty = off.
@@ -87,6 +108,20 @@ struct Options {
 /// OMNIVAR_SCENARIO environment variable, else "" — the paper's default
 /// Dardel+Vera contrast mode.
 [[nodiscard]] std::string effective_scenario(const std::string& cli_scenario);
+
+/// Effective scenario selector list: the repeated --scenario values plus
+/// the lines of --scenario-set FILE, in order; when both are absent, the
+/// OMNIVAR_SCENARIO environment variable as a single selector, else empty
+/// — the paper's Dardel+Vera default. Throws std::runtime_error when the
+/// set file cannot be read (a typo'd file must not silently run the
+/// default scenario).
+[[nodiscard]] std::vector<std::string> effective_scenarios(const Options& o);
+
+/// Effective cell concurrency: `cli_cell_jobs` when set (non-zero), else
+/// OMNIVAR_CELL_JOBS (0 there = hardware concurrency; malformed values
+/// reported once to stderr and ignored), else 1 — the serial
+/// harness-by-harness campaign loop.
+[[nodiscard]] std::size_t effective_cell_jobs(std::size_t cli_cell_jobs);
 
 /// Effective checkpoint cadence: `cli_every` when set (non-zero), else the
 /// OMNIVAR_CHECKPOINT_EVERY environment variable (malformed values are

@@ -1,6 +1,5 @@
 #include "core/deadline.hpp"
 
-#include <atomic>
 #include <thread>
 
 namespace omv::core {
@@ -9,9 +8,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Deadline as nanoseconds since the steady epoch; 0 = disarmed. A single
-// atomic keeps the per-repetition check wait-free for worker threads.
-std::atomic<std::int64_t> g_deadline_ns{0};
+// Every thread owns one slot it can arm directly (arm_cell_deadline), and
+// observes one active slot — its own, an adopted one, or none. Worker
+// threads never arm: they adopt the submitting thread's active slot.
+thread_local CellDeadline t_own_slot;
+thread_local CellDeadline* t_active = nullptr;
 
 std::int64_t now_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -21,23 +22,35 @@ std::int64_t now_ns() noexcept {
 
 }  // namespace
 
+CellDeadline* current_cell_deadline() noexcept { return t_active; }
+
+CellDeadline* adopt_cell_deadline(CellDeadline* slot) noexcept {
+  CellDeadline* prev = t_active;
+  t_active = slot;
+  return prev;
+}
+
 void arm_cell_deadline(std::chrono::milliseconds budget) noexcept {
   if (budget.count() <= 0) {
-    g_deadline_ns.store(0, std::memory_order_relaxed);
+    t_own_slot.at_ns.store(0, std::memory_order_relaxed);
+    if (t_active == &t_own_slot) t_active = nullptr;
     return;
   }
   const std::int64_t ns =
       now_ns() +
       std::chrono::duration_cast<std::chrono::nanoseconds>(budget).count();
-  g_deadline_ns.store(ns, std::memory_order_relaxed);
+  t_own_slot.at_ns.store(ns, std::memory_order_relaxed);
+  t_active = &t_own_slot;
 }
 
 void clear_cell_deadline() noexcept {
-  g_deadline_ns.store(0, std::memory_order_relaxed);
+  t_own_slot.at_ns.store(0, std::memory_order_relaxed);
+  t_active = nullptr;
 }
 
 bool cell_deadline_exceeded() noexcept {
-  const std::int64_t d = g_deadline_ns.load(std::memory_order_relaxed);
+  if (t_active == nullptr) return false;
+  const std::int64_t d = t_active->at_ns.load(std::memory_order_relaxed);
   return d != 0 && now_ns() > d;
 }
 

@@ -1,5 +1,6 @@
 #include "core/parallel_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <exception>
@@ -7,6 +8,8 @@
 #include <optional>
 #include <thread>
 #include <utility>
+
+#include "core/deadline.hpp"
 
 namespace omv {
 
@@ -70,12 +73,18 @@ class StealingScheduler {
   }
 
   /// Runs all tasks on `workers` threads; rethrows the first kernel
-  /// exception after every worker has stopped.
+  /// exception after every worker has stopped. Workers adopt the calling
+  /// thread's cell-deadline slot so a sharded cell's --cell-timeout is
+  /// polled on every shard thread, not just the submitter.
   void run_all(const std::vector<ExperimentCell>& cells) {
+    core::CellDeadline* deadline = core::current_cell_deadline();
     std::vector<std::thread> threads;
     threads.reserve(queues_.size());
     for (std::size_t w = 0; w < queues_.size(); ++w) {
-      threads.emplace_back([this, &cells, w] { worker_loop(cells, w); });
+      threads.emplace_back([this, &cells, w, deadline] {
+        (void)core::adopt_cell_deadline(deadline);
+        worker_loop(cells, w);
+      });
     }
     for (auto& t : threads) t.join();
     if (first_error_) std::rethrow_exception(first_error_);
@@ -180,6 +189,73 @@ RunMatrix run_experiment_parallel(const ExperimentSpec& spec,
   ParallelConfig cfg;
   cfg.jobs = jobs;
   return ParallelRunner(cfg).run(spec, make_kernel);
+}
+
+CellPool::CellPool(std::size_t workers) {
+  const std::size_t n = std::max<std::size_t>(1, workers);
+  threads_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CellPool::~CellPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::shared_ptr<CellPool::Task> CellPool::pop_best() {
+  // Linear scan for (max priority, min seq). Campaigns queue at most a few
+  // hundred cells and submitters block per cell, so the live queue stays
+  // tiny; a heap would not pay for its complexity here.
+  std::size_t best = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (best == queue_.size() || queue_[i]->priority > queue_[best]->priority ||
+        (queue_[i]->priority == queue_[best]->priority &&
+         queue_[i]->seq < queue_[best]->seq)) {
+      best = i;
+    }
+  }
+  if (best == queue_.size()) return nullptr;
+  std::shared_ptr<Task> task = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  return task;
+}
+
+void CellPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing pending
+      task = pop_best();
+    }
+    try {
+      (*task->fn)();
+      task->done.set_value();
+    } catch (...) {
+      task->done.set_exception(std::current_exception());
+    }
+  }
+}
+
+void CellPool::run(double priority, const std::function<void()>& fn) {
+  auto task = std::make_shared<Task>();
+  task->priority = priority;
+  task->fn = &fn;
+  std::future<void> done = task->done.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    task->seq = next_seq_++;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  done.get();
 }
 
 }  // namespace omv

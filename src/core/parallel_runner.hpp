@@ -17,10 +17,15 @@
 // supported here: their sequential shared-state semantics is exactly what
 // the per-run factory replaces.
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -122,5 +127,55 @@ class ParallelRunner {
 [[nodiscard]] RunMatrix run_experiment_parallel(
     const ExperimentSpec& spec, const RunKernelFactory& make_kernel,
     std::size_t jobs = 0);
+
+/// Campaign-level cell pool: a fixed set of worker threads draining one
+/// shared priority queue of whole-cell tasks. This is the layer above
+/// ParallelRunner — the campaign scheduler routes every cold cell from
+/// every (harness, scenario) unit through one pool, so cells from
+/// different harnesses overlap while each submitting unit blocks on its
+/// own cell (preserving the unit's internal data dependencies).
+///
+/// Ordering: higher priority first; ties break by submission order, so a
+/// fixed submission sequence always dispatches identically — scheduling
+/// affects wall-clock only, never results.
+class CellPool {
+ public:
+  /// Spins up `workers` threads (>= 1 enforced). Workers hold no deadline
+  /// slot of their own; supervised tasks arm one per attempt.
+  explicit CellPool(std::size_t workers);
+
+  /// Joins all workers. The queue is empty by construction at destruction
+  /// time: every submitter blocks inside run() until its task finishes.
+  ~CellPool();
+
+  CellPool(const CellPool&) = delete;
+  CellPool& operator=(const CellPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return threads_.size();
+  }
+
+  /// Enqueues `fn` with `priority` (higher dispatches first) and blocks
+  /// until it has run on a pool worker, rethrowing any exception it threw.
+  void run(double priority, const std::function<void()>& fn);
+
+ private:
+  struct Task {
+    double priority = 0.0;
+    std::uint64_t seq = 0;
+    const std::function<void()>* fn = nullptr;
+    std::promise<void> done;
+  };
+
+  void worker_loop();
+  std::shared_ptr<Task> pop_best();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Task>> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace omv

@@ -41,7 +41,8 @@ TEST(Options, ParsesAllFlags) {
   ASSERT_EQ(o.only.size(), 1u);
   EXPECT_EQ(o.only[0], "fig*");
   EXPECT_EQ(o.jobs, 3u);
-  EXPECT_EQ(o.scenario, "vera");
+  ASSERT_EQ(o.scenarios.size(), 1u);
+  EXPECT_EQ(o.scenarios[0], "vera");
   EXPECT_EQ(o.out_dir, "/tmp/x");
   EXPECT_TRUE(o.errors.empty());
 }
@@ -50,8 +51,9 @@ TEST(Options, ScenarioEqualsFormAndEnvFallback) {
   std::vector<std::string> args{"prog", "--scenario=epyc-like"};
   auto argv = argv_of(args);
   const auto o = parse_options(static_cast<int>(argv.size()), argv.data());
-  EXPECT_EQ(o.scenario, "epyc-like");
-  EXPECT_EQ(effective_scenario(o.scenario), "epyc-like");
+  ASSERT_EQ(o.scenarios.size(), 1u);
+  EXPECT_EQ(o.scenarios[0], "epyc-like");
+  EXPECT_EQ(effective_scenario(o.scenarios[0]), "epyc-like");
   ::setenv("OMNIVAR_SCENARIO", "noisy-cloud", 1);
   EXPECT_EQ(effective_scenario(""), "noisy-cloud");
   EXPECT_EQ(effective_scenario("vera"), "vera");  // CLI wins

@@ -1,0 +1,243 @@
+// Campaign cell-scheduler byte-identity: fork/exec the REAL omnivar driver
+// and assert the scheduler's determinism contract —
+//   * a multi-harness, multi-scenario campaign at --cell-jobs 4 produces
+//     byte-identical stdout, per-harness JSON artifacts, and cache
+//     contents to the serial --cell-jobs 1 run (campaign.json is exempt:
+//     it records wall-clock seconds and the cell_jobs setting);
+//   * the same identity holds under an injected cell_throw quarantine
+//     (the driver forces serial dispatch while a fault plan is armed and
+//     still exits 4 with the FAILED line in the right stdout position);
+//   * enumeration matches execution: the --plan listing's spec hashes are
+//     exactly the cells a serial campaign commits to the cache.
+//
+// The driver binary path arrives via OMNIVAR_BIN (set by the CMake test
+// harness to $<TARGET_FILE:omnivar>); the suite skips when it is absent so
+// the test library builds standalone.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* omnivar_bin() { return std::getenv("OMNIVAR_BIN"); }
+
+// Three harnesses x three scenario presets = nine (harness, scenario)
+// units, protocol-heavy and quick-mode sized.
+const std::vector<std::string> kHarnesses = {"fig1", "fig3", "table2"};
+const std::vector<std::string> kScenarios = {"vera", "epyc-like",
+                                             "quiet-hpc"};
+
+/// fork/execs the driver with the standard multi-harness multi-scenario
+/// selection plus `extra_args`, stdout > `stdout_path`. OMNIVAR_QUICK=1
+/// and serial run-sharding keep the workload CI-sized; `fault_spec`
+/// non-empty arms the deterministic fault plan in the child.
+pid_t spawn_campaign(const std::string& bin,
+                     const std::vector<std::string>& extra_args,
+                     const std::string& stdout_path,
+                     const std::string& fault_spec = {}) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (!::freopen(stdout_path.c_str(), "w", stdout)) ::_exit(97);
+  ::setenv("OMNIVAR_QUICK", "1", 1);
+  ::setenv("OMNIVAR_JOBS", "1", 1);
+  if (!fault_spec.empty()) {
+    ::setenv("OMNIVAR_FAULT_SPEC", fault_spec.c_str(), 1);
+  }
+  std::vector<std::string> args{bin};
+  for (const auto& h : kHarnesses) {
+    args.push_back("--only");
+    args.push_back(h);
+  }
+  for (const auto& s : kScenarios) {
+    args.push_back("--scenario");
+    args.push_back(s);
+  }
+  for (const auto& a : extra_args) args.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(bin.c_str(), argv.data());
+  ::_exit(98);
+}
+
+int wait_exit_code(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -2;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Maps out-dir-relative path -> bytes for everything a campaign writes,
+/// campaign.json excluded (it records wall-clock seconds and cell_jobs).
+std::map<std::string, std::string> artifact_contents(const fs::path& out) {
+  std::map<std::string, std::string> m;
+  for (const auto& e : fs::recursive_directory_iterator(out)) {
+    if (!e.is_regular_file()) continue;
+    const std::string rel =
+        fs::relative(e.path(), out).generic_string();
+    if (rel == "campaign.json") continue;
+    m[rel] = slurp(e.path());
+  }
+  return m;
+}
+
+void expect_identical_trees(const fs::path& serial, const fs::path& par) {
+  const auto expected = artifact_contents(serial);
+  const auto got = artifact_contents(par);
+  EXPECT_FALSE(expected.empty());
+  EXPECT_EQ(got.size(), expected.size());
+  for (const auto& [rel, bytes] : expected) {
+    const auto it = got.find(rel);
+    if (it == got.end()) {
+      ADD_FAILURE() << "missing from cell-parallel run: " << rel;
+      continue;
+    }
+    EXPECT_EQ(it->second, bytes) << "artifact differs: " << rel;
+  }
+}
+
+class CampaignSchedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (omnivar_bin() == nullptr || !fs::exists(omnivar_bin())) {
+      GTEST_SKIP() << "OMNIVAR_BIN not set / not built; skipping the "
+                      "campaign scheduler end-to-end test";
+    }
+    dir_ = fs::temp_directory_path() /
+           ("omnivar_sched_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()) +
+            "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CampaignSchedTest, CellParallelCampaignBytesMatchSerial) {
+  const std::string bin = omnivar_bin();
+
+  const fs::path serial_out = dir_ / "serial";
+  const pid_t serial = spawn_campaign(
+      bin, {"--out", serial_out.string(), "--cell-jobs", "1"},
+      (dir_ / "serial.log").string());
+  ASSERT_EQ(wait_exit_code(serial), 0);
+
+  const fs::path par_out = dir_ / "par4";
+  const pid_t par = spawn_campaign(
+      bin, {"--out", par_out.string(), "--cell-jobs", "4"},
+      (dir_ / "par4.log").string());
+  ASSERT_EQ(wait_exit_code(par), 0);
+
+  // Science stdout is replayed in registry x scenario order: byte-equal.
+  const std::string serial_log = slurp(dir_ / "serial.log");
+  ASSERT_FALSE(serial_log.empty());
+  EXPECT_EQ(slurp(dir_ / "par4.log"), serial_log);
+
+  // Per-unit JSON artifacts and every cache entry byte-equal.
+  expect_identical_trees(serial_out, par_out);
+
+  // A warm re-run through the scheduler serves everything from cache and
+  // stays byte-identical.
+  const pid_t warm = spawn_campaign(
+      bin, {"--out", par_out.string(), "--cell-jobs", "4"},
+      (dir_ / "warm.log").string());
+  ASSERT_EQ(wait_exit_code(warm), 0);
+  EXPECT_EQ(slurp(dir_ / "warm.log"), serial_log);
+}
+
+TEST_F(CampaignSchedTest, QuarantineUnderCellParallelMatchesSerial) {
+  const std::string bin = omnivar_bin();
+
+  // Persistent fault: every fig1 Vera/t2/reduction attempt throws, in
+  // every scenario — the cell quarantines its harness, the campaign
+  // continues, exit 4.
+  const std::string spec = "cell_throw:*/t2/reduction";
+
+  const fs::path serial_out = dir_ / "serial";
+  const pid_t serial = spawn_campaign(
+      bin, {"--out", serial_out.string(), "--cell-jobs", "1"},
+      (dir_ / "serial.log").string(), spec);
+  ASSERT_EQ(wait_exit_code(serial), 4);  // kExitQuarantined
+
+  const fs::path par_out = dir_ / "par4";
+  const pid_t par = spawn_campaign(
+      bin, {"--out", par_out.string(), "--cell-jobs", "4"},
+      (dir_ / "par4.log").string(), spec);
+  ASSERT_EQ(wait_exit_code(par), 4);
+
+  // Identical stdout (the FAILED lines land in the same replayed
+  // positions) and identical surviving artifacts/cache.
+  const std::string serial_log = slurp(dir_ / "serial.log");
+  EXPECT_NE(serial_log.find("[omnivar] FAILED cell"), std::string::npos);
+  EXPECT_EQ(slurp(dir_ / "par4.log"), serial_log);
+  expect_identical_trees(serial_out, par_out);
+}
+
+TEST_F(CampaignSchedTest, EnumerationMatchesExecution) {
+  const std::string bin = omnivar_bin();
+
+  // --plan: every cell the selection would run, one line per cell:
+  // harness<TAB>scenario<TAB>label<TAB>hash<TAB>cost.
+  const pid_t plan = spawn_campaign(bin, {"--plan"},
+                                    (dir_ / "plan.tsv").string());
+  ASSERT_EQ(wait_exit_code(plan), 0);
+  std::set<std::string> planned;
+  {
+    std::istringstream in(slurp(dir_ / "plan.tsv"));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> cols;
+      std::istringstream ls(line);
+      std::string col;
+      while (std::getline(ls, col, '\t')) cols.push_back(col);
+      ASSERT_EQ(cols.size(), 5u) << "malformed plan line: " << line;
+      planned.insert(cols[3]);
+    }
+  }
+  ASSERT_FALSE(planned.empty());
+
+  // Serial execution commits exactly the enumerated cells: the cache's
+  // .key marker set is the planned hash set.
+  const fs::path out = dir_ / "serial";
+  const pid_t run = spawn_campaign(
+      bin, {"--out", out.string(), "--cell-jobs", "1"},
+      (dir_ / "serial.log").string());
+  ASSERT_EQ(wait_exit_code(run), 0);
+  std::set<std::string> computed;
+  for (const auto& e : fs::directory_iterator(out / "cache")) {
+    const std::string name = e.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".key") == 0) {
+      computed.insert(name.substr(0, name.size() - 4));
+    }
+  }
+  EXPECT_EQ(computed, planned);
+}
+
+}  // namespace

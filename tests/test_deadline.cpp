@@ -1,0 +1,249 @@
+// Task-scoped cell deadlines and the campaign CellPool.
+//
+// The campaign cell scheduler runs many supervised cells concurrently in
+// one process, so the --cell-timeout deadline must be task-scoped: each
+// thread arms its own slot, worker threads adopt the submitting task's
+// slot, and no cell can trip or disarm another cell's budget. These are
+// the regression tests for the process-global slot the scheduler replaced
+// (one atomic for the whole process — any concurrent cell rearming it
+// would shorten or erase its neighbour's budget).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/deadline.hpp"
+#include "core/parallel_runner.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using omv::CellPool;
+using omv::core::adopt_cell_deadline;
+using omv::core::arm_cell_deadline;
+using omv::core::cell_deadline_exceeded;
+using omv::core::CellTimeout;
+using omv::core::check_cell_deadline;
+using omv::core::clear_cell_deadline;
+using omv::core::current_cell_deadline;
+using omv::core::interruptible_stall;
+
+TEST(Deadline, DisarmedByDefault) {
+  EXPECT_EQ(current_cell_deadline(), nullptr);
+  EXPECT_FALSE(cell_deadline_exceeded());
+  EXPECT_NO_THROW(check_cell_deadline());
+}
+
+TEST(Deadline, ArmTripClearOnOneThread) {
+  arm_cell_deadline(1ms);
+  EXPECT_NE(current_cell_deadline(), nullptr);
+  std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(cell_deadline_exceeded());
+  EXPECT_THROW(check_cell_deadline(), CellTimeout);
+  clear_cell_deadline();
+  EXPECT_EQ(current_cell_deadline(), nullptr);
+  EXPECT_NO_THROW(check_cell_deadline());
+}
+
+TEST(Deadline, ZeroBudgetDisarms) {
+  arm_cell_deadline(50ms);
+  ASSERT_NE(current_cell_deadline(), nullptr);
+  arm_cell_deadline(0ms);
+  EXPECT_EQ(current_cell_deadline(), nullptr);
+  EXPECT_FALSE(cell_deadline_exceeded());
+}
+
+// The core regression: two overlapping cells with different budgets on
+// different threads. Under the old process-global slot, cell B's 10s
+// re-arm would erase cell A's 20ms budget (A never times out) and A's
+// expiry could trip B. Task-scoped slots keep the budgets independent.
+TEST(Deadline, OverlappingCellsKeepIndependentBudgets) {
+  std::atomic<bool> a_armed{false};
+  std::atomic<bool> b_armed{false};
+  std::atomic<bool> a_timed_out{false};
+  std::atomic<bool> b_timed_out{false};
+
+  std::thread cell_a([&] {
+    arm_cell_deadline(20ms);
+    a_armed.store(true);
+    while (!b_armed.load()) std::this_thread::sleep_for(1ms);
+    // B re-armed its own (much longer) budget after A armed; A's 20ms
+    // budget must still trip.
+    try {
+      interruptible_stall(500ms);
+    } catch (const CellTimeout&) {
+      a_timed_out.store(true);
+    }
+    clear_cell_deadline();
+  });
+  std::thread cell_b([&] {
+    while (!a_armed.load()) std::this_thread::sleep_for(1ms);
+    arm_cell_deadline(10'000ms);
+    b_armed.store(true);
+    // Wait past A's expiry (and past A's clear): B's own budget is huge
+    // and must never trip, even while A's slot expires and disarms.
+    std::this_thread::sleep_for(60ms);
+    try {
+      check_cell_deadline();
+    } catch (const CellTimeout&) {
+      b_timed_out.store(true);
+    }
+    clear_cell_deadline();
+  });
+  cell_a.join();
+  cell_b.join();
+  EXPECT_TRUE(a_timed_out.load()) << "cell A's 20ms budget never tripped";
+  EXPECT_FALSE(b_timed_out.load()) << "cell B tripped a deadline it "
+                                      "never exceeded";
+}
+
+// Shard workers adopt the submitting cell's slot: the adopted thread
+// observes the owner's budget, and clearing on the worker detaches the
+// worker without disarming the owner.
+TEST(Deadline, AdoptionSharesTheOwnersBudget) {
+  arm_cell_deadline(5ms);
+  omv::core::CellDeadline* owner = current_cell_deadline();
+  ASSERT_NE(owner, nullptr);
+
+  std::atomic<bool> worker_saw_timeout{false};
+  std::thread worker([&] {
+    EXPECT_EQ(current_cell_deadline(), nullptr);
+    omv::core::CellDeadline* prev = adopt_cell_deadline(owner);
+    EXPECT_EQ(prev, nullptr);
+    EXPECT_EQ(current_cell_deadline(), owner);
+    std::this_thread::sleep_for(10ms);
+    worker_saw_timeout.store(cell_deadline_exceeded());
+    // Detaching the worker must not touch the owner's armed value.
+    adopt_cell_deadline(prev);
+    EXPECT_EQ(current_cell_deadline(), nullptr);
+  });
+  worker.join();
+  EXPECT_TRUE(worker_saw_timeout.load());
+  // The owner still observes its own (expired) deadline.
+  EXPECT_TRUE(cell_deadline_exceeded());
+  clear_cell_deadline();
+}
+
+TEST(CellPool, RunsTasksAndReturnsResults) {
+  CellPool pool(2);
+  EXPECT_EQ(pool.workers(), 2u);
+  std::atomic<int> sum{0};
+  pool.run(0.0, [&] { sum += 7; });
+  pool.run(1.0, [&] { sum += 35; });
+  EXPECT_EQ(sum.load(), 42);
+}
+
+TEST(CellPool, AtLeastOneWorker) {
+  CellPool pool(0);
+  EXPECT_EQ(pool.workers(), 1u);
+  bool ran = false;
+  pool.run(0.0, [&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(CellPool, PropagatesExceptionsToTheSubmitter) {
+  CellPool pool(1);
+  EXPECT_THROW(
+      pool.run(0.0, [] { throw std::runtime_error("cell exploded"); }),
+      std::runtime_error);
+  // The pool survives a throwing task and keeps serving.
+  bool ran = false;
+  pool.run(0.0, [&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+// Higher priority dispatches first; ties break by submission order. A
+// single worker plus pre-queued tasks makes dispatch order observable.
+TEST(CellPool, DispatchesHighestPriorityFirstThenSubmissionOrder) {
+  CellPool pool(1);
+  std::vector<int> order;
+  std::mutex order_mutex;
+  const auto record = [&](int id) {
+    std::lock_guard lock(order_mutex);
+    order.push_back(id);
+  };
+
+  // Block the single worker so the remaining submissions queue up.
+  std::atomic<bool> release{false};
+  std::thread gate([&] {
+    pool.run(100.0, [&] {
+      while (!release.load()) std::this_thread::sleep_for(1ms);
+    });
+  });
+  // Submitters block inside run(); queue from their own threads.
+  std::atomic<int> queued{0};
+  const auto submit = [&](double prio, int id) {
+    return std::thread([&, prio, id] {
+      ++queued;
+      pool.run(prio, [&, id] { record(id); });
+    });
+  };
+  std::thread t1 = submit(1.0, 1);
+  while (queued.load() < 1) std::this_thread::sleep_for(1ms);
+  std::this_thread::sleep_for(5ms);  // let t1 actually enqueue
+  std::thread t2 = submit(5.0, 2);
+  std::this_thread::sleep_for(5ms);
+  std::thread t3 = submit(5.0, 3);
+  std::this_thread::sleep_for(5ms);
+  release.store(true);
+  gate.join();
+  t1.join();
+  t2.join();
+  t3.join();
+  // 2 and 3 share the top priority (submission order breaks the tie);
+  // 1 dispatches last.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 1);
+}
+
+// A supervised cell running on a pool worker arms the worker's own slot;
+// concurrent cells on different workers keep independent budgets even
+// inside the pool.
+TEST(CellPool, WorkersCarryIndependentDeadlines) {
+  CellPool pool(2);
+  std::atomic<bool> short_armed{false};
+  std::atomic<bool> long_armed{false};
+  std::atomic<bool> short_tripped{false};
+  std::atomic<bool> long_tripped{false};
+
+  std::thread a([&] {
+    pool.run(0.0, [&] {
+      arm_cell_deadline(10ms);
+      short_armed.store(true);
+      while (!long_armed.load()) std::this_thread::sleep_for(1ms);
+      try {
+        interruptible_stall(500ms);
+      } catch (const CellTimeout&) {
+        short_tripped.store(true);
+      }
+      clear_cell_deadline();
+    });
+  });
+  std::thread b([&] {
+    pool.run(0.0, [&] {
+      while (!short_armed.load()) std::this_thread::sleep_for(1ms);
+      arm_cell_deadline(10'000ms);
+      long_armed.store(true);
+      std::this_thread::sleep_for(40ms);
+      try {
+        check_cell_deadline();
+      } catch (const CellTimeout&) {
+        long_tripped.store(true);
+      }
+      clear_cell_deadline();
+    });
+  });
+  a.join();
+  b.join();
+  EXPECT_TRUE(short_tripped.load());
+  EXPECT_FALSE(long_tripped.load());
+}
+
+}  // namespace
