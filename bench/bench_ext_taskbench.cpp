@@ -60,7 +60,6 @@ int run_taskbench(cli::RunContext& ctx) {
       std::min(std::max<std::size_t>(2, t_big / 4), t_big);
 
   report::Table t({"pattern", "threads", "mean rep (us)", "pooled CV"});
-  double par32 = 0.0;
   double par128 = 0.0;
   double mas32 = 0.0;
   double mas128 = 0.0;
@@ -83,7 +82,6 @@ int run_taskbench(cli::RunContext& ctx) {
                report::fmt_fixed(mm.grand_mean(), 1),
                report::fmt_fixed(mm.pooled_summary().cv, 5)});
     if (stage == 0) {
-      par32 = mp.grand_mean();
       mas32 = mm.grand_mean();
     } else {
       par128 = mp.grand_mean();

@@ -1,9 +1,9 @@
 #include "cli/hotpath_report.hpp"
 
-#include <fstream>
 #include <stdexcept>
 #include <thread>
 
+#include "core/atomic_file.hpp"
 #include "core/json_writer.hpp"
 
 namespace omv::cli {
@@ -85,10 +85,15 @@ std::string hotpath_report_json(const HotpathReport& report) {
 
 bool write_hotpath_report(const HotpathReport& report,
                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << hotpath_report_json(report) << '\n';
-  return static_cast<bool>(out);
+  // Atomic commit: a crashed or ENOSPC'd writer must never leave a torn
+  // BENCH_hotpath.json for the CI trajectory checks to choke on.
+  try {
+    core::atomic_write_file(path, hotpath_report_json(report) + "\n",
+                            "hotpath");
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace omv::cli

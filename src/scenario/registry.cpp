@@ -22,7 +22,7 @@ ScenarioSpec dardel_preset() {
       "socket (Cray, PDC/KTH)";
   s.machine = {"dardel", /*sockets=*/2, /*numa_per_socket=*/4,
                /*cores_per_numa=*/16, /*smt=*/2, /*base_ghz=*/2.25,
-               /*max_ghz=*/3.4};
+               /*max_ghz=*/3.4, /*groups=*/{}};
   s.sim = sim::SimConfig::dardel();
   // Dardel's frequency is nearly flat even in active sessions; its
   // session profile is its baseline profile.
@@ -41,7 +41,7 @@ ScenarioSpec vera_preset() {
       "domain per socket (C3SE Chalmers)";
   s.machine = {"vera", /*sockets=*/2, /*numa_per_socket=*/1,
                /*cores_per_numa=*/16, /*smt=*/1, /*base_ghz=*/2.1,
-               /*max_ghz=*/3.7};
+               /*max_ghz=*/3.7, /*groups=*/{}};
   s.sim = sim::SimConfig::vera();
   s.freq_session = sim::FreqConfig::vera_dippy();
   return s;
@@ -59,7 +59,7 @@ ScenarioSpec epyc_like_preset() {
       "NUMA-span effects without a second socket";
   s.machine = {"epyc-like", /*sockets=*/1, /*numa_per_socket=*/4,
                /*cores_per_numa=*/12, /*smt=*/2, /*base_ghz=*/2.4,
-               /*max_ghz=*/3.6};
+               /*max_ghz=*/3.6, /*groups=*/{}};
   s.sim = sim::SimConfig::dardel();
   s.sim.mem.domain_gbps = 40.0;
   // Mild dip pressure in active sessions: a consumer part under a
@@ -85,7 +85,7 @@ ScenarioSpec noisy_cloud_preset() {
       "daemon pressure, frequent degraded runs, busy IRQ landing zone";
   s.machine = {"noisy-cloud", /*sockets=*/2, /*numa_per_socket=*/1,
                /*cores_per_numa=*/8, /*smt=*/2, /*base_ghz=*/2.0,
-               /*max_ghz=*/3.0};
+               /*max_ghz=*/3.0, /*groups=*/{}};
   s.sim = sim::SimConfig::vera();
   s.sim.noise.daemon_rate = 480.0;       // neighbors, agents, cron storms
   s.sim.noise.daemon_mean = 250e-6;
@@ -117,7 +117,7 @@ ScenarioSpec quiet_hpc_preset() {
       "runs, flat frequency — the noise floor of the catalog";
   s.machine = {"quiet-hpc", /*sockets=*/2, /*numa_per_socket=*/2,
                /*cores_per_numa=*/24, /*smt=*/1, /*base_ghz=*/2.6,
-               /*max_ghz=*/3.8};
+               /*max_ghz=*/3.8, /*groups=*/{}};
   s.sim = sim::SimConfig::dardel();
   s.sim.noise.daemon_rate = 2.0;
   s.sim.noise.kworker_rate_per_cpu = 0.01;
@@ -233,7 +233,7 @@ ScenarioSpec dvfs_dippy_preset() {
       "common run-scoped cap: variability dominated by DVFS, not noise";
   s.machine = {"dvfs-dippy", /*sockets=*/2, /*numa_per_socket=*/1,
                /*cores_per_numa=*/16, /*smt=*/1, /*base_ghz=*/2.1,
-               /*max_ghz=*/3.7};
+               /*max_ghz=*/3.7, /*groups=*/{}};
   s.sim = sim::SimConfig::vera();
   s.sim.freq.episode_rate = 0.30;
   s.sim.freq.episode_mean = 0.8;

@@ -36,9 +36,9 @@ TEST(Advisor, StablePlacesUsesPrimarySiblings) {
 
 TEST(Advisor, StablePlacesValidates) {
   const auto m = topo::Machine::vera();
-  EXPECT_THROW(stable_places(m, 0), std::invalid_argument);
-  EXPECT_THROW(stable_places(m, 31), std::invalid_argument);  // cap is 30
-  EXPECT_NO_THROW(stable_places(m, 30));
+  EXPECT_THROW(static_cast<void>(stable_places(m, 0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(stable_places(m, 31)), std::invalid_argument);  // cap is 30
+  EXPECT_NO_THROW(static_cast<void>(stable_places(m, 30)));
 }
 
 TEST(Advisor, UnpinnedHeavyTailRecommendsPinningFirst) {

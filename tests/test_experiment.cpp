@@ -77,7 +77,7 @@ TEST(Experiment, KernelSeesDerivedRunSeed) {
 TEST(Experiment, TimeHelpersArePositive) {
   const double s = time_seconds([] {
     volatile int x = 0;
-    for (int i = 0; i < 1000; ++i) x += i;
+    for (int i = 0; i < 1000; ++i) x = x + i;
   });
   EXPECT_GE(s, 0.0);
   const double us = time_micros([] {});

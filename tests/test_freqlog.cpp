@@ -124,7 +124,9 @@ TEST(SysfsFreqReader, GracefulWhenUnavailable) {
   // Must not crash; may or may not be available in the CI container.
   if (reader.available() && reader.n_cores() > 0) {
     const auto g = reader.read_ghz(0);
-    if (g) EXPECT_GT(*g, 0.0);
+    if (g) {
+      EXPECT_GT(*g, 0.0);
+    }
   } else {
     SUCCEED();
   }

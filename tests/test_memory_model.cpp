@@ -66,9 +66,9 @@ TEST_F(MemoryModelTest, PhaseTimesJitterScales) {
 }
 
 TEST_F(MemoryModelTest, PhaseTimesValidatesSizes) {
-  EXPECT_THROW(model_.phase_times({0, 1}, {0}, 1.0, {1.0, 1.0}),
+  EXPECT_THROW(static_cast<void>(model_.phase_times({0, 1}, {0}, 1.0, {1.0, 1.0})),
                std::invalid_argument);
-  EXPECT_THROW(model_.phase_times({0}, {0}, 1.0, {}),
+  EXPECT_THROW(static_cast<void>(model_.phase_times({0}, {0}, 1.0, {})),
                std::invalid_argument);
 }
 

@@ -46,7 +46,7 @@ TEST_F(PlacesTest, AbstractNumaDomains) {
 }
 
 TEST_F(PlacesTest, UnknownAbstractNameThrows) {
-  EXPECT_THROW(parse_places("flibbles", vera_), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("flibbles", vera_)), std::invalid_argument);
 }
 
 TEST_F(PlacesTest, ExplicitSinglePlace) {
@@ -102,23 +102,23 @@ TEST_F(PlacesTest, WhitespaceTolerated) {
 }
 
 TEST_F(PlacesTest, RejectsOutOfRangeThread) {
-  EXPECT_THROW(parse_places("{40}", vera_), std::invalid_argument);
-  EXPECT_NO_THROW(parse_places("{40}", dardel_));
+  EXPECT_THROW(static_cast<void>(parse_places("{40}", vera_)), std::invalid_argument);
+  EXPECT_NO_THROW(static_cast<void>(parse_places("{40}", dardel_)));
 }
 
 TEST_F(PlacesTest, RejectsSyntaxErrors) {
-  EXPECT_THROW(parse_places("{0", vera_), std::invalid_argument);
-  EXPECT_THROW(parse_places("0}", vera_), std::invalid_argument);
-  EXPECT_THROW(parse_places("{}", vera_), std::invalid_argument);
-  EXPECT_THROW(parse_places("{0},", vera_), std::invalid_argument);
-  EXPECT_THROW(parse_places("{0:0}", vera_), std::invalid_argument);
-  EXPECT_THROW(parse_places("{0}:0", vera_), std::invalid_argument);
-  EXPECT_THROW(parse_places("", vera_), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("{0", vera_)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("0}", vera_)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("{}", vera_)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("{0},", vera_)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("{0:0}", vera_)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("{0}:0", vera_)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("", vera_)), std::invalid_argument);
 }
 
 TEST_F(PlacesTest, RejectsNegativeShift) {
   // Stride can be negative but may not shift a place below zero.
-  EXPECT_THROW(parse_places("{0:2}:3:-4", vera_), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_places("{0:2}:3:-4", vera_)), std::invalid_argument);
 }
 
 TEST_F(PlacesTest, NegativeStrideValidWhenInRange) {

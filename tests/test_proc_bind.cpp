@@ -25,7 +25,7 @@ TEST(ParseProcBind, AllSpellings) {
   EXPECT_EQ(parse_proc_bind("none"), ProcBind::none);
   EXPECT_EQ(parse_proc_bind("false"), ProcBind::none);
   EXPECT_EQ(parse_proc_bind("true"), ProcBind::close);
-  EXPECT_THROW(parse_proc_bind("sideways"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_proc_bind("sideways")), std::invalid_argument);
 }
 
 TEST(ProcBindName, Names) {
@@ -84,8 +84,8 @@ TEST(AssignPlaces, PrimaryAllOnPrimaryPlace) {
 }
 
 TEST(AssignPlaces, ValidatesInputs) {
-  EXPECT_THROW(assign_places(2, {}, ProcBind::close), std::invalid_argument);
-  EXPECT_THROW(assign_places(2, simple_places(4), ProcBind::close, 9),
+  EXPECT_THROW(static_cast<void>(assign_places(2, {}, ProcBind::close)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(assign_places(2, simple_places(4), ProcBind::close, 9)),
                std::invalid_argument);
 }
 

@@ -34,7 +34,9 @@ TEST(ScenarioRegistry, CatalogHoldsPaperPlatformsAndNewPresets) {
   // the campaign cache serve one scenario's cells to another).
   for (const auto& a : reg.all()) {
     for (const auto& b : reg.all()) {
-      if (&a != &b) EXPECT_NE(a.fingerprint(), b.fingerprint());
+      if (&a != &b) {
+        EXPECT_NE(a.fingerprint(), b.fingerprint());
+      }
     }
   }
 }

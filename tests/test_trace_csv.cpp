@@ -43,15 +43,15 @@ TEST(TraceCsv, EmptyTraceRoundTrips) {
 }
 
 TEST(TraceCsv, RejectsMalformedInput) {
-  EXPECT_THROW(freq_trace_from_csv(""), std::invalid_argument);
-  EXPECT_THROW(freq_trace_from_csv("nope\n"), std::invalid_argument);
-  EXPECT_THROW(freq_trace_from_csv("time,core,ghz\nx,0,2.0\n"),
+  EXPECT_THROW(static_cast<void>(freq_trace_from_csv("")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(freq_trace_from_csv("nope\n")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(freq_trace_from_csv("time,core,ghz\nx,0,2.0\n")),
                std::invalid_argument);
-  EXPECT_THROW(freq_trace_from_csv("time,core,ghz\n0.0,y,2.0\n"),
+  EXPECT_THROW(static_cast<void>(freq_trace_from_csv("time,core,ghz\n0.0,y,2.0\n")),
                std::invalid_argument);
-  EXPECT_THROW(freq_trace_from_csv("time,core,ghz\n0.0,0,zz\n"),
+  EXPECT_THROW(static_cast<void>(freq_trace_from_csv("time,core,ghz\n0.0,0,zz\n")),
                std::invalid_argument);
-  EXPECT_THROW(freq_trace_from_csv("time,core,ghz\n0.0,0,2.0,junk\n"),
+  EXPECT_THROW(static_cast<void>(freq_trace_from_csv("time,core,ghz\n0.0,0,2.0,junk\n")),
                std::invalid_argument);
 }
 
@@ -64,7 +64,7 @@ TEST(TraceCsv, ToleratesCommentsBlanksAndCrlf) {
 }
 
 TEST(TraceCsv, FileErrorsThrow) {
-  EXPECT_THROW(load_freq_trace("/nonexistent/dir/x.csv"),
+  EXPECT_THROW(static_cast<void>(load_freq_trace("/nonexistent/dir/x.csv")),
                std::runtime_error);
   EXPECT_THROW(save_freq_trace("/nonexistent/dir/x.csv", FreqTrace{}),
                std::runtime_error);

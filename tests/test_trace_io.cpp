@@ -53,46 +53,43 @@ TEST(TraceIo, EmptyMatrixRoundTrips) {
 }
 
 TEST(TraceIo, RejectsBadHeader) {
-  EXPECT_THROW(run_matrix_from_csv("nope\n1,2,3\n"), std::invalid_argument);
-  EXPECT_THROW(run_matrix_from_csv(""), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("nope\n1,2,3\n")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("")), std::invalid_argument);
 }
 
 TEST(TraceIo, RejectsMalformedRows) {
-  EXPECT_THROW(run_matrix_from_csv("run,rep,time\nx,0,1.0\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\nx,0,1.0\n")),
                std::invalid_argument);
-  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,zero,1.0\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n0,zero,1.0\n")),
                std::invalid_argument);
-  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,0,abc\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n0,0,abc\n")),
                std::invalid_argument);
 }
 
 TEST(TraceIo, RejectsTrailingGarbageAfterTime) {
-  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,0,1.5,junk\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n0,0,1.5,junk\n")),
                std::invalid_argument);
-  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,0,1.5 \n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n0,0,1.5 \n")),
                std::invalid_argument);
-  EXPECT_THROW(run_matrix_from_csv("run,rep,time\n0,0,1.5x\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n0,0,1.5x\n")),
                std::invalid_argument);
 }
 
 TEST(TraceIo, RejectsDuplicateCells) {
-  EXPECT_THROW(
-      run_matrix_from_csv("run,rep,time\n0,0,1.0\n0,0,2.0\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n0,0,1.0\n0,0,2.0\n")),
       std::invalid_argument);
 }
 
 TEST(TraceIo, RejectsGappedRepIndices) {
   // rep 1 is missing: silently compacting would misalign rep-indexed
   // analyses (periodic-noise detection).
-  EXPECT_THROW(
-      run_matrix_from_csv("run,rep,time\n0,0,1.0\n0,2,3.0\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n0,0,1.0\n0,2,3.0\n")),
       std::invalid_argument);
 }
 
 TEST(TraceIo, RejectsRunGapWithoutMetadata) {
   // No "# runs=" line: a run with no rows means the file is truncated.
-  EXPECT_THROW(
-      run_matrix_from_csv("run,rep,time\n0,0,1.0\n2,0,3.0\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n0,0,1.0\n2,0,3.0\n")),
       std::invalid_argument);
 }
 
@@ -111,11 +108,9 @@ TEST(TraceIo, MetadataPreservesEmptyRuns) {
 }
 
 TEST(TraceIo, RejectsRowBeyondDeclaredRuns) {
-  EXPECT_THROW(
-      run_matrix_from_csv("run,rep,time\n# runs=1\n1,0,2.0\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n# runs=1\n1,0,2.0\n")),
       std::invalid_argument);
-  EXPECT_THROW(
-      run_matrix_from_csv("run,rep,time\n# runs=x\n0,0,1.0\n"),
+  EXPECT_THROW(static_cast<void>(run_matrix_from_csv("run,rep,time\n# runs=x\n0,0,1.0\n")),
       std::invalid_argument);
 }
 
@@ -177,7 +172,7 @@ TEST(TraceIo, FileSaveLoad) {
 }
 
 TEST(TraceIo, FileErrorsThrow) {
-  EXPECT_THROW(load_run_matrix("/nonexistent/dir/x.csv"),
+  EXPECT_THROW(static_cast<void>(load_run_matrix("/nonexistent/dir/x.csv")),
                std::runtime_error);
   EXPECT_THROW(save_run_matrix("/nonexistent/dir/x.csv", sample()),
                std::runtime_error);

@@ -1,0 +1,12 @@
+// Fixture: malformed suppression attempts. Each bad comment must trip
+// [suppression] (the escape hatch itself is linted), and the printf they
+// fail to cover must still trip [stdout-discipline].
+#include <cstdio>
+
+void broken_escapes(double mean) {
+  // omvlint: allow(stdout-discipline)
+  printf("missing reason above, so this still fires\n");
+  // omvlint: allow(no-such-rule) the rule name is unknown
+  // omvlint: permit(stdout-discipline) wrong directive verb
+  (void)mean;
+}

@@ -1,0 +1,12 @@
+// Fixture: direct stdout in a harness path. Every line below must trip
+// [stdout-discipline] — science output may only flow through
+// ctx.print/ctx.emit so capture-replay stays byte-identical.
+#include <cstdio>
+#include <iostream>
+
+void report_results(double mean) {
+  printf("mean = %f\n", mean);               // banned call
+  std::cout << "mean = " << mean << "\n";    // banned stream
+  std::fprintf(stdout, "mean = %f\n", mean); // banned handle
+  std::fprintf(stderr, "log line\n");        // fine: stderr is for logs
+}

@@ -1,0 +1,12 @@
+// Fixture: every would-be violation below carries a well-formed,
+// reasoned suppression, so this file must lint CLEAN (and the honored-
+// suppression counter must advance by three).
+#include <cstdio>
+#include <iostream>
+
+void debug_dump(double mean) {
+  printf("mean = %f\n", mean);  // omvlint: allow(stdout-discipline) debug-only dump, never runs under the campaign driver
+  // omvlint: allow(stdout-discipline) comment-above form covers the next line
+  std::cout << "mean = " << mean << "\n";
+  std::fprintf(stdout, "mean = %f\n", mean);  // omvlint: allow(stdout-discipline) fixture exercises the raw-handle match
+}

@@ -1,0 +1,21 @@
+// Fixture: range-for over unordered containers on an artifact path. Both
+// loops must trip [unordered-iteration] — hash iteration order is
+// unspecified, so serialized bytes would differ across libstdc++
+// versions (and across runs with hardened hashing).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using CellIndex = std::unordered_map<std::string, int>;
+
+std::string serialize(const CellIndex& cells,
+                      const std::unordered_set<std::string>& tags) {
+  std::string out;
+  for (const auto& [name, value] : cells) {  // banned: unordered order
+    out += name + "=" + std::to_string(value) + "\n";
+  }
+  for (const auto& tag : tags) {  // banned: unordered order
+    out += tag + "\n";
+  }
+  return out;
+}

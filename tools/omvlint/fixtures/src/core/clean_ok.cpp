@@ -1,0 +1,16 @@
+// Fixture: an in-scope file (src/core/snapshot.* scoping does not cover
+// this name, but src/core is walked) using only allowed constructs —
+// ordered containers, stderr logging, seed-derived RNG — must produce no
+// diagnostics at all.
+#include <cstdio>
+#include <map>
+#include <string>
+
+std::string serialize_sorted(const std::map<std::string, int>& cells) {
+  std::string out;
+  for (const auto& [name, value] : cells) {  // std::map: ordered, fine
+    out += name + "=" + std::to_string(value) + "\n";
+  }
+  std::fprintf(stderr, "serialized %zu cells\n", cells.size());
+  return out;
+}

@@ -1,0 +1,22 @@
+// Fixture: ambient entropy and wall clocks in the simulator core. Each
+// marked line must trip [no-ambient-entropy] — simulator randomness
+// derives from run_seed and never from process-ambient sources.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned ambient_seed() {
+  std::random_device rd;  // banned: nondeterministic seed
+  return rd();
+}
+
+long ambient_clock() {
+  auto now = std::chrono::system_clock::now();  // banned: wall clock
+  (void)now;
+  return std::time(nullptr);  // banned: wall clock
+}
+
+int ambient_rand() {
+  return rand();  // banned: hidden global RNG state
+}

@@ -1,0 +1,13 @@
+// Fixture: SIMD intrinsics outside the per-TU kernel files. The include
+// and both intrinsic uses must trip [isa-guard] — only batch_avx2.cpp /
+// batch_avx512.cpp may contain ISA-specific code, or the baseline build
+// faults and runtime dispatch loses its scalar oracle.
+#include <immintrin.h>
+
+double sum4(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  __m256d h = _mm256_hadd_pd(v, v);
+  double out[4];
+  _mm256_storeu_pd(out, h);
+  return out[0] + out[2];
+}

@@ -1,0 +1,84 @@
+// omvlint CLI: lints a source tree against the determinism contract and
+// exits nonzero on any unsuppressed violation. Registered as the
+// `omvlint_tree` ctest and the CI lint lane.
+//
+// Usage:
+//   omvlint [--root DIR] [FILE...]   lint FILEs (relative to DIR), or the
+//                                    whole tree under DIR when no FILE
+//   omvlint --list-rules             print the rule names, one per line
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "omvlint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [FILE...]\n"
+               "       %s --list-rules\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& r : omv::lint::rule_names()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--root") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      root = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "omvlint: unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+
+  omv::lint::LintResult result;
+  if (files.empty()) {
+    result = omv::lint::lint_tree(root);
+  } else {
+    for (const auto& rel : files) {
+      const std::filesystem::path full =
+          std::filesystem::path(root) / rel;
+      std::ifstream in(full, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "omvlint: cannot read '%s'\n",
+                     full.string().c_str());
+        return 2;
+      }
+      std::string content((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+      omv::lint::LintResult one = omv::lint::lint_source(rel, content);
+      result.files_scanned += one.files_scanned;
+      result.suppressions_honored += one.suppressions_honored;
+      for (auto& d : one.diagnostics) {
+        result.diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+
+  for (const auto& d : result.diagnostics) {
+    std::printf("%s\n", omv::lint::format(d).c_str());
+  }
+  std::fprintf(stderr,
+               "omvlint: %zu file(s) scanned, %zu violation(s), %zu "
+               "suppression(s) honored\n",
+               result.files_scanned, result.diagnostics.size(),
+               result.suppressions_honored);
+  return result.diagnostics.empty() ? 0 : 1;
+}

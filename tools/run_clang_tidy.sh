@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Runs the checked-in .clang-tidy baseline over the project's own sources
+# using the compile database a CMake configure always exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS=ON is unconditional).
+#
+#   tools/run_clang_tidy.sh [BUILD_DIR]     default BUILD_DIR: build
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call from environments (and CI lanes) that only carry gcc.
+
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not installed; skipping (install it" \
+         "and re-run for the bugprone/concurrency/performance baseline)"
+    exit 0
+fi
+
+db="$repo_root/$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+    echo "run_clang_tidy: $db not found; configure first:" \
+         "cmake -B $build_dir -S ." >&2
+    exit 2
+fi
+
+# Project sources only: everything the compile database knows about under
+# src/, tools/ and bench/ (tests are gtest-macro heavy and third-party
+# noise dominates; extend the filter once the suites are tidy-clean).
+files=$(python3 - "$db" "$repo_root" <<'EOF'
+import json, sys
+db, root = sys.argv[1], sys.argv[2]
+seen = []
+for entry in json.load(open(db)):
+    f = entry["file"]
+    rel = f[len(root) + 1:] if f.startswith(root + "/") else f
+    if rel.startswith(("src/", "tools/", "bench/")) and rel not in seen:
+        seen.append(rel)
+print("\n".join(seen))
+EOF
+)
+
+status=0
+for f in $files; do
+    echo "== clang-tidy $f"
+    clang-tidy -p "$repo_root/$build_dir" --quiet "$repo_root/$f" || status=1
+done
+exit $status
